@@ -1,0 +1,41 @@
+// Regenerates the paper's end-to-end experiment (§V-B-2): GPT-2 355M on a
+// [41]-style FPGA spatial LLM accelerator with HAAN replacing the system's
+// two-pass normalization unit, input lengths 128/256/512. Paper: ~1.11x
+// average end-to-end speedup.
+#include <cstdio>
+
+#include "baselines/e2e_model.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace haan;
+
+int main(int argc, char** argv) {
+  common::CliParser cli("End-to-end speedup of HAAN inside a spatial FPGA system");
+  cli.add_flag("skipped", "5", "normalization layers with predicted ISD");
+  cli.add_flag("nsub", "512", "statistics subsample length (E=1024)");
+  if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+
+  common::Table table({"input length", "baseline (ms)", "with HAAN (ms)",
+                       "norm share", "norm speedup", "e2e speedup"});
+  double sum = 0.0;
+  const std::size_t seqs[] = {128, 256, 512};
+  for (const std::size_t seq : seqs) {
+    const auto result = baselines::e2e_speedup(
+        model::real_dims_gpt2_355m(), seq, accel::haan_v1(),
+        static_cast<std::size_t>(cli.get_int("nsub")),
+        static_cast<std::size_t>(cli.get_int("skipped")));
+    table.add_row({std::to_string(seq),
+                   common::format_double(result.baseline_ms, 2),
+                   common::format_double(result.haan_ms, 2),
+                   common::format_percent(result.norm_fraction),
+                   common::format_ratio(result.norm_speedup),
+                   common::format_ratio(result.e2e_speedup, 3)});
+    sum += result.e2e_speedup;
+  }
+  std::printf("=== End-to-end — GPT-2 355M on the [41] spatial system ===\n%s",
+              table.render().c_str());
+  std::printf("\naverage e2e speedup: %s (paper: ~1.11x)\n",
+              common::format_ratio(sum / 3.0, 3).c_str());
+  return 0;
+}

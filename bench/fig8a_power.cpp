@@ -1,0 +1,63 @@
+// Regenerates Fig 8(a): normalized power of HAAN-v1/v2 vs SOLE / DFX / MHAA
+// while processing GPT2-1.5B normalization layers. The paper reports 61%/64%
+// average power reductions vs DFX and "slightly less power than SOLE and
+// MHAA".
+#include <cstdio>
+#include <vector>
+
+#include "baselines/dfx_engine.hpp"
+#include "baselines/haan_engine.hpp"
+#include "baselines/mhaa_engine.hpp"
+#include "baselines/sole_engine.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace haan;
+
+int main(int argc, char** argv) {
+  common::CliParser cli("Fig 8(a): normalized power on GPT2-1.5B norm layers");
+  if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+
+  const baselines::HaanEngine v1(accel::haan_v1());
+  const baselines::HaanEngine v2(accel::haan_v2());
+  const baselines::SoleEngine sole;
+  const baselines::DfxEngine dfx;
+  const baselines::MhaaEngine mhaa;
+  const std::vector<const baselines::NormEngineModel*> engines{&v1, &v2, &sole,
+                                                               &dfx, &mhaa};
+
+  common::Table table(
+      {"engine", "power (W)", "normalized to HAAN-v1", "reduction vs DFX"});
+  const auto work = baselines::make_workload(model::real_dims_gpt2_1p5b(), 256,
+                                             /*skipped=*/10, /*nsub=*/800,
+                                             model::NormKind::kLayerNorm);
+  const double base = v1.average_power_w(work);
+  const double dfx_power = dfx.average_power_w(work);
+  for (const auto* engine : engines) {
+    const double power = engine->average_power_w(work);
+    table.add_row({engine->name(), common::format_double(power, 3),
+                   common::format_ratio(power / base),
+                   common::format_percent(1.0 - power / dfx_power)});
+  }
+  std::printf(
+      "=== Fig 8(a) — power comparison, GPT2-1.5B norm workload (seq 256) "
+      "===\n%s\npaper: HAAN-v1/v2 reduce power by ~61%%/64%% vs DFX and sit "
+      "slightly below SOLE and MHAA.\n",
+      table.render().c_str());
+
+  // Energy view (power x latency) — the quantity an accelerator deployment
+  // actually pays.
+  common::Table energy({"engine", "latency (ms)", "energy (mJ)",
+                        "energy vs HAAN-v1"});
+  const double base_energy = v1.total_energy_uj(work);
+  for (const auto* engine :
+       std::vector<const baselines::NormEngineModel*>{&v1, &v2, &sole, &dfx,
+                                                      &mhaa}) {
+    energy.add_row({engine->name(),
+                    common::format_double(engine->total_latency_us(work) / 1e3, 3),
+                    common::format_double(engine->total_energy_uj(work) / 1e3, 3),
+                    common::format_ratio(engine->total_energy_uj(work) / base_energy)});
+  }
+  std::printf("\n%s", energy.render().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates Fig 8(b): normalized latency of HAAN vs GPU / SOLE / MHAA on
+// the OPT-2.7B normalization workload (7 of 65 ISD computations skipped,
+// input truncated to Nsub = 1280), sequence lengths 128-1024. HAAN-v2 is
+// excluded as in the paper (its configuration is incompatible with this
+// model); HAAN-v3 is the (64, 128) configuration introduced for OPT.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/gpu_engine.hpp"
+#include "baselines/haan_engine.hpp"
+#include "baselines/mhaa_engine.hpp"
+#include "baselines/sole_engine.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace haan;
+
+int main(int argc, char** argv) {
+  common::CliParser cli("Fig 8(b): normalized normalization latency on OPT-2.7B");
+  if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+
+  const baselines::HaanEngine v1(accel::haan_v1());
+  const baselines::HaanEngine v3(accel::haan_v3());
+  const baselines::SoleEngine sole;
+  const baselines::MhaaEngine mhaa;
+  const baselines::GpuNormEngine gpu;
+  const std::vector<const baselines::NormEngineModel*> engines{&v1, &v3, &sole,
+                                                               &mhaa, &gpu};
+  const char* paper[] = {"1.00x", "0.96-1.03x", "1.56-1.57x", "1.61-1.62x",
+                         "9.96-10.88x"};
+
+  common::Table table({"engine", "seq 128", "seq 256", "seq 512", "seq 1024",
+                       "paper"});
+  const std::size_t seqs[] = {128, 256, 512, 1024};
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    std::vector<std::string> row{engines[e]->name()};
+    for (const std::size_t seq : seqs) {
+      const auto work = baselines::make_workload(model::real_dims_opt2p7b(), seq,
+                                                 /*skipped=*/7, /*nsub=*/1280,
+                                                 model::NormKind::kLayerNorm);
+      const double base = v1.total_latency_us(work);
+      row.push_back(common::format_ratio(engines[e]->total_latency_us(work) / base));
+    }
+    row.push_back(paper[e]);
+    table.add_row(std::move(row));
+  }
+  std::printf(
+      "=== Fig 8(b) — normalized latency, OPT-2.7B norm layers "
+      "(7/65 skipped, Nsub = 1280) ===\n%s",
+      table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates Fig 9: normalized latency of HAAN vs DFX / GPU / SOLE / MHAA on
+// the GPT2-1.5B normalization workload (10 of 97 layers skipped, statistics
+// subsampled to half the embedding width), sequence lengths 128-1024.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/dfx_engine.hpp"
+#include "baselines/gpu_engine.hpp"
+#include "baselines/haan_engine.hpp"
+#include "baselines/mhaa_engine.hpp"
+#include "baselines/sole_engine.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace haan;
+
+int main(int argc, char** argv) {
+  common::CliParser cli("Fig 9: normalized normalization latency on GPT2-1.5B");
+  if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+
+  const baselines::HaanEngine v1(accel::haan_v1());
+  const baselines::HaanEngine v2(accel::haan_v2());
+  const baselines::SoleEngine sole;
+  const baselines::DfxEngine dfx;
+  const baselines::MhaaEngine mhaa;
+  const baselines::GpuNormEngine gpu;
+  const std::vector<const baselines::NormEngineModel*> engines{&v1, &v2, &sole,
+                                                               &mhaa, &dfx, &gpu};
+  // Paper Fig 9 series (approximate, HAAN-v1 = 1.00x).
+  const char* paper[] = {"1.00x", "1.03-1.05x", "1.21-1.35x", "2.41-2.43x",
+                         "11.68-11.77x", "10.06-10.93x"};
+
+  common::Table table({"engine", "seq 128", "seq 256", "seq 512", "seq 1024",
+                       "paper"});
+  const std::size_t seqs[] = {128, 256, 512, 1024};
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    std::vector<std::string> row{engines[e]->name()};
+    for (const std::size_t seq : seqs) {
+      const auto work = baselines::make_workload(model::real_dims_gpt2_1p5b(), seq,
+                                                 /*skipped=*/10, /*nsub=*/800,
+                                                 model::NormKind::kLayerNorm);
+      const double base = v1.total_latency_us(work);
+      row.push_back(common::format_ratio(engines[e]->total_latency_us(work) / base));
+    }
+    row.push_back(paper[e]);
+    table.add_row(std::move(row));
+  }
+  std::printf(
+      "=== Fig 9 — normalized latency, GPT2-1.5B norm layers "
+      "(10/97 skipped, Nsub = E/2) ===\n%s",
+      table.render().c_str());
+
+  const auto work128 = baselines::make_workload(model::real_dims_gpt2_1p5b(), 128,
+                                                10, 800, model::NormKind::kLayerNorm);
+  std::printf("\nHAAN-v1 absolute latency at seq 128: %.2f ms (100 MHz pipeline)\n",
+              v1.total_latency_us(work128) / 1000.0);
+  return 0;
+}

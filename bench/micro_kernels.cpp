@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) for the performance-sensitive kernels:
+// the square-root inverter path, FP16 conversion, fixed-point arithmetic, the
+// datapath units, and the end-to-end HAAN normalization operator.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "common/rng.hpp"
+#include "core/haan_norm.hpp"
+#include "numerics/fast_math.hpp"
+#include "numerics/float16.hpp"
+#include "tensor/norm_ref.hpp"
+
+using namespace haan;
+
+namespace {
+
+std::vector<float> random_vector(std::size_t n, double stddev = 1.5) {
+  common::Rng rng(42);
+  std::vector<float> z(n);
+  rng.fill_gaussian(z, 0.2, stddev);
+  return z;
+}
+
+void BM_FastInvSqrt(benchmark::State& state) {
+  const auto iterations = static_cast<int>(state.range(0));
+  float x = 3.7f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::fast_inv_sqrt(x, iterations));
+    x += 0.001f;
+  }
+}
+BENCHMARK(BM_FastInvSqrt)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ExactInvSqrt(benchmark::State& state) {
+  double x = 3.7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::exact_inv_sqrt(x));
+    x += 0.001;
+  }
+}
+BENCHMARK(BM_ExactInvSqrt);
+
+void BM_Float16RoundTrip(benchmark::State& state) {
+  float x = 1.2345f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numerics::Float16(x).to_float());
+    x += 0.001f;
+  }
+}
+BENCHMARK(BM_Float16RoundTrip);
+
+void BM_FixedMul(benchmark::State& state) {
+  const numerics::FixedFormat f{26, 20};
+  auto a = numerics::Fixed::from_double(1.37, f);
+  const auto b = numerics::Fixed::from_double(0.731, f);
+  for (auto _ : state) {
+    a = mul(a, b, f);
+    benchmark::DoNotOptimize(a);
+    if (a.raw() == 0) a = numerics::Fixed::from_double(1.37, f);
+  }
+}
+BENCHMARK(BM_FixedMul);
+
+void BM_ReferenceLayerNorm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto z = random_vector(n);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    tensor::layernorm(z, {}, {}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReferenceLayerNorm)->Arg(128)->Arg(1024)->Arg(4096);
+
+void BM_HaanNormProvider(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool subsample = state.range(1) != 0;
+  core::HaanConfig config;
+  config.nsub = subsample ? n / 2 : 0;
+  core::HaanNormProvider provider(config);
+  const auto z = random_vector(n);
+  std::vector<float> out(n);
+  provider.begin_sequence();
+  for (auto _ : state) {
+    provider.normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HaanNormProvider)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+void BM_IscDatapath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const accel::AcceleratorConfig config = accel::haan_v1();
+  const auto z = random_vector(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        accel::input_statistics_calculator(z, 0, model::NormKind::kLayerNorm,
+                                           config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_IscDatapath)->Arg(256)->Arg(1600);
+
+void BM_AcceleratorRunLayer(benchmark::State& state) {
+  const accel::HaanAccelerator accelerator(accel::haan_v1());
+  common::Rng rng(7);
+  const tensor::Tensor input =
+      tensor::Tensor::randn(tensor::Shape{16, 512}, rng, 0.0, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        accelerator.run_layer(input, {}, {}, model::NormKind::kLayerNorm, 256));
+  }
+}
+BENCHMARK(BM_AcceleratorRunLayer);
+
+void BM_CycleModel(benchmark::State& state) {
+  const accel::HaanAccelerator accelerator(accel::haan_v1());
+  accel::NormLayerWork work;
+  work.n = 2560;
+  work.vectors = 1024;
+  work.nsub = 1280;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accelerator.time_layer(work));
+  }
+}
+BENCHMARK(BM_CycleModel);
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Regenerates Table II: LLaMA-7B accuracy across configurations — subsample
+// length, operand data format, and skip range. Paper Nsub values map to
+// surrogate prefixes at the same *relative position on the estimator-noise
+// curve* (see EXPERIMENTS.md): paper {128, 256, 512} of E=4096 -> surrogate
+// {E/8, E/2, E} of the surrogate width.
+#include <cstdio>
+#include <memory>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/calibration.hpp"
+#include "core/haan_norm.hpp"
+#include "eval/evaluator.hpp"
+
+// GCC 12 false-positive -Wrestrict on inlined std::string concatenation
+// (GCC bug 105651).
+#pragma GCC diagnostic ignored "-Wrestrict"
+
+using namespace haan;
+
+namespace {
+
+struct Row {
+  std::string method;
+  std::string config_label;
+  core::HaanConfig config;
+  const double* paper;  // 5 accuracies or nullptr
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli("Table II: LLaMA-7B accuracy across HAAN configurations");
+  cli.add_flag("examples", "250", "examples per task");
+  cli.add_flag("width", "128", "surrogate embedding width");
+  cli.add_flag("threads", "0", "worker threads (0 = all cores)");
+  if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+  const auto n = static_cast<std::size_t>(cli.get_int("examples"));
+  const auto width = static_cast<std::size_t>(cli.get_int("width"));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+  auto model_config = model::llama7b_surrogate(width);
+  model::Transformer model(model_config);
+  core::CalibrationOptions cal;
+  cal.n_samples = 8;
+  cal.seq_len = 16;
+  cal.position_stride = 4;
+  const auto calibration = core::calibrate_skip_plan(model, cal);
+
+  // The reference configuration mirrors Table I's LLaMA row.
+  core::HaanConfig reference = core::llama7b_algorithm_config(width);
+  reference.plan = calibration.plan;
+
+  // Paper rows (Table II).
+  static const double p_sub128[5] = {0.5722, 0.6654, 0.4067, 0.4520, 0.2432};
+  static const double p_sub256[5] = {0.7016, 0.7818, 0.5696, 0.7567, 0.4163};
+  static const double p_sub512[5] = {0.7015, 0.7828, 0.5691, 0.7513, 0.4168};
+  static const double p_int8[5] = {0.7016, 0.7818, 0.5696, 0.7567, 0.4163};
+  static const double p_fp16[5] = {0.7016, 0.7826, 0.5691, 0.7545, 0.3963};
+  static const double p_fp32[5] = {0.7017, 0.7862, 0.5691, 0.7511, 0.4198};
+  static const double p_skip_10_20[5] = {0.5018, 0.5818, 0.3496, 0.5032, 0.2512};
+  static const double p_skip_30_40[5] = {0.6218, 0.7018, 0.4896, 0.6767, 0.2675};
+  static const double p_skip_50_60[5] = {0.7016, 0.7818, 0.5696, 0.7567, 0.4163};
+
+  std::vector<Row> rows;
+  const auto with_nsub = [&](std::size_t nsub) {
+    auto c = reference;
+    c.nsub = nsub;
+    return c;
+  };
+  rows.push_back({"Subsample length", "128 -> " + std::to_string(width / 8),
+                  with_nsub(width / 8), p_sub128});
+  rows.push_back({"Subsample length", "256 -> " + std::to_string(width / 2),
+                  with_nsub(width / 2), p_sub256});
+  rows.push_back({"Subsample length", "512 -> " + std::to_string(width),
+                  with_nsub(width), p_sub512});
+
+  const auto with_format = [&](numerics::NumericFormat format) {
+    auto c = reference;
+    c.format = format;
+    return c;
+  };
+  rows.push_back({"Data format", "INT8", with_format(numerics::NumericFormat::kINT8),
+                  p_int8});
+  rows.push_back({"Data format", "FP16", with_format(numerics::NumericFormat::kFP16),
+                  p_fp16});
+  rows.push_back({"Data format", "FP32", with_format(numerics::NumericFormat::kFP32),
+                  p_fp32});
+
+  const auto with_range = [&](std::size_t lo, std::size_t hi) {
+    auto c = reference;
+    c.plan = core::fixed_range_plan(calibration.trace, lo, hi);
+    return c;
+  };
+  rows.push_back({"Skip range", "(10, 20)", with_range(10, 20), p_skip_10_20});
+  rows.push_back({"Skip range", "(30, 40)", with_range(30, 40), p_skip_30_40});
+  rows.push_back({"Skip range", "(50, 60)", with_range(50, 60), p_skip_50_60});
+
+  // Generate the datasets once; all configurations share them.
+  const auto suite = eval::task_suite_for(model_config.name);
+  std::vector<eval::TaskDataset> datasets;
+  for (auto task : suite) {
+    task.context_len = 10;
+    datasets.push_back(eval::TaskDataset::generate(model, task, n, threads));
+  }
+
+  common::Table table({"method", "config", "WG", "PQ", "HS", "A-e", "A-c"});
+  {
+    std::vector<std::string> base{"(reference baseline)", "exact FP32"};
+    for (const auto& dataset : datasets) {
+      base.push_back(common::format_double(dataset.baseline_accuracy(), 4));
+    }
+    table.add_row(std::move(base));
+    table.add_separator();
+  }
+  std::string last_method;
+  for (const auto& row : rows) {
+    if (!last_method.empty() && row.method != last_method) table.add_separator();
+    last_method = row.method;
+    std::vector<std::string> cells{row.method, row.config_label};
+    for (const auto& dataset : datasets) {
+      const auto result = eval::evaluate_accuracy_parallel(
+          model,
+          [&] { return std::make_unique<core::HaanNormProvider>(row.config); },
+          dataset, threads);
+      cells.push_back(common::format_double(result.accuracy, 4));
+    }
+    table.add_row(std::move(cells));
+    std::vector<std::string> paper{"  (paper)", row.config_label};
+    for (int t = 0; t < 5; ++t) {
+      paper.push_back(common::format_double(row.paper[t], 4));
+    }
+    table.add_row(std::move(paper));
+  }
+
+  std::printf(
+      "=== Table II — LLaMA-7B accuracy across configurations "
+      "(width %zu, %zu examples/task) ===\nreference: %s\n%s",
+      width, n, reference.to_string().c_str(), table.render().c_str());
+  return 0;
+}

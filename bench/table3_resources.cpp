@@ -1,0 +1,75 @@
+// Regenerates Table III: FPGA resource and power cost of the HAAN accelerator
+// across input formats and (pd, pn) configurations, next to the paper's
+// synthesis numbers (the calibration anchors of the resource model).
+#include <cstdio>
+
+#include "accel/resource_model.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+// GCC 12 false-positive -Wrestrict on inlined std::string concatenation
+// (GCC bug 105651).
+#pragma GCC diagnostic ignored "-Wrestrict"
+
+using namespace haan;
+
+int main(int argc, char** argv) {
+  common::CliParser cli("Table III: HAAN accelerator FPGA cost model");
+  if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+
+  struct RowSpec {
+    const char* format;
+    std::size_t pd, pn;
+    double paper_lut, paper_ff, paper_dsp, paper_power;
+  };
+  const RowSpec rows[] = {
+      {"FP32", 128, 128, 84000, 17000, 1536, 6.362},
+      {"FP32", 32, 128, 99000, 21000, 1036, 6.136},
+      {"FP16", 128, 128, 55000, 11000, 1536, 4.868},
+      {"FP16", 32, 128, 76000, 15000, 1036, 4.790},
+      {"INT8", 256, 256, 58000, 21000, 1536, 3.458},
+      {"INT8", 32, 512, 86000, 25000, 1025, 6.382},
+  };
+
+  common::Table table({"Input Format", "(pd, pn)", "LUT", "FF", "DSP", "Power (W)"});
+  std::string last_format;
+  for (const auto& row : rows) {
+    if (!last_format.empty() && last_format != row.format) table.add_separator();
+    last_format = row.format;
+    accel::AcceleratorConfig config;
+    config.pd = row.pd;
+    config.pn = row.pn;
+    config.io_format = numerics::format_from_string(row.format);
+    const auto estimate = accel::estimate_resources(config);
+    const auto entry = [](double value, double fraction) {
+      return common::format_count(static_cast<long long>(value + 0.5)) + "/" +
+             common::format_percent(fraction);
+    };
+    table.add_row({row.format,
+                   "(" + std::to_string(row.pd) + ", " + std::to_string(row.pn) + ")",
+                   entry(estimate.lut, estimate.lut_fraction()),
+                   entry(estimate.ff, estimate.ff_fraction()),
+                   entry(estimate.dsp, estimate.dsp_fraction()),
+                   common::format_double(estimate.power_w, 3)});
+    table.add_row({"  (paper)", "",
+                   common::format_count(static_cast<long long>(row.paper_lut)),
+                   common::format_count(static_cast<long long>(row.paper_ff)),
+                   common::format_count(static_cast<long long>(row.paper_dsp)),
+                   common::format_double(row.paper_power, 3)});
+  }
+  std::printf("=== Table III — HAAN accelerator hardware cost ===\n%s",
+              table.render().c_str());
+
+  // Derived observations the paper calls out.
+  accel::AcceleratorConfig fp32;
+  fp32.io_format = numerics::NumericFormat::kFP32;
+  accel::AcceleratorConfig fp16;
+  fp16.io_format = numerics::NumericFormat::kFP16;
+  const double ratio = accel::estimate_resources(fp32).power_w /
+                       accel::estimate_resources(fp16).power_w;
+  std::printf(
+      "\nFP32 / FP16 power at (128, 128): %s (paper: ~1.29x)\n"
+      "INT8 at matched port throughput is the cheapest configuration.\n",
+      common::format_ratio(ratio).c_str());
+  return 0;
+}

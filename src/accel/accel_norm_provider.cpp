@@ -1,0 +1,69 @@
+#include "accel/accel_norm_provider.hpp"
+
+#include "common/assert.hpp"
+#include "numerics/formats.hpp"
+
+namespace haan::accel {
+
+AcceleratorNormProvider::AcceleratorNormProvider(AcceleratorConfig arch,
+                                                 core::HaanConfig algorithm)
+    : accel_(std::move(arch)),
+      algorithm_(algorithm),
+      predictor_(algorithm.plan, algorithm.predictor_fp16) {}
+
+void AcceleratorNormProvider::begin_sequence() { predictor_.begin_sequence(); }
+
+void AcceleratorNormProvider::normalize(std::size_t layer_index,
+                                        std::size_t position, model::NormKind kind,
+                                        std::span<const float> z,
+                                        std::span<const float> alpha,
+                                        std::span<const float> beta,
+                                        std::span<float> out) {
+  HAAN_EXPECTS(out.size() == z.size());
+  const AcceleratorConfig& config = accel_.config();
+
+  // Quantize into the configured I/O format (upstream of the FP2FX units).
+  std::vector<float> quantized(z.begin(), z.end());
+  if (config.io_format != numerics::NumericFormat::kFP32) {
+    const float scale = config.io_format == numerics::NumericFormat::kINT8
+                            ? numerics::choose_int8_scale(quantized)
+                            : 1.0f;
+    numerics::quantize_dequantize_span(quantized, config.io_format, scale);
+  }
+
+  const bool skipped = predictor_.should_skip(layer_index);
+  numerics::Fixed mean(config.acc_fixed);
+  numerics::Fixed isd(config.isd_fixed);
+  if (skipped) {
+    isd = encode_predicted_isd(predictor_.predict(layer_index, position), config);
+    if (kind == model::NormKind::kLayerNorm) {
+      mean = input_statistics_calculator(quantized, algorithm_.nsub, kind, config)
+                 .mean;
+    }
+  } else {
+    const IscResult stats =
+        input_statistics_calculator(quantized, algorithm_.nsub, kind, config);
+    mean = stats.mean;
+    const SriResult sri = square_root_inverter(stats.variance, config);
+    isd = sri.isd;
+    if (predictor_.is_anchor(layer_index) && isd.to_double() > 0.0) {
+      predictor_.record_anchor(position, isd.to_double());
+    }
+  }
+  normalization_unit(quantized, mean, isd, alpha, beta, kind, config, out);
+
+  // Charge the cycle/energy cost of this vector.
+  NormLayerWork work;
+  work.n = z.size();
+  work.vectors = 1;
+  work.nsub = algorithm_.nsub;
+  work.isd_skipped = skipped;
+  work.kind = kind;
+  const CycleStats cycles = accel_.time_layer(work);
+  cost_.cycles += cycles.cycles;
+  cost_.energy_uj += accel_.layer_energy_uj(work);
+  ++cost_.norm_calls;
+  if (skipped) ++cost_.skipped;
+}
+
+}  // namespace haan::accel

@@ -1,0 +1,49 @@
+// Accelerator-backed normalization provider: plugs the bit-accurate HAAN
+// datapath into the transformer's NormProvider seam, so an entire model
+// forward runs on the *hardware numerics* (FP2FX, fixed-point adder trees,
+// SRI with fixed-point Newton, NU) while accumulating the cycle and energy
+// cost of every normalization layer. This is the "what would the silicon
+// actually compute and cost" view; core::HaanNormProvider is the
+// algorithm-level float twin.
+#pragma once
+
+#include "accel/accelerator.hpp"
+#include "core/config.hpp"
+#include "core/isd_predictor.hpp"
+#include "model/norm_provider.hpp"
+
+namespace haan::accel {
+
+/// NormProvider executing through the accelerator datapath.
+class AcceleratorNormProvider final : public model::NormProvider {
+ public:
+  /// `arch` fixes the hardware configuration; `algorithm` carries the HAAN
+  /// knobs (nsub, skip plan — the io format is taken from `arch`).
+  AcceleratorNormProvider(AcceleratorConfig arch, core::HaanConfig algorithm);
+
+  void begin_sequence() override;
+
+  void normalize(std::size_t layer_index, std::size_t position, model::NormKind kind,
+                 std::span<const float> z, std::span<const float> alpha,
+                 std::span<const float> beta, std::span<float> out) override;
+
+  /// Cumulative hardware cost since construction (or reset).
+  struct HardwareCost {
+    std::size_t cycles = 0;
+    double energy_uj = 0.0;
+    std::size_t norm_calls = 0;
+    std::size_t skipped = 0;
+  };
+  const HardwareCost& cost() const { return cost_; }
+  void reset_cost() { cost_ = {}; }
+
+  const HaanAccelerator& accelerator() const { return accel_; }
+
+ private:
+  HaanAccelerator accel_;
+  core::HaanConfig algorithm_;
+  core::IsdPredictor predictor_;
+  HardwareCost cost_;
+};
+
+}  // namespace haan::accel

@@ -1,0 +1,89 @@
+#include "accel/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "numerics/formats.hpp"
+
+namespace haan::accel {
+
+HaanAccelerator::HaanAccelerator(AcceleratorConfig config)
+    : config_(std::move(config)) {
+  HAAN_EXPECTS(config_.pd >= 1 && config_.pn >= 1);
+  HAAN_EXPECTS(config_.input_fixed.valid() && config_.acc_fixed.valid() &&
+               config_.isd_fixed.valid() && config_.norm_fixed.valid());
+}
+
+double HaanAccelerator::layer_power_w(const NormLayerWork& work) const {
+  const CycleStats cycles = simulate_norm_layer(work, config_);
+  const ActivityStats activity = layer_activity(work, config_);
+  const double lane_cycles =
+      static_cast<double>(cycles.cycles) * static_cast<double>(config_.pipelines);
+  const double isc_util = std::min(
+      1.0, activity.isc_lane_cycles / (lane_cycles * static_cast<double>(config_.pd)));
+  const double nu_util = std::min(
+      1.0, activity.nu_lane_cycles / (lane_cycles * static_cast<double>(config_.pn)));
+  return effective_power_w(config_, isc_util, nu_util);
+}
+
+double HaanAccelerator::layer_energy_uj(const NormLayerWork& work) const {
+  const CycleStats cycles = simulate_norm_layer(work, config_);
+  return layer_power_w(work) * cycles.latency_us(config_);
+}
+
+LayerRunResult HaanAccelerator::run_layer(const tensor::Tensor& input,
+                                          std::span<const float> alpha,
+                                          std::span<const float> beta,
+                                          model::NormKind kind, std::size_t nsub,
+                                          std::span<const double> predicted_isd) const {
+  HAAN_EXPECTS(input.shape().rank() == 2);
+  const std::size_t vectors = input.shape().dim(0);
+  const std::size_t n = input.shape().dim(1);
+  const bool skipped = !predicted_isd.empty();
+  HAAN_EXPECTS(!skipped || predicted_isd.size() == vectors);
+
+  LayerRunResult result;
+  result.output = tensor::Tensor(input.shape());
+
+  std::vector<float> quantized(n);
+  for (std::size_t v = 0; v < vectors; ++v) {
+    const auto row = input.row(v);
+    quantized.assign(row.begin(), row.end());
+    if (config_.io_format != numerics::NumericFormat::kFP32) {
+      const float scale = config_.io_format == numerics::NumericFormat::kINT8
+                              ? numerics::choose_int8_scale(quantized)
+                              : 1.0f;
+      numerics::quantize_dequantize_span(quantized, config_.io_format, scale);
+    }
+
+    numerics::Fixed mean(config_.acc_fixed);
+    numerics::Fixed isd(config_.isd_fixed);
+    if (skipped) {
+      isd = encode_predicted_isd(predicted_isd[v], config_);
+      if (kind == model::NormKind::kLayerNorm) {
+        mean = input_statistics_calculator(quantized, nsub, kind, config_).mean;
+      }
+    } else {
+      const IscResult stats =
+          input_statistics_calculator(quantized, nsub, kind, config_);
+      mean = stats.mean;
+      isd = square_root_inverter(stats.variance, config_).isd;
+    }
+    normalization_unit(quantized, mean, isd, alpha, beta, kind, config_,
+                       result.output.row(v));
+  }
+
+  NormLayerWork work;
+  work.n = n;
+  work.vectors = vectors;
+  work.nsub = nsub;
+  work.isd_skipped = skipped;
+  work.kind = kind;
+  result.cycles = simulate_norm_layer(work, config_);
+  result.activity = layer_activity(work, config_);
+  result.power_w = layer_power_w(work);
+  result.energy_uj = result.power_w * result.cycles.latency_us(config_);
+  return result;
+}
+
+}  // namespace haan::accel

@@ -1,0 +1,64 @@
+// Top-level HAAN accelerator model: bit-accurate datapath execution fused
+// with the cycle/energy model. `run_layer` processes a (vectors x n) tensor
+// exactly as the hardware would (quantize -> FP2FX -> ISC -> SRI -> NU) and
+// reports both the numerically faithful output and the timing/energy the
+// pipeline model charges. `time_layer` is the timing-only fast path used for
+// the real (unscaled) model dimensions in the latency benches.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "accel/arch_config.hpp"
+#include "accel/datapath.hpp"
+#include "accel/pipeline.hpp"
+#include "accel/resource_model.hpp"
+#include "model/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace haan::accel {
+
+/// Result of a functional + timed layer execution.
+struct LayerRunResult {
+  tensor::Tensor output;   ///< normalized output (bit-accurate datapath)
+  CycleStats cycles;       ///< pipeline timing
+  ActivityStats activity;  ///< unit activity (drives energy)
+  double power_w = 0.0;    ///< activity-scaled power during the run
+  double energy_uj = 0.0;  ///< power * latency
+};
+
+/// The accelerator.
+class HaanAccelerator {
+ public:
+  explicit HaanAccelerator(AcceleratorConfig config);
+
+  const AcceleratorConfig& config() const { return config_; }
+
+  /// Static resources of this configuration.
+  ResourceEstimate resources() const { return estimate_resources(config_); }
+
+  /// Functional + timed execution of one normalization layer over all rows of
+  /// `input` (vectors x n). `predicted_isd`, when provided (one value per
+  /// vector), engages ISD-skip mode: the SRI is bypassed and the predictor's
+  /// value is used (LayerNorm still computes the subsampled mean).
+  LayerRunResult run_layer(const tensor::Tensor& input, std::span<const float> alpha,
+                           std::span<const float> beta, model::NormKind kind,
+                           std::size_t nsub,
+                           std::span<const double> predicted_isd = {}) const;
+
+  /// Timing-only execution for arbitrary (possibly huge) dimensions.
+  CycleStats time_layer(const NormLayerWork& work) const {
+    return simulate_norm_layer(work, config_);
+  }
+
+  /// Activity-scaled power for a layer's workload.
+  double layer_power_w(const NormLayerWork& work) const;
+
+  /// Energy (uJ) for a layer's workload.
+  double layer_energy_uj(const NormLayerWork& work) const;
+
+ private:
+  AcceleratorConfig config_;
+};
+
+}  // namespace haan::accel

@@ -1,0 +1,51 @@
+#include "accel/arch_config.hpp"
+
+#include <sstream>
+
+namespace haan::accel {
+
+std::string AcceleratorConfig::to_string() const {
+  std::ostringstream out;
+  out << name << "{(" << pd << ", " << pn << "), "
+      << numerics::to_string(io_format) << ", " << pipelines << " pipeline(s), "
+      << clock_mhz << " MHz}";
+  return out.str();
+}
+
+AcceleratorConfig haan_v1() {
+  AcceleratorConfig config;
+  config.name = "HAAN-v1";
+  config.pd = 128;
+  config.pn = 128;
+  config.io_format = numerics::NumericFormat::kFP16;
+  return config;
+}
+
+AcceleratorConfig haan_v2() {
+  AcceleratorConfig config;
+  config.name = "HAAN-v2";
+  config.pd = 80;
+  config.pn = 160;
+  config.io_format = numerics::NumericFormat::kFP16;
+  return config;
+}
+
+AcceleratorConfig haan_v3() {
+  AcceleratorConfig config;
+  config.name = "HAAN-v3";
+  config.pd = 64;
+  config.pn = 128;
+  config.io_format = numerics::NumericFormat::kFP16;
+  return config;
+}
+
+AcceleratorConfig haan_int8_256() {
+  AcceleratorConfig config;
+  config.name = "HAAN-int8";
+  config.pd = 256;
+  config.pn = 256;
+  config.io_format = numerics::NumericFormat::kINT8;
+  return config;
+}
+
+}  // namespace haan::accel

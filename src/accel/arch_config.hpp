@@ -1,0 +1,64 @@
+// Accelerator architecture configuration (paper §IV / §V-B). The two
+// parallelism knobs are pd (input-statistics-calculator lanes) and pn
+// (normalization-unit lanes); the paper's shipped configurations are
+//   HAAN-v1: (128, 128) FP16, single pipeline
+//   HAAN-v2: (80, 160)  FP16, single pipeline
+//   HAAN-v3: (64, 128)  FP16, single pipeline
+// all at a 100 MHz clock on a Xilinx Alveo U280.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "numerics/fixed_point.hpp"
+#include "numerics/formats.hpp"
+
+namespace haan::accel {
+
+/// Synthesis-time configuration of the HAAN accelerator.
+struct AcceleratorConfig {
+  std::string name = "HAAN";
+  std::size_t pd = 128;  ///< statistics-calculator lanes (elements/cycle)
+  std::size_t pn = 128;  ///< normalization-unit lanes (elements/cycle)
+  numerics::NumericFormat io_format = numerics::NumericFormat::kFP16;
+  std::size_t pipelines = 1;  ///< independent vector pipelines
+  double clock_mhz = 100.0;
+
+  /// Fixed-point formats of the intermediate datapath.
+  numerics::FixedFormat input_fixed{18, 12};  ///< FP2FX output / element format
+  numerics::FixedFormat acc_fixed{40, 16};    ///< adder-tree accumulators
+  numerics::FixedFormat isd_fixed{26, 20};    ///< refined ISD (Newton domain)
+  numerics::FixedFormat norm_fixed{24, 12};   ///< normalization-unit datapath
+
+  int newton_iterations = 1;  ///< square-root inverter refinement steps
+  double eps = 1e-5;          ///< variance epsilon folded into the SRI input
+
+  /// Memory port width in bytes per cycle (one memory entry, Fig 7). A
+  /// platform property of the board, not a function of (pd, pn): wider lane
+  /// counts than the port can feed do not raise steady-state throughput.
+  std::size_t memory_port_bytes = 256;
+
+  /// Elements the memory port delivers per cycle for the configured format.
+  std::size_t memory_elems_per_cycle() const {
+    return memory_port_bytes / static_cast<std::size_t>(numerics::bits_of(io_format) / 8);
+  }
+
+  /// Pipeline levels of the normalization unit: when pd shrinks below pn the
+  /// freed resources become extra NU pipeline stages (paper §V-B).
+  std::size_t nu_pipeline_levels() const { return pn >= pd ? pn / pd : 1; }
+
+  /// Cycle time in microseconds.
+  double cycle_us() const { return 1.0 / clock_mhz; }
+
+  std::string to_string() const;
+};
+
+/// Paper configuration presets.
+AcceleratorConfig haan_v1();
+AcceleratorConfig haan_v2();
+AcceleratorConfig haan_v3();
+
+/// A throughput-matched INT8 variant (Table III rows).
+AcceleratorConfig haan_int8_256();
+
+}  // namespace haan::accel

@@ -1,0 +1,124 @@
+#include "accel/datapath.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "numerics/fast_math.hpp"
+
+namespace haan::accel {
+
+using numerics::Fixed;
+using numerics::FixedFormat;
+
+IscResult input_statistics_calculator(std::span<const float> z, std::size_t nsub,
+                                      model::NormKind kind,
+                                      const AcceleratorConfig& config) {
+  HAAN_EXPECTS(!z.empty());
+  const std::size_t n = (nsub == 0) ? z.size() : std::min(nsub, z.size());
+
+  // 1/N is precomputed and stored in memory (paper §IV-A); when N is a power
+  // of two the hardware shifts instead, which is bit-identical here because
+  // the reciprocal is exactly representable.
+  const Fixed inv_n = Fixed::from_double(1.0 / static_cast<double>(n),
+                                         FixedFormat{32, 30});
+
+  Fixed sum_sq(config.acc_fixed);
+  Fixed sum(config.acc_fixed);
+  for (std::size_t i = 0; i < n; ++i) {
+    // FP2FX conversion of the incoming element.
+    const Fixed x = Fixed::from_double(z[i], config.input_fixed);
+    // z_i^2 / N enters the first adder tree; z_i the second.
+    const Fixed sq = mul(x, x, config.acc_fixed);
+    sum_sq = add(sum_sq, mul(sq, inv_n, config.acc_fixed));
+    sum = add(sum, x.convert_to(config.acc_fixed));
+  }
+
+  IscResult result;
+  result.elements_used = n;
+  if (kind == model::NormKind::kLayerNorm) {
+    result.mean = mul(sum, inv_n, config.acc_fixed);
+    const Fixed mean_sq = mul(result.mean, result.mean, config.acc_fixed);
+    Fixed variance = sub(sum_sq, mean_sq);
+    // The subtractor clamps the (floating-point-cancellation-free, but
+    // rounding-induced) negative case to zero.
+    if (variance.to_double() < 0.0) variance = Fixed(config.acc_fixed);
+    result.variance = variance;
+  } else {
+    result.mean = Fixed(config.acc_fixed);
+    result.variance = sum_sq;  // E[x^2] directly (RMSNorm skips the mean path)
+  }
+  return result;
+}
+
+SriResult square_root_inverter(const numerics::Fixed& variance,
+                               const AcceleratorConfig& config) {
+  // FX2FP conversion; the epsilon register is added on the FP side.
+  const double x = variance.to_double() + config.eps;
+  HAAN_EXPECTS(x > 0.0);
+
+  SriResult result;
+  result.initial_guess = numerics::inv_sqrt_initial_guess(static_cast<float>(x));
+
+  // Range normalization (the hardware handles the FP exponent separately):
+  // x = m * 4^k with m in [0.25, 1), so 1/sqrt(x) = 2^-k / sqrt(m). The
+  // Newton datapath then works on y in (1, 2] and m*y^2 ~ 1, which fits a
+  // narrow fixed-point format regardless of the input magnitude; the final
+  // 2^-k is a free shift.
+  int exp2 = 0;
+  double m = std::frexp(x, &exp2);  // x = m * 2^exp2, m in [0.5, 1)
+  if (exp2 % 2 != 0) {
+    m *= 0.5;  // make the exponent even; m now in [0.25, 1)
+    ++exp2;
+  }
+  const int k = exp2 / 2;
+
+  // Newton refinement in fixed point (paper Fig 5: the 1.5 constant is the
+  // fixed-point literal 0x00C00000). y <- y * (1.5 - 0.5 * m * y * y).
+  const FixedFormat f{26, 22};  // Q3.22: covers y in (1, 2] and m*y^2 <= ~4
+  Fixed y = Fixed::from_double(
+      numerics::inv_sqrt_initial_guess(static_cast<float>(m)), f);
+  const Fixed three_halves = Fixed::from_double(1.5, f);
+  const Fixed half_m = Fixed::from_double(0.5 * m, f);
+  for (int i = 0; i < config.newton_iterations; ++i) {
+    const Fixed y_sq = mul(y, y, f);
+    const Fixed prod = mul(half_m, y_sq, f);
+    const Fixed correction = sub(three_halves, prod);
+    y = mul(y, correction, f);
+  }
+
+  // Denormalize into the ISD output register.
+  Fixed isd = y.convert_to(config.isd_fixed);
+  result.isd = k >= 0 ? isd.shifted_right(k) : isd.shifted_left(-k);
+  return result;
+}
+
+numerics::Fixed encode_predicted_isd(double isd, const AcceleratorConfig& config) {
+  return Fixed::from_double(isd, config.isd_fixed);
+}
+
+void normalization_unit(std::span<const float> z, const numerics::Fixed& mean,
+                        const numerics::Fixed& isd, std::span<const float> alpha,
+                        std::span<const float> beta, model::NormKind kind,
+                        const AcceleratorConfig& config, std::span<float> out) {
+  HAAN_EXPECTS(out.size() == z.size());
+  HAAN_EXPECTS(alpha.empty() || alpha.size() == z.size());
+  HAAN_EXPECTS(beta.empty() || beta.size() == z.size());
+
+  const FixedFormat f = config.norm_fixed;
+  const Fixed mean_n = mean.convert_to(f);
+  const Fixed isd_n = isd.convert_to(f);
+
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    Fixed x = Fixed::from_double(z[i], config.input_fixed).convert_to(f);
+    if (kind == model::NormKind::kLayerNorm) x = sub(x, mean_n);
+    Fixed v = mul(x, isd_n, f);
+    if (!alpha.empty()) v = mul(v, Fixed::from_double(alpha[i], f), f);
+    if (!beta.empty()) v = add(v, Fixed::from_double(beta[i], f));
+    // FX2FP output conversion (skipped when quantized output is requested;
+    // to_double models the exact converter).
+    out[i] = static_cast<float>(v.to_double());
+  }
+}
+
+}  // namespace haan::accel

@@ -1,0 +1,57 @@
+// Bit-accurate functional models of the three HAAN datapath units
+// (paper Figs 4-6):
+//   * Input Statistics Calculator — FP2FX conversion, twin adder trees
+//     accumulating E[x^2] and E[x] in parallel, variance by subtraction.
+//   * Square Root Inverter — FX2FP, 0x5F3759DF initial guess, fixed-point
+//     Newton refinement with the 1.5 constant (0x00C00000), FP2FX.
+//   * Normalization Unit — (x - mean) * isd * alpha + beta in fixed point,
+//     optional FX2FP output conversion.
+// These compute the exact values the cycle model (pipeline.hpp) charges
+// time for.
+#pragma once
+
+#include <span>
+
+#include "accel/arch_config.hpp"
+#include "model/config.hpp"
+#include "numerics/fixed_point.hpp"
+
+namespace haan::accel {
+
+/// Output of the input statistics calculator.
+struct IscResult {
+  numerics::Fixed mean;      ///< E[x], acc_fixed format (0 for RMSNorm)
+  numerics::Fixed variance;  ///< E[x^2] - E[x]^2 (or E[x^2] for RMSNorm)
+  std::size_t elements_used = 0;
+};
+
+/// Runs the ISC over the first `nsub` elements of `z` (0 = all). `z` values
+/// are the already-quantized element values (FP16/INT8 quantization happens
+/// upstream of the FP2FX units, see HaanNormProvider).
+IscResult input_statistics_calculator(std::span<const float> z, std::size_t nsub,
+                                      model::NormKind kind,
+                                      const AcceleratorConfig& config);
+
+/// Output of the square root inverter.
+struct SriResult {
+  numerics::Fixed isd;       ///< refined 1/sqrt(variance + eps), isd_fixed
+  float initial_guess = 0;   ///< the bit-hack seed before Newton refinement
+};
+
+/// Runs the SRI on a variance produced by the ISC.
+SriResult square_root_inverter(const numerics::Fixed& variance,
+                               const AcceleratorConfig& config);
+
+/// Runs the normalization unit: out[i] = (z[i] - mean) * isd * alpha[i] +
+/// beta[i] through the fixed-point datapath, converting the result back to
+/// float (FX2FP). alpha/beta may be empty.
+void normalization_unit(std::span<const float> z, const numerics::Fixed& mean,
+                        const numerics::Fixed& isd, std::span<const float> alpha,
+                        std::span<const float> beta, model::NormKind kind,
+                        const AcceleratorConfig& config, std::span<float> out);
+
+/// Encodes an externally predicted ISD (skipped layers) into the datapath's
+/// fixed-point ISD format, as the predictor's output register would hold it.
+numerics::Fixed encode_predicted_isd(double isd, const AcceleratorConfig& config);
+
+}  // namespace haan::accel

@@ -1,0 +1,62 @@
+#include "accel/memory_layout.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace haan::accel {
+
+MemoryImage::MemoryImage(const tensor::Tensor& t, std::size_t bandwidth)
+    : bandwidth_(bandwidth) {
+  HAAN_EXPECTS(bandwidth >= 1);
+  HAAN_EXPECTS(t.shape().rank() == 2);
+  vectors_ = t.shape().dim(0);
+  vector_len_ = t.shape().dim(1);
+  entries_per_vector_ = (vector_len_ + bandwidth_ - 1) / bandwidth_;
+  storage_.assign(vectors_ * entries_per_vector_ * bandwidth_, 0.0f);
+  for (std::size_t v = 0; v < vectors_; ++v) {
+    const auto row = t.row(v);
+    std::copy(row.begin(), row.end(),
+              storage_.begin() +
+                  static_cast<std::ptrdiff_t>(v * entries_per_vector_ * bandwidth_));
+  }
+  accessed_.assign(vectors_, std::vector<bool>(entries_per_vector_, false));
+}
+
+std::span<const float> MemoryImage::read_entry(std::size_t vector, std::size_t entry) {
+  HAAN_EXPECTS(vector < vectors_);
+  HAAN_EXPECTS(entry < entries_per_vector_);
+  accessed_[vector][entry] = true;
+  return std::span<const float>(storage_)
+      .subspan((vector * entries_per_vector_ + entry) * bandwidth_, bandwidth_);
+}
+
+std::size_t MemoryImage::entries_needed(std::size_t nsub) const {
+  const std::size_t wanted = (nsub == 0) ? vector_len_ : std::min(nsub, vector_len_);
+  return (wanted + bandwidth_ - 1) / bandwidth_;
+}
+
+std::size_t MemoryImage::accessed_entries(std::size_t vector) const {
+  HAAN_EXPECTS(vector < vectors_);
+  std::size_t n = 0;
+  for (const bool hit : accessed_[vector]) {
+    if (hit) ++n;
+  }
+  return n;
+}
+
+std::vector<float> MemoryImage::stream_prefix(std::size_t vector, std::size_t count) {
+  HAAN_EXPECTS(count <= vector_len_);
+  std::vector<float> out;
+  out.reserve(count);
+  const std::size_t entries = (count + bandwidth_ - 1) / bandwidth_;
+  for (std::size_t e = 0; e < entries; ++e) {
+    const auto chunk = read_entry(vector, e);
+    for (std::size_t i = 0; i < bandwidth_ && out.size() < count; ++i) {
+      out.push_back(chunk[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace haan::accel

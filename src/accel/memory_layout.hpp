@@ -1,0 +1,52 @@
+// HAAN memory layout (paper Fig 7): the input tensor is flattened row-major
+// into memory entries of `bandwidth` elements; the accelerator fetches one
+// entry per cycle. In subsampling mode only the leading entries of each
+// vector are touched by the statistics path — this model checks that
+// property explicitly (tests assert untouched entries stay cold).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace haan::accel {
+
+/// A flattened tensor image with entry-granular access tracking.
+class MemoryImage {
+ public:
+  /// Flattens `rows x cols` data into entries of `bandwidth` elements.
+  /// The last entry of each vector may be partially filled (zero padded),
+  /// matching the hardware's aligned vector starts.
+  MemoryImage(const tensor::Tensor& t, std::size_t bandwidth);
+
+  std::size_t bandwidth() const { return bandwidth_; }
+  std::size_t entries_per_vector() const { return entries_per_vector_; }
+  std::size_t vector_count() const { return vectors_; }
+  std::size_t total_entries() const { return entries_per_vector_ * vectors_; }
+
+  /// Reads entry `entry` of vector `vector` (marks it accessed).
+  std::span<const float> read_entry(std::size_t vector, std::size_t entry);
+
+  /// Entries needed to stream the first `nsub` elements of a vector
+  /// (0 = full vector).
+  std::size_t entries_needed(std::size_t nsub) const;
+
+  /// Number of entries of `vector` read so far.
+  std::size_t accessed_entries(std::size_t vector) const;
+
+  /// Reconstructs the first `count` elements of `vector` by streaming entries
+  /// (the ISC's view of the data).
+  std::vector<float> stream_prefix(std::size_t vector, std::size_t count);
+
+ private:
+  std::size_t bandwidth_;
+  std::size_t vectors_;
+  std::size_t vector_len_;
+  std::size_t entries_per_vector_;
+  std::vector<float> storage_;              // padded, entry-aligned
+  std::vector<std::vector<bool>> accessed_; // [vector][entry]
+};
+
+}  // namespace haan::accel

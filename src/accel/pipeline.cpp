@@ -1,0 +1,126 @@
+#include "accel/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace haan::accel {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t bits = 0;
+  std::size_t value = 1;
+  while (value < n) {
+    value <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::size_t StageCycles::bottleneck() const { return std::max({mem, isc, sri, nu}); }
+
+std::string StageCycles::to_string() const {
+  char buffer[112];
+  std::snprintf(buffer, sizeof(buffer), "StageCycles{mem=%zu, isc=%zu, sri=%zu, nu=%zu}",
+                mem, isc, sri, nu);
+  return buffer;
+}
+
+StageCycles stage_cycles(const NormLayerWork& work, const AcceleratorConfig& config) {
+  HAAN_EXPECTS(work.n > 0 && work.vectors > 0);
+  StageCycles cycles;
+
+  // --- Memory stream -------------------------------------------------------
+  // One entry per cycle feeds the whole vector to the NU; the statistics path
+  // taps the leading entries of the same stream (no duplicate traffic).
+  cycles.mem = ceil_div(work.n, config.memory_elems_per_cycle());
+
+  // --- Input statistics calculator ---------------------------------------
+  // One memory entry streams pd elements per cycle through FP2FX and the two
+  // adder trees; the tree is pipelined so the II is the pass count, while the
+  // latency adds the tree depth and 3 cycles for mean-mul / mean-square /
+  // subtract.
+  const std::size_t stat_elems =
+      (work.nsub == 0) ? work.n : std::min(work.nsub, work.n);
+  const std::size_t passes = ceil_div(stat_elems, config.pd);
+  const std::size_t tree_depth = log2_ceil(config.pd);
+  const std::size_t kFp2FxLatency = 1;
+  const std::size_t kPostTree = 3;
+  if (work.isd_skipped && work.kind == model::NormKind::kRMSNorm) {
+    // RMSNorm with predicted ISD needs no statistics at all: ISC bypassed.
+    cycles.isc = 0;
+    cycles.isc_latency = 0;
+  } else if (work.isd_skipped) {
+    // LayerNorm with predicted ISD still computes the (subsampled) mean:
+    // single adder tree, no square/subtract path.
+    cycles.isc = passes;
+    cycles.isc_latency = kFp2FxLatency + passes + tree_depth + 1;
+  } else {
+    cycles.isc = passes;
+    cycles.isc_latency = kFp2FxLatency + passes + tree_depth + kPostTree;
+  }
+
+  // --- Square root inverter ----------------------------------------------
+  // FX2FP (1) + bit-hack guess (2) + Newton iterations (4 cycles each: two
+  // muls, subtract, mul) + FP2FX (1). One scalar unit, not internally
+  // pipelined: its II equals its latency. Skipped layers use the scalar
+  // predictor instead: one FP multiply-add plus an exponential LUT lookup.
+  if (work.isd_skipped) {
+    cycles.sri = 2;
+  } else {
+    cycles.sri = 4 + 4 * static_cast<std::size_t>(config.newton_iterations);
+  }
+  cycles.sri_latency = cycles.sri;
+
+  // --- Normalization unit -------------------------------------------------
+  // pn elements per cycle through a (sub, mul-isd, mul-alpha, add-beta,
+  // FX2FP) pipeline; extra NU pipeline levels from a reduced pd deepen the
+  // pipe (more fill) but do not change steady-state throughput.
+  const std::size_t nu_passes = ceil_div(work.n, config.pn);
+  const std::size_t kNuDepth = 5;
+  cycles.nu = nu_passes;
+  cycles.nu_latency = nu_passes + kNuDepth + (config.nu_pipeline_levels() - 1);
+
+  return cycles;
+}
+
+CycleStats simulate_norm_layer(const NormLayerWork& work,
+                               const AcceleratorConfig& config) {
+  HAAN_EXPECTS(config.pipelines >= 1);
+  const StageCycles per_vector = stage_cycles(work, config);
+  const std::size_t vectors_per_pipeline =
+      (work.vectors + config.pipelines - 1) / config.pipelines;
+
+  CycleStats stats;
+  stats.per_vector = per_vector;
+  // Fill with the first vector, then one bottleneck interval per additional
+  // vector (classic linear pipeline timing).
+  stats.cycles = per_vector.fill() +
+                 (vectors_per_pipeline - 1) * per_vector.bottleneck();
+  return stats;
+}
+
+ActivityStats layer_activity(const NormLayerWork& work,
+                             const AcceleratorConfig& config) {
+  ActivityStats activity;
+  const std::size_t stat_elems =
+      (work.nsub == 0) ? work.n : std::min(work.nsub, work.n);
+  const double v = static_cast<double>(work.vectors);
+  const bool rms_skip =
+      work.isd_skipped && work.kind == model::NormKind::kRMSNorm;
+  activity.isc_lane_cycles = rms_skip ? 0.0 : v * static_cast<double>(stat_elems);
+  // LayerNorm-with-skip halves ISC energy: only the mean tree toggles.
+  if (work.isd_skipped && !rms_skip) activity.isc_lane_cycles *= 0.5;
+  activity.sri_ops = work.isd_skipped ? 0.0 : v;
+  activity.nu_lane_cycles = v * static_cast<double>(work.n);
+  return activity;
+}
+
+}  // namespace haan::accel

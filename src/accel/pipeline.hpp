@@ -1,0 +1,82 @@
+// Cycle-level timing model of the HAAN accelerator. The three units (ISC,
+// SRI, NU) form a pipeline over input vectors (paper §IV-C: "the input
+// statistics calculator, square root inverter, and normalization unit operate
+// in a pipelined manner across multiple input samples"); throughput is set by
+// the slowest stage, and (pd, pn) are chosen so stage times are balanced.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "accel/arch_config.hpp"
+#include "model/config.hpp"
+
+namespace haan::accel {
+
+/// Per-vector timing of the three pipeline stages. Each stage has an
+/// *initiation interval* (II: a new vector can enter every II cycles in
+/// steady state — for the pipelined ISC/NU this is just their pass count)
+/// and a *latency* (cycles for one vector to traverse the stage, including
+/// conversion and tree/pipe depth — this only shows up in the pipeline fill).
+struct StageCycles {
+  std::size_t mem = 0;  ///< II: memory entries streamed (shared port, Fig 7)
+  std::size_t isc = 0;  ///< II: statistics passes
+  std::size_t sri = 0;  ///< II: the scalar SRI is not internally pipelined
+  std::size_t nu = 0;   ///< II: normalization passes
+
+  std::size_t isc_latency = 0;  ///< FP2FX + passes + tree depth + post ops
+  std::size_t sri_latency = 0;  ///< conversions + guess + Newton chain
+  std::size_t nu_latency = 0;   ///< passes + pipe depth + extra levels
+
+  /// Steady-state initiation interval: one new vector per `bottleneck()`
+  /// cycles. Memory streaming overlaps the compute stages but its entry rate
+  /// (one per cycle) bounds throughput like any stage.
+  std::size_t bottleneck() const;
+
+  /// Latency of the first vector through the pipe (memory overlaps ISC/NU).
+  std::size_t fill() const { return isc_latency + sri_latency + nu_latency; }
+
+  std::string to_string() const;
+};
+
+/// Workload description of one normalization layer.
+struct NormLayerWork {
+  std::size_t n = 0;        ///< vector length (embedding dim E)
+  std::size_t vectors = 1;  ///< number of vectors (batch x tokens)
+  std::size_t nsub = 0;     ///< statistics subsample length (0 = full)
+  bool isd_skipped = false; ///< ISD predicted, SRI bypassed
+  model::NormKind kind = model::NormKind::kLayerNorm;
+};
+
+/// Aggregate timing result.
+struct CycleStats {
+  std::size_t cycles = 0;
+  StageCycles per_vector;
+
+  double latency_us(const AcceleratorConfig& config) const {
+    return static_cast<double>(cycles) * config.cycle_us();
+  }
+};
+
+/// Per-vector stage cycles for `work` on `config`.
+StageCycles stage_cycles(const NormLayerWork& work, const AcceleratorConfig& config);
+
+/// Timing of a whole normalization layer: pipeline fill + steady-state
+/// bottleneck cycles across `work.vectors` vectors, divided over
+/// `config.pipelines` independent pipelines.
+CycleStats simulate_norm_layer(const NormLayerWork& work,
+                               const AcceleratorConfig& config);
+
+/// Energy-relevant activity of a layer: how many element-slots each unit was
+/// busy for (drives the power model's dynamic component).
+struct ActivityStats {
+  double isc_lane_cycles = 0.0;  ///< active ISC lane-cycles
+  double sri_ops = 0.0;          ///< SRI invocations
+  double nu_lane_cycles = 0.0;   ///< active NU lane-cycles
+};
+
+/// Activity for one layer of `work`.
+ActivityStats layer_activity(const NormLayerWork& work,
+                             const AcceleratorConfig& config);
+
+}  // namespace haan::accel

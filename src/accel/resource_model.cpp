@@ -1,0 +1,98 @@
+#include "accel/resource_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace haan::accel {
+
+namespace {
+
+/// Per-format unit costs (see header: calibrated to Table III anchors).
+struct UnitCosts {
+  double dsp_isc, dsp_nu;      // DSP per ISC / NU lane
+  double lut_base, lut_isc, lut_nu;
+  double ff_base, ff_isc, ff_nu;
+  double pw_isc, pw_nu;        // W per lane
+};
+
+UnitCosts costs_for(numerics::NumericFormat format) {
+  using numerics::NumericFormat;
+  switch (format) {
+    case NumericFormat::kFP32:
+      return {5.206, 6.700, 37600, 62.5, 300, 9218, 20.8, 40.0, 0.01017, 0.03016};
+    case NumericFormat::kFP16:
+      return {5.206, 6.700, 26840, 0.0, 220, 5138, 20.8, 25.0, 0.008625, 0.020031};
+    case NumericFormat::kBF16:
+      return {4.8, 5.9, 24000, 10.0, 180, 5000, 20.0, 22.0, 0.0078, 0.0175};
+    case NumericFormat::kINT8:
+      return {4.237, 1.713, 16628, 71.6, 90, 13400, 20.0, 9.7, 0.0001747, 0.0086453};
+  }
+  return {};
+}
+
+constexpr double kSriDsp = 12.0;
+constexpr double kLutPerLevel = 7000.0;
+constexpr double kFfPerLevel = 2000.0;
+constexpr double kStaticPowerW = 1.2;
+constexpr double kPowerPerLevelW = 0.25;
+
+// Device totals implied by Table III's percentage columns.
+constexpr double kDeviceLut = 84000.0 / 0.049;
+constexpr double kDeviceFf = 17000.0 / 0.005;
+constexpr double kDeviceDsp = 1536.0 / 0.125;
+
+double pipeline_levels(const AcceleratorConfig& config) {
+  const double ratio =
+      static_cast<double>(config.pn) / static_cast<double>(config.pd);
+  return std::clamp(ratio, 1.0, 4.0);
+}
+
+}  // namespace
+
+double ResourceEstimate::lut_fraction() const { return lut / kDeviceLut; }
+double ResourceEstimate::ff_fraction() const { return ff / kDeviceFf; }
+double ResourceEstimate::dsp_fraction() const { return dsp / kDeviceDsp; }
+
+std::string ResourceEstimate::to_string() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "LUT %.0f, FF %.0f, DSP %.0f, %.3f W", lut,
+                ff, dsp, power_w);
+  return buffer;
+}
+
+ResourceEstimate estimate_resources(const AcceleratorConfig& config) {
+  HAAN_EXPECTS(config.pd >= 1 && config.pn >= 1);
+  const UnitCosts costs = costs_for(config.io_format);
+  const double pd = static_cast<double>(config.pd);
+  const double pn = static_cast<double>(config.pn);
+  const double levels = pipeline_levels(config);
+  const double p = static_cast<double>(config.pipelines);
+
+  ResourceEstimate estimate;
+  estimate.dsp = p * (kSriDsp + pd * costs.dsp_isc + pn * costs.dsp_nu);
+  estimate.lut = p * (costs.lut_base + pd * costs.lut_isc + pn * costs.lut_nu +
+                      (levels - 1.0) * kLutPerLevel);
+  estimate.ff = p * (costs.ff_base + pd * costs.ff_isc + pn * costs.ff_nu +
+                     (levels - 1.0) * kFfPerLevel);
+  estimate.power_w = effective_power_w(config, 1.0, 1.0);
+  return estimate;
+}
+
+double effective_power_w(const AcceleratorConfig& config, double isc_utilization,
+                         double nu_utilization) {
+  HAAN_EXPECTS(isc_utilization >= 0.0 && isc_utilization <= 1.0);
+  HAAN_EXPECTS(nu_utilization >= 0.0 && nu_utilization <= 1.0);
+  const UnitCosts costs = costs_for(config.io_format);
+  const double pd = static_cast<double>(config.pd);
+  const double pn = static_cast<double>(config.pn);
+  const double levels = pipeline_levels(config);
+  const double p = static_cast<double>(config.pipelines);
+  return kStaticPowerW +
+         p * (pd * costs.pw_isc * isc_utilization +
+              pn * costs.pw_nu * nu_utilization +
+              (levels - 1.0) * kPowerPerLevelW);
+}
+
+}  // namespace haan::accel

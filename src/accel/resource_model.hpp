@@ -1,0 +1,46 @@
+// FPGA resource and power model for the HAAN accelerator on a Xilinx Alveo
+// U280 at 100 MHz. Linear in the lane counts with per-format unit costs:
+//
+//   DSP  = 12 + pd*W(fmt) + pn*V(fmt)                       (SRI uses 12)
+//   LUT  = base(fmt) + pd*a(fmt) + pn*b(fmt) + (levels-1)*7000
+//   FF   = fbase(fmt) + pd*fa(fmt) + pn*fb(fmt) + (levels-1)*2000
+//   P    = 1.2 W static + pd*px(fmt) + pn*py(fmt) + (levels-1)*0.25 W
+//
+// The unit costs are calibrated against the six synthesis anchor points the
+// paper publishes in Table III (two (pd, pn) configurations for each of
+// FP32/FP16/INT8); the model reproduces those anchors and interpolates the
+// rest of the design space. `levels` = NU pipeline levels = clamp(pn/pd, 1, 4).
+#pragma once
+
+#include <string>
+
+#include "accel/arch_config.hpp"
+
+namespace haan::accel {
+
+/// Estimated FPGA cost of one configuration.
+struct ResourceEstimate {
+  double lut = 0.0;
+  double ff = 0.0;
+  double dsp = 0.0;
+  double power_w = 0.0;  ///< nominal (full-activity) power
+
+  /// Fractions of the paper's implied device totals.
+  double lut_fraction() const;
+  double ff_fraction() const;
+  double dsp_fraction() const;
+
+  std::string to_string() const;
+};
+
+/// Static resource + nominal power estimate for `config`.
+ResourceEstimate estimate_resources(const AcceleratorConfig& config);
+
+/// Activity-scaled power: `isc_utilization` / `nu_utilization` in [0, 1] are
+/// the fraction of lane-cycles actually toggling (subsampling and ISD
+/// skipping idle the statistics path). Static power and pipeline overhead are
+/// unaffected by utilization.
+double effective_power_w(const AcceleratorConfig& config, double isc_utilization,
+                         double nu_utilization);
+
+}  // namespace haan::accel

@@ -1,0 +1,15 @@
+#include "baselines/dfx_engine.hpp"
+
+namespace haan::baselines {
+
+double DfxEngine::total_latency_us(const NormWorkload& work) const {
+  // Three dependent phases per vector, no overlap across vectors.
+  const std::size_t per_phase =
+      (work.embedding_dim + params_.lanes - 1) / params_.lanes + params_.phase_overhead;
+  const std::size_t per_vector = 3 * per_phase;
+  const double cycles =
+      static_cast<double>(per_vector) * static_cast<double>(work.total_vectors());
+  return cycles / params_.clock_mhz;
+}
+
+}  // namespace haan::baselines

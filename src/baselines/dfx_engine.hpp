@@ -1,0 +1,34 @@
+// DFX LayerNorm engine model (Hong et al., MICRO 2022). DFX is a multi-FPGA
+// text-generation appliance; its LayerNorm runs on a narrow vector unit in
+// three dependent phases (mean, variance, normalize) that are not pipelined
+// across vectors — the structure the HAAN paper's 11.7x latency comparison is
+// measured against.
+#pragma once
+
+#include "baselines/norm_engine.hpp"
+
+namespace haan::baselines {
+
+/// DFX LayerNorm unit model.
+class DfxEngine final : public NormEngineModel {
+ public:
+  struct Params {
+    std::size_t lanes = 16;        ///< vector unit width for the LN path
+    double clock_mhz = 200.0;      ///< DFX compute clock
+    std::size_t phase_overhead = 10;  ///< per-phase drain/setup cycles
+    double power_w = 12.4;         ///< LN-engine share of appliance power
+  };
+
+  DfxEngine() : params_{} {}
+  explicit DfxEngine(Params params) : params_(params) {}
+
+  std::string name() const override { return "DFX"; }
+
+  double total_latency_us(const NormWorkload& work) const override;
+  double average_power_w(const NormWorkload& work) const override { return params_.power_w; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace haan::baselines

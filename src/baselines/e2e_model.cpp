@@ -1,0 +1,50 @@
+#include "baselines/e2e_model.hpp"
+
+#include "baselines/haan_engine.hpp"
+#include "baselines/mhaa_engine.hpp"
+#include "common/assert.hpp"
+
+namespace haan::baselines {
+
+E2eResult e2e_speedup(const model::RealDims& dims, std::size_t seq_len,
+                      const accel::AcceleratorConfig& haan_config,
+                      std::size_t nsub, std::size_t skipped_layers,
+                      const SpatialSystemParams& params) {
+  HAAN_EXPECTS(seq_len > 0);
+  const double L = static_cast<double>(seq_len);
+  const double d = static_cast<double>(dims.d_model);
+  const double dff = static_cast<double>(dims.d_ff);
+  const double blocks = static_cast<double>(dims.n_blocks);
+
+  // Matmul work of the forward pass on the spatial engine.
+  const double flops = blocks * (8.0 * L * d * d + 4.0 * L * L * d +
+                                 4.0 * L * d * dff) +
+                       2.0 * L * d * 50257.0;  // LM head
+  const double other_ms = flops / (params.effective_tops * 1e12) * 1e3;
+
+  // The host system's own normalization unit: two-pass vector engine.
+  MhaaEngine::Params base_norm_params;
+  base_norm_params.lanes = params.norm_lanes;
+  base_norm_params.clock_mhz = params.clock_mhz;
+  const MhaaEngine base_norm(base_norm_params);
+
+  const NormWorkload base_work =
+      make_workload(dims, seq_len, /*skipped=*/0, /*nsub=*/0,
+                    model::NormKind::kLayerNorm);
+  const NormWorkload haan_work = make_workload(dims, seq_len, skipped_layers, nsub,
+                                               model::NormKind::kLayerNorm);
+
+  const double base_norm_ms = base_norm.total_latency_us(base_work) * 1e-3;
+  const HaanEngine haan(haan_config);
+  const double haan_norm_ms = haan.total_latency_us(haan_work) * 1e-3;
+
+  E2eResult result;
+  result.baseline_ms = other_ms + base_norm_ms;
+  result.haan_ms = other_ms + haan_norm_ms;
+  result.norm_fraction = base_norm_ms / result.baseline_ms;
+  result.norm_speedup = base_norm_ms / haan_norm_ms;
+  result.e2e_speedup = result.baseline_ms / result.haan_ms;
+  return result;
+}
+
+}  // namespace haan::baselines

@@ -1,0 +1,38 @@
+// End-to-end integration model (paper §V-B-2): GPT-2 355M running on the
+// FPGA spatial LLM accelerator of Chen et al. [41], with HAAN replacing that
+// system's two-pass normalization unit. The paper reports ~1.11x end-to-end
+// speedup at input lengths 128/256/512.
+#pragma once
+
+#include "accel/arch_config.hpp"
+#include "baselines/norm_engine.hpp"
+
+namespace haan::baselines {
+
+/// End-to-end result for one sequence length.
+struct E2eResult {
+  double baseline_ms = 0.0;      ///< [41]-style system with its own norm unit
+  double haan_ms = 0.0;          ///< same system with HAAN normalization
+  double norm_fraction = 0.0;    ///< norm share of baseline runtime
+  double norm_speedup = 0.0;     ///< HAAN vs the system's norm unit
+  double e2e_speedup = 0.0;      ///< baseline_ms / haan_ms
+};
+
+/// Parameters of the host spatial accelerator.
+struct SpatialSystemParams {
+  /// Effective matmul throughput of the [41] spatial design on a U280 (their
+  /// reported utilization corresponds to single-digit effective TOPS).
+  double effective_tops = 9.4;
+  /// The host system's own normalization unit: classic two-pass vector unit
+  /// (same structure as MHAA's LN path).
+  std::size_t norm_lanes = 96;
+  double clock_mhz = 100.0;
+};
+
+/// Computes the end-to-end speedup for GPT2-355M-like dims at `seq_len`.
+E2eResult e2e_speedup(const model::RealDims& dims, std::size_t seq_len,
+                      const accel::AcceleratorConfig& haan_config,
+                      std::size_t nsub, std::size_t skipped_layers,
+                      const SpatialSystemParams& params = {});
+
+}  // namespace haan::baselines

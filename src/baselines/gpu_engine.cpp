@@ -1,0 +1,12 @@
+#include "baselines/gpu_engine.hpp"
+
+namespace haan::baselines {
+
+double GpuNormEngine::total_latency_us(const NormWorkload& work) const {
+  const double per_kernel =
+      params_.kernel_overhead_us +
+      static_cast<double>(work.embedding_dim) * params_.per_element_ns * 1e-3;
+  return static_cast<double>(work.total_vectors()) * per_kernel;
+}
+
+}  // namespace haan::baselines

@@ -1,0 +1,36 @@
+// GPU normalization path model. The paper's Figs 8-9 GPU baseline measures
+// the eager-mode (HuggingFace / PyTorch) normalization path during token
+// generation: every (layer, token) issues a small LayerNorm kernel whose cost
+// is dominated by launch + framework overhead, plus a memory-bound sweep of
+// the (1 x E) vector. That granularity — not a fused prefill kernel — is what
+// makes a 100 MHz FPGA pipeline ~10x faster, and matches DFX's
+// text-generation setting which the paper compares against.
+#pragma once
+
+#include "baselines/norm_engine.hpp"
+
+namespace haan::baselines {
+
+/// Eager GPU normalization model.
+class GpuNormEngine final : public NormEngineModel {
+ public:
+  /// Knobs, defaulted to the calibration described above.
+  struct Params {
+    double kernel_overhead_us = 0.9;  ///< launch + framework per kernel
+    double per_element_ns = 0.3;      ///< unfused FP32-upcast sweep cost
+    double power_w = 78.0;            ///< GPU board power share during norm
+  };
+
+  GpuNormEngine() : params_{} {}
+  explicit GpuNormEngine(Params params) : params_(params) {}
+
+  std::string name() const override { return "GPU"; }
+
+  double total_latency_us(const NormWorkload& work) const override;
+  double average_power_w(const NormWorkload& work) const override { return params_.power_w; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace haan::baselines

@@ -1,0 +1,52 @@
+#include "baselines/haan_engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace haan::baselines {
+
+HaanEngine::HaanEngine(accel::AcceleratorConfig config) : accel_(std::move(config)) {}
+
+std::string HaanEngine::name() const { return accel_.config().name; }
+
+accel::NormLayerWork HaanEngine::layer_work(const NormWorkload& work,
+                                            bool skipped) const {
+  accel::NormLayerWork layer;
+  layer.n = work.embedding_dim;
+  layer.vectors = work.seq_len;
+  layer.nsub = work.nsub;
+  layer.isd_skipped = skipped;
+  layer.kind = work.kind;
+  return layer;
+}
+
+double HaanEngine::total_latency_us(const NormWorkload& work) const {
+  HAAN_EXPECTS(work.norm_layers > 0);
+  const std::size_t computed = work.norm_layers - work.skipped_layers;
+  const double lat_computed =
+      accel_.time_layer(layer_work(work, false)).latency_us(accel_.config());
+  const double lat_skipped =
+      accel_.time_layer(layer_work(work, true)).latency_us(accel_.config());
+  return static_cast<double>(computed) * lat_computed +
+         static_cast<double>(work.skipped_layers) * lat_skipped;
+}
+
+double HaanEngine::average_power_w(const NormWorkload& work) const {
+  const std::size_t computed = work.norm_layers - work.skipped_layers;
+  // Time-weighted average of the per-layer activity-scaled power.
+  const auto computed_work = layer_work(work, false);
+  const auto skipped_work = layer_work(work, true);
+  const double t_computed =
+      accel_.time_layer(computed_work).latency_us(accel_.config());
+  const double t_skipped =
+      accel_.time_layer(skipped_work).latency_us(accel_.config());
+  const double total_time = static_cast<double>(computed) * t_computed +
+                            static_cast<double>(work.skipped_layers) * t_skipped;
+  HAAN_EXPECTS(total_time > 0.0);
+  const double energy =
+      static_cast<double>(computed) * accel_.layer_power_w(computed_work) * t_computed +
+      static_cast<double>(work.skipped_layers) * accel_.layer_power_w(skipped_work) *
+          t_skipped;
+  return energy / total_time;
+}
+
+}  // namespace haan::baselines

@@ -1,0 +1,28 @@
+// HAAN engine adapter: maps a NormWorkload onto the cycle/energy model of a
+// HaanAccelerator configuration (skipped layers bypass the SRI and halve the
+// statistics activity; subsampling shortens the statistics passes).
+#pragma once
+
+#include "accel/accelerator.hpp"
+#include "baselines/norm_engine.hpp"
+
+namespace haan::baselines {
+
+/// HAAN performance model over a given accelerator configuration.
+class HaanEngine final : public NormEngineModel {
+ public:
+  explicit HaanEngine(accel::AcceleratorConfig config);
+
+  std::string name() const override;
+  double total_latency_us(const NormWorkload& work) const override;
+  double average_power_w(const NormWorkload& work) const override;
+
+  const accel::AcceleratorConfig& config() const { return accel_.config(); }
+
+ private:
+  accel::NormLayerWork layer_work(const NormWorkload& work, bool skipped) const;
+
+  accel::HaanAccelerator accel_;
+};
+
+}  // namespace haan::baselines

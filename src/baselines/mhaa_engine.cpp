@@ -1,0 +1,16 @@
+#include "baselines/mhaa_engine.hpp"
+
+namespace haan::baselines {
+
+double MhaaEngine::total_latency_us(const NormWorkload& work) const {
+  // Two dependent full passes per vector; initiation interval is the sum of
+  // both passes because the statistics of vector v+1 reuse the same lanes.
+  const std::size_t per_pass =
+      (work.embedding_dim + params_.lanes - 1) / params_.lanes +
+      params_.pass_overhead;
+  const double cycles = static_cast<double>(2 * per_pass) *
+                        static_cast<double>(work.total_vectors());
+  return cycles / params_.clock_mhz;
+}
+
+}  // namespace haan::baselines

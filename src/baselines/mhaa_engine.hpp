@@ -1,0 +1,33 @@
+// MHAA model (Lu et al., SOCC 2020): the layer-normalization unit of the
+// multi-head-attention accelerator. Classic two-pass LayerNorm (statistics
+// pass, then normalize pass) with the passes serialized per vector; vectors
+// pipeline across the two passes.
+#pragma once
+
+#include "baselines/norm_engine.hpp"
+
+namespace haan::baselines {
+
+/// MHAA LayerNorm unit model.
+class MhaaEngine final : public NormEngineModel {
+ public:
+  struct Params {
+    std::size_t lanes = 128;    ///< vector unit width
+    double clock_mhz = 100.0;   ///< same board/clock as HAAN for fairness
+    std::size_t pass_overhead = 2;  ///< per-pass setup/drain cycles
+    double power_w = 5.15;      ///< measured-average model power
+  };
+
+  MhaaEngine() : params_{} {}
+  explicit MhaaEngine(Params params) : params_(params) {}
+
+  std::string name() const override { return "MHAA"; }
+
+  double total_latency_us(const NormWorkload& work) const override;
+  double average_power_w(const NormWorkload& work) const override { return params_.power_w; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace haan::baselines

@@ -1,0 +1,22 @@
+#include "baselines/norm_engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace haan::baselines {
+
+NormWorkload make_workload(const model::RealDims& dims, std::size_t seq_len,
+                           std::size_t skipped_layers, std::size_t nsub,
+                           model::NormKind kind) {
+  HAAN_EXPECTS(seq_len > 0);
+  HAAN_EXPECTS(skipped_layers <= dims.norm_layers);
+  NormWorkload work;
+  work.embedding_dim = dims.d_model;
+  work.norm_layers = dims.norm_layers;
+  work.skipped_layers = skipped_layers;
+  work.seq_len = seq_len;
+  work.nsub = nsub;
+  work.kind = kind;
+  return work;
+}
+
+}  // namespace haan::baselines

@@ -1,0 +1,59 @@
+// Common interface for normalization engines compared in the paper's Figs 8-9:
+// HAAN (ours), the DFX LayerNorm unit, SOLE, MHAA, and the GPU kernel path.
+// Each model maps a normalization workload (all norm layers of a model
+// forward over seq_len tokens) to latency and average power.
+//
+// Baseline models are *mechanistic* (lanes x passes x clock), with their
+// structural parameters taken from the respective papers and calibrated so
+// the relative factors land in the bands HAAN's evaluation reports. They are
+// documented per engine; EXPERIMENTS.md discusses where our mechanistic
+// models deviate from the paper's measured points.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace haan::baselines {
+
+/// All normalization work of one model pass.
+struct NormWorkload {
+  std::size_t embedding_dim = 0;   ///< E (real model width)
+  std::size_t norm_layers = 0;     ///< total normalization layers
+  std::size_t skipped_layers = 0;  ///< layers with predicted ISD (HAAN only)
+  std::size_t seq_len = 0;         ///< token vectors per layer
+  std::size_t nsub = 0;            ///< HAAN statistics subsample (0 = full)
+  model::NormKind kind = model::NormKind::kLayerNorm;
+
+  /// Total vectors streamed through an engine.
+  std::size_t total_vectors() const { return norm_layers * seq_len; }
+};
+
+/// Workload builder from a real model's dimensions.
+NormWorkload make_workload(const model::RealDims& dims, std::size_t seq_len,
+                           std::size_t skipped_layers, std::size_t nsub,
+                           model::NormKind kind);
+
+/// A normalization engine's performance model.
+class NormEngineModel {
+ public:
+  virtual ~NormEngineModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Latency (us) to complete the workload.
+  virtual double total_latency_us(const NormWorkload& work) const = 0;
+
+  /// Average power (W) while processing the workload.
+  virtual double average_power_w(const NormWorkload& work) const = 0;
+
+  /// Energy in microjoules.
+  double total_energy_uj(const NormWorkload& work) const {
+    return total_latency_us(work) * average_power_w(work);
+  }
+};
+
+}  // namespace haan::baselines

@@ -1,0 +1,15 @@
+#include "baselines/sole_engine.hpp"
+
+namespace haan::baselines {
+
+double SoleEngine::total_latency_us(const NormWorkload& work) const {
+  // One compressed-statistics pass per vector, pipelined across vectors:
+  // throughput = passes + per-vector bubble.
+  const std::size_t passes =
+      (work.embedding_dim + params_.lanes - 1) / params_.lanes;
+  const double cycles = static_cast<double>(passes + params_.vector_overhead) *
+                        static_cast<double>(work.total_vectors());
+  return cycles / params_.clock_mhz;
+}
+
+}  // namespace haan::baselines

@@ -1,0 +1,35 @@
+// SOLE model (Wang et al., ICCAD 2023): hardware-software co-designed
+// LayerNorm with dynamically compressed intermediate statistics
+// (AILayerNorm). The compression collapses the two statistics passes into a
+// single streamed pass, pipelined across vectors, but without HAAN's ISD
+// skipping or subsampling and with a narrower lane budget at the same
+// frequency.
+#pragma once
+
+#include "baselines/norm_engine.hpp"
+
+namespace haan::baselines {
+
+/// SOLE LayerNorm unit model.
+class SoleEngine final : public NormEngineModel {
+ public:
+  struct Params {
+    std::size_t lanes = 96;      ///< streamed lanes (compressed statistics)
+    double clock_mhz = 100.0;    ///< same board/clock as HAAN for fairness
+    std::size_t vector_overhead = 1;  ///< per-vector re-init bubble
+    double power_w = 4.95;       ///< measured-average model power
+  };
+
+  SoleEngine() : params_{} {}
+  explicit SoleEngine(Params params) : params_(params) {}
+
+  std::string name() const override { return "SOLE"; }
+
+  double total_latency_us(const NormWorkload& work) const override;
+  double average_power_w(const NormWorkload& work) const override { return params_.power_w; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace haan::baselines

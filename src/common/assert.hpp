@@ -1,0 +1,32 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines (I.6/I.8):
+// preconditions via HAAN_EXPECTS, postconditions via HAAN_ENSURES, internal
+// invariants via HAAN_ASSERT. All three abort with a source location so that
+// violations surface immediately in tests and benches; they are kept enabled in
+// release builds because this library's correctness claims are part of the
+// reproduction.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace haan::common {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[haan] %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace haan::common
+
+#define HAAN_EXPECTS(cond)                                                        \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::haan::common::contract_failure("precondition", #cond, __FILE__, __LINE__))
+
+#define HAAN_ENSURES(cond)                                                        \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::haan::common::contract_failure("postcondition", #cond, __FILE__, __LINE__))
+
+#define HAAN_ASSERT(cond)                                                         \
+  ((cond) ? static_cast<void>(0)                                                  \
+          : ::haan::common::contract_failure("assertion", #cond, __FILE__, __LINE__))

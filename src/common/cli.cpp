@@ -1,0 +1,101 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace haan::common {
+
+CliParser::CliParser(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& default_value,
+                         const std::string& help) {
+  HAAN_EXPECTS(!name.empty());
+  HAAN_EXPECTS(flags_.find(name) == flags_.end());
+  order_.push_back(name);
+  flags_[name] = Flag{default_value, help, std::nullopt};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      error_ = true;
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        error_ = true;
+        return false;
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      error_ = true;
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  HAAN_EXPECTS(it != flags_.end());
+  return it->second.value.value_or(it->second.default_value);
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  const std::string text = get(name);
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  HAAN_EXPECTS(end != nullptr && *end == '\0');
+  return value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string text = get(name);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  HAAN_EXPECTS(end != nullptr && *end == '\0');
+  return value;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string text = get(name);
+  if (text == "true" || text == "1" || text == "yes") return true;
+  if (text == "false" || text == "0" || text == "no") return false;
+  HAAN_EXPECTS(false && "boolean flag must be true/false/1/0/yes/no");
+  return false;
+}
+
+std::string CliParser::help() const {
+  std::ostringstream out;
+  out << summary_ << "\n\nflags:\n";
+  for (const auto& name : order_) {
+    const auto& flag = flags_.at(name);
+    out << "  --" << name << " (default: " << flag.default_value << ")\n      "
+        << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace haan::common

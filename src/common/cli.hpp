@@ -1,0 +1,56 @@
+// Tiny command-line parser for bench and example binaries. Flags are
+// `--name=value` or `--name value`; `--help` prints registered options.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace haan::common {
+
+/// Declarative flag registry + parser.
+///
+/// Benches register their knobs (seed, sequence length, ...) then call
+/// `parse`. Unknown flags are an error so typos fail loudly.
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers a string flag with a default value and help text.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing help) if --help was given or a
+  /// parse error occurred; callers should exit(0)/exit(1) accordingly.
+  bool parse(int argc, const char* const* argv);
+
+  /// Value of a registered flag (post-parse; default if not supplied).
+  std::string get(const std::string& name) const;
+
+  /// Typed accessors; abort on conversion failure (bad user input is fatal for
+  /// a bench binary — silent fallback would corrupt the experiment).
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True if a parse error happened (message already printed).
+  bool error() const { return error_; }
+
+  /// Renders the help text.
+  std::string help() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+  std::string summary_;
+  std::vector<std::string> order_;
+  std::map<std::string, Flag> flags_;
+  bool error_ = false;
+};
+
+}  // namespace haan::common

@@ -1,0 +1,399 @@
+#include "common/json_lite.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+// GCC 12 emits false-positive -Wrestrict diagnostics for inlined
+// std::string copies at -O3 (GCC bug 105651); the code below performs no
+// overlapping copies.
+#pragma GCC diagnostic ignored "-Wrestrict"
+
+namespace haan::common {
+
+bool Json::as_bool() const {
+  HAAN_EXPECTS(is_bool());
+  return bool_;
+}
+
+double Json::as_number() const {
+  HAAN_EXPECTS(is_number());
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  HAAN_EXPECTS(is_string());
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  HAAN_EXPECTS(is_array());
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  HAAN_EXPECTS(is_object());
+  return object_;
+}
+
+Json::Array& Json::as_array() {
+  HAAN_EXPECTS(is_array());
+  return array_;
+}
+
+Json::Object& Json::as_object() {
+  HAAN_EXPECTS(is_object());
+  return object_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void escape_string(const std::string& in, std::string& out) {
+  out += '"';
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void format_number(double value, std::string& out) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+    out += buffer;
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  std::string pad_inner;
+  std::string pad_close;
+  if (indent > 0) {
+    pad_inner = "\n";
+    pad_inner.append(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    pad_close = "\n";
+    pad_close.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      format_number(number_, out);
+      break;
+    case Type::kString:
+      escape_string(string_, out);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& item : array_) {
+        if (!first) out += ',';
+        first = false;
+        out += pad_inner;
+        item.dump_to(out, indent, depth + 1);
+      }
+      out += pad_close;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        out += pad_inner;
+        escape_string(key, out);
+        out += indent > 0 ? ": " : ":";
+        value.dump_to(out, indent, depth + 1);
+      }
+      out += pad_close;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0, 0);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  dump_to(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string view with an index cursor.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> parse() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value() {
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Json(*s);
+    }
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    return parse_number();
+  }
+
+  std::optional<Json> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    Json::Object object;
+    skip_ws();
+    if (consume('}')) return Json(std::move(object));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      object[*key] = std::move(*value);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Json(std::move(object));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    Json::Array array;
+    skip_ws();
+    if (consume(']')) return Json(std::move(array));
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Json(std::move(array));
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the BMP code point (sufficient for our artifacts).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated string
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool any_digits = false;
+    const auto eat_digits = [&]() {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        any_digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      eat_digits();
+    }
+    if (!any_digits) return std::nullopt;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return std::nullopt;
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+}  // namespace haan::common

@@ -1,0 +1,80 @@
+// Minimal JSON value type + parser/serializer. Used to persist calibration
+// artifacts (skip plans, difficulty tables) so experiments can split the
+// expensive calibration pass from evaluation. Supports the full JSON grammar
+// except \uXXXX escapes beyond the BMP surrogate pairs (not needed here).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace haan::common {
+
+/// A JSON document node: null, bool, number, string, array or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}           // NOLINT(google-explicit-constructor)
+  Json(double value) : type_(Type::kNumber), number_(value) {}     // NOLINT(google-explicit-constructor)
+  Json(int value) : Json(static_cast<double>(value)) {}            // NOLINT(google-explicit-constructor)
+  Json(long long value) : Json(static_cast<double>(value)) {}      // NOLINT(google-explicit-constructor)
+  Json(std::size_t value) : Json(static_cast<double>(value)) {}    // NOLINT(google-explicit-constructor)
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Json(Object value) : type_(Type::kObject), object_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; precondition: the node has the matching type.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Serializes to compact JSON (no insignificant whitespace).
+  std::string dump() const;
+
+  /// Serializes with 2-space indentation.
+  std::string dump_pretty() const;
+
+  /// Parses a JSON document. Returns nullopt (with no partial state) on error.
+  static std::optional<Json> parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Reads an entire file into a string; nullopt when the file cannot be read.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Writes a string to a file, truncating; returns false on failure.
+bool write_file(const std::string& path, const std::string& contents);
+
+}  // namespace haan::common

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Single global sink (stderr) with a runtime-settable
+// threshold; printf-style formatting is deliberately avoided in favour of
+// pre-formatted strings so call sites stay type-safe.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace haan::common {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Returns the current global threshold.
+LogLevel log_level();
+
+/// Emits `message` at `level` if it passes the threshold. Thread-safe.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style builder: collects one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace haan::common
+
+#define HAAN_LOG_DEBUG ::haan::common::detail::LogLine(::haan::common::LogLevel::kDebug)
+#define HAAN_LOG_INFO ::haan::common::detail::LogLine(::haan::common::LogLevel::kInfo)
+#define HAAN_LOG_WARN ::haan::common::detail::LogLine(::haan::common::LogLevel::kWarn)
+#define HAAN_LOG_ERROR ::haan::common::detail::LogLine(::haan::common::LogLevel::kError)

@@ -1,0 +1,73 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace haan::common {
+
+std::uint64_t Rng::next_u64() {
+  state_ += kGolden;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 random bits into the mantissa: uniform on [0, 1) with full double grid.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  HAAN_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  HAAN_EXPECTS(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t value = next_u64();
+  while (value >= limit) value = next_u64();
+  return value % n;
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  HAAN_EXPECTS(stddev >= 0.0);
+  return mean + stddev * gaussian();
+}
+
+void Rng::fill_gaussian(std::vector<float>& out, double mean, double stddev) {
+  for (auto& value : out) value = static_cast<float>(gaussian(mean, stddev));
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+    std::swap(indices[i - 1], indices[j]);
+  }
+  return indices;
+}
+
+}  // namespace haan::common

@@ -1,0 +1,146 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace haan::common {
+
+void RunningMoments::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  HAAN_EXPECTS(xs.size() == ys.size());
+  HAAN_EXPECTS(!xs.empty());
+  const std::size_t n = xs.size();
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x == 0.0 || var_y == 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+double pearson_vs_index(std::span<const double> ys) {
+  std::vector<double> xs(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  return pearson(xs, ys);
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  HAAN_EXPECTS(xs.size() == ys.size());
+  HAAN_EXPECTS(xs.size() >= 2);
+  const std::size_t n = xs.size();
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  LineFit fit;
+  if (var_x == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = mean_y;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = cov / var_x;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  if (var_y == 0.0) {
+    fit.r_squared = 1.0;  // perfectly flat data, perfectly fit by a flat line
+  } else {
+    fit.r_squared = (cov * cov) / (var_x * var_y);
+  }
+  return fit;
+}
+
+LineFit fit_line_vs_index(std::span<const double> ys) {
+  std::vector<double> xs(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  return fit_line(xs, ys);
+}
+
+double mean_of(std::span<const double> xs) {
+  HAAN_EXPECTS(!xs.empty());
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance_of(std::span<const double> xs) {
+  HAAN_EXPECTS(!xs.empty());
+  const double mu = mean_of(xs);
+  double sum = 0.0;
+  for (const double x : xs) sum += (x - mu) * (x - mu);
+  return sum / static_cast<double>(xs.size());
+}
+
+double rms_of(std::span<const double> xs) {
+  HAAN_EXPECTS(!xs.empty());
+  double sum = 0.0;
+  for (const double x : xs) sum += x * x;
+  return std::sqrt(sum / static_cast<double>(xs.size()));
+}
+
+double geometric_mean_of(std::span<const double> xs) {
+  HAAN_EXPECTS(!xs.empty());
+  double log_sum = 0.0;
+  for (const double x : xs) {
+    HAAN_EXPECTS(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double max_abs_diff(std::span<const double> xs, std::span<const double> ys) {
+  HAAN_EXPECTS(xs.size() == ys.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    worst = std::max(worst, std::abs(xs[i] - ys[i]));
+  }
+  return worst;
+}
+
+double median_of(std::vector<double> xs) {
+  HAAN_EXPECTS(!xs.empty());
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  if (xs.size() % 2 == 1) return xs[mid];
+  const double hi = xs[mid];
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid) - 1, xs.end());
+  return 0.5 * (xs[mid - 1] + hi);
+}
+
+}  // namespace haan::common

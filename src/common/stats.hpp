@@ -1,0 +1,80 @@
+// Descriptive statistics used throughout the HAAN algorithm: running moments,
+// Pearson correlation (the heart of Algorithm 1's skip-range scan), and
+// ordinary least-squares line fitting (the `calDecay` slope estimator).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace haan::common {
+
+/// Single-pass accumulator for mean/variance (Welford's algorithm).
+///
+/// Welford is used (rather than the accelerator's E[x²]−E[x]² formulation)
+/// because this is the *reference* software path; the hardware formulation
+/// lives in `haan::accel` and is tested against this one.
+class RunningMoments {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added.
+  std::size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return mean_; }
+
+  /// Population variance (divide by n); 0 when fewer than 1 observation.
+  double variance() const;
+
+  /// Population standard deviation.
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Pearson correlation coefficient of paired samples. Returns 0 when either
+/// series is constant (degenerate correlation). Requires equal, nonzero sizes.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation of `ys` against their indices 0..n-1 — the exact
+/// quantity Algorithm 1 computes for a layer window.
+double pearson_vs_index(std::span<const double> ys);
+
+/// Result of an ordinary least-squares fit y ≈ intercept + slope * x.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 for a perfect fit.
+  double r_squared = 0.0;
+};
+
+/// Least-squares line through (xs, ys). Requires >= 2 points.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Least-squares line through (0, ys[0]), (1, ys[1]), ...
+LineFit fit_line_vs_index(std::span<const double> ys);
+
+/// Mean of a span; requires nonempty input.
+double mean_of(std::span<const double> xs);
+
+/// Population variance of a span; requires nonempty input.
+double variance_of(std::span<const double> xs);
+
+/// Root-mean-square of a span; requires nonempty input.
+double rms_of(std::span<const double> xs);
+
+/// Elementwise geometric mean of positive values; requires nonempty input.
+double geometric_mean_of(std::span<const double> xs);
+
+/// Maximum absolute difference between two equally sized spans.
+double max_abs_diff(std::span<const double> xs, std::span<const double> ys);
+
+/// Median (by copy + nth_element); requires nonempty input.
+double median_of(std::vector<double> xs);
+
+}  // namespace haan::common

@@ -1,0 +1,123 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace haan::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HAAN_EXPECTS(!header_.empty());
+  aligns_.assign(header_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  HAAN_EXPECTS(row.size() == header_.size());
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void Table::set_align(std::size_t column, Align align) {
+  HAAN_EXPECTS(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+std::size_t Table::row_count() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!row.separator) ++n;
+  }
+  return n;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t width, Align align) {
+    std::string out;
+    const std::size_t fill = width - std::min(width, text.size());
+    if (align == Align::kRight) out.append(fill, ' ');
+    out += text;
+    if (align == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  const auto rule = [&]() {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::ostringstream out;
+  out << rule();
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << " " << pad(header_[c], widths[c], Align::kLeft) << " |";
+  }
+  out << "\n" << rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      out << rule();
+      continue;
+    }
+    out << "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      out << " " << pad(row.cells[c], widths[c], aligns_[c]) << " |";
+    }
+    out << "\n";
+  }
+  out << rule();
+  return out.str();
+}
+
+std::string format_double(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string format_ratio(double value, int digits) {
+  return format_double(value, digits) + "x";
+}
+
+std::string format_percent(double fraction, int digits) {
+  return format_double(fraction * 100.0, digits) + "%";
+}
+
+std::string format_count(long long value) {
+  const bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run == 3) {
+      out += ',';
+      run = 0;
+    }
+    out += *it;
+    ++run;
+  }
+  if (negative) out += '-';
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace haan::common

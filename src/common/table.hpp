@@ -1,0 +1,63 @@
+// ASCII table renderer for the bench binaries. Every table/figure bench prints
+// its rows through this class so that outputs share one format and the
+// EXPERIMENTS.md transcription step is mechanical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace haan::common {
+
+/// Column alignment inside a rendered cell.
+enum class Align { kLeft, kRight };
+
+/// Builds and renders a fixed-column ASCII table.
+///
+/// Usage:
+///   Table t({"model", "latency (us)"});
+///   t.add_row({"GPT-2", format_double(12.3, 2)});
+///   std::cout << t.render();
+class Table {
+ public:
+  /// Creates a table with the given header row. All later rows must match its
+  /// arity.
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one data row; size must equal the header size.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line between row groups.
+  void add_separator();
+
+  /// Sets alignment for one column (default: left for col 0, right otherwise).
+  void set_align(std::size_t column, Align align);
+
+  /// Renders the table, headers, separators and all, as a single string.
+  std::string render() const;
+
+  /// Number of data rows added so far (separators excluded).
+  std::size_t row_count() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Formats a double with fixed `digits` decimals (locale-independent).
+std::string format_double(double value, int digits);
+
+/// Formats a ratio like "11.73x".
+std::string format_ratio(double value, int digits = 2);
+
+/// Formats a percentage like "61.2%".
+std::string format_percent(double fraction, int digits = 1);
+
+/// Formats an integer with thousands separators: 1536 -> "1,536".
+std::string format_count(long long value);
+
+}  // namespace haan::common

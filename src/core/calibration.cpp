@@ -1,0 +1,77 @@
+#include "core/calibration.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace haan::core {
+
+std::vector<std::vector<int>> random_token_corpus(std::size_t vocab_size,
+                                                  std::size_t n_samples,
+                                                  std::size_t seq_len,
+                                                  std::uint64_t seed) {
+  HAAN_EXPECTS(vocab_size > 0 && n_samples > 0 && seq_len > 0);
+  common::Rng rng(seed);
+  std::vector<std::vector<int>> corpus(n_samples);
+  for (auto& sample : corpus) {
+    sample.resize(seq_len);
+    for (auto& token : sample) {
+      token = static_cast<int>(rng.uniform_index(vocab_size));
+    }
+  }
+  return corpus;
+}
+
+CalibrationResult calibrate_skip_plan(model::Transformer& model,
+                                      const CalibrationOptions& options) {
+  const auto corpus = random_token_corpus(model.config().vocab_size,
+                                          options.n_samples, options.seq_len,
+                                          options.seed);
+  TraceCollectorOptions trace_options;
+  trace_options.position_stride = options.position_stride;
+  IsdTrace trace = collect_isd_trace(model, corpus, trace_options);
+  SkipPlan plan = plan_skip(trace, options.planner);
+  HAAN_LOG_INFO << model.config().name << ": " << plan.to_string();
+  return CalibrationResult{plan, std::move(trace)};
+}
+
+common::Json skip_plan_to_json(const SkipPlan& plan) {
+  common::Json::Object object;
+  object["start"] = common::Json(plan.start);
+  object["end"] = common::Json(plan.end);
+  object["decay"] = common::Json(plan.decay);
+  object["pearson"] = common::Json(plan.pearson);
+  object["enabled"] = common::Json(plan.enabled);
+  return common::Json(std::move(object));
+}
+
+SkipPlan skip_plan_from_json(const common::Json& json) {
+  HAAN_EXPECTS(json.is_object());
+  SkipPlan plan;
+  const auto* start = json.find("start");
+  const auto* end = json.find("end");
+  const auto* decay = json.find("decay");
+  const auto* pearson = json.find("pearson");
+  const auto* enabled = json.find("enabled");
+  HAAN_EXPECTS(start && end && decay && pearson && enabled);
+  plan.start = static_cast<std::size_t>(start->as_number());
+  plan.end = static_cast<std::size_t>(end->as_number());
+  plan.decay = decay->as_number();
+  plan.pearson = pearson->as_number();
+  plan.enabled = enabled->as_bool();
+  return plan;
+}
+
+bool save_skip_plan(const SkipPlan& plan, const std::string& path) {
+  return common::write_file(path, skip_plan_to_json(plan).dump_pretty());
+}
+
+SkipPlan load_skip_plan(const std::string& path) {
+  const auto text = common::read_file(path);
+  HAAN_EXPECTS(text.has_value());
+  const auto json = common::Json::parse(*text);
+  HAAN_EXPECTS(json.has_value());
+  return skip_plan_from_json(*json);
+}
+
+}  // namespace haan::core

@@ -1,0 +1,50 @@
+// Offline calibration driver (paper §V-A: "100 samples from Wikitext"): run a
+// calibration corpus through the model with exact normalization, collect the
+// ISD trace, and run Algorithm 1. Plans serialize to JSON so the expensive
+// pass is separable from evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json_lite.hpp"
+#include "core/isd.hpp"
+#include "core/skip_planner.hpp"
+
+namespace haan::core {
+
+/// Calibration knobs.
+struct CalibrationOptions {
+  std::size_t n_samples = 32;       ///< calibration sequences
+  std::size_t seq_len = 32;         ///< tokens per sequence
+  std::size_t position_stride = 8;  ///< record every k-th position's ISD
+  std::uint64_t seed = 7;
+  SkipPlannerOptions planner;
+};
+
+/// Calibration output: the winning plan plus the raw trace (kept for the
+/// Fig 2 bench and for fitting fixed ranges in the Table II ablation).
+struct CalibrationResult {
+  SkipPlan plan;
+  IsdTrace trace;
+};
+
+/// Deterministic synthetic token corpus (the Wikitext substitute).
+std::vector<std::vector<int>> random_token_corpus(std::size_t vocab_size,
+                                                  std::size_t n_samples,
+                                                  std::size_t seq_len,
+                                                  std::uint64_t seed);
+
+/// Full calibration: corpus -> exact forwards -> ISD trace -> Algorithm 1.
+CalibrationResult calibrate_skip_plan(model::Transformer& model,
+                                      const CalibrationOptions& options = {});
+
+/// JSON (de)serialization for persisting plans.
+common::Json skip_plan_to_json(const SkipPlan& plan);
+SkipPlan skip_plan_from_json(const common::Json& json);
+
+/// Saves/loads a plan to/from a file. Load aborts on malformed content.
+bool save_skip_plan(const SkipPlan& plan, const std::string& path);
+SkipPlan load_skip_plan(const std::string& path);
+
+}  // namespace haan::core

@@ -1,0 +1,57 @@
+// The HAAN algorithm configuration: which of the three optimizations (ISD
+// skipping, input subsampling, operand quantization) are active and how.
+// Paper §V-A fixes one configuration per model; Table II sweeps them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/skip_planner.hpp"
+#include "numerics/formats.hpp"
+
+namespace haan::core {
+
+/// Full algorithm configuration for a HaanNormProvider.
+struct HaanConfig {
+  /// Subsample length Nsub; 0 means "use the full vector".
+  std::size_t nsub = 0;
+
+  /// Input/operand numeric format (paper: INT8 for LLaMA, FP16 for OPT/GPT2).
+  numerics::NumericFormat format = numerics::NumericFormat::kFP32;
+
+  /// Use the bit-hack + Newton square-root inverter (vs exact 1/sqrt).
+  bool use_fast_invsqrt = true;
+
+  /// Newton refinement iterations after the initial guess (paper: 1).
+  int newton_iterations = 1;
+
+  /// Emulate the scalar FP16 prediction unit for skipped-layer ISD.
+  bool predictor_fp16 = false;
+
+  /// Variance epsilon, matching framework LayerNorm semantics.
+  double eps = 1e-5;
+
+  /// ISD skip plan from Algorithm 1 (disabled by default).
+  SkipPlan plan;
+
+  std::string to_string() const;
+};
+
+/// Paper §V-A per-model algorithm settings, translated to a surrogate of
+/// embedding width `width`. The paper's Nsub is expressed for the real
+/// embedding width; surrogates preserve the *fraction* of the vector used,
+/// floored so estimator noise stays representative (see EXPERIMENTS.md):
+///   LLaMA-7B : Nsub 256/4096, INT8, skip (50, 60)   -> fraction 1/16
+///   OPT-2.7B : Nsub 1280/2560, FP16, skip (55, 62)  -> fraction 1/2
+///   GPT2-1.5B: Nsub 800/1600, FP16, skip (85, 92)   -> fraction 1/2
+/// Plans are attached separately after calibration.
+HaanConfig llama7b_algorithm_config(std::size_t width);
+HaanConfig opt2p7b_algorithm_config(std::size_t width);
+HaanConfig gpt2_1p5b_algorithm_config(std::size_t width);
+
+/// Relative ISD estimation noise of prefix subsampling: the standard
+/// deviation of (isd_est / isd_exact - 1) for near-Gaussian inputs. Used to
+/// map paper Nsub values onto surrogate widths at equal noise.
+double subsample_noise(std::size_t nsub, std::size_t full_length);
+
+}  // namespace haan::core

@@ -1,0 +1,84 @@
+#include "core/haan_norm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/subsample.hpp"
+#include "numerics/fast_math.hpp"
+#include "tensor/norm_ref.hpp"
+
+namespace haan::core {
+
+HaanNormProvider::HaanNormProvider(HaanConfig config)
+    : config_(config), predictor_(config.plan, config.predictor_fp16) {}
+
+void HaanNormProvider::begin_sequence() { predictor_.begin_sequence(); }
+
+double HaanNormProvider::compute_isd(double second_moment) const {
+  const double x = second_moment + config_.eps;
+  if (!config_.use_fast_invsqrt) return 1.0 / std::sqrt(x);
+  return static_cast<double>(numerics::fast_inv_sqrt(static_cast<float>(x),
+                                                     config_.newton_iterations));
+}
+
+void HaanNormProvider::normalize(std::size_t layer_index, std::size_t position,
+                                 model::NormKind kind, std::span<const float> z,
+                                 std::span<const float> alpha,
+                                 std::span<const float> beta, std::span<float> out) {
+  HAAN_EXPECTS(out.size() == z.size());
+  ++counters_.norm_calls;
+
+  // Operand quantization: the datapath sees the quantized input both in the
+  // statistics path and the normalization path (paper §III-C / §IV-A).
+  buffer_.assign(z.begin(), z.end());
+  if (config_.format != numerics::NumericFormat::kFP32) {
+    const float scale = config_.format == numerics::NumericFormat::kINT8
+                            ? numerics::choose_int8_scale(buffer_)
+                            : 1.0f;
+    numerics::quantize_dequantize_span(buffer_, config_.format, scale);
+  }
+
+  double mean = 0.0;
+  double isd;
+  if (predictor_.should_skip(layer_index)) {
+    // ISD skipped: predicted from the anchor layer (paper eq. 3). LayerNorm
+    // still needs the mean, which the subsampled adder tree provides cheaply.
+    isd = predictor_.predict(layer_index, position);
+    ++counters_.isd_predicted;
+    if (kind == model::NormKind::kLayerNorm) {
+      const SubsampledStats stats =
+          subsampled_stats(buffer_, config_.nsub, kind, config_.eps);
+      mean = stats.mean;
+      counters_.elements_read += stats.used;
+    }
+  } else {
+    const SubsampledStats stats =
+        subsampled_stats(buffer_, config_.nsub, kind, config_.eps);
+    counters_.elements_read += stats.used;
+    mean = stats.mean;
+    isd = compute_isd(stats.second_moment);
+    ++counters_.isd_computed;
+    if (predictor_.is_anchor(layer_index)) predictor_.record_anchor(position, isd);
+  }
+  last_isd_ = isd;
+
+  if (kind == model::NormKind::kLayerNorm) {
+    tensor::layernorm_with_isd(buffer_, mean, isd, alpha, beta, out);
+  } else {
+    tensor::rmsnorm_with_isd(buffer_, isd, alpha, beta, out);
+  }
+  // The hardware datapath saturates instead of producing inf/NaN; clamp the
+  // output so badly misconfigured plans (paper Table II's failing rows)
+  // degrade accuracy gracefully rather than poisoning downstream layers.
+  constexpr float kSaturation = 65504.0f;  // FP16 max, the widest I/O format
+  for (float& v : out) {
+    if (std::isnan(v)) {
+      v = 0.0f;
+    } else {
+      v = std::clamp(v, -kSaturation, kSaturation);
+    }
+  }
+}
+
+}  // namespace haan::core

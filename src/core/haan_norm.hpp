@@ -1,0 +1,52 @@
+// The HAAN normalization operator: a NormProvider that applies the paper's
+// three optimizations — ISD skipping (§III-B), input subsampling (§III-C) and
+// operand quantization (§III-C) — with the square-root inverter's fast
+// inverse-sqrt numerics (§IV-B). This is the bit-level software twin of the
+// accelerator datapath; `haan::accel` adds cycle timing on top.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/isd_predictor.hpp"
+#include "model/norm_provider.hpp"
+
+namespace haan::core {
+
+/// Drop-in HAAN normalization.
+class HaanNormProvider final : public model::NormProvider {
+ public:
+  explicit HaanNormProvider(HaanConfig config);
+
+  const HaanConfig& config() const { return config_; }
+
+  void begin_sequence() override;
+
+  void normalize(std::size_t layer_index, std::size_t position, model::NormKind kind,
+                 std::span<const float> z, std::span<const float> alpha,
+                 std::span<const float> beta, std::span<float> out) override;
+
+  /// Execution counters for verifying skip behaviour end to end.
+  struct Counters {
+    std::size_t norm_calls = 0;
+    std::size_t isd_computed = 0;   ///< square-root inverter invocations
+    std::size_t isd_predicted = 0;  ///< predictor invocations (skipped ISD)
+    std::size_t elements_read = 0;  ///< statistics-path memory reads
+  };
+  const Counters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+  /// The ISD value used for the most recent normalize() call (test hook).
+  double last_isd_used() const { return last_isd_; }
+
+ private:
+  double compute_isd(double second_moment) const;
+
+  HaanConfig config_;
+  IsdPredictor predictor_;
+  Counters counters_;
+  std::vector<float> buffer_;
+  double last_isd_ = 0.0;
+};
+
+}  // namespace haan::core

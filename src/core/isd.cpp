@@ -1,0 +1,97 @@
+#include "core/isd.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "tensor/norm_ref.hpp"
+
+namespace haan::core {
+
+double exact_isd(std::span<const float> z, model::NormKind kind, double eps) {
+  const tensor::VectorStats stats = tensor::exact_stats(z);
+  const double second_moment =
+      kind == model::NormKind::kLayerNorm ? stats.variance : stats.rms * stats.rms;
+  return 1.0 / std::sqrt(second_moment + eps);
+}
+
+IsdTrace::IsdTrace(std::size_t n_layers) : n_layers_(n_layers) {
+  HAAN_EXPECTS(n_layers > 0);
+}
+
+void IsdTrace::begin_observation() {
+  observations_.emplace_back(n_layers_, std::numeric_limits<double>::quiet_NaN());
+}
+
+void IsdTrace::record(std::size_t layer, double log_isd) {
+  HAAN_EXPECTS(!observations_.empty());
+  record_at(observations_.size() - 1, layer, log_isd);
+}
+
+void IsdTrace::record_at(std::size_t obs, std::size_t layer, double log_isd) {
+  HAAN_EXPECTS(obs < observations_.size());
+  HAAN_EXPECTS(layer < n_layers_);
+  observations_[obs][layer] = log_isd;
+}
+
+double IsdTrace::log_isd(std::size_t obs, std::size_t layer) const {
+  HAAN_EXPECTS(obs < observations_.size());
+  HAAN_EXPECTS(layer < n_layers_);
+  return observations_[obs][layer];
+}
+
+std::vector<double> IsdTrace::mean_log_isd() const {
+  std::vector<double> mean(n_layers_, 0.0);
+  std::vector<std::size_t> counts(n_layers_, 0);
+  for (const auto& obs : observations_) {
+    for (std::size_t l = 0; l < n_layers_; ++l) {
+      if (!std::isnan(obs[l])) {
+        mean[l] += obs[l];
+        ++counts[l];
+      }
+    }
+  }
+  for (std::size_t l = 0; l < n_layers_; ++l) {
+    HAAN_ENSURES(counts[l] > 0);  // every layer must have been observed
+    mean[l] /= static_cast<double>(counts[l]);
+  }
+  return mean;
+}
+
+std::span<const double> IsdTrace::observation(std::size_t obs) const {
+  HAAN_EXPECTS(obs < observations_.size());
+  return observations_[obs];
+}
+
+IsdTrace collect_isd_trace(model::Transformer& model,
+                           std::span<const std::vector<int>> samples,
+                           const TraceCollectorOptions& options) {
+  HAAN_EXPECTS(!samples.empty());
+  HAAN_EXPECTS(options.position_stride >= 1);
+  const auto& config = model.config();
+  IsdTrace trace(config.norm_layer_count());
+
+  // Observations are (sample, position) pairs. forward_hidden sweeps all
+  // positions of layer 0, then layer 1, ...; observation rows are created
+  // lazily per position on first sight and filled layer by layer.
+  model::ExactNormProvider exact;
+  for (const auto& tokens : samples) {
+    std::vector<std::ptrdiff_t> obs_of_position(tokens.size(), -1);
+    model.set_norm_observer(
+        [&](std::size_t layer, std::size_t position, std::span<const float> z) {
+          if (position % options.position_stride != 0) return;
+          if (obs_of_position[position] < 0) {
+            trace.begin_observation();
+            obs_of_position[position] =
+                static_cast<std::ptrdiff_t>(trace.observation_count()) - 1;
+          }
+          trace.record_at(static_cast<std::size_t>(obs_of_position[position]), layer,
+                          std::log(exact_isd(z, config.norm_kind, options.eps)));
+        });
+    model.forward_hidden(tokens, exact);
+  }
+  model.set_norm_observer({});
+  return trace;
+}
+
+}  // namespace haan::core

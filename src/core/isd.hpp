@@ -1,0 +1,74 @@
+// ISD (inverse standard deviation, 1/sigma) utilities and the trace container
+// Algorithm 1 consumes. The paper's statistical study (§III-A) plots log(ISD)
+// per normalization layer for individual tokens; IsdTrace stores exactly that:
+// one log-ISD observation per (calibration observation, layer).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/config.hpp"
+#include "model/transformer.hpp"
+
+namespace haan::core {
+
+/// Exact ISD of a vector under the given normalization semantics:
+/// LayerNorm: 1/sqrt(Var(z) + eps); RMSNorm: 1/sqrt(RMS(z)^2 + eps).
+double exact_isd(std::span<const float> z, model::NormKind kind, double eps = 1e-5);
+
+/// Log-ISD observations across normalization layers.
+///
+/// Layout: observation-major. Each observation is one (calibration sample,
+/// token position) pair, holding log(ISD) for every norm layer in execution
+/// order — i.e. one poly-line of the paper's Fig 2.
+class IsdTrace {
+ public:
+  /// Creates an empty trace for a model with `n_layers` normalization layers.
+  explicit IsdTrace(std::size_t n_layers);
+
+  std::size_t layer_count() const { return n_layers_; }
+  std::size_t observation_count() const { return observations_.size(); }
+
+  /// Starts a new observation (all layers NaN until recorded).
+  void begin_observation();
+
+  /// Records log(ISD) for `layer` in the current observation.
+  void record(std::size_t layer, double log_isd);
+
+  /// Records log(ISD) for `layer` in observation `obs` (used when several
+  /// observations fill concurrently, e.g. one per token position).
+  void record_at(std::size_t obs, std::size_t layer, double log_isd);
+
+  /// Log-ISD of observation `obs` at `layer`. NaN when never recorded.
+  double log_isd(std::size_t obs, std::size_t layer) const;
+
+  /// Mean log-ISD per layer across observations (ignoring NaN gaps).
+  /// This is the series Algorithm 1 scans.
+  std::vector<double> mean_log_isd() const;
+
+  /// The full series of one observation (length layer_count).
+  std::span<const double> observation(std::size_t obs) const;
+
+ private:
+  std::size_t n_layers_;
+  std::vector<std::vector<double>> observations_;
+};
+
+/// Options controlling trace collection.
+struct TraceCollectorOptions {
+  /// Record every `position_stride`-th token position (1 = all).
+  std::size_t position_stride = 1;
+  double eps = 1e-5;
+};
+
+/// Runs `samples` through `model` with exact normalization, recording the
+/// log-ISD of every norm-layer input. One observation per (sample, recorded
+/// position). This is the calibration data-gathering loop of Algorithm 1
+/// (lines 2-4). Temporarily installs (and afterwards clears) the model's norm
+/// observer, hence the non-const reference.
+IsdTrace collect_isd_trace(model::Transformer& model,
+                           std::span<const std::vector<int>> samples,
+                           const TraceCollectorOptions& options = {});
+
+}  // namespace haan::core

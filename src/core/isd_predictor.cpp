@@ -1,0 +1,70 @@
+#include "core/isd_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "numerics/float16.hpp"
+
+namespace haan::core {
+
+IsdPredictor::IsdPredictor(SkipPlan plan, bool fp16_arithmetic)
+    : plan_(plan), fp16_(fp16_arithmetic) {}
+
+void IsdPredictor::begin_sequence() { anchor_log_isd_.clear(); }
+
+void IsdPredictor::record_anchor(std::size_t position, double isd) {
+  HAAN_EXPECTS(isd > 0.0);
+  if (anchor_log_isd_.size() <= position) anchor_log_isd_.resize(position + 1);
+  anchor_log_isd_[position] = std::log(isd);
+}
+
+std::size_t IsdPredictor::anchor_count() const {
+  std::size_t n = 0;
+  for (const auto& a : anchor_log_isd_) {
+    if (a.has_value()) ++n;
+  }
+  return n;
+}
+
+double IsdPredictor::extrapolate(double anchor_log_isd, std::size_t layer) const {
+  HAAN_EXPECTS(plan_.skips(layer));
+  const double offset = static_cast<double>(layer - plan_.start);
+  // The hardware ISD register saturates; clamp so a badly misfitted plan
+  // degrades accuracy (paper Table II) instead of producing inf/NaN.
+  constexpr double kIsdMin = 1e-6;
+  constexpr double kIsdMax = 1e6;
+  if (!fp16_) {
+    return std::clamp(std::exp(anchor_log_isd + plan_.decay * offset), kIsdMin,
+                      kIsdMax);
+  }
+  // Scalar FP16 unit: each intermediate rounds to half precision.
+  using numerics::Float16;
+  const Float16 log_anchor(static_cast<float>(anchor_log_isd));
+  const Float16 slope(static_cast<float>(plan_.decay));
+  const Float16 step(static_cast<float>(offset));
+  const Float16 log_pred = log_anchor + slope * step;
+  return std::clamp(
+      static_cast<double>(Float16(std::exp(log_pred.to_float())).to_float()),
+      kIsdMin, kIsdMax);
+}
+
+double IsdPredictor::predict(std::size_t layer, std::size_t position) const {
+  HAAN_EXPECTS(plan_.skips(layer));
+  if (position < anchor_log_isd_.size() && anchor_log_isd_[position].has_value()) {
+    return extrapolate(*anchor_log_isd_[position], layer);
+  }
+  // Fallback: average anchor over the sequence.
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& a : anchor_log_isd_) {
+    if (a.has_value()) {
+      sum += *a;
+      ++n;
+    }
+  }
+  HAAN_EXPECTS(n > 0);
+  return extrapolate(sum / static_cast<double>(n), layer);
+}
+
+}  // namespace haan::core

@@ -1,0 +1,56 @@
+// Runtime ISD predictor (paper eq. 3): for a layer k inside the skip window,
+//   log(ISD_k) = log(ISD_anchor) + e * (k - anchor)
+// anchored on the ISD actually computed at the window's start layer for the
+// same token position. The hardware realizes this as a tiny scalar FP unit;
+// an optional FP16 emulation reproduces that unit's rounding.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/skip_planner.hpp"
+
+namespace haan::core {
+
+/// Per-sequence predictor state. begin_sequence() clears anchors; the caller
+/// records the anchor-layer ISD per position and queries predictions for
+/// skipped layers.
+class IsdPredictor {
+ public:
+  /// `fp16_arithmetic` emulates the scalar FP16 prediction unit.
+  explicit IsdPredictor(SkipPlan plan, bool fp16_arithmetic = false);
+
+  const SkipPlan& plan() const { return plan_; }
+
+  /// Clears all anchors (call at sequence start).
+  void begin_sequence();
+
+  /// True if the ISD of `layer` should be predicted, not computed.
+  bool should_skip(std::size_t layer) const { return plan_.skips(layer); }
+
+  /// True if `layer` is the anchor whose computed ISD must be recorded.
+  bool is_anchor(std::size_t layer) const {
+    return plan_.enabled && layer == plan_.start;
+  }
+
+  /// Records the computed ISD of the anchor layer for `position`.
+  void record_anchor(std::size_t position, double isd);
+
+  /// Predicted ISD for a skipped layer at `position`. Falls back to the mean
+  /// anchor seen this sequence if the position has no anchor (should not
+  /// happen in normal execution); aborts if no anchor at all was recorded.
+  double predict(std::size_t layer, std::size_t position) const;
+
+  /// Number of anchors currently recorded.
+  std::size_t anchor_count() const;
+
+ private:
+  double extrapolate(double anchor_log_isd, std::size_t layer) const;
+
+  SkipPlan plan_;
+  bool fp16_;
+  std::vector<std::optional<double>> anchor_log_isd_;  // indexed by position
+};
+
+}  // namespace haan::core

@@ -1,0 +1,115 @@
+#include "core/skip_planner.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace haan::core {
+
+std::string SkipPlan::to_string() const {
+  if (!enabled) return "SkipPlan{disabled}";
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "SkipPlan{(%zu, %zu), e=%.5f, pearson=%.4f, skips %zu ISD}", start,
+                end, decay, pearson, skipped_count());
+  return buffer;
+}
+
+double cal_decay(std::span<const double> window_log_isd) {
+  HAAN_EXPECTS(window_log_isd.size() >= 2);
+  return common::fit_line_vs_index(window_log_isd).slope;
+}
+
+namespace {
+
+/// Mean |log prediction error| of eq. (3) over the trace's observations for
+/// window (i, j) with slope `decay`, anchored per observation at layer i.
+double mean_prediction_error(const IsdTrace& trace, std::size_t i, std::size_t j,
+                             double decay) {
+  double err_sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t obs = 0; obs < trace.observation_count(); ++obs) {
+    const double anchor = trace.log_isd(obs, i);
+    if (std::isnan(anchor)) continue;
+    for (std::size_t k = i + 1; k <= j; ++k) {
+      const double actual = trace.log_isd(obs, k);
+      if (std::isnan(actual)) continue;
+      const double predicted = anchor + decay * static_cast<double>(k - i);
+      err_sum += std::abs(predicted - actual);
+      ++count;
+    }
+  }
+  return count == 0 ? std::numeric_limits<double>::infinity()
+                    : err_sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+SkipPlan plan_skip(const IsdTrace& trace, const SkipPlannerOptions& options) {
+  const std::vector<double> series = trace.mean_log_isd();
+  const std::size_t n_layers = series.size();
+  HAAN_EXPECTS(options.min_gap >= 2);
+  HAAN_EXPECTS(n_layers > options.min_gap);
+
+  SkipPlan best;           // validated winner
+  SkipPlan best_anycase;   // raw Algorithm 1 winner (fallback)
+  best.pearson = 1.0;      // Algorithm 1: minCor <- 1
+  best_anycase.pearson = 1.0;
+  const std::size_t max_gap =
+      options.max_gap == 0 ? n_layers - 1 : options.max_gap;
+
+  for (std::size_t i = 0; i + options.min_gap < n_layers; ++i) {
+    for (std::size_t j = i + options.min_gap; j < n_layers && j - i <= max_gap; ++j) {
+      const std::span<const double> window(series.data() + i, j - i + 1);
+      const double corr = common::pearson_vs_index(window);
+      const bool improves_anycase = corr < best_anycase.pearson;
+      const bool improves_validated = corr < best.pearson;
+      if (!improves_anycase && !improves_validated) continue;
+      const common::LineFit fit = common::fit_line_vs_index(window);
+      if (fit.r_squared < options.min_r_squared) continue;
+      if (improves_anycase) {
+        best_anycase.pearson = corr;
+        best_anycase.start = i;
+        best_anycase.end = j;
+        best_anycase.decay = fit.slope;
+        best_anycase.enabled = true;
+      }
+      if (improves_validated &&
+          mean_prediction_error(trace, i, j, fit.slope) <=
+              options.max_prediction_error) {
+        best.pearson = corr;
+        best.start = i;
+        best.end = j;
+        best.decay = fit.slope;  // calDecay on the winning window
+        best.enabled = true;
+      }
+    }
+  }
+  if (!best.enabled) {
+    HAAN_LOG_WARN << "skip planner: no window passed prediction-error "
+                     "validation; falling back to the raw Algorithm 1 winner";
+    best = best_anycase;
+  }
+  HAAN_ENSURES(best.enabled);  // some window always wins with min_r_squared=0
+  return best;
+}
+
+SkipPlan fixed_range_plan(const IsdTrace& trace, std::size_t start, std::size_t end) {
+  HAAN_EXPECTS(end > start);
+  const std::vector<double> series = trace.mean_log_isd();
+  HAAN_EXPECTS(end < series.size());
+  SkipPlan plan;
+  plan.start = start;
+  plan.end = end;
+  const std::span<const double> window(series.data() + start, end - start + 1);
+  plan.decay = cal_decay(window);
+  plan.pearson = common::pearson_vs_index(window);
+  plan.enabled = true;
+  return plan;
+}
+
+}  // namespace haan::core

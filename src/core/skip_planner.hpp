@@ -1,0 +1,66 @@
+// Algorithm 1 from the paper: find the layer window whose log-ISD series is
+// most negatively linear (smallest Pearson correlation vs. layer index) and
+// fit the per-layer decay slope `e` used by the runtime predictor.
+#pragma once
+
+#include <string>
+
+#include "core/isd.hpp"
+
+namespace haan::core {
+
+/// The output of Algorithm 1. Layers k with start < k <= end have their ISD
+/// computation skipped at runtime; layer `start` is the anchor whose ISD is
+/// still computed and extrapolated from (paper eq. 3).
+struct SkipPlan {
+  std::size_t start = 0;       ///< i_f: anchor layer (ISD computed)
+  std::size_t end = 0;         ///< j_f: last skipped layer (inclusive)
+  double decay = 0.0;          ///< e: per-layer log-ISD slope from calDecay
+  double pearson = 1.0;        ///< the winning (most negative) correlation
+  bool enabled = false;        ///< false = no skipping (plan disabled)
+
+  /// True if `layer` is one whose ISD is predicted rather than computed.
+  bool skips(std::size_t layer) const {
+    return enabled && layer > start && layer <= end;
+  }
+
+  /// Number of skipped ISD computations.
+  std::size_t skipped_count() const { return enabled ? end - start : 0; }
+
+  std::string to_string() const;
+};
+
+/// Planner knobs. `min_gap` is the paper's M: candidate windows (i, j) must
+/// satisfy j - i >= M. `max_gap` bounds the window so the linear model stays
+/// local (0 = unbounded, the paper's formulation).
+struct SkipPlannerOptions {
+  std::size_t min_gap = 8;
+  std::size_t max_gap = 0;
+  /// Windows whose mean log-ISD fit has r^2 below this are rejected even if
+  /// their Pearson is the most negative (guards degenerate flat windows).
+  double min_r_squared = 0.0;
+  /// Prediction-error validation (the paper validates candidate ranges
+  /// against accuracy, Table II; this is the calibration-set equivalent):
+  /// a window qualifies only if the mean |log ISD prediction error| of
+  /// eq. (3), anchored per observation, stays below this bound. Smoothly
+  /// *curved* monotone regions have Pearson ~ -1 but fail this check, which
+  /// is what pushes the plan into the genuinely linear deep-layer tail.
+  /// Set to infinity for the raw Algorithm 1 objective.
+  double max_prediction_error = 0.05;
+};
+
+/// Algorithm 1: scans all (i, j) windows over the trace's mean log-ISD series,
+/// returns the plan with the most negative Pearson correlation and the
+/// calDecay slope fitted on the same window. Aborts if the trace has fewer
+/// than min_gap + 1 layers.
+SkipPlan plan_skip(const IsdTrace& trace, const SkipPlannerOptions& options = {});
+
+/// calDecay (paper Algorithm 1, line 10): least-squares slope of the window's
+/// mean log-ISD against the layer offset.
+double cal_decay(std::span<const double> window_log_isd);
+
+/// Convenience: builds a fixed plan (paper Table II sweeps hand-picked
+/// ranges); decay is fitted from the trace over that window.
+SkipPlan fixed_range_plan(const IsdTrace& trace, std::size_t start, std::size_t end);
+
+}  // namespace haan::core

@@ -1,0 +1,44 @@
+#include "core/subsample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/isd.hpp"
+
+namespace haan::core {
+
+SubsampledStats subsampled_stats(std::span<const float> z, std::size_t nsub,
+                                 model::NormKind kind, double eps) {
+  HAAN_EXPECTS(!z.empty());
+  const std::size_t n = (nsub == 0) ? z.size() : std::min(nsub, z.size());
+  SubsampledStats stats;
+  stats.used = n;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += z[i];
+    sum_sq += static_cast<double>(z[i]) * z[i];
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  stats.mean = sum * inv_n;
+
+  const double second_moment = kind == model::NormKind::kLayerNorm
+                                   ? sum_sq * inv_n - stats.mean * stats.mean
+                                   : sum_sq * inv_n;
+  // The E[x^2] - E[x]^2 form can go fractionally negative in floating point;
+  // clamp like the hardware subtractor does.
+  stats.second_moment = std::max(second_moment, 0.0);
+  stats.isd = 1.0 / std::sqrt(stats.second_moment + eps);
+  return stats;
+}
+
+double subsample_isd_rel_error(std::span<const float> z, std::size_t nsub,
+                               model::NormKind kind, double eps) {
+  const double exact = exact_isd(z, kind, eps);
+  const double est = subsampled_stats(z, nsub, kind, eps).isd;
+  return std::abs(est - exact) / exact;
+}
+
+}  // namespace haan::core

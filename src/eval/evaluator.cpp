@@ -1,0 +1,92 @@
+#include "eval/evaluator.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::eval {
+
+AccuracyResult evaluate_accuracy(model::Transformer& model,
+                                 model::NormProvider& norm,
+                                 const TaskDataset& dataset) {
+  AccuracyResult result;
+  result.n_examples = dataset.examples().size();
+  HAAN_EXPECTS(result.n_examples > 0);
+
+  for (std::size_t e = 0; e < result.n_examples; ++e) {
+    const Example& example = dataset.examples()[e];
+    std::vector<float> feature = model.pooled_features(example.tokens, norm);
+    tensor::l2_normalize(feature);
+    const std::size_t pick = score_example(example, feature);
+    if (pick == example.gold) ++result.correct;
+    const std::size_t baseline_pick =
+        score_example(example, dataset.generator_features()[e]);
+    if (pick != baseline_pick) ++result.flips_vs_baseline;
+  }
+  result.accuracy =
+      static_cast<double>(result.correct) / static_cast<double>(result.n_examples);
+  return result;
+}
+
+AccuracyResult evaluate_accuracy_parallel(const model::Transformer& model,
+                                          const NormProviderFactory& factory,
+                                          const TaskDataset& dataset,
+                                          std::size_t n_threads) {
+  const std::size_t n = dataset.examples().size();
+  HAAN_EXPECTS(n > 0);
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  n_threads = std::min(n_threads, n);
+
+  std::atomic<std::size_t> correct{0};
+  std::atomic<std::size_t> flips{0};
+  std::atomic<std::size_t> next{0};
+
+  const auto worker = [&]() {
+    const std::unique_ptr<model::NormProvider> provider = factory();
+    while (true) {
+      const std::size_t e = next.fetch_add(1);
+      if (e >= n) break;
+      const Example& example = dataset.examples()[e];
+      std::vector<float> feature = model.pooled_features(example.tokens, *provider);
+      tensor::l2_normalize(feature);
+      const std::size_t pick = score_example(example, feature);
+      if (pick == example.gold) correct.fetch_add(1);
+      if (pick != score_example(example, dataset.generator_features()[e])) {
+        flips.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+
+  AccuracyResult result;
+  result.n_examples = n;
+  result.correct = correct.load();
+  result.flips_vs_baseline = flips.load();
+  result.accuracy = static_cast<double>(result.correct) / static_cast<double>(n);
+  return result;
+}
+
+AccuracyResult evaluate_baseline(const TaskDataset& dataset) {
+  AccuracyResult result;
+  result.n_examples = dataset.examples().size();
+  HAAN_EXPECTS(result.n_examples > 0);
+  for (std::size_t e = 0; e < result.n_examples; ++e) {
+    const Example& example = dataset.examples()[e];
+    if (score_example(example, dataset.generator_features()[e]) == example.gold) {
+      ++result.correct;
+    }
+  }
+  result.accuracy =
+      static_cast<double>(result.correct) / static_cast<double>(result.n_examples);
+  return result;
+}
+
+}  // namespace haan::eval

@@ -1,0 +1,48 @@
+// Accuracy evaluation of a (model, normalization-provider) pair on a
+// calibrated task dataset: the Table I / Table II measurement loop.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "eval/tasks.hpp"
+#include "model/norm_provider.hpp"
+#include "model/transformer.hpp"
+
+namespace haan::eval {
+
+/// Result of one evaluation run.
+struct AccuracyResult {
+  double accuracy = 0.0;
+  std::size_t n_examples = 0;
+  std::size_t correct = 0;
+  /// Examples whose prediction differs from the stored generator (exact)
+  /// prediction — measures decision churn caused by approximate
+  /// normalization, independent of whether the flip helped or hurt.
+  std::size_t flips_vs_baseline = 0;
+};
+
+/// Factory producing a fresh NormProvider per worker thread (providers are
+/// stateful: the ISD predictor tracks per-sequence anchors).
+using NormProviderFactory = std::function<std::unique_ptr<model::NormProvider>()>;
+
+/// Runs `model` with `norm` over every example of `dataset` and scores
+/// choices by cosine similarity. Single-threaded.
+AccuracyResult evaluate_accuracy(model::Transformer& model,
+                                 model::NormProvider& norm,
+                                 const TaskDataset& dataset);
+
+/// Parallel evaluation: examples are sharded over `n_threads` workers, each
+/// with its own provider from `factory`. Results are identical to the serial
+/// path (forward passes are pure given tokens + provider). n_threads = 0
+/// uses the hardware concurrency.
+AccuracyResult evaluate_accuracy_parallel(const model::Transformer& model,
+                                          const NormProviderFactory& factory,
+                                          const TaskDataset& dataset,
+                                          std::size_t n_threads = 0);
+
+/// The "Original" row: scores with the stored exact-model features (no
+/// forward passes).
+AccuracyResult evaluate_baseline(const TaskDataset& dataset);
+
+}  // namespace haan::eval

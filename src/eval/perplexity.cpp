@@ -1,0 +1,69 @@
+#include "eval/perplexity.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace haan::eval {
+
+namespace {
+
+/// Standardizes logits to zero mean / unit variance before softmax. Synthetic
+/// (untrained) readouts produce logits with arbitrary scale; a trained LM head
+/// is temperature-calibrated, so KL must be measured at a comparable
+/// temperature or it degenerates into a norm comparison.
+std::vector<double> standardized_softmax(std::span<const float> logits) {
+  HAAN_EXPECTS(!logits.empty());
+  double mean = 0.0;
+  for (const float v : logits) mean += v;
+  mean /= static_cast<double>(logits.size());
+  double var = 0.0;
+  for (const float v : logits) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(logits.size());
+  const double inv_std = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+
+  double max_z = -1e300;
+  std::vector<double> z(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    z[i] = (logits[i] - mean) * inv_std;
+    max_z = std::max(max_z, z[i]);
+  }
+  std::vector<double> probs(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(z[i] - max_z);
+    sum += probs[i];
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+}  // namespace
+
+double softmax_kl(std::span<const float> teacher_logits,
+                  std::span<const float> variant_logits) {
+  HAAN_EXPECTS(teacher_logits.size() == variant_logits.size());
+  const std::vector<double> p = standardized_softmax(teacher_logits);
+  const std::vector<double> q = standardized_softmax(variant_logits);
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    kl += p[i] * std::log(p[i] / std::max(q[i], 1e-300));
+  }
+  return std::max(kl, 0.0);
+}
+
+double pseudo_ppl_ratio(model::Transformer& model, model::NormProvider& variant,
+                        std::span<const std::vector<int>> corpus) {
+  HAAN_EXPECTS(!corpus.empty());
+  model::ExactNormProvider exact;
+  double kl_sum = 0.0;
+  for (const auto& tokens : corpus) {
+    const std::vector<float> teacher = model.last_logits(tokens, exact);
+    const std::vector<float> approx = model.last_logits(tokens, variant);
+    kl_sum += softmax_kl(teacher, approx);
+  }
+  return std::exp(kl_sum / static_cast<double>(corpus.size()));
+}
+
+}  // namespace haan::eval

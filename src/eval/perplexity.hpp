@@ -1,0 +1,25 @@
+// Pseudo-perplexity: the paper selects Nsub so the perplexity impact is
+// negligible (§III-C). Without trained weights absolute perplexity is
+// meaningless, so we measure the *ratio* of the variant's perplexity to the
+// exact model's on the same sequences: exp(mean KL(teacher || variant)) over
+// last-position next-token distributions. 1.0 = no degradation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/norm_provider.hpp"
+#include "model/transformer.hpp"
+
+namespace haan::eval {
+
+/// KL(p || q) over softmax distributions of two logit vectors (natural log).
+double softmax_kl(std::span<const float> teacher_logits,
+                  std::span<const float> variant_logits);
+
+/// exp(mean KL(exact || variant)) over the corpus — the factor by which the
+/// variant's perplexity exceeds the exact model's.
+double pseudo_ppl_ratio(model::Transformer& model, model::NormProvider& variant,
+                        std::span<const std::vector<int>> corpus);
+
+}  // namespace haan::eval

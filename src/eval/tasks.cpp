@@ -1,0 +1,218 @@
+#include "eval/tasks.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::eval {
+
+namespace {
+
+TaskSpec make_spec(const char* name, const char* short_name, std::size_t choices,
+                   double target, std::uint64_t seed) {
+  TaskSpec spec;
+  spec.name = name;
+  spec.short_name = short_name;
+  spec.n_choices = choices;
+  spec.target_accuracy = target;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<TaskSpec> task_suite_for(const std::string& model_name) {
+  // Paper Table I, "Original" rows.
+  if (model_name == "OPT-2.7B") {
+    return {make_spec("WinoGrande", "WG", 2, 0.6093, 0xA1),
+            make_spec("PIQA", "PQ", 2, 0.7367, 0xA2),
+            make_spec("HellaSwag", "HS", 4, 0.4581, 0xA3),
+            make_spec("Arc-Easy", "A-e", 4, 0.6073, 0xA4),
+            make_spec("Arc-Challenge", "A-c", 4, 0.2696, 0xA5)};
+  }
+  if (model_name == "GPT2-1.5B") {
+    return {make_spec("WinoGrande", "WG", 2, 0.5833, 0xB1),
+            make_spec("PIQA", "PQ", 2, 0.7084, 0xB2),
+            make_spec("HellaSwag", "HS", 4, 0.4004, 0xB3),
+            make_spec("Arc-Easy", "A-e", 4, 0.5829, 0xB4),
+            make_spec("Arc-Challenge", "A-c", 4, 0.2500, 0xB5)};
+  }
+  // LLaMA-7B (default).
+  return {make_spec("WinoGrande", "WG", 2, 0.7017, 0xC1),
+          make_spec("PIQA", "PQ", 2, 0.7867, 0xC2),
+          make_spec("HellaSwag", "HS", 4, 0.5694, 0xC3),
+          make_spec("Arc-Easy", "A-e", 4, 0.7517, 0xC4),
+          make_spec("Arc-Challenge", "A-c", 4, 0.4198, 0xC5)};
+}
+
+namespace {
+
+/// Unit Gaussian direction orthogonal to `unit` (projection removed).
+std::vector<float> orthogonal_noise(std::span<const float> unit, common::Rng& rng) {
+  std::vector<float> noise(unit.size());
+  rng.fill_gaussian(noise, 0.0, 1.0);
+  const double along = tensor::dot(noise, unit);
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    noise[i] -= static_cast<float>(along * unit[i]);
+  }
+  tensor::l2_normalize(noise);
+  return noise;
+}
+
+/// Builds a unit choice embedding a * u_hat + n_hat, normalized.
+std::vector<float> choice_embedding(std::span<const float> unit_feature,
+                                    double alignment, common::Rng& rng) {
+  std::vector<float> emb = orthogonal_noise(unit_feature, rng);
+  for (std::size_t i = 0; i < emb.size(); ++i) {
+    emb[i] += static_cast<float>(alignment * unit_feature[i]);
+  }
+  tensor::l2_normalize(emb);
+  return emb;
+}
+
+}  // namespace
+
+TaskDataset TaskDataset::generate(const model::Transformer& generator,
+                                  const TaskSpec& spec, std::size_t n_examples,
+                                  std::size_t n_threads) {
+  HAAN_EXPECTS(n_examples > 0);
+  HAAN_EXPECTS(spec.n_choices >= 2);
+  TaskDataset dataset;
+  dataset.spec_ = spec;
+
+  // Per-example deterministic RNG stream: results are independent of thread
+  // scheduling and of n_examples ordering.
+  const std::uint64_t base_seed = spec.seed ^ generator.config().seed;
+  const auto example_rng = [&](std::size_t e, std::uint64_t salt) {
+    return common::Rng(base_seed ^ (0x9E3779B97F4A7C15ULL * (e + 1)) ^ salt);
+  };
+
+  // 1) Draw alignment z-scores for every (example, choice) up front so the
+  //    difficulty calibration and the final embeddings share the same draws.
+  struct Draws {
+    double gold_z;
+    std::vector<double> distractor_z;
+  };
+  std::vector<Draws> draws(n_examples);
+  for (std::size_t e = 0; e < n_examples; ++e) {
+    auto rng = example_rng(e, 0xD1);
+    auto& d = draws[e];
+    d.gold_z = rng.gaussian();
+    d.distractor_z.resize(spec.n_choices - 1);
+    for (auto& z : d.distractor_z) z = rng.gaussian();
+  }
+
+  // 2) Calibrate the distractor alignment mean by bisection: the exact model
+  //    picks gold iff a_g > max a_i; both sides share the spread s, so wins
+  //    are a monotone function of the distractor mean m.
+  const double s = spec.alignment_spread;
+  const auto accuracy_at = [&](double m) {
+    std::size_t wins = 0;
+    for (const auto& d : draws) {
+      const double gold = 1.0 + s * d.gold_z;
+      double best = -1e30;
+      for (const double z : d.distractor_z) best = std::max(best, m + s * z);
+      if (gold > best) ++wins;
+    }
+    return static_cast<double>(wins) / static_cast<double>(n_examples);
+  };
+  // accuracy_at is decreasing in m; the bracket must reach negative
+  // alignments so high-accuracy 4-choice targets are attainable.
+  double lo = -4.0, hi = 3.0;
+  for (int iter = 0; iter < 48; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (accuracy_at(mid) > spec.target_accuracy) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  dataset.difficulty_ = 0.5 * (lo + hi);
+
+  // 3) Generate contexts serially (cheap, RNG-driven), compute generator
+  //    features in parallel (expensive forwards), build embeddings serially.
+  dataset.examples_.resize(n_examples);
+  dataset.features_.resize(n_examples);
+  for (std::size_t e = 0; e < n_examples; ++e) {
+    auto rng = example_rng(e, 0xD2);
+    auto& example = dataset.examples_[e];
+    example.tokens.resize(spec.context_len);
+    for (auto& token : example.tokens) {
+      // Task text is Zipf-skewed, unlike the uniform calibration corpus
+      // (the paper calibrates on Wikitext and evaluates on lm-eval tasks).
+      // The distribution shift is what makes early-layer ISD fits transfer
+      // poorly to downstream tasks (paper Table II's early skip ranges)
+      // while deep-layer fits remain valid.
+      const double u = rng.uniform();
+      token = static_cast<int>(
+          static_cast<double>(generator.config().vocab_size) * u * u);
+    }
+    example.gold = static_cast<std::size_t>(rng.uniform_index(spec.n_choices));
+  }
+
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  n_threads = std::min(n_threads, n_examples);
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    model::ExactNormProvider exact;
+    while (true) {
+      const std::size_t e = next.fetch_add(1);
+      if (e >= n_examples) break;
+      std::vector<float> feature =
+          generator.pooled_features(dataset.examples_[e].tokens, exact);
+      tensor::l2_normalize(feature);
+      dataset.features_[e] = std::move(feature);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+
+  for (std::size_t e = 0; e < n_examples; ++e) {
+    auto rng = example_rng(e, 0xD3);
+    auto& example = dataset.examples_[e];
+    const auto& d = draws[e];
+    std::size_t distractor = 0;
+    for (std::size_t c = 0; c < spec.n_choices; ++c) {
+      const double alignment =
+          (c == example.gold)
+              ? 1.0 + s * d.gold_z
+              : dataset.difficulty_ + s * d.distractor_z[distractor++];
+      example.choice_embeddings.push_back(
+          choice_embedding(dataset.features_[e], alignment, rng));
+    }
+  }
+  return dataset;
+}
+
+std::size_t score_example(const Example& example, std::span<const float> unit_feature) {
+  HAAN_EXPECTS(!example.choice_embeddings.empty());
+  std::size_t best = 0;
+  double best_score = -1e30;
+  for (std::size_t c = 0; c < example.choice_embeddings.size(); ++c) {
+    const double score = tensor::dot(example.choice_embeddings[c], unit_feature);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double TaskDataset::baseline_accuracy() const {
+  std::size_t correct = 0;
+  for (std::size_t e = 0; e < examples_.size(); ++e) {
+    if (score_example(examples_[e], features_[e]) == examples_[e].gold) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(examples_.size());
+}
+
+}  // namespace haan::eval

@@ -1,0 +1,50 @@
+#include "model/attention.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::model {
+
+tensor::Tensor multi_head_attention(const tensor::Tensor& x, const BlockWeights& block,
+                                    std::size_t n_heads) {
+  HAAN_EXPECTS(x.shape().rank() == 2);
+  const std::size_t seq_len = x.shape().dim(0);
+  const std::size_t d_model = x.shape().dim(1);
+  HAAN_EXPECTS(d_model % n_heads == 0);
+  const std::size_t d_head = d_model / n_heads;
+
+  const tensor::Tensor q = tensor::linear(x, block.wq, {});
+  const tensor::Tensor k = tensor::linear(x, block.wk, {});
+  const tensor::Tensor v = tensor::linear(x, block.wv, {});
+
+  tensor::Tensor context(tensor::Shape{seq_len, d_model});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+
+  for (std::size_t h = 0; h < n_heads; ++h) {
+    const std::size_t off = h * d_head;
+    // scores = Q_h K_h^T, causal-masked softmax, then scores V_h.
+    tensor::Tensor scores(tensor::Shape{seq_len, seq_len});
+    for (std::size_t i = 0; i < seq_len; ++i) {
+      const auto qi = q.row(i).subspan(off, d_head);
+      for (std::size_t j = 0; j <= i; ++j) {
+        const auto kj = k.row(j).subspan(off, d_head);
+        scores.at(i, j) = scale * static_cast<float>(tensor::dot(qi, kj));
+      }
+    }
+    tensor::causal_softmax(scores);
+    for (std::size_t i = 0; i < seq_len; ++i) {
+      const auto out_row = context.row(i).subspan(off, d_head);
+      for (std::size_t j = 0; j <= i; ++j) {
+        const float p = scores.at(i, j);
+        if (p == 0.0f) continue;
+        const auto vj = v.row(j).subspan(off, d_head);
+        for (std::size_t c = 0; c < d_head; ++c) out_row[c] += p * vj[c];
+      }
+    }
+  }
+  return tensor::linear(context, block.wo, {});
+}
+
+}  // namespace haan::model

@@ -1,0 +1,14 @@
+// Multi-head causal self-attention forward pass for a single sequence.
+#pragma once
+
+#include "model/weights.hpp"
+#include "tensor/tensor.hpp"
+
+namespace haan::model {
+
+/// Computes causal MHA over `x` (L x d_model) with the block's projections.
+/// Returns the attended output after the output projection (L x d_model).
+tensor::Tensor multi_head_attention(const tensor::Tensor& x, const BlockWeights& block,
+                                    std::size_t n_heads);
+
+}  // namespace haan::model

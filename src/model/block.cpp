@@ -1,0 +1,72 @@
+#include "model/block.hpp"
+
+#include "common/assert.hpp"
+#include "model/attention.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::model {
+
+tensor::Tensor apply_norm_layer(const tensor::Tensor& x, std::size_t layer_index,
+                                NormKind kind, std::span<const float> alpha,
+                                std::span<const float> beta, NormProvider& norm,
+                                const NormInputObserver& observer) {
+  HAAN_EXPECTS(x.shape().rank() == 2);
+  tensor::Tensor out(x.shape());
+  const std::size_t rows = x.shape().dim(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto z = x.row(r);
+    if (observer) observer(layer_index, r, z);
+    norm.normalize(layer_index, r, kind, z, alpha, beta, out.row(r));
+  }
+  return out;
+}
+
+namespace {
+
+tensor::Tensor run_mlp(const tensor::Tensor& x, const BlockWeights& block,
+                       const ModelConfig& config) {
+  tensor::Tensor up = tensor::linear(x, block.w_up, {});
+  if (config.gated_mlp) {
+    tensor::Tensor gate = tensor::linear(x, block.w_gate, {});
+    tensor::silu_inplace(gate);
+    up = tensor::hadamard(up, gate);
+  } else {
+    tensor::gelu_inplace(up);
+  }
+  return tensor::linear(up, block.w_down, {});
+}
+
+}  // namespace
+
+void run_block(tensor::Tensor& h, const BlockWeights& block,
+               const ModelConfig& config, std::size_t block_index,
+               NormProvider& norm, const NormInputObserver& observer) {
+  const std::size_t norm1 = 2 * block_index;
+  const std::size_t norm2 = 2 * block_index + 1;
+
+  if (config.placement == NormPlacement::kPreNorm) {
+    tensor::Tensor normed = apply_norm_layer(h, norm1, config.norm_kind,
+                                             block.norm1_alpha, block.norm1_beta,
+                                             norm, observer);
+    tensor::Tensor attn = multi_head_attention(normed, block, config.n_heads);
+    tensor::add_inplace(h, attn);
+
+    normed = apply_norm_layer(h, norm2, config.norm_kind, block.norm2_alpha,
+                              block.norm2_beta, norm, observer);
+    tensor::Tensor mlp = run_mlp(normed, block, config);
+    tensor::add_inplace(h, mlp);
+  } else {
+    // Post-norm: residual add first, then normalize the sum.
+    tensor::Tensor attn = multi_head_attention(h, block, config.n_heads);
+    tensor::add_inplace(attn, h);
+    h = apply_norm_layer(attn, norm1, config.norm_kind, block.norm1_alpha,
+                         block.norm1_beta, norm, observer);
+
+    tensor::Tensor mlp = run_mlp(h, block, config);
+    tensor::add_inplace(mlp, h);
+    h = apply_norm_layer(mlp, norm2, config.norm_kind, block.norm2_alpha,
+                         block.norm2_beta, norm, observer);
+  }
+}
+
+}  // namespace haan::model

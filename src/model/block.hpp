@@ -1,0 +1,33 @@
+// One transformer block: norm -> attention -> residual add, then
+// norm -> MLP -> residual add (pre-norm), or the post-norm ordering.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "model/norm_provider.hpp"
+#include "model/weights.hpp"
+#include "tensor/tensor.hpp"
+
+namespace haan::model {
+
+/// Observer invoked with every normalization-layer *input* vector:
+/// (global norm-layer index, token position, the vector). Used to collect the
+/// ISD traces of §III-A without perturbing execution.
+using NormInputObserver =
+    std::function<void(std::size_t layer, std::size_t position, std::span<const float> z)>;
+
+/// Applies `norm` row-wise over `x` for global norm layer `layer_index`,
+/// notifying `observer` (if set) with each input row.
+tensor::Tensor apply_norm_layer(const tensor::Tensor& x, std::size_t layer_index,
+                                NormKind kind, std::span<const float> alpha,
+                                std::span<const float> beta, NormProvider& norm,
+                                const NormInputObserver& observer);
+
+/// Runs block `block_index` over hidden states `h` (L x d_model) in place.
+/// Norm layers get global indices 2*block_index and 2*block_index + 1.
+void run_block(tensor::Tensor& h, const BlockWeights& block,
+               const ModelConfig& config, std::size_t block_index,
+               NormProvider& norm, const NormInputObserver& observer);
+
+}  // namespace haan::model

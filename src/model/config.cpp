@@ -1,0 +1,88 @@
+#include "model/config.hpp"
+
+namespace haan::model {
+
+namespace {
+
+ModelConfig base_surrogate(std::string name, std::size_t blocks, std::size_t width,
+                           NormKind kind, bool final_norm, bool gated,
+                           std::uint64_t seed) {
+  ModelConfig config;
+  config.name = std::move(name);
+  config.n_blocks = blocks;
+  config.d_model = width;
+  config.n_heads = width >= 64 ? 4 : 2;
+  config.d_ff = gated ? width * 8 / 3 : width * 4;
+  config.vocab_size = 512;
+  config.max_seq_len = 512;
+  config.norm_kind = kind;
+  config.placement = NormPlacement::kPreNorm;
+  config.final_norm = final_norm;
+  config.gated_mlp = gated;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+ModelConfig llama7b_surrogate(std::size_t width) {
+  // 32 blocks x 2 RMSNorm = 64 profiled norm layers (paper Fig 2).
+  auto config = base_surrogate("LLaMA-7B", 32, width, NormKind::kRMSNorm,
+                               /*final_norm=*/false, /*gated=*/true, 0x11A11A);
+  // Gain tapers over the first 20 blocks: steep curved ISD decay until norm
+  // layer ~40, then the log-linear tail the paper's Fig 2 shows at 41-61.
+  config.residual_gain = 0.075;
+  config.early_gain = 0.5;
+  config.early_blocks = 12;
+  return config;
+}
+
+ModelConfig opt2p7b_surrogate(std::size_t width) {
+  // 32 blocks x 2 LayerNorm + final = 65 norm layers ("7 out of 65", §V-B).
+  auto config = base_surrogate("OPT-2.7B", 32, width, NormKind::kLayerNorm,
+                               /*final_norm=*/true, /*gated=*/false, 0x0B72B7);
+  config.residual_gain = 0.09;
+  config.early_gain = 0.45;
+  config.early_blocks = 12;
+  return config;
+}
+
+ModelConfig gpt2_1p5b_surrogate(std::size_t width) {
+  // 48 blocks x 2 LayerNorm + final = 97 norm layers (skip range (85, 92)).
+  auto config = base_surrogate("GPT2-1.5B", 48, width, NormKind::kLayerNorm,
+                               /*final_norm=*/true, /*gated=*/false, 0x69F215);
+  config.residual_gain = 0.06;
+  config.early_gain = 0.4;
+  config.early_blocks = 16;
+  return config;
+}
+
+ModelConfig gpt2_355m_surrogate(std::size_t width) {
+  auto config = base_surrogate("GPT2-355M", 24, width, NormKind::kLayerNorm,
+                               /*final_norm=*/true, /*gated=*/false, 0x355355);
+  config.residual_gain = 0.08;
+  return config;
+}
+
+ModelConfig gpt2_117m_surrogate(std::size_t width) {
+  auto config = base_surrogate("GPT2-117M", 12, width, NormKind::kLayerNorm,
+                               /*final_norm=*/true, /*gated=*/false, 0x117117);
+  config.residual_gain = 0.1;
+  return config;
+}
+
+ModelConfig tiny_test_model() {
+  auto config = base_surrogate("tiny-test", 4, 32, NormKind::kLayerNorm,
+                               /*final_norm=*/true, /*gated=*/false, 0x7E57);
+  config.vocab_size = 64;
+  config.max_seq_len = 64;
+  return config;
+}
+
+RealDims real_dims_llama7b() { return {32, 4096, 32, 11008, 64}; }
+RealDims real_dims_opt2p7b() { return {32, 2560, 32, 10240, 65}; }
+RealDims real_dims_gpt2_1p5b() { return {48, 1600, 25, 6400, 97}; }
+RealDims real_dims_gpt2_355m() { return {24, 1024, 16, 4096, 49}; }
+RealDims real_dims_gpt2_117m() { return {12, 768, 12, 3072, 25}; }
+
+}  // namespace haan::model

@@ -1,0 +1,93 @@
+// Transformer model configurations. The experiment models are *width-scaled
+// surrogates* of the paper's LLMs: depth, normalization kind/placement and
+// residual topology match the original (these determine everything the HAAN
+// algorithm sees), while d_model/vocab are scaled down so a pure-C++ forward
+// pass is tractable. See DESIGN.md "Reproduction constraints".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace haan::model {
+
+/// Which normalization operation the model uses (paper §II-A).
+enum class NormKind { kLayerNorm, kRMSNorm };
+
+/// Where normalization sits relative to the residual branch.
+enum class NormPlacement { kPreNorm, kPostNorm };
+
+/// Full architecture description.
+struct ModelConfig {
+  std::string name;
+  std::size_t n_blocks = 12;
+  std::size_t d_model = 128;
+  std::size_t n_heads = 4;
+  std::size_t d_ff = 512;
+  std::size_t vocab_size = 512;
+  std::size_t max_seq_len = 256;
+  NormKind norm_kind = NormKind::kLayerNorm;
+  NormPlacement placement = NormPlacement::kPreNorm;
+  bool final_norm = true;   ///< trailing norm after the last block
+  bool gated_mlp = false;   ///< LLaMA-style SiLU-gated MLP (vs GELU 2-layer)
+  /// Target per-block relative residual growth: Var(block out) ≈ gain * Var(in).
+  /// Drives the emergent exponential residual-stream growth => log-linear ISD.
+  double residual_gain = 0.08;
+  /// Gain at block 0; the per-block gain tapers linearly from `early_gain`
+  /// down to `residual_gain` over the first `early_blocks` blocks. This
+  /// reproduces the paper's Fig 2 shape: steep curved ISD decay through the
+  /// early/middle network, then a log-linear tail (the skippable window).
+  double early_gain = 0.9;
+  std::size_t early_blocks = 4;
+
+  /// Per-block gain under the taper schedule.
+  double block_gain(std::size_t block) const {
+    if (block >= early_blocks || early_blocks == 0) return residual_gain;
+    const double t = static_cast<double>(block) / static_cast<double>(early_blocks);
+    return early_gain + (residual_gain - early_gain) * t;
+  }
+  std::uint64_t seed = 1;
+
+  /// Number of normalization layers in execution order:
+  /// 2 per block (+1 if final_norm).
+  std::size_t norm_layer_count() const {
+    return 2 * n_blocks + (final_norm ? 1 : 0);
+  }
+
+  /// Head dimension; d_model must divide evenly.
+  std::size_t d_head() const { return d_model / n_heads; }
+};
+
+/// Paper-model surrogates. `width` scales d_model (vocab and d_ff follow);
+/// depth and normalization structure always match the real architecture:
+///   LLaMA-7B   : 32 blocks, RMSNorm, pre-norm, no profiled final norm => 64
+///   OPT-2.7B   : 32 blocks, LayerNorm, pre-norm, final norm           => 65
+///   GPT2-1.5B  : 48 blocks, LayerNorm, pre-norm, final norm           => 97
+///   GPT2-355M  : 24 blocks, LayerNorm, pre-norm, final norm           => 49
+///   GPT2-117M  : 12 blocks, LayerNorm, pre-norm, final norm           => 25
+ModelConfig llama7b_surrogate(std::size_t width = 128);
+ModelConfig opt2p7b_surrogate(std::size_t width = 128);
+ModelConfig gpt2_1p5b_surrogate(std::size_t width = 96);
+ModelConfig gpt2_355m_surrogate(std::size_t width = 128);
+ModelConfig gpt2_117m_surrogate(std::size_t width = 128);
+
+/// Tiny config for unit tests (fast to run, still 2 norms/block).
+ModelConfig tiny_test_model();
+
+/// Real (unscaled) dimensions of the paper's models, used by the latency and
+/// hardware models where the true embedding width matters.
+struct RealDims {
+  std::size_t n_blocks;
+  std::size_t d_model;
+  std::size_t n_heads;
+  std::size_t d_ff;
+  std::size_t norm_layers;
+};
+
+/// True dimensions for latency/hardware modelling (not the surrogate widths).
+RealDims real_dims_llama7b();
+RealDims real_dims_opt2p7b();
+RealDims real_dims_gpt2_1p5b();
+RealDims real_dims_gpt2_355m();
+RealDims real_dims_gpt2_117m();
+
+}  // namespace haan::model

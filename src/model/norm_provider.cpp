@@ -1,0 +1,18 @@
+#include "model/norm_provider.hpp"
+
+#include "tensor/norm_ref.hpp"
+
+namespace haan::model {
+
+void ExactNormProvider::normalize(std::size_t /*layer_index*/, std::size_t /*position*/,
+                                  NormKind kind, std::span<const float> z,
+                                  std::span<const float> alpha,
+                                  std::span<const float> beta, std::span<float> out) {
+  if (kind == NormKind::kLayerNorm) {
+    tensor::layernorm(z, alpha, beta, out, eps_);
+  } else {
+    tensor::rmsnorm(z, alpha, beta, out, eps_);
+  }
+}
+
+}  // namespace haan::model

@@ -1,0 +1,50 @@
+// The normalization seam: the transformer calls a NormProvider for every
+// normalization layer, identified by its global execution-order index. The
+// exact provider lives here; the HAAN provider (skipping + subsampling +
+// quantization) lives in `haan::core` and plugs into the same interface.
+#pragma once
+
+#include <span>
+
+#include "model/config.hpp"
+
+namespace haan::model {
+
+/// Strategy interface for normalization layers.
+///
+/// `layer_index` is the global normalization-layer index in execution order:
+/// block b contributes indices 2b (attention norm) and 2b+1 (MLP norm); the
+/// final norm, when present, is index 2*n_blocks.
+class NormProvider {
+ public:
+  virtual ~NormProvider() = default;
+
+  /// Called once before each independent forward pass (token sequence). Lets
+  /// stateful providers (e.g. the ISD predictor, which anchors its
+  /// extrapolation on this sequence's early layers) reset per-sequence state.
+  virtual void begin_sequence() {}
+
+  /// Normalizes `z` into `out` (same length) with affine parameters
+  /// alpha/beta (may be empty for identity). `position` is the token index the
+  /// vector belongs to; the HAAN ISD predictor anchors per position.
+  virtual void normalize(std::size_t layer_index, std::size_t position, NormKind kind,
+                         std::span<const float> z, std::span<const float> alpha,
+                         std::span<const float> beta, std::span<float> out) = 0;
+};
+
+/// Exact FP32 normalization with double-precision internals (the "Original"
+/// rows of the paper's tables).
+class ExactNormProvider final : public NormProvider {
+ public:
+  /// `eps` matches the framework epsilon added to the variance.
+  explicit ExactNormProvider(double eps = 1e-5) : eps_(eps) {}
+
+  void normalize(std::size_t layer_index, std::size_t position, NormKind kind,
+                 std::span<const float> z, std::span<const float> alpha,
+                 std::span<const float> beta, std::span<float> out) override;
+
+ private:
+  double eps_;
+};
+
+}  // namespace haan::model

@@ -1,0 +1,63 @@
+#include "model/transformer.hpp"
+
+#include "common/assert.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::model {
+
+Transformer::Transformer(ModelConfig config)
+    : config_(std::move(config)), weights_(make_weights(config_)) {}
+
+void Transformer::set_norm_observer(NormInputObserver observer) {
+  observer_ = std::move(observer);
+}
+
+tensor::Tensor Transformer::forward_hidden(std::span<const int> tokens,
+                                           NormProvider& norm) const {
+  HAAN_EXPECTS(!tokens.empty());
+  HAAN_EXPECTS(tokens.size() <= config_.max_seq_len);
+  const std::size_t seq_len = tokens.size();
+  const std::size_t d = config_.d_model;
+
+  norm.begin_sequence();
+
+  tensor::Tensor h(tensor::Shape{seq_len, d});
+  for (std::size_t t = 0; t < seq_len; ++t) {
+    const int token = tokens[t];
+    HAAN_EXPECTS(token >= 0 &&
+                 static_cast<std::size_t>(token) < config_.vocab_size);
+    const auto emb = weights_.embedding.row(static_cast<std::size_t>(token));
+    const auto pos = weights_.pos_embedding.row(t);
+    const auto row = h.row(t);
+    for (std::size_t c = 0; c < d; ++c) row[c] = emb[c] + pos[c];
+  }
+
+  for (std::size_t b = 0; b < config_.n_blocks; ++b) {
+    run_block(h, weights_.blocks[b], config_, b, norm, observer_);
+  }
+
+  if (config_.final_norm) {
+    h = apply_norm_layer(h, 2 * config_.n_blocks, config_.norm_kind,
+                         weights_.final_alpha, weights_.final_beta, norm, observer_);
+  }
+  return h;
+}
+
+std::vector<float> Transformer::pooled_features(std::span<const int> tokens,
+                                                NormProvider& norm) const {
+  const tensor::Tensor h = forward_hidden(tokens, norm);
+  return tensor::mean_rows(h);
+}
+
+std::vector<float> Transformer::last_logits(std::span<const int> tokens,
+                                            NormProvider& norm) const {
+  const tensor::Tensor h = forward_hidden(tokens, norm);
+  const auto last = h.row(h.shape().dim(0) - 1);
+  std::vector<float> logits(config_.vocab_size);
+  for (std::size_t v = 0; v < config_.vocab_size; ++v) {
+    logits[v] = static_cast<float>(tensor::dot(last, weights_.embedding.row(v)));
+  }
+  return logits;
+}
+
+}  // namespace haan::model

@@ -1,0 +1,48 @@
+// Decoder-only transformer simulator. Owns synthetic weights; normalization is
+// delegated to a NormProvider so the same model runs with exact normalization
+// (baseline) or the HAAN normalizer, and an observer can record every
+// norm-layer input for the ISD study.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/block.hpp"
+#include "model/config.hpp"
+#include "model/norm_provider.hpp"
+#include "model/weights.hpp"
+#include "tensor/tensor.hpp"
+
+namespace haan::model {
+
+/// The simulator. Construction generates deterministic weights from the
+/// config seed; forward passes are pure given (tokens, provider).
+class Transformer {
+ public:
+  explicit Transformer(ModelConfig config);
+
+  const ModelConfig& config() const { return config_; }
+  const ModelWeights& weights() const { return weights_; }
+
+  /// Observer for norm-layer inputs; pass nullptr-equivalent {} to clear.
+  void set_norm_observer(NormInputObserver observer);
+
+  /// Full forward pass. Returns final hidden states (L x d_model), after the
+  /// final norm when the architecture has one. Calls norm.begin_sequence().
+  tensor::Tensor forward_hidden(std::span<const int> tokens, NormProvider& norm) const;
+
+  /// Mean-pooled final hidden state (length d_model) — the feature vector the
+  /// evaluation harness scores answer choices against.
+  std::vector<float> pooled_features(std::span<const int> tokens,
+                                     NormProvider& norm) const;
+
+  /// Next-token logits at the last position (length vocab); tied embeddings.
+  std::vector<float> last_logits(std::span<const int> tokens, NormProvider& norm) const;
+
+ private:
+  ModelConfig config_;
+  ModelWeights weights_;
+  NormInputObserver observer_;
+};
+
+}  // namespace haan::model

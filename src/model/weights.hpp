@@ -1,0 +1,41 @@
+// Synthetic weight generation. Weights are Gaussian with per-matrix scales
+// chosen so each block's branch output variance is `gain` times its input
+// variance; stacking blocks then grows the residual stream geometrically,
+// which is exactly the mechanism behind the paper's log-linear ISD trend
+// (Fig 2). Norm affine parameters are near-identity with mild jitter, as in
+// trained LLMs.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace haan::model {
+
+/// Per-block parameters.
+struct BlockWeights {
+  // Attention projections, each (d_model x d_model), stored row-major as
+  // (out x in) for tensor::linear.
+  tensor::Tensor wq, wk, wv, wo;
+  // MLP: w_up (d_ff x d_model), w_gate (d_ff x d_model, gated models only),
+  // w_down (d_model x d_ff).
+  tensor::Tensor w_up, w_gate, w_down;
+  // Normalization affine parameters, one pair per norm layer in the block.
+  std::vector<float> norm1_alpha, norm1_beta;
+  std::vector<float> norm2_alpha, norm2_beta;
+};
+
+/// Whole-model parameters.
+struct ModelWeights {
+  tensor::Tensor embedding;       ///< (vocab x d_model)
+  tensor::Tensor pos_embedding;   ///< (max_seq_len x d_model)
+  std::vector<BlockWeights> blocks;
+  std::vector<float> final_alpha, final_beta;  ///< final norm (may be empty)
+};
+
+/// Deterministically generates weights for `config` (seeded by config.seed).
+ModelWeights make_weights(const ModelConfig& config);
+
+}  // namespace haan::model

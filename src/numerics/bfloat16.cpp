@@ -1,0 +1,39 @@
+#include "numerics/bfloat16.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace haan::numerics {
+
+std::uint16_t BFloat16::from_float(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0) {
+    // NaN: keep a quiet NaN, preserving the sign.
+    return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // Round-to-nearest-even on the truncated 16 bits.
+  const std::uint32_t lsb = (bits >> 16) & 1u;
+  const std::uint32_t rounding = 0x7FFFu + lsb;
+  return static_cast<std::uint16_t>((bits + rounding) >> 16);
+}
+
+float BFloat16::to_float() const {
+  const std::uint32_t bits = static_cast<std::uint32_t>(bits_) << 16;
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+bool BFloat16::is_nan() const {
+  return (bits_ & 0x7F80u) == 0x7F80u && (bits_ & 0x007Fu) != 0;
+}
+
+std::string BFloat16::to_string() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%gbf(0x%04x)", static_cast<double>(to_float()),
+                bits_);
+  return buffer;
+}
+
+}  // namespace haan::numerics

@@ -1,0 +1,54 @@
+// Software bfloat16 (top 16 bits of binary32, round-to-nearest-even). Not used
+// by the paper's shipped configurations but supported by the accelerator's
+// configurable datapath, and exercised by the design-space-exploration example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace haan::numerics {
+
+/// bfloat16 value type: 1 sign, 8 exponent, 7 mantissa bits.
+class BFloat16 {
+ public:
+  BFloat16() = default;
+
+  /// Rounds a float to the nearest bfloat16 (ties to even).
+  explicit BFloat16(float value) : bits_(from_float(value)) {}
+
+  /// Reinterprets raw bits.
+  static BFloat16 from_bits(std::uint16_t bits) {
+    BFloat16 b;
+    b.bits_ = bits;
+    return b;
+  }
+
+  std::uint16_t bits() const { return bits_; }
+
+  /// Widens to float (exact).
+  float to_float() const;
+
+  bool is_nan() const;
+
+  friend BFloat16 operator+(BFloat16 a, BFloat16 b) {
+    return BFloat16(a.to_float() + b.to_float());
+  }
+  friend BFloat16 operator-(BFloat16 a, BFloat16 b) {
+    return BFloat16(a.to_float() - b.to_float());
+  }
+  friend BFloat16 operator*(BFloat16 a, BFloat16 b) {
+    return BFloat16(a.to_float() * b.to_float());
+  }
+  friend BFloat16 operator/(BFloat16 a, BFloat16 b) {
+    return BFloat16(a.to_float() / b.to_float());
+  }
+  friend bool operator==(BFloat16 a, BFloat16 b) { return a.to_float() == b.to_float(); }
+
+  std::string to_string() const;
+
+ private:
+  static std::uint16_t from_float(float value);
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace haan::numerics

@@ -1,0 +1,74 @@
+#include "numerics/fast_math.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace haan::numerics {
+
+float inv_sqrt_initial_guess(float x, std::uint32_t magic) {
+  HAAN_EXPECTS(x > 0.0f && std::isfinite(x));
+  std::uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  bits = magic - (bits >> 1);
+  float guess;
+  std::memcpy(&guess, &bits, sizeof(guess));
+  return guess;
+}
+
+float inv_sqrt_newton_step(float x, float y) {
+  return y * (1.5f - 0.5f * x * y * y);
+}
+
+float fast_inv_sqrt(float x, int iterations, std::uint32_t magic) {
+  HAAN_EXPECTS(iterations >= 0);
+  float y = inv_sqrt_initial_guess(x, magic);
+  for (int i = 0; i < iterations; ++i) y = inv_sqrt_newton_step(x, y);
+  return y;
+}
+
+double fast_log2(float x, double sigma) {
+  HAAN_EXPECTS(x > 0.0f && std::isfinite(x));
+  std::uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  const int exponent = static_cast<int>((bits >> 23) & 0xFFu);
+  const double mantissa_frac =
+      static_cast<double>(bits & 0x7FFFFFu) / static_cast<double>(1u << 23);
+  if (exponent == 0) {
+    // Subnormal input: fall back to the exact value; the hardware never sees
+    // subnormal variances (they are flushed upstream).
+    return std::log2(static_cast<double>(x));
+  }
+  return (exponent - 127) + mantissa_frac + sigma;
+  // log2(1+m) ~= m + sigma balances the approximation error over m in [0,1);
+  // the paper folds the same constant into the magic number (eq. 8).
+}
+
+double exact_inv_sqrt(double x) {
+  HAAN_EXPECTS(x > 0.0);
+  return 1.0 / std::sqrt(x);
+}
+
+double inv_sqrt_rel_error(float x, float approx) {
+  const double exact = exact_inv_sqrt(static_cast<double>(x));
+  return std::abs(static_cast<double>(approx) - exact) / exact;
+}
+
+double worst_inv_sqrt_error(double lo, double hi, int samples, int iterations,
+                            std::uint32_t magic) {
+  HAAN_EXPECTS(lo > 0.0 && hi > lo && samples >= 2);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  double worst = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(samples - 1);
+    const float x = static_cast<float>(std::exp(log_lo + t * (log_hi - log_lo)));
+    if (!(x > 0.0f) || !std::isfinite(x)) continue;
+    const float approx = fast_inv_sqrt(x, iterations, magic);
+    worst = std::max(worst, inv_sqrt_rel_error(x, approx));
+  }
+  return worst;
+}
+
+}  // namespace haan::numerics

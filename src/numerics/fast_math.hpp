@@ -1,0 +1,46 @@
+// Fast transcendental approximations used by the HAAN square-root inverter
+// (paper §IV-B): the 0x5F3759DF inverse-square-root bit hack with Newton
+// refinement, and the log2 approximation with the sigma = 0.450465 correction
+// constant (Lomont / Blinn) that the paper uses to derive the magic constant.
+#pragma once
+
+#include <cstdint>
+
+namespace haan::numerics {
+
+/// The classic magic constant from the paper's equation (8).
+inline constexpr std::uint32_t kInvSqrtMagic = 0x5F3759DFu;
+
+/// The mantissa-linearization correction constant sigma (Lomont's optimal
+/// value 0.0450465; the paper's text prints it as "0.450465", dropping the
+/// leading zero — the derived magic constant 0x5F3759DF confirms the value).
+inline constexpr double kSigma = 0.0450465;
+
+/// Initial inverse-square-root guess: bit-level `magic - (x >> 1)`.
+/// Precondition: x > 0 and finite.
+float inv_sqrt_initial_guess(float x, std::uint32_t magic = kInvSqrtMagic);
+
+/// One Newton step for f(y) = 1/y^2 - x:  y <- y * (1.5 - 0.5 * x * y * y).
+float inv_sqrt_newton_step(float x, float y);
+
+/// Fast inverse square root: bit hack + `iterations` Newton steps in float.
+/// Precondition: x > 0 and finite; iterations >= 0.
+float fast_inv_sqrt(float x, int iterations = 1, std::uint32_t magic = kInvSqrtMagic);
+
+/// log2(x) via the exponent/mantissa linearization used to derive the magic
+/// constant: log2(x) ~= E - bias + M/2^L + sigma. Precondition: x > 0, finite.
+double fast_log2(float x, double sigma = kSigma);
+
+/// Exact reference 1/sqrt(x) in double precision.
+double exact_inv_sqrt(double x);
+
+/// Relative error |approx - exact| / exact of an inverse-sqrt approximation.
+double inv_sqrt_rel_error(float x, float approx);
+
+/// Worst-case relative error of fast_inv_sqrt over a logarithmic sweep of
+/// `samples` points in [lo, hi]. Used by tests and the magic-constant
+/// ablation bench.
+double worst_inv_sqrt_error(double lo, double hi, int samples, int iterations,
+                            std::uint32_t magic = kInvSqrtMagic);
+
+}  // namespace haan::numerics

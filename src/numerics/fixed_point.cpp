@@ -1,0 +1,220 @@
+#include "numerics/fixed_point.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace haan::numerics {
+
+double FixedFormat::resolution() const { return std::ldexp(1.0, -frac_bits); }
+
+double FixedFormat::max_value() const {
+  return static_cast<double>(raw_max()) * resolution();
+}
+
+double FixedFormat::min_value() const {
+  return static_cast<double>(raw_min()) * resolution();
+}
+
+std::int64_t FixedFormat::raw_max() const {
+  return (static_cast<std::int64_t>(1) << (total_bits - 1)) - 1;
+}
+
+std::int64_t FixedFormat::raw_min() const {
+  return -(static_cast<std::int64_t>(1) << (total_bits - 1));
+}
+
+bool FixedFormat::valid() const {
+  return total_bits >= 2 && total_bits <= 48 && frac_bits >= 0 &&
+         frac_bits <= total_bits - 1;
+}
+
+std::string FixedFormat::to_string() const {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "Q%d.%d", int_bits(), frac_bits);
+  return buffer;
+}
+
+std::int64_t clamp_raw(std::int64_t raw, FixedFormat format, OverflowMode overflow) {
+  const std::int64_t lo = format.raw_min();
+  const std::int64_t hi = format.raw_max();
+  if (raw >= lo && raw <= hi) return raw;
+  if (overflow == OverflowMode::kSaturate) return raw < lo ? lo : hi;
+  // Two's-complement wrap within total_bits.
+  const std::uint64_t mask = (format.total_bits == 64)
+                                 ? ~0ULL
+                                 : ((1ULL << format.total_bits) - 1);
+  std::uint64_t wrapped = static_cast<std::uint64_t>(raw) & mask;
+  // Sign-extend.
+  const std::uint64_t sign_bit = 1ULL << (format.total_bits - 1);
+  if (wrapped & sign_bit) wrapped |= ~mask;
+  return static_cast<std::int64_t>(wrapped);
+}
+
+std::int64_t round_scaled(double scaled, RoundingMode rounding) {
+  switch (rounding) {
+    case RoundingMode::kTruncate:
+      return static_cast<std::int64_t>(std::floor(scaled));
+    case RoundingMode::kNearestUp:
+      return static_cast<std::int64_t>(std::floor(scaled + 0.5));
+    case RoundingMode::kNearestEven: {
+      const double floor_value = std::floor(scaled);
+      const double frac = scaled - floor_value;
+      auto base = static_cast<std::int64_t>(floor_value);
+      if (frac > 0.5) return base + 1;
+      if (frac < 0.5) return base;
+      return (base % 2 == 0) ? base : base + 1;
+    }
+  }
+  return 0;
+}
+
+Fixed Fixed::from_double(double value, FixedFormat format, RoundingMode rounding,
+                         OverflowMode overflow) {
+  HAAN_EXPECTS(format.valid());
+  Fixed out(format);
+  if (std::isnan(value)) {
+    out.raw_ = 0;  // hardware converters flush NaN to zero
+    return out;
+  }
+  const double scaled = std::ldexp(value, format.frac_bits);
+  // Values beyond the int64 intermediate saturate before rounding to avoid
+  // UB; within it, the overflow policy (saturate or two's-complement wrap)
+  // decides how out-of-format values resolve.
+  constexpr double kInt64Limit = 9.2e18;
+  if (scaled >= kInt64Limit) {
+    out.raw_ = format.raw_max();
+    return out;
+  }
+  if (scaled <= -kInt64Limit) {
+    out.raw_ = format.raw_min();
+    return out;
+  }
+  out.raw_ = clamp_raw(round_scaled(scaled, rounding), format, overflow);
+  return out;
+}
+
+Fixed Fixed::from_raw(std::int64_t raw, FixedFormat format) {
+  HAAN_EXPECTS(format.valid());
+  HAAN_EXPECTS(raw >= format.raw_min() && raw <= format.raw_max());
+  Fixed out(format);
+  out.raw_ = raw;
+  return out;
+}
+
+double Fixed::to_double() const {
+  return std::ldexp(static_cast<double>(raw_), -format_.frac_bits);
+}
+
+Fixed Fixed::convert_to(FixedFormat format, RoundingMode rounding,
+                        OverflowMode overflow) const {
+  HAAN_EXPECTS(format.valid());
+  const int shift = format.frac_bits - format_.frac_bits;
+  std::int64_t raw;
+  if (shift >= 0) {
+    // Gaining fraction bits: exact left shift (guard for overflow via clamp).
+    if (shift >= 63) {
+      raw = raw_ > 0 ? format.raw_max() : (raw_ < 0 ? format.raw_min() : 0);
+    } else {
+      // Detect shift overflow on the 64-bit intermediate.
+      const std::int64_t shifted = raw_ << shift;
+      raw = (shifted >> shift) == raw_
+                ? shifted
+                : (raw_ > 0 ? format.raw_max() : format.raw_min());
+    }
+  } else {
+    // Losing fraction bits: round.
+    const double scaled = std::ldexp(static_cast<double>(raw_), shift);
+    raw = round_scaled(scaled, rounding);
+  }
+  Fixed out(format);
+  out.raw_ = clamp_raw(raw, format, overflow);
+  return out;
+}
+
+Fixed add(Fixed a, Fixed b, OverflowMode overflow) {
+  HAAN_EXPECTS(a.format() == b.format());
+  return Fixed::from_raw(clamp_raw(a.raw() + b.raw(), a.format(), overflow), a.format());
+}
+
+Fixed sub(Fixed a, Fixed b, OverflowMode overflow) {
+  HAAN_EXPECTS(a.format() == b.format());
+  return Fixed::from_raw(clamp_raw(a.raw() - b.raw(), a.format(), overflow), a.format());
+}
+
+Fixed mul(Fixed a, Fixed b, FixedFormat out_format, RoundingMode rounding,
+          OverflowMode overflow) {
+  HAAN_EXPECTS(out_format.valid());
+  // Full-precision product has frac bits = fa + fb. Guard against int64
+  // overflow by routing wide products through long double (64-bit mantissa on
+  // x86), which is exact for all supported operand widths (<= 48+48 bits is
+  // not exact, but operands in this library are <= 32 bits each in practice;
+  // the contract below keeps it honest).
+  const __int128 wide = static_cast<__int128>(a.raw()) * static_cast<__int128>(b.raw());
+  const int wide_frac = a.format().frac_bits + b.format().frac_bits;
+  const int shift = wide_frac - out_format.frac_bits;
+  std::int64_t raw;
+  if (shift <= 0) {
+    const __int128 shifted = wide << (-shift);
+    // Saturate if the widened value exceeds int64.
+    if (shifted > static_cast<__int128>(INT64_MAX)) {
+      raw = out_format.raw_max();
+    } else if (shifted < static_cast<__int128>(INT64_MIN)) {
+      raw = out_format.raw_min();
+    } else {
+      raw = static_cast<std::int64_t>(shifted);
+    }
+  } else {
+    // Round the discarded low bits.
+    const __int128 one = 1;
+    const __int128 floor_shifted = wide >> shift;
+    const __int128 remainder = wide - (floor_shifted << shift);
+    const __int128 half = one << (shift - 1);
+    __int128 rounded = floor_shifted;
+    switch (rounding) {
+      case RoundingMode::kTruncate:
+        break;
+      case RoundingMode::kNearestUp:
+        if (remainder >= half) ++rounded;
+        break;
+      case RoundingMode::kNearestEven:
+        if (remainder > half || (remainder == half && (floor_shifted & 1))) ++rounded;
+        break;
+    }
+    if (rounded > static_cast<__int128>(INT64_MAX)) {
+      raw = out_format.raw_max();
+    } else if (rounded < static_cast<__int128>(INT64_MIN)) {
+      raw = out_format.raw_min();
+    } else {
+      raw = static_cast<std::int64_t>(rounded);
+    }
+  }
+  return Fixed::from_raw(clamp_raw(raw, out_format, overflow), out_format);
+}
+
+Fixed Fixed::shifted_left(int amount, OverflowMode overflow) const {
+  HAAN_EXPECTS(amount >= 0 && amount < 63);
+  Fixed out(format_);
+  const std::int64_t shifted = raw_ << amount;
+  out.raw_ = (shifted >> amount) == raw_
+                 ? clamp_raw(shifted, format_, overflow)
+                 : (raw_ > 0 ? format_.raw_max() : format_.raw_min());
+  return out;
+}
+
+Fixed Fixed::shifted_right(int amount) const {
+  HAAN_EXPECTS(amount >= 0 && amount < 63);
+  Fixed out(format_);
+  out.raw_ = raw_ >> amount;
+  return out;
+}
+
+std::string Fixed::to_string() const {
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer), "%g (raw %lld %s)", to_double(),
+                static_cast<long long>(raw_), format_.to_string().c_str());
+  return buffer;
+}
+
+}  // namespace haan::numerics

@@ -1,0 +1,118 @@
+// Runtime-parameterized Q-format fixed point. The HAAN accelerator keeps all
+// intermediate statistics (sums, mean, variance, Newton refinement) in fixed
+// point; the format (total bits, fraction bits) is a synthesis-time knob, so
+// the software model carries the format at runtime rather than in the type.
+//
+// Raw values are stored sign-extended in int64_t, which comfortably holds every
+// format up to 48 total bits plus the headroom the adder trees need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace haan::numerics {
+
+/// How quantization resolves values that fall between two representable points.
+enum class RoundingMode {
+  kNearestEven,  ///< IEEE-style round half to even (hardware default).
+  kNearestUp,    ///< round half away from zero (cheap adder-based rounding).
+  kTruncate,     ///< drop fraction bits (free in hardware, biased toward -inf).
+};
+
+/// How out-of-range values are resolved.
+enum class OverflowMode {
+  kSaturate,  ///< clamp to the representable extremes (hardware default).
+  kWrap,      ///< two's-complement wraparound (models an unguarded adder).
+};
+
+/// A Q-format description: `total_bits` two's-complement bits, of which
+/// `frac_bits` sit right of the binary point. E.g. Q4.12 = {16, 12}.
+struct FixedFormat {
+  int total_bits = 32;
+  int frac_bits = 16;
+
+  /// Integer bits left of the point (sign bit included in total, not here).
+  int int_bits() const { return total_bits - frac_bits - 1; }
+
+  /// Smallest representable step = 2^-frac_bits.
+  double resolution() const;
+
+  /// Largest representable value.
+  double max_value() const;
+
+  /// Smallest (most negative) representable value.
+  double min_value() const;
+
+  /// Raw-integer bounds.
+  std::int64_t raw_max() const;
+  std::int64_t raw_min() const;
+
+  /// True if the format is usable (1..48 total bits, 0..frac<=total-1).
+  bool valid() const;
+
+  friend bool operator==(const FixedFormat&, const FixedFormat&) = default;
+
+  std::string to_string() const;  ///< "Q3.12" style rendering.
+};
+
+/// A fixed-point number: raw integer + its format. Value = raw * 2^-frac_bits.
+class Fixed {
+ public:
+  /// Zero in Q15.16.
+  Fixed() = default;
+
+  /// Zero in the given format.
+  explicit Fixed(FixedFormat format) : format_(format) {}
+
+  /// Quantizes `value` into `format` with the given rounding/overflow policy.
+  static Fixed from_double(double value, FixedFormat format,
+                           RoundingMode rounding = RoundingMode::kNearestEven,
+                           OverflowMode overflow = OverflowMode::kSaturate);
+
+  /// Wraps a raw integer already scaled by 2^frac_bits.
+  static Fixed from_raw(std::int64_t raw, FixedFormat format);
+
+  /// Exact value as double (all supported formats fit in a double mantissa).
+  double to_double() const;
+
+  std::int64_t raw() const { return raw_; }
+  FixedFormat format() const { return format_; }
+
+  /// Re-quantizes into a different format (shift + round + saturate) — models
+  /// the width adapters between hardware pipeline stages.
+  Fixed convert_to(FixedFormat format,
+                   RoundingMode rounding = RoundingMode::kNearestEven,
+                   OverflowMode overflow = OverflowMode::kSaturate) const;
+
+  /// Arithmetic shift left/right on the raw value (free hardware ops).
+  Fixed shifted_left(int amount, OverflowMode overflow = OverflowMode::kSaturate) const;
+  Fixed shifted_right(int amount) const;
+
+  friend bool operator==(const Fixed& a, const Fixed& b) = default;
+
+  std::string to_string() const;  ///< "1.25 (raw 0x14000 Q15.16)" style.
+
+ private:
+  std::int64_t raw_ = 0;
+  FixedFormat format_{};
+};
+
+/// Fixed-point add: operands must share a format; result saturates into it.
+Fixed add(Fixed a, Fixed b, OverflowMode overflow = OverflowMode::kSaturate);
+
+/// Fixed-point subtract, same contract as add.
+Fixed sub(Fixed a, Fixed b, OverflowMode overflow = OverflowMode::kSaturate);
+
+/// Fixed-point multiply: full-precision product rounded back into `out`.
+Fixed mul(Fixed a, Fixed b, FixedFormat out,
+          RoundingMode rounding = RoundingMode::kNearestEven,
+          OverflowMode overflow = OverflowMode::kSaturate);
+
+/// Saturates (or wraps) `raw` into `format`'s representable raw range.
+std::int64_t clamp_raw(std::int64_t raw, FixedFormat format, OverflowMode overflow);
+
+/// Rounds `value` (a real number scaled by 2^frac, i.e. in raw units) to an
+/// integer per the rounding mode. Exposed for the converter unit models.
+std::int64_t round_scaled(double scaled, RoundingMode rounding);
+
+}  // namespace haan::numerics

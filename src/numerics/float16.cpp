@@ -1,0 +1,135 @@
+#include "numerics/float16.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace haan::numerics {
+
+namespace {
+
+std::uint32_t float_bits(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+float bits_float(std::uint32_t bits) {
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::uint16_t Float16::from_float(float value) {
+  const std::uint32_t f = float_bits(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::uint32_t abs = f & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+    const std::uint32_t mantissa = abs & 0x007FFFFFu;
+    return static_cast<std::uint16_t>(sign | 0x7C00u | (mantissa != 0 ? 0x0200u : 0u));
+  }
+  if (abs >= 0x477FF000u) {
+    // Rounds to a value >= 2^16 - ulp/2: overflow to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x33000000u) {
+    // Below half the smallest subnormal (2^-25): underflow to zero.
+    return static_cast<std::uint16_t>(sign);
+  }
+
+  std::int32_t exp = static_cast<std::int32_t>(abs >> 23) - 127;
+  std::uint32_t mantissa = (abs & 0x007FFFFFu) | 0x00800000u;  // implicit leading 1
+
+  // Shift so the half mantissa (10 bits + implicit bit) sits at bits [10+shift).
+  int shift = 13;  // float has 23 mantissa bits, half has 10
+  if (exp < -14) {
+    // Subnormal half: shift further right to denormalize.
+    shift += (-14 - exp);
+    exp = -15;  // encoded exponent field becomes 0
+  }
+  const std::uint32_t round_bit = 1u << (shift - 1);
+  const std::uint32_t sticky_mask = round_bit - 1;
+  std::uint32_t half_mantissa = mantissa >> shift;
+  const bool round_up = (mantissa & round_bit) &&
+                        ((mantissa & sticky_mask) || (half_mantissa & 1u));
+  if (round_up) ++half_mantissa;
+
+  std::uint32_t half_exp = static_cast<std::uint32_t>(exp + 15);
+  if (half_mantissa & 0x0800u) {
+    // Mantissa overflowed into the implicit bit position: bump exponent.
+    half_mantissa >>= 1;
+    ++half_exp;
+  }
+  if (exp == -15) {
+    // Subnormal encoding: exponent field 0, mantissa carries everything.
+    // half_mantissa may have carried into bit 10, which correctly produces the
+    // smallest normal number.
+    return static_cast<std::uint16_t>(sign | half_mantissa);
+  }
+  if (half_exp >= 31) return static_cast<std::uint16_t>(sign | 0x7C00u);
+  return static_cast<std::uint16_t>(sign | (half_exp << 10) | (half_mantissa & 0x03FFu));
+}
+
+float Float16::to_float_impl(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mantissa = bits & 0x03FFu;
+
+  if (exp == 0x1Fu) {
+    // Inf / NaN.
+    return bits_float(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exp == 0) {
+    if (mantissa == 0) return bits_float(sign);  // +/- 0
+    // Subnormal: value = mantissa * 2^-24 = 1.f * 2^(-14 - k) after
+    // normalizing with k left shifts.
+    int k = 0;
+    std::uint32_t m = mantissa;
+    while ((m & 0x0400u) == 0) {
+      m <<= 1;
+      ++k;
+    }
+    m &= 0x03FFu;
+    const std::uint32_t fexp = static_cast<std::uint32_t>(-14 - k + 127);
+    return bits_float(sign | (fexp << 23) | (m << 13));
+  }
+  return bits_float(sign | ((exp - 15 + 127) << 23) | (mantissa << 13));
+}
+
+bool Float16::is_nan() const {
+  return ((bits_ >> 10) & 0x1Fu) == 0x1Fu && (bits_ & 0x03FFu) != 0;
+}
+
+bool Float16::is_inf() const {
+  return ((bits_ >> 10) & 0x1Fu) == 0x1Fu && (bits_ & 0x03FFu) == 0;
+}
+
+bool Float16::is_zero() const { return (bits_ & 0x7FFFu) == 0; }
+
+std::string Float16::to_string() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%gh(0x%04x)", static_cast<double>(to_float()),
+                bits_);
+  return buffer;
+}
+
+Float16 Float16::max() { return from_bits(0x7BFFu); }
+Float16 Float16::min_normal() { return from_bits(0x0400u); }
+Float16 Float16::min_subnormal() { return from_bits(0x0001u); }
+Float16 Float16::infinity() { return from_bits(0x7C00u); }
+Float16 Float16::quiet_nan() { return from_bits(0x7E00u); }
+
+int ulp_distance(Float16 a, Float16 b) {
+  // Map the sign-magnitude bit pattern onto a monotone integer line.
+  const auto monotone = [](std::uint16_t bits) -> int {
+    const int magnitude = bits & 0x7FFF;
+    return (bits & 0x8000) ? -magnitude : magnitude;
+  };
+  return std::abs(monotone(a.bits()) - monotone(b.bits()));
+}
+
+}  // namespace haan::numerics

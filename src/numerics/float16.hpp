@@ -1,0 +1,84 @@
+// Software IEEE 754 binary16 ("half"). The HAAN accelerator accepts FP16 input
+// and the ISD predictor runs on an FP16 scalar unit, so the library needs a
+// bit-exact half type that works on hosts without native _Float16 semantics.
+// Conversions implement round-to-nearest-even; arithmetic is performed by
+// converting to float, operating, and rounding back — the same behaviour as a
+// hardware FP16 FMA-less ALU with one rounding per operation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace haan::numerics {
+
+/// IEEE binary16 value type.
+class Float16 {
+ public:
+  /// Zero-initialized (+0.0).
+  Float16() = default;
+
+  /// Rounds a float to the nearest representable half (ties to even).
+  explicit Float16(float value) : bits_(from_float(value)) {}
+
+  /// Reinterprets raw bits as a half.
+  static Float16 from_bits(std::uint16_t bits) {
+    Float16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  /// Raw bit pattern (sign[15] | exponent[14:10] | mantissa[9:0]).
+  std::uint16_t bits() const { return bits_; }
+
+  /// Widens to float (exact: every half is representable as a float).
+  float to_float() const { return to_float_impl(bits_); }
+
+  /// Classification helpers.
+  bool is_nan() const;
+  bool is_inf() const;
+  bool is_zero() const;
+  bool sign() const { return (bits_ & 0x8000u) != 0; }
+
+  /// Arithmetic with one FP16 rounding per operation.
+  friend Float16 operator+(Float16 a, Float16 b) {
+    return Float16(a.to_float() + b.to_float());
+  }
+  friend Float16 operator-(Float16 a, Float16 b) {
+    return Float16(a.to_float() - b.to_float());
+  }
+  friend Float16 operator*(Float16 a, Float16 b) {
+    return Float16(a.to_float() * b.to_float());
+  }
+  friend Float16 operator/(Float16 a, Float16 b) {
+    return Float16(a.to_float() / b.to_float());
+  }
+  friend bool operator==(Float16 a, Float16 b) {
+    return a.to_float() == b.to_float();  // IEEE semantics: -0 == +0, NaN != NaN
+  }
+  friend bool operator<(Float16 a, Float16 b) { return a.to_float() < b.to_float(); }
+
+  /// Debug rendering like "1.5h(0x3e00)".
+  std::string to_string() const;
+
+  /// Largest finite half: 65504.
+  static Float16 max();
+  /// Smallest positive normal half: 2^-14.
+  static Float16 min_normal();
+  /// Smallest positive subnormal half: 2^-24.
+  static Float16 min_subnormal();
+  /// Positive infinity.
+  static Float16 infinity();
+  /// Quiet NaN.
+  static Float16 quiet_nan();
+
+ private:
+  static std::uint16_t from_float(float value);
+  static float to_float_impl(std::uint16_t bits);
+
+  std::uint16_t bits_ = 0;
+};
+
+/// Number of half-precision ULPs separating two finite halves.
+int ulp_distance(Float16 a, Float16 b);
+
+}  // namespace haan::numerics

@@ -1,0 +1,80 @@
+#include "numerics/formats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "numerics/bfloat16.hpp"
+#include "numerics/float16.hpp"
+
+namespace haan::numerics {
+
+std::string to_string(NumericFormat format) {
+  switch (format) {
+    case NumericFormat::kFP32:
+      return "FP32";
+    case NumericFormat::kFP16:
+      return "FP16";
+    case NumericFormat::kBF16:
+      return "BF16";
+    case NumericFormat::kINT8:
+      return "INT8";
+  }
+  return "?";
+}
+
+NumericFormat format_from_string(const std::string& name) {
+  if (name == "FP32" || name == "fp32") return NumericFormat::kFP32;
+  if (name == "FP16" || name == "fp16") return NumericFormat::kFP16;
+  if (name == "BF16" || name == "bf16") return NumericFormat::kBF16;
+  if (name == "INT8" || name == "int8") return NumericFormat::kINT8;
+  HAAN_EXPECTS(false && "unknown numeric format name");
+  return NumericFormat::kFP32;
+}
+
+int bits_of(NumericFormat format) {
+  switch (format) {
+    case NumericFormat::kFP32:
+      return 32;
+    case NumericFormat::kFP16:
+    case NumericFormat::kBF16:
+      return 16;
+    case NumericFormat::kINT8:
+      return 8;
+  }
+  return 0;
+}
+
+bool is_float(NumericFormat format) { return format != NumericFormat::kINT8; }
+
+float quantize_dequantize(float value, NumericFormat format, float scale) {
+  switch (format) {
+    case NumericFormat::kFP32:
+      return value;
+    case NumericFormat::kFP16:
+      return Float16(value).to_float();
+    case NumericFormat::kBF16:
+      return BFloat16(value).to_float();
+    case NumericFormat::kINT8: {
+      HAAN_EXPECTS(scale > 0.0f);
+      const float q = std::nearbyint(value / scale);
+      const float clamped = std::clamp(q, -128.0f, 127.0f);
+      return clamped * scale;
+    }
+  }
+  return value;
+}
+
+void quantize_dequantize_span(std::span<float> values, NumericFormat format,
+                              float scale) {
+  for (float& v : values) v = quantize_dequantize(v, format, scale);
+}
+
+float choose_int8_scale(std::span<const float> values) {
+  float max_abs = 0.0f;
+  for (const float v : values) max_abs = std::max(max_abs, std::abs(v));
+  if (max_abs == 0.0f) return 1.0f;
+  return max_abs / 127.0f;
+}
+
+}  // namespace haan::numerics

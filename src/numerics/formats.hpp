@@ -1,0 +1,46 @@
+// Numeric format descriptors shared by the HAAN algorithm configuration and
+// the accelerator model. The accelerator accepts FP32/FP16/INT8 input; INT8 is
+// symmetric per-tensor quantization with a power-of-two-friendly scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace haan::numerics {
+
+/// Input/output element formats the accelerator supports (paper §IV).
+enum class NumericFormat : std::uint8_t {
+  kFP32,
+  kFP16,
+  kBF16,  ///< datapath extension exercised by the DSE example, not the paper
+  kINT8,
+};
+
+/// Human-readable name ("FP32", "INT8", ...).
+std::string to_string(NumericFormat format);
+
+/// Parses the name back; aborts on unknown names (bench flag inputs).
+NumericFormat format_from_string(const std::string& name);
+
+/// Storage bits per element.
+int bits_of(NumericFormat format);
+
+/// True for floating-point formats.
+bool is_float(NumericFormat format);
+
+/// Quantizes `value` to the format and returns the dequantized result — i.e.
+/// the exact value the accelerator datapath would see. For INT8, `scale` maps
+/// real value v to round(v / scale) clamped to [-128, 127].
+float quantize_dequantize(float value, NumericFormat format, float scale = 1.0f);
+
+/// Applies quantize_dequantize elementwise.
+void quantize_dequantize_span(std::span<float> values, NumericFormat format,
+                              float scale = 1.0f);
+
+/// Chooses a symmetric INT8 scale covering max|v| of the span (per-tensor).
+/// Returns 1.0 for an all-zero span.
+float choose_int8_scale(std::span<const float> values);
+
+}  // namespace haan::numerics

@@ -1,0 +1,87 @@
+#include "tensor/norm_ref.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace haan::tensor {
+
+VectorStats exact_stats(std::span<const float> z) {
+  HAAN_EXPECTS(!z.empty());
+  const double n = static_cast<double>(z.size());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const float v : z) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  VectorStats stats;
+  stats.mean = sum / n;
+  // Two-pass for the variance to avoid E[x^2]-E[x]^2 cancellation in the
+  // *reference*; the hardware model deliberately uses the one-pass form.
+  double acc = 0.0;
+  for (const float v : z) {
+    const double d = v - stats.mean;
+    acc += d * d;
+  }
+  stats.variance = acc / n;
+  stats.rms = std::sqrt(sum_sq / n);
+  return stats;
+}
+
+namespace {
+
+void affine(std::span<const float> normalized, std::span<const float> alpha,
+            std::span<const float> beta, std::span<float> out) {
+  const std::size_t n = normalized.size();
+  HAAN_EXPECTS(out.size() == n);
+  HAAN_EXPECTS(alpha.empty() || alpha.size() == n);
+  HAAN_EXPECTS(beta.empty() || beta.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    float v = normalized[i];
+    if (!alpha.empty()) v *= alpha[i];
+    if (!beta.empty()) v += beta[i];
+    out[i] = v;
+  }
+}
+
+}  // namespace
+
+void layernorm(std::span<const float> z, std::span<const float> alpha,
+               std::span<const float> beta, std::span<float> out, double eps) {
+  const VectorStats stats = exact_stats(z);
+  const double isd = 1.0 / std::sqrt(stats.variance + eps);
+  layernorm_with_isd(z, stats.mean, isd, alpha, beta, out);
+}
+
+void rmsnorm(std::span<const float> z, std::span<const float> alpha,
+             std::span<const float> beta, std::span<float> out, double eps) {
+  const VectorStats stats = exact_stats(z);
+  const double isd = 1.0 / std::sqrt(stats.rms * stats.rms + eps);
+  rmsnorm_with_isd(z, isd, alpha, beta, out);
+}
+
+void layernorm_with_isd(std::span<const float> z, double mean, double isd,
+                        std::span<const float> alpha, std::span<const float> beta,
+                        std::span<float> out) {
+  HAAN_EXPECTS(out.size() == z.size());
+  std::vector<float> normalized(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    normalized[i] = static_cast<float>((z[i] - mean) * isd);
+  }
+  affine(normalized, alpha, beta, out);
+}
+
+void rmsnorm_with_isd(std::span<const float> z, double isd,
+                      std::span<const float> alpha, std::span<const float> beta,
+                      std::span<float> out) {
+  HAAN_EXPECTS(out.size() == z.size());
+  std::vector<float> normalized(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    normalized[i] = static_cast<float>(z[i] * isd);
+  }
+  affine(normalized, alpha, beta, out);
+}
+
+}  // namespace haan::tensor

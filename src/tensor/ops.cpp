@@ -1,0 +1,190 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace haan::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  HAAN_EXPECTS(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const std::size_t m = a.shape().dim(0);
+  const std::size_t k = a.shape().dim(1);
+  HAAN_EXPECTS(b.shape().dim(0) == k);
+  const std::size_t n = b.shape().dim(1);
+  Tensor c(Shape{m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto a_row = a.row(i);
+    const auto c_row = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;
+      const auto b_row = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+  return c;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, std::span<const float> bias) {
+  HAAN_EXPECTS(x.shape().rank() == 2 && w.shape().rank() == 2);
+  const std::size_t n = x.shape().dim(0);
+  const std::size_t in = x.shape().dim(1);
+  const std::size_t out = w.shape().dim(0);
+  HAAN_EXPECTS(w.shape().dim(1) == in);
+  HAAN_EXPECTS(bias.empty() || bias.size() == out);
+  Tensor y(Shape{n, out});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto x_row = x.row(i);
+    const auto y_row = y.row(i);
+    for (std::size_t o = 0; o < out; ++o) {
+      const auto w_row = w.row(o);
+      double acc = bias.empty() ? 0.0 : bias[o];
+      for (std::size_t p = 0; p < in; ++p) {
+        acc += static_cast<double>(x_row[p]) * static_cast<double>(w_row[p]);
+      }
+      y_row[o] = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+void softmax_rows(Tensor& t) {
+  HAAN_EXPECTS(t.shape().rank() == 2);
+  const std::size_t rows = t.shape().dim(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto row = t.row(r);
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (const float v : row) max_v = std::max(max_v, v);
+    double sum = 0.0;
+    for (float& v : row) {
+      v = std::exp(v - max_v);
+      sum += v;
+    }
+    HAAN_ASSERT(sum > 0.0);
+    for (float& v : row) v = static_cast<float>(v / sum);
+  }
+}
+
+void causal_softmax(Tensor& scores) {
+  HAAN_EXPECTS(scores.shape().rank() == 2);
+  HAAN_EXPECTS(scores.shape().dim(0) == scores.shape().dim(1));
+  const std::size_t n = scores.shape().dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = scores.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      row[j] = -std::numeric_limits<float>::infinity();
+    }
+    // Stable softmax over the unmasked prefix [0, i].
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j <= i; ++j) max_v = std::max(max_v, row[j]);
+    double sum = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      sum += row[j];
+    }
+    HAAN_ASSERT(sum > 0.0);
+    for (std::size_t j = 0; j <= i; ++j) row[j] = static_cast<float>(row[j] / sum);
+    for (std::size_t j = i + 1; j < n; ++j) row[j] = 0.0f;
+  }
+}
+
+void gelu_inplace(Tensor& t) {
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (float& v : t.data()) {
+    const float inner = kSqrt2OverPi * (v + 0.044715f * v * v * v);
+    v = 0.5f * v * (1.0f + std::tanh(inner));
+  }
+}
+
+void silu_inplace(Tensor& t) {
+  for (float& v : t.data()) v = v / (1.0f + std::exp(-v));
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  HAAN_EXPECTS(a.shape() == b.shape());
+  const auto bd = b.data();
+  auto ad = a.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) ad[i] += bd[i];
+}
+
+void scale_inplace(Tensor& t, float s) {
+  for (float& v : t.data()) v *= s;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  HAAN_EXPECTS(a.shape() == b.shape());
+  Tensor c(a.shape());
+  const auto ad = a.data();
+  const auto bd = b.data();
+  auto cd = c.data();
+  for (std::size_t i = 0; i < cd.size(); ++i) cd[i] = ad[i] * bd[i];
+  return c;
+}
+
+std::vector<float> mean_rows(const Tensor& t) {
+  HAAN_EXPECTS(t.shape().rank() == 2);
+  const std::size_t rows = t.shape().dim(0);
+  const std::size_t cols = t.shape().dim(1);
+  std::vector<float> mean(cols, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = t.row(r);
+    for (std::size_t c = 0; c < cols; ++c) mean[c] += row[c];
+  }
+  for (float& v : mean) v /= static_cast<float>(rows);
+  return mean;
+}
+
+std::size_t argmax(std::span<const float> values) {
+  HAAN_EXPECTS(!values.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  HAAN_EXPECTS(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double l2_norm(std::span<const float> values) {
+  double acc = 0.0;
+  for (const float v : values) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+void l2_normalize(std::span<float> values) {
+  const double norm = l2_norm(values);
+  if (norm == 0.0) return;
+  for (float& v : values) v = static_cast<float>(v / norm);
+}
+
+double max_abs_error(std::span<const float> a, std::span<const float> b) {
+  HAAN_EXPECTS(a.size() == b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return worst;
+}
+
+double rms_error(std::span<const float> a, std::span<const float> b) {
+  HAAN_EXPECTS(a.size() == b.size());
+  HAAN_EXPECTS(!a.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+}  // namespace haan::tensor

@@ -1,0 +1,112 @@
+#include "accel/accel_norm_provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.hpp"
+#include "core/haan_norm.hpp"
+#include "model/transformer.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::accel {
+namespace {
+
+TEST(AcceleratorNormProvider, MatchesSoftwareTwinOnSingleLayer) {
+  core::HaanConfig algorithm;
+  algorithm.nsub = 64;
+  algorithm.format = numerics::NumericFormat::kFP16;
+  AcceleratorNormProvider hw(haan_v1(), algorithm);
+  core::HaanNormProvider sw(algorithm);
+
+  common::Rng rng(5);
+  std::vector<float> z(128);
+  rng.fill_gaussian(z, 0.3, 1.4);
+  std::vector<float> out_hw(z.size()), out_sw(z.size());
+  hw.begin_sequence();
+  sw.begin_sequence();
+  hw.normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out_hw);
+  sw.normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out_sw);
+  EXPECT_LT(tensor::rms_error(out_hw, out_sw), 0.02);
+}
+
+TEST(AcceleratorNormProvider, WholeModelForwardOnHardwareNumerics) {
+  model::Transformer model(model::tiny_test_model());
+  core::HaanConfig algorithm;
+  AcceleratorNormProvider hw(haan_v1(), algorithm);
+  model::ExactNormProvider exact;
+
+  const auto corpus =
+      core::random_token_corpus(model.config().vocab_size, 1, 6, 9);
+  const auto f_exact = model.pooled_features(corpus[0], exact);
+  const auto f_hw = model.pooled_features(corpus[0], hw);
+  for (const float v : f_hw) ASSERT_TRUE(std::isfinite(v));
+  const double cosine = tensor::dot(f_exact, f_hw) /
+                        (tensor::l2_norm(f_exact) * tensor::l2_norm(f_hw));
+  EXPECT_GT(cosine, 0.99);  // fixed-point datapath barely perturbs the model
+}
+
+TEST(AcceleratorNormProvider, AccumulatesHardwareCost) {
+  model::Transformer model(model::tiny_test_model());
+  core::HaanConfig algorithm;
+  AcceleratorNormProvider hw(haan_v1(), algorithm);
+  const auto corpus =
+      core::random_token_corpus(model.config().vocab_size, 1, 4, 10);
+  model.forward_hidden(corpus[0], hw);
+  const auto& cost = hw.cost();
+  EXPECT_EQ(cost.norm_calls, model.config().norm_layer_count() * 4);
+  EXPECT_GT(cost.cycles, 0u);
+  EXPECT_GT(cost.energy_uj, 0.0);
+  EXPECT_EQ(cost.skipped, 0u);
+
+  hw.reset_cost();
+  EXPECT_EQ(hw.cost().norm_calls, 0u);
+}
+
+TEST(AcceleratorNormProvider, SkipPlanReducesEnergyPerCall) {
+  core::SkipPlan plan;
+  plan.start = 0;
+  plan.end = 2;
+  plan.decay = -0.05;
+  plan.enabled = true;
+  core::HaanConfig with_plan;
+  with_plan.plan = plan;
+  AcceleratorNormProvider hw(haan_v1(), with_plan);
+
+  common::Rng rng(6);
+  std::vector<float> z(256);
+  rng.fill_gaussian(z, 0.0, 1.0);
+  std::vector<float> out(z.size());
+  hw.begin_sequence();
+  hw.normalize(0, 0, model::NormKind::kRMSNorm, z, {}, {}, out);  // anchor
+  const double anchor_energy = hw.cost().energy_uj;
+  hw.normalize(1, 0, model::NormKind::kRMSNorm, z, {}, {}, out);  // skipped
+  const double skipped_energy = hw.cost().energy_uj - anchor_energy;
+  EXPECT_LT(skipped_energy, anchor_energy);
+  EXPECT_EQ(hw.cost().skipped, 1u);
+}
+
+TEST(AcceleratorNormProvider, SkippedIsdFollowsPredictor) {
+  core::SkipPlan plan;
+  plan.start = 0;
+  plan.end = 1;
+  plan.decay = -0.5;
+  plan.enabled = true;
+  core::HaanConfig config;
+  config.plan = plan;
+  AcceleratorNormProvider hw(haan_v1(), config);
+
+  common::Rng rng(7);
+  std::vector<float> z(128);
+  rng.fill_gaussian(z, 0.0, 2.0);
+  std::vector<float> out0(z.size()), out1(z.size());
+  hw.begin_sequence();
+  hw.normalize(0, 0, model::NormKind::kRMSNorm, z, {}, {}, out0);
+  hw.normalize(1, 0, model::NormKind::kRMSNorm, z, {}, {}, out1);
+  // Same input, ISD scaled by exp(-0.5): outputs scale accordingly.
+  const double ratio = tensor::l2_norm(out1) / tensor::l2_norm(out0);
+  EXPECT_NEAR(ratio, std::exp(-0.5), 0.02);
+}
+
+}  // namespace
+}  // namespace haan::accel

@@ -1,0 +1,127 @@
+#include "accel/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/haan_norm.hpp"
+#include "tensor/norm_ref.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::accel {
+namespace {
+
+tensor::Tensor random_batch(std::size_t vectors, std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  return tensor::Tensor::randn(tensor::Shape{vectors, n}, rng, 0.2, 1.5);
+}
+
+TEST(Accelerator, RunLayerMatchesReference) {
+  const HaanAccelerator accel(haan_v1());
+  const tensor::Tensor input = random_batch(8, 256, 1);
+  const LayerRunResult result =
+      accel.run_layer(input, {}, {}, model::NormKind::kLayerNorm, 0);
+  for (std::size_t v = 0; v < 8; ++v) {
+    std::vector<float> ref(256);
+    tensor::layernorm(input.row(v), {}, {}, ref, accel.config().eps);
+    EXPECT_LT(tensor::rms_error(result.output.row(v), ref), 0.02) << "v=" << v;
+  }
+  EXPECT_GT(result.cycles.cycles, 0u);
+  EXPECT_GT(result.energy_uj, 0.0);
+}
+
+TEST(Accelerator, AgreesWithHaanNormProviderSoftwareTwin) {
+  // The accelerator datapath and the algorithm-level HaanNormProvider are two
+  // implementations of the same computation; outputs must agree within the
+  // fixed-point resolution of the datapath.
+  const HaanAccelerator accel(haan_v1());
+  core::HaanConfig sw_config;
+  sw_config.format = numerics::NumericFormat::kFP16;
+  sw_config.nsub = 128;
+  core::HaanNormProvider provider(sw_config);
+
+  const tensor::Tensor input = random_batch(4, 256, 2);
+  const LayerRunResult hw =
+      accel.run_layer(input, {}, {}, model::NormKind::kRMSNorm, 128);
+  provider.begin_sequence();
+  for (std::size_t v = 0; v < 4; ++v) {
+    std::vector<float> sw(256);
+    provider.normalize(0, v, model::NormKind::kRMSNorm, input.row(v), {}, {}, sw);
+    EXPECT_LT(tensor::rms_error(hw.output.row(v), sw), 0.02) << "v=" << v;
+  }
+}
+
+TEST(Accelerator, SkipModeUsesPredictedIsd) {
+  const HaanAccelerator accel(haan_v1());
+  const tensor::Tensor input = random_batch(3, 128, 3);
+  std::vector<double> predicted{0.5, 0.6, 0.7};
+  const LayerRunResult result = accel.run_layer(
+      input, {}, {}, model::NormKind::kRMSNorm, 0, predicted);
+  for (std::size_t v = 0; v < 3; ++v) {
+    std::vector<float> ref(128);
+    tensor::rmsnorm_with_isd(input.row(v), predicted[v], {}, {}, ref);
+    EXPECT_LT(tensor::rms_error(result.output.row(v), ref), 0.02);
+  }
+  // Skip mode must be faster and lower-energy than compute mode.
+  const LayerRunResult computed =
+      accel.run_layer(input, {}, {}, model::NormKind::kRMSNorm, 0);
+  EXPECT_LE(result.cycles.cycles, computed.cycles.cycles);
+  EXPECT_LT(result.energy_uj, computed.energy_uj);
+}
+
+TEST(Accelerator, SubsamplingReducesEnergyNotOutputLength) {
+  const HaanAccelerator accel(haan_v1());
+  const tensor::Tensor input = random_batch(16, 1024, 4);
+  const LayerRunResult full =
+      accel.run_layer(input, {}, {}, model::NormKind::kLayerNorm, 0);
+  const LayerRunResult sub =
+      accel.run_layer(input, {}, {}, model::NormKind::kLayerNorm, 256);
+  EXPECT_EQ(sub.output.shape(), full.output.shape());
+  EXPECT_LT(sub.energy_uj, full.energy_uj);
+  EXPECT_LE(sub.cycles.cycles, full.cycles.cycles);
+}
+
+TEST(Accelerator, AffineParametersFlowThrough) {
+  const HaanAccelerator accel(haan_v1());
+  const tensor::Tensor input = random_batch(2, 64, 5);
+  std::vector<float> alpha(64, 1.5f), beta(64, 0.25f);
+  const LayerRunResult result =
+      accel.run_layer(input, alpha, beta, model::NormKind::kLayerNorm, 0);
+  std::vector<float> ref(64);
+  tensor::layernorm(input.row(0), alpha, beta, ref, accel.config().eps);
+  EXPECT_LT(tensor::rms_error(result.output.row(0), ref), 0.02);
+}
+
+TEST(Accelerator, PowerWithinDeviceEnvelope) {
+  const HaanAccelerator accel(haan_v1());
+  NormLayerWork work;
+  work.n = 1600;
+  work.vectors = 128;
+  work.nsub = 800;
+  const double power = accel.layer_power_w(work);
+  EXPECT_GT(power, 1.0);   // above static floor
+  EXPECT_LT(power, 10.0);  // sane for the U280 envelope
+  // Nominal (full-activity) power bounds the activity-scaled estimate.
+  EXPECT_LE(power, accel.resources().power_w + 1e-9);
+}
+
+TEST(Accelerator, Int8ConfigQuantizesInput) {
+  const HaanAccelerator accel(haan_int8_256());
+  const tensor::Tensor input = random_batch(2, 256, 6);
+  const LayerRunResult result =
+      accel.run_layer(input, {}, {}, model::NormKind::kLayerNorm, 0);
+  std::vector<float> ref(256);
+  tensor::layernorm(input.row(0), {}, {}, ref, accel.config().eps);
+  // INT8 coarser than FP16 but still close after normalization.
+  EXPECT_LT(tensor::rms_error(result.output.row(0), ref), 0.05);
+}
+
+TEST(Accelerator, InvalidConfigRejected) {
+  AcceleratorConfig config = haan_v1();
+  config.isd_fixed = numerics::FixedFormat{64, 70};  // invalid
+  EXPECT_DEATH(HaanAccelerator{config}, "precondition");
+}
+
+}  // namespace
+}  // namespace haan::accel

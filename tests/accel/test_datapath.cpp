@@ -1,0 +1,166 @@
+#include "accel/datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "numerics/fast_math.hpp"
+#include "tensor/norm_ref.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::accel {
+namespace {
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed,
+                                 double stddev = 1.0) {
+  common::Rng rng(seed);
+  std::vector<float> z(n);
+  rng.fill_gaussian(z, 0.0, stddev);
+  return z;
+}
+
+TEST(Isc, MatchesExactStatsWithinFixedPointResolution) {
+  const AcceleratorConfig config = haan_v1();
+  const auto z = random_vector(256, 1);
+  const IscResult result =
+      input_statistics_calculator(z, 0, model::NormKind::kLayerNorm, config);
+  const tensor::VectorStats exact = tensor::exact_stats(z);
+  EXPECT_NEAR(result.mean.to_double(), exact.mean, 1e-3);
+  EXPECT_NEAR(result.variance.to_double(), exact.variance, 2e-3);
+  EXPECT_EQ(result.elements_used, 256u);
+}
+
+TEST(Isc, RmsNormSkipsMeanPath) {
+  const AcceleratorConfig config = haan_v1();
+  const auto z = random_vector(128, 2);
+  const IscResult result =
+      input_statistics_calculator(z, 0, model::NormKind::kRMSNorm, config);
+  EXPECT_DOUBLE_EQ(result.mean.to_double(), 0.0);
+  const tensor::VectorStats exact = tensor::exact_stats(z);
+  EXPECT_NEAR(result.variance.to_double(), exact.rms * exact.rms, 2e-3);
+}
+
+TEST(Isc, SubsamplingUsesPrefixOnly) {
+  const AcceleratorConfig config = haan_v1();
+  auto z = random_vector(128, 3);
+  const IscResult a =
+      input_statistics_calculator(z, 32, model::NormKind::kLayerNorm, config);
+  for (std::size_t i = 32; i < z.size(); ++i) z[i] = 100.0f;
+  const IscResult b =
+      input_statistics_calculator(z, 32, model::NormKind::kLayerNorm, config);
+  EXPECT_EQ(a.variance.raw(), b.variance.raw());
+  EXPECT_EQ(a.elements_used, 32u);
+}
+
+TEST(Isc, VarianceNeverNegative) {
+  // Constant input: E[x^2] - E[x]^2 cancels; the subtractor clamps at zero.
+  const AcceleratorConfig config = haan_v1();
+  const std::vector<float> z(64, 3.0f);
+  const IscResult result =
+      input_statistics_calculator(z, 0, model::NormKind::kLayerNorm, config);
+  EXPECT_GE(result.variance.to_double(), 0.0);
+  EXPECT_LT(result.variance.to_double(), 0.01);
+}
+
+TEST(Sri, MatchesExactInvSqrtWithinQuarterPercent) {
+  const AcceleratorConfig config = haan_v1();
+  for (const double variance : {0.01, 0.5, 1.0, 7.3, 120.0, 900.0}) {
+    const auto v = numerics::Fixed::from_double(variance, config.acc_fixed);
+    const SriResult result = square_root_inverter(v, config);
+    const double exact = 1.0 / std::sqrt(variance + config.eps);
+    EXPECT_NEAR(result.isd.to_double() / exact, 1.0, 0.004) << "var=" << variance;
+  }
+}
+
+TEST(Sri, InitialGuessIsTheBitHack) {
+  const AcceleratorConfig config = haan_v1();
+  const auto v = numerics::Fixed::from_double(4.0, config.acc_fixed);
+  const SriResult result = square_root_inverter(v, config);
+  const float expected =
+      numerics::inv_sqrt_initial_guess(static_cast<float>(4.0 + config.eps));
+  EXPECT_FLOAT_EQ(result.initial_guess, expected);
+}
+
+TEST(Sri, MoreNewtonIterationsImprove) {
+  AcceleratorConfig config = haan_v1();
+  const auto v = numerics::Fixed::from_double(3.7, config.acc_fixed);
+  const double exact = 1.0 / std::sqrt(3.7 + config.eps);
+  config.newton_iterations = 0;
+  const double e0 =
+      std::abs(square_root_inverter(v, config).isd.to_double() - exact) / exact;
+  config.newton_iterations = 1;
+  const double e1 =
+      std::abs(square_root_inverter(v, config).isd.to_double() - exact) / exact;
+  EXPECT_LT(e1, e0);
+}
+
+TEST(Nu, MatchesReferenceNormalization) {
+  const AcceleratorConfig config = haan_v1();
+  const auto z = random_vector(128, 4, 2.0);
+  const IscResult stats =
+      input_statistics_calculator(z, 0, model::NormKind::kLayerNorm, config);
+  const SriResult sri = square_root_inverter(stats.variance, config);
+  std::vector<float> out(z.size()), ref(z.size());
+  normalization_unit(z, stats.mean, sri.isd, {}, {}, model::NormKind::kLayerNorm,
+                     config, out);
+  tensor::layernorm(z, {}, {}, ref, config.eps);
+  EXPECT_LT(tensor::rms_error(out, ref), 0.01);
+}
+
+TEST(Nu, AffineApplied) {
+  const AcceleratorConfig config = haan_v1();
+  const auto z = random_vector(64, 5);
+  std::vector<float> alpha(64, 3.0f), beta(64, -1.0f);
+  const IscResult stats =
+      input_statistics_calculator(z, 0, model::NormKind::kRMSNorm, config);
+  const SriResult sri = square_root_inverter(stats.variance, config);
+  std::vector<float> out(64), ref(64);
+  normalization_unit(z, stats.mean, sri.isd, alpha, beta, model::NormKind::kRMSNorm,
+                     config, out);
+  tensor::rmsnorm(z, alpha, beta, ref, config.eps);
+  EXPECT_LT(tensor::rms_error(out, ref), 0.03);
+}
+
+TEST(Nu, PredictedIsdPathBypassesSri) {
+  const AcceleratorConfig config = haan_v1();
+  const auto z = random_vector(64, 6);
+  const double predicted = 0.43;
+  const numerics::Fixed isd = encode_predicted_isd(predicted, config);
+  EXPECT_NEAR(isd.to_double(), predicted, config.isd_fixed.resolution());
+  std::vector<float> out(64), ref(64);
+  normalization_unit(z, numerics::Fixed(config.acc_fixed), isd, {}, {},
+                     model::NormKind::kRMSNorm, config, out);
+  tensor::rmsnorm_with_isd(z, predicted, {}, {}, ref);
+  EXPECT_LT(tensor::rms_error(out, ref), 0.01);
+}
+
+class DatapathPipelineEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(DatapathPipelineEquivalence, EndToEndErrorBounded) {
+  // Full ISC -> SRI -> NU chain vs double-precision LayerNorm across scales
+  // and Newton iteration counts: relative output error stays within the
+  // fixed-point + fast-invsqrt budget.
+  const auto [iters, scale] = GetParam();
+  AcceleratorConfig config = haan_v1();
+  config.newton_iterations = iters;
+  const auto z = random_vector(512, 7, scale);
+  const IscResult stats =
+      input_statistics_calculator(z, 0, model::NormKind::kLayerNorm, config);
+  const SriResult sri = square_root_inverter(stats.variance, config);
+  std::vector<float> out(z.size()), ref(z.size());
+  normalization_unit(z, stats.mean, sri.isd, {}, {}, model::NormKind::kLayerNorm,
+                     config, out);
+  tensor::layernorm(z, {}, {}, ref, config.eps);
+  const double budget = iters >= 1 ? 0.02 : 0.08;
+  EXPECT_LT(tensor::rms_error(out, ref), budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ItersAndScales, DatapathPipelineEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0.1, 1.0, 3.0)));
+
+}  // namespace
+}  // namespace haan::accel

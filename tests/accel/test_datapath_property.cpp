@@ -1,0 +1,109 @@
+// Randomized end-to-end properties of the bit-accurate datapath against the
+// double-precision reference across formats, scales and subsample lengths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/accelerator.hpp"
+#include "common/rng.hpp"
+#include "tensor/norm_ref.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::accel {
+namespace {
+
+class DatapathPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DatapathPropertySweep, IscVarianceMatchesTwoPassReference) {
+  common::Rng rng(GetParam());
+  const AcceleratorConfig config = haan_v1();
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t n = 16 + rng.uniform_index(1024);
+    std::vector<float> z(n);
+    rng.fill_gaussian(z, rng.uniform(-2.0, 2.0), rng.uniform(0.1, 3.0));
+    const IscResult result =
+        input_statistics_calculator(z, 0, model::NormKind::kLayerNorm, config);
+    const tensor::VectorStats reference = tensor::exact_stats(z);
+    // One-pass E[x^2]-E[x]^2 in fixed point vs two-pass double: the error
+    // budget is the accumulator resolution times the dynamic range.
+    EXPECT_NEAR(result.variance.to_double(), reference.variance,
+                5e-3 * (1.0 + reference.variance));
+    EXPECT_NEAR(result.mean.to_double(), reference.mean, 5e-3);
+  }
+}
+
+TEST_P(DatapathPropertySweep, SriRelativeErrorBoundedAcrossMagnitudes) {
+  common::Rng rng(GetParam() + 1);
+  const AcceleratorConfig config = haan_v1();
+  for (int i = 0; i < 400; ++i) {
+    const double variance = std::exp(rng.uniform(std::log(0.02), std::log(2000.0)));
+    const auto fx = numerics::Fixed::from_double(variance, config.acc_fixed);
+    const SriResult result = square_root_inverter(fx, config);
+    const double exact = 1.0 / std::sqrt(fx.to_double() + config.eps);
+    EXPECT_NEAR(result.isd.to_double() / exact, 1.0, 0.005) << "var=" << variance;
+  }
+}
+
+TEST_P(DatapathPropertySweep, FullChainCosineNearOne) {
+  common::Rng rng(GetParam() + 2);
+  for (const auto format :
+       {numerics::NumericFormat::kFP16, numerics::NumericFormat::kINT8}) {
+    AcceleratorConfig config = haan_v1();
+    config.io_format = format;
+    const HaanAccelerator accelerator(config);
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t n = 128 + rng.uniform_index(512);
+      const std::size_t vectors = 1 + rng.uniform_index(8);
+      common::Rng data_rng(rng.next_u64());
+      const tensor::Tensor input = tensor::Tensor::randn(
+          tensor::Shape{vectors, n}, data_rng, 0.1, rng.uniform(0.3, 2.0));
+      const auto run =
+          accelerator.run_layer(input, {}, {}, model::NormKind::kLayerNorm, 0);
+      for (std::size_t v = 0; v < vectors; ++v) {
+        std::vector<float> ref(n);
+        tensor::layernorm(input.row(v), {}, {}, ref, config.eps);
+        const double cosine =
+            tensor::dot(run.output.row(v), ref) /
+            (tensor::l2_norm(run.output.row(v)) * tensor::l2_norm(ref) + 1e-30);
+        EXPECT_GT(cosine, 0.998) << numerics::to_string(format);
+      }
+    }
+  }
+}
+
+TEST_P(DatapathPropertySweep, SubsampledStatsIgnoreSuffixBitExactly) {
+  common::Rng rng(GetParam() + 3);
+  const AcceleratorConfig config = haan_v1();
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t n = 64 + rng.uniform_index(512);
+    const std::size_t nsub = 1 + rng.uniform_index(n);
+    std::vector<float> z(n);
+    rng.fill_gaussian(z, 0.0, 1.0);
+    const IscResult before =
+        input_statistics_calculator(z, nsub, model::NormKind::kRMSNorm, config);
+    for (std::size_t k = nsub; k < n; ++k) z[k] = 1e9f;
+    const IscResult after =
+        input_statistics_calculator(z, nsub, model::NormKind::kRMSNorm, config);
+    EXPECT_EQ(before.variance.raw(), after.variance.raw());
+  }
+}
+
+TEST_P(DatapathPropertySweep, EnergyMonotoneInWorkload) {
+  common::Rng rng(GetParam() + 4);
+  const HaanAccelerator accelerator(haan_v1());
+  for (int i = 0; i < 200; ++i) {
+    NormLayerWork work;
+    work.n = 128 + rng.uniform_index(4096);
+    work.vectors = 1 + rng.uniform_index(256);
+    const double base = accelerator.layer_energy_uj(work);
+    auto bigger = work;
+    bigger.vectors *= 2;
+    EXPECT_GT(accelerator.layer_energy_uj(bigger), base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatapathPropertySweep,
+                         ::testing::Values(31u, 42u, 53u));
+
+}  // namespace
+}  // namespace haan::accel

@@ -1,0 +1,100 @@
+#include "accel/memory_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace haan::accel {
+namespace {
+
+tensor::Tensor sample_tensor(std::size_t rows, std::size_t cols) {
+  common::Rng rng(7);
+  return tensor::Tensor::randn(tensor::Shape{rows, cols}, rng);
+}
+
+TEST(MemoryImage, PaperFigure7Example) {
+  // The paper's example: a 2x4 tensor with bandwidth 2 -> 4 entries total,
+  // entries 0x10..0x13 holding {1.5 2.3}{5.8 9.3}{3.5 5.2}{1.2 0.0}.
+  tensor::Tensor t(tensor::Shape{2, 4},
+                   {1.5f, 2.3f, 5.8f, 9.3f, 3.5f, 5.2f, 1.2f, 0.0f});
+  MemoryImage image(t, 2);
+  EXPECT_EQ(image.entries_per_vector(), 2u);
+  EXPECT_EQ(image.total_entries(), 4u);
+  const auto e0 = image.read_entry(0, 0);
+  EXPECT_FLOAT_EQ(e0[0], 1.5f);
+  EXPECT_FLOAT_EQ(e0[1], 2.3f);
+  const auto e3 = image.read_entry(1, 1);
+  EXPECT_FLOAT_EQ(e3[0], 1.2f);
+  EXPECT_FLOAT_EQ(e3[1], 0.0f);
+}
+
+TEST(MemoryImage, PadsPartialLastEntry) {
+  tensor::Tensor t(tensor::Shape{1, 5}, {1, 2, 3, 4, 5});
+  MemoryImage image(t, 4);
+  EXPECT_EQ(image.entries_per_vector(), 2u);
+  const auto last = image.read_entry(0, 1);
+  EXPECT_FLOAT_EQ(last[0], 5.0f);
+  EXPECT_FLOAT_EQ(last[1], 0.0f);  // zero padded
+}
+
+TEST(MemoryImage, EntriesNeededForSubsample) {
+  const auto t = sample_tensor(2, 128);
+  MemoryImage image(t, 16);
+  EXPECT_EQ(image.entries_needed(0), 8u);    // full vector
+  EXPECT_EQ(image.entries_needed(64), 4u);
+  EXPECT_EQ(image.entries_needed(65), 5u);   // rounds up
+  EXPECT_EQ(image.entries_needed(1), 1u);
+  EXPECT_EQ(image.entries_needed(10000), 8u);  // clamped to vector length
+}
+
+TEST(MemoryImage, SubsampledStreamTouchesOnlyPrefixEntries) {
+  // The paper's subsampling claim at the memory level: computing statistics
+  // from the first Nsub elements reads only the leading entries.
+  const auto t = sample_tensor(3, 128);
+  MemoryImage image(t, 16);
+  const auto prefix = image.stream_prefix(1, 64);
+  EXPECT_EQ(prefix.size(), 64u);
+  EXPECT_EQ(image.accessed_entries(1), 4u);   // 64 / 16
+  EXPECT_EQ(image.accessed_entries(0), 0u);   // other vectors untouched
+  EXPECT_EQ(image.accessed_entries(2), 0u);
+}
+
+TEST(MemoryImage, StreamedPrefixMatchesSource) {
+  const auto t = sample_tensor(2, 64);
+  MemoryImage image(t, 8);
+  const auto prefix = image.stream_prefix(0, 30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_FLOAT_EQ(prefix[i], t.at(0, i));
+  }
+}
+
+TEST(MemoryImage, FullStreamMatchesSource) {
+  const auto t = sample_tensor(1, 37);  // deliberately not entry-aligned
+  MemoryImage image(t, 8);
+  const auto all = image.stream_prefix(0, 37);
+  for (std::size_t i = 0; i < 37; ++i) EXPECT_FLOAT_EQ(all[i], t.at(0, i));
+  EXPECT_EQ(image.accessed_entries(0), 5u);  // ceil(37/8)
+}
+
+TEST(MemoryImage, BandwidthOneDegenerateCase) {
+  const auto t = sample_tensor(1, 4);
+  MemoryImage image(t, 1);
+  EXPECT_EQ(image.entries_per_vector(), 4u);
+  EXPECT_EQ(image.read_entry(0, 2)[0], t.at(0, 2));
+}
+
+class MemoryBandwidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MemoryBandwidthSweep, PrefixReconstructionInvariantToBandwidth) {
+  const auto t = sample_tensor(2, 100);
+  MemoryImage image(t, GetParam());
+  const auto prefix = image.stream_prefix(1, 50);
+  ASSERT_EQ(prefix.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_FLOAT_EQ(prefix[i], t.at(1, i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, MemoryBandwidthSweep,
+                         ::testing::Values(1u, 2u, 7u, 16u, 64u, 128u));
+
+}  // namespace
+}  // namespace haan::accel

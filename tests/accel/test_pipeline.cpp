@@ -1,0 +1,176 @@
+#include "accel/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace haan::accel {
+namespace {
+
+NormLayerWork work_of(std::size_t n, std::size_t vectors, std::size_t nsub = 0,
+                      bool skipped = false,
+                      model::NormKind kind = model::NormKind::kLayerNorm) {
+  NormLayerWork work;
+  work.n = n;
+  work.vectors = vectors;
+  work.nsub = nsub;
+  work.isd_skipped = skipped;
+  work.kind = kind;
+  return work;
+}
+
+TEST(StageCycles, MemoryStreamMatchesPortWidth) {
+  const AcceleratorConfig config = haan_v1();  // FP16: 128 elems/cycle
+  EXPECT_EQ(config.memory_elems_per_cycle(), 128u);
+  const StageCycles cycles = stage_cycles(work_of(1600, 1), config);
+  EXPECT_EQ(cycles.mem, 13u);  // ceil(1600/128)
+}
+
+TEST(StageCycles, FormatChangesMemoryRate) {
+  AcceleratorConfig config = haan_v1();
+  config.io_format = numerics::NumericFormat::kFP32;
+  EXPECT_EQ(config.memory_elems_per_cycle(), 64u);
+  config.io_format = numerics::NumericFormat::kINT8;
+  EXPECT_EQ(config.memory_elems_per_cycle(), 256u);
+}
+
+TEST(StageCycles, SubsamplingShortensIsc) {
+  const AcceleratorConfig config = haan_v1();
+  const StageCycles full = stage_cycles(work_of(1600, 1), config);
+  const StageCycles half = stage_cycles(work_of(1600, 1, 800), config);
+  EXPECT_LT(half.isc, full.isc);
+  EXPECT_EQ(half.nu, full.nu);  // NU still writes the whole vector
+}
+
+TEST(StageCycles, SkippedLayerNormBypassesVariancePath) {
+  const AcceleratorConfig config = haan_v1();
+  const StageCycles computed = stage_cycles(work_of(1600, 1, 800), config);
+  const StageCycles skipped = stage_cycles(work_of(1600, 1, 800, true), config);
+  EXPECT_LT(skipped.sri, computed.sri);
+  EXPECT_LE(skipped.isc, computed.isc);
+}
+
+TEST(StageCycles, SkippedRmsNormNeedsNoStatsAtAll) {
+  const AcceleratorConfig config = haan_v1();
+  const StageCycles skipped =
+      stage_cycles(work_of(2048, 1, 0, true, model::NormKind::kRMSNorm), config);
+  EXPECT_EQ(skipped.isc, 0u);
+  EXPECT_EQ(skipped.sri, 2u);  // predictor only
+}
+
+TEST(StageCycles, NewtonIterationsLengthenSri) {
+  AcceleratorConfig config = haan_v1();
+  config.newton_iterations = 1;
+  const std::size_t sri1 = stage_cycles(work_of(256, 1), config).sri;
+  config.newton_iterations = 3;
+  const std::size_t sri3 = stage_cycles(work_of(256, 1), config).sri;
+  EXPECT_EQ(sri3, sri1 + 8u);  // 4 cycles per extra iteration
+}
+
+TEST(Pipeline, SteadyStateThroughputIsBottleneck) {
+  const AcceleratorConfig config = haan_v1();
+  const NormLayerWork work = work_of(1600, 128, 800);
+  const StageCycles per_vector = stage_cycles(work, config);
+  const CycleStats stats = simulate_norm_layer(work, config);
+  EXPECT_EQ(stats.cycles,
+            per_vector.fill() + 127 * per_vector.bottleneck());
+}
+
+TEST(Pipeline, SingleVectorIsJustFill) {
+  const AcceleratorConfig config = haan_v1();
+  const NormLayerWork work = work_of(512, 1);
+  const CycleStats stats = simulate_norm_layer(work, config);
+  EXPECT_EQ(stats.cycles, stats.per_vector.fill());
+}
+
+TEST(Pipeline, LatencyMonotonicInVectors) {
+  const AcceleratorConfig config = haan_v1();
+  std::size_t prev = 0;
+  for (const std::size_t vectors : {1u, 2u, 16u, 128u, 1024u}) {
+    const CycleStats stats = simulate_norm_layer(work_of(1024, vectors), config);
+    EXPECT_GT(stats.cycles, prev);
+    prev = stats.cycles;
+  }
+}
+
+TEST(Pipeline, LatencyMonotonicInVectorLength) {
+  const AcceleratorConfig config = haan_v1();
+  std::size_t prev = 0;
+  for (const std::size_t n : {128u, 512u, 1024u, 4096u}) {
+    const CycleStats stats = simulate_norm_layer(work_of(n, 64), config);
+    EXPECT_GT(stats.cycles, prev);
+    prev = stats.cycles;
+  }
+}
+
+TEST(Pipeline, MultiplePipelinesDivideWork) {
+  AcceleratorConfig config = haan_v1();
+  const NormLayerWork work = work_of(1024, 256);
+  const std::size_t single = simulate_norm_layer(work, config).cycles;
+  config.pipelines = 2;
+  const std::size_t dual = simulate_norm_layer(work, config).cycles;
+  EXPECT_LT(dual, single);
+  EXPECT_GT(2 * dual, single);  // fill overhead keeps it under perfect 2x
+}
+
+TEST(Pipeline, PaperConfigurationRelativeTiming) {
+  // GPT2-1.5B workload, nsub = N/2 (paper §V-B): HAAN-v2 within a few
+  // percent of HAAN-v1 (both memory-bound at the same port width).
+  const NormLayerWork work = work_of(1600, 128, 800);
+  const double v1 = static_cast<double>(simulate_norm_layer(work, haan_v1()).cycles);
+  const double v2 = static_cast<double>(simulate_norm_layer(work, haan_v2()).cycles);
+  EXPECT_NEAR(v2 / v1, 1.0, 0.1);
+  // OPT-2.7B workload: HAAN-v3 ~= HAAN-v1 (paper Fig 8b).
+  const NormLayerWork opt = work_of(2560, 128, 1280);
+  const double v1_opt =
+      static_cast<double>(simulate_norm_layer(opt, haan_v1()).cycles);
+  const double v3_opt =
+      static_cast<double>(simulate_norm_layer(opt, haan_v3()).cycles);
+  EXPECT_NEAR(v3_opt / v1_opt, 1.0, 0.1);
+}
+
+TEST(Activity, SubsamplingAndSkippingReduceIscActivity) {
+  const AcceleratorConfig config = haan_v1();
+  const ActivityStats full = layer_activity(work_of(1600, 64), config);
+  const ActivityStats sub = layer_activity(work_of(1600, 64, 800), config);
+  const ActivityStats skip = layer_activity(work_of(1600, 64, 800, true), config);
+  EXPECT_LT(sub.isc_lane_cycles, full.isc_lane_cycles);
+  EXPECT_LT(skip.isc_lane_cycles, sub.isc_lane_cycles);
+  EXPECT_EQ(full.nu_lane_cycles, sub.nu_lane_cycles);
+  EXPECT_EQ(skip.sri_ops, 0.0);
+  EXPECT_GT(full.sri_ops, 0.0);
+}
+
+TEST(Activity, RmsSkipZeroesIsc) {
+  const AcceleratorConfig config = haan_v1();
+  const ActivityStats activity =
+      layer_activity(work_of(2048, 32, 0, true, model::NormKind::kRMSNorm), config);
+  EXPECT_EQ(activity.isc_lane_cycles, 0.0);
+}
+
+TEST(CycleStats, LatencyUsUsesClock) {
+  AcceleratorConfig config = haan_v1();  // 100 MHz -> 0.01 us per cycle
+  CycleStats stats;
+  stats.cycles = 1000;
+  EXPECT_DOUBLE_EQ(stats.latency_us(config), 10.0);
+  config.clock_mhz = 200.0;
+  EXPECT_DOUBLE_EQ(stats.latency_us(config), 5.0);
+}
+
+class PipelineConfigSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineConfigSweep, WiderNuNeverSlower) {
+  // Growing pn (with everything else fixed) must never increase latency.
+  AcceleratorConfig config = haan_v1();
+  config.pn = GetParam();
+  const std::size_t cycles = simulate_norm_layer(work_of(4096, 64), config).cycles;
+  AcceleratorConfig wider = config;
+  wider.pn = GetParam() * 2;
+  const std::size_t cycles_wider =
+      simulate_norm_layer(work_of(4096, 64), wider).cycles;
+  EXPECT_LE(cycles_wider, cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(NuWidths, PipelineConfigSweep,
+                         ::testing::Values(16u, 32u, 64u, 128u, 256u));
+
+}  // namespace
+}  // namespace haan::accel

@@ -1,0 +1,127 @@
+// Randomized invariants of the cycle-level pipeline model across the whole
+// configuration space the accelerator supports.
+#include <gtest/gtest.h>
+
+#include "accel/pipeline.hpp"
+#include "common/rng.hpp"
+
+namespace haan::accel {
+namespace {
+
+class PipelinePropertySweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  AcceleratorConfig random_config(common::Rng& rng) const {
+    AcceleratorConfig config;
+    const std::size_t pd_options[] = {16, 32, 64, 80, 128, 256};
+    const std::size_t pn_options[] = {32, 64, 128, 160, 256, 512};
+    config.pd = pd_options[rng.uniform_index(6)];
+    config.pn = pn_options[rng.uniform_index(6)];
+    const numerics::NumericFormat formats[] = {
+        numerics::NumericFormat::kFP32, numerics::NumericFormat::kFP16,
+        numerics::NumericFormat::kINT8};
+    config.io_format = formats[rng.uniform_index(3)];
+    config.newton_iterations = static_cast<int>(rng.uniform_index(3));
+    return config;
+  }
+
+  NormLayerWork random_work(common::Rng& rng) const {
+    NormLayerWork work;
+    work.n = 64 + rng.uniform_index(8192);
+    work.vectors = 1 + rng.uniform_index(512);
+    work.nsub = rng.uniform_index(2) ? 0 : 1 + rng.uniform_index(work.n);
+    work.isd_skipped = rng.uniform_index(4) == 0;
+    work.kind = rng.uniform_index(2) ? model::NormKind::kLayerNorm
+                                     : model::NormKind::kRMSNorm;
+    return work;
+  }
+};
+
+TEST_P(PipelinePropertySweep, BottleneckNeverBelowAnyStage) {
+  common::Rng rng(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    const auto config = random_config(rng);
+    const auto work = random_work(rng);
+    const StageCycles cycles = stage_cycles(work, config);
+    EXPECT_GE(cycles.bottleneck(), cycles.mem);
+    EXPECT_GE(cycles.bottleneck(), cycles.isc);
+    EXPECT_GE(cycles.bottleneck(), cycles.sri);
+    EXPECT_GE(cycles.bottleneck(), cycles.nu);
+  }
+}
+
+TEST_P(PipelinePropertySweep, TotalCyclesIsFillPlusSteadyState) {
+  common::Rng rng(GetParam() + 1);
+  for (int i = 0; i < 400; ++i) {
+    const auto config = random_config(rng);
+    const auto work = random_work(rng);
+    const StageCycles per_vector = stage_cycles(work, config);
+    const CycleStats stats = simulate_norm_layer(work, config);
+    const std::size_t per_pipeline =
+        (work.vectors + config.pipelines - 1) / config.pipelines;
+    EXPECT_EQ(stats.cycles,
+              per_vector.fill() + (per_pipeline - 1) * per_vector.bottleneck());
+  }
+}
+
+TEST_P(PipelinePropertySweep, SkippingNeverSlower) {
+  common::Rng rng(GetParam() + 2);
+  for (int i = 0; i < 400; ++i) {
+    const auto config = random_config(rng);
+    auto work = random_work(rng);
+    work.isd_skipped = false;
+    const std::size_t computed = simulate_norm_layer(work, config).cycles;
+    work.isd_skipped = true;
+    const std::size_t skipped = simulate_norm_layer(work, config).cycles;
+    EXPECT_LE(skipped, computed);
+  }
+}
+
+TEST_P(PipelinePropertySweep, SubsamplingNeverSlower) {
+  common::Rng rng(GetParam() + 3);
+  for (int i = 0; i < 400; ++i) {
+    const auto config = random_config(rng);
+    auto work = random_work(rng);
+    work.nsub = 0;
+    const std::size_t full = simulate_norm_layer(work, config).cycles;
+    work.nsub = work.n / 2;
+    const std::size_t sub = simulate_norm_layer(work, config).cycles;
+    EXPECT_LE(sub, full);
+  }
+}
+
+TEST_P(PipelinePropertySweep, ActivityBoundedByWorkload) {
+  common::Rng rng(GetParam() + 4);
+  for (int i = 0; i < 400; ++i) {
+    const auto config = random_config(rng);
+    const auto work = random_work(rng);
+    const ActivityStats activity = layer_activity(work, config);
+    const double elements =
+        static_cast<double>(work.vectors) * static_cast<double>(work.n);
+    EXPECT_LE(activity.isc_lane_cycles, elements + 1e-9);
+    EXPECT_LE(activity.nu_lane_cycles, elements + 1e-9);
+    EXPECT_LE(activity.sri_ops, static_cast<double>(work.vectors) + 1e-9);
+    EXPECT_GE(activity.nu_lane_cycles, 0.0);
+  }
+}
+
+TEST_P(PipelinePropertySweep, LatencyMonotoneInWork) {
+  common::Rng rng(GetParam() + 5);
+  for (int i = 0; i < 200; ++i) {
+    const auto config = random_config(rng);
+    auto work = random_work(rng);
+    work.nsub = 0;
+    const std::size_t base = simulate_norm_layer(work, config).cycles;
+    auto more_vectors = work;
+    more_vectors.vectors += 16;
+    EXPECT_GE(simulate_norm_layer(more_vectors, config).cycles, base);
+    auto longer = work;
+    longer.n += 512;
+    EXPECT_GE(simulate_norm_layer(longer, config).cycles, base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePropertySweep,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace haan::accel

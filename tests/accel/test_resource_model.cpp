@@ -1,0 +1,121 @@
+#include "accel/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace haan::accel {
+namespace {
+
+AcceleratorConfig config_of(std::size_t pd, std::size_t pn,
+                            numerics::NumericFormat format) {
+  AcceleratorConfig config;
+  config.pd = pd;
+  config.pn = pn;
+  config.io_format = format;
+  return config;
+}
+
+// The six anchor points of the paper's Table III. The model was calibrated
+// against them; these tests pin the calibration so refactors cannot silently
+// drift.
+struct Anchor {
+  std::size_t pd, pn;
+  numerics::NumericFormat format;
+  double lut, ff, dsp, power;
+};
+
+const Anchor kAnchors[] = {
+    {128, 128, numerics::NumericFormat::kFP32, 84000, 17000, 1536, 6.362},
+    {32, 128, numerics::NumericFormat::kFP32, 99000, 21000, 1036, 6.136},
+    {128, 128, numerics::NumericFormat::kFP16, 55000, 11000, 1536, 4.868},
+    {32, 128, numerics::NumericFormat::kFP16, 76000, 15000, 1036, 4.790},
+    {256, 256, numerics::NumericFormat::kINT8, 58000, 21000, 1536, 3.458},
+    {32, 512, numerics::NumericFormat::kINT8, 86000, 25000, 1025, 6.382},
+};
+
+class TableIIIAnchors : public ::testing::TestWithParam<Anchor> {};
+
+TEST_P(TableIIIAnchors, ModelReproducesPaperNumbers) {
+  const Anchor& anchor = GetParam();
+  const ResourceEstimate estimate =
+      estimate_resources(config_of(anchor.pd, anchor.pn, anchor.format));
+  EXPECT_NEAR(estimate.lut / anchor.lut, 1.0, 0.05);
+  EXPECT_NEAR(estimate.ff / anchor.ff, 1.0, 0.10);
+  EXPECT_NEAR(estimate.dsp / anchor.dsp, 1.0, 0.02);
+  EXPECT_NEAR(estimate.power_w / anchor.power, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Anchors, TableIIIAnchors, ::testing::ValuesIn(kAnchors));
+
+TEST(ResourceModel, Fp32CostsMoreThanFp16) {
+  const auto fp32 =
+      estimate_resources(config_of(128, 128, numerics::NumericFormat::kFP32));
+  const auto fp16 =
+      estimate_resources(config_of(128, 128, numerics::NumericFormat::kFP16));
+  EXPECT_GT(fp32.power_w, fp16.power_w);
+  EXPECT_GT(fp32.lut, fp16.lut);
+  // Paper: FP32 draws ~1.29x the power of FP16 on average.
+  EXPECT_NEAR(fp32.power_w / fp16.power_w, 1.29, 0.08);
+}
+
+TEST(ResourceModel, Int8CheapestAtMatchedThroughput) {
+  // INT8 at double lanes (matched bytes/cycle) still uses less power.
+  const auto int8 =
+      estimate_resources(config_of(256, 256, numerics::NumericFormat::kINT8));
+  const auto fp16 =
+      estimate_resources(config_of(128, 128, numerics::NumericFormat::kFP16));
+  EXPECT_LT(int8.power_w, fp16.power_w);
+}
+
+TEST(ResourceModel, ShrinkingPdRaisesLutViaPipelineLevels) {
+  // Paper Table III: (32, 128) has more LUTs/FFs than (128, 128) because the
+  // freed DSP budget becomes extra NU pipeline levels.
+  const auto wide =
+      estimate_resources(config_of(128, 128, numerics::NumericFormat::kFP32));
+  const auto narrow =
+      estimate_resources(config_of(32, 128, numerics::NumericFormat::kFP32));
+  EXPECT_GT(narrow.lut, wide.lut);
+  EXPECT_GT(narrow.ff, wide.ff);
+  EXPECT_LT(narrow.dsp, wide.dsp);
+}
+
+TEST(ResourceModel, FractionsUsePaperDeviceTotals) {
+  const auto estimate =
+      estimate_resources(config_of(128, 128, numerics::NumericFormat::kFP32));
+  EXPECT_NEAR(estimate.lut_fraction(), 0.049, 0.004);
+  EXPECT_NEAR(estimate.dsp_fraction(), 0.125, 0.005);
+  EXPECT_NEAR(estimate.ff_fraction(), 0.005, 0.001);
+}
+
+TEST(ResourceModel, EffectivePowerScalesWithUtilization) {
+  const auto config = config_of(128, 128, numerics::NumericFormat::kFP16);
+  const double idle = effective_power_w(config, 0.0, 0.0);
+  const double half = effective_power_w(config, 0.5, 0.5);
+  const double full = effective_power_w(config, 1.0, 1.0);
+  EXPECT_LT(idle, half);
+  EXPECT_LT(half, full);
+  EXPECT_GT(idle, 1.0);  // static floor remains
+  // Linear in utilization: half sits midway.
+  EXPECT_NEAR(half, (idle + full) / 2.0, 1e-9);
+}
+
+TEST(ResourceModel, PipelinesMultiplyResources) {
+  auto config = config_of(64, 64, numerics::NumericFormat::kFP16);
+  const auto one = estimate_resources(config);
+  config.pipelines = 2;
+  const auto two = estimate_resources(config);
+  EXPECT_NEAR(two.dsp, 2.0 * one.dsp, 1e-9);
+  EXPECT_GT(two.lut, 1.9 * one.lut);
+}
+
+TEST(ResourceModel, MonotonicInLanes) {
+  double prev_dsp = 0.0;
+  for (const std::size_t lanes : {16u, 32u, 64u, 128u, 256u}) {
+    const auto estimate =
+        estimate_resources(config_of(lanes, lanes, numerics::NumericFormat::kFP16));
+    EXPECT_GT(estimate.dsp, prev_dsp);
+    prev_dsp = estimate.dsp;
+  }
+}
+
+}  // namespace
+}  // namespace haan::accel

@@ -1,0 +1,55 @@
+#include "baselines/e2e_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace haan::baselines {
+namespace {
+
+TEST(E2e, PaperSpeedupReproduced) {
+  // Paper §V-B-2: GPT-2 355M on the [41] spatial system, input lengths
+  // 128/256/512: average end-to-end speedup ~1.11x.
+  double sum = 0.0;
+  int count = 0;
+  for (const std::size_t seq : {128u, 256u, 512u}) {
+    const E2eResult result = e2e_speedup(model::real_dims_gpt2_355m(), seq,
+                                         accel::haan_v1(), /*nsub=*/512,
+                                         /*skipped=*/5);
+    EXPECT_GT(result.e2e_speedup, 1.05) << seq;
+    EXPECT_LT(result.e2e_speedup, 1.2) << seq;
+    sum += result.e2e_speedup;
+    ++count;
+  }
+  EXPECT_NEAR(sum / count, 1.11, 0.035);
+}
+
+TEST(E2e, InternalConsistency) {
+  const E2eResult result = e2e_speedup(model::real_dims_gpt2_355m(), 256,
+                                       accel::haan_v1(), 512, 5);
+  EXPECT_GT(result.baseline_ms, result.haan_ms);
+  EXPECT_NEAR(result.e2e_speedup, result.baseline_ms / result.haan_ms, 1e-12);
+  EXPECT_GT(result.norm_fraction, 0.0);
+  EXPECT_LT(result.norm_fraction, 1.0);
+  EXPECT_GT(result.norm_speedup, 1.0);
+}
+
+TEST(E2e, AmdahlBound) {
+  // End-to-end speedup can never exceed 1 / (1 - norm_fraction).
+  const E2eResult result = e2e_speedup(model::real_dims_gpt2_355m(), 128,
+                                       accel::haan_v1(), 512, 5);
+  EXPECT_LT(result.e2e_speedup, 1.0 / (1.0 - result.norm_fraction) + 1e-9);
+}
+
+TEST(E2e, FasterHostSystemShrinksGain) {
+  SpatialSystemParams fast;
+  fast.effective_tops = 40.0;  // much faster matmul engine -> norm dominates
+  const E2eResult fast_host = e2e_speedup(model::real_dims_gpt2_355m(), 256,
+                                          accel::haan_v1(), 512, 5, fast);
+  SpatialSystemParams slow;
+  slow.effective_tops = 3.0;
+  const E2eResult slow_host = e2e_speedup(model::real_dims_gpt2_355m(), 256,
+                                          accel::haan_v1(), 512, 5, slow);
+  EXPECT_GT(fast_host.e2e_speedup, slow_host.e2e_speedup);
+}
+
+}  // namespace
+}  // namespace haan::baselines

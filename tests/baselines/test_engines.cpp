@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dfx_engine.hpp"
+#include "baselines/gpu_engine.hpp"
+#include "baselines/haan_engine.hpp"
+#include "baselines/mhaa_engine.hpp"
+#include "baselines/sole_engine.hpp"
+
+namespace haan::baselines {
+namespace {
+
+NormWorkload gpt2_workload(std::size_t seq) {
+  // Paper Fig 9 setting: 10 of 97 layers skipped, nsub = N/2.
+  return make_workload(model::real_dims_gpt2_1p5b(), seq, 10, 800,
+                       model::NormKind::kLayerNorm);
+}
+
+NormWorkload opt_workload(std::size_t seq) {
+  // Paper Fig 8(b) setting: 7 of 65 skipped, input truncated to 1280.
+  return make_workload(model::real_dims_opt2p7b(), seq, 7, 1280,
+                       model::NormKind::kLayerNorm);
+}
+
+TEST(Workload, TotalVectors) {
+  const NormWorkload work = gpt2_workload(128);
+  EXPECT_EQ(work.total_vectors(), 97u * 128u);
+  EXPECT_EQ(work.embedding_dim, 1600u);
+}
+
+TEST(HaanEngine, LatencyScalesWithSequence) {
+  const HaanEngine engine(accel::haan_v1());
+  const double lat128 = engine.total_latency_us(gpt2_workload(128));
+  const double lat1024 = engine.total_latency_us(gpt2_workload(1024));
+  EXPECT_GT(lat1024, lat128 * 6.0);
+  EXPECT_LT(lat1024, lat128 * 9.0);  // roughly linear
+}
+
+TEST(HaanEngine, SkippedLayersReduceLatencyAndPower) {
+  const HaanEngine engine(accel::haan_v1());
+  NormWorkload with_skip = opt_workload(256);
+  NormWorkload no_skip = with_skip;
+  no_skip.skipped_layers = 0;
+  EXPECT_LE(engine.total_latency_us(with_skip),
+            engine.total_latency_us(no_skip));
+  EXPECT_LT(engine.average_power_w(with_skip), engine.average_power_w(no_skip));
+}
+
+TEST(GpuEngine, PerKernelGranularity) {
+  const GpuNormEngine gpu;
+  const NormWorkload work = gpt2_workload(128);
+  const double latency = gpu.total_latency_us(work);
+  // Must exceed pure overhead * kernel count.
+  EXPECT_GT(latency, 0.9 * static_cast<double>(work.total_vectors()));
+}
+
+TEST(Figure9, Gpt2RelativeLatencies) {
+  // Paper Fig 9 / §V-B: vs HAAN-v1 on GPT2-1.5B —
+  //   DFX ~11.7x, GPU ~10.5x, SOLE ~1.25x, MHAA ~2.42x, HAAN-v2 ~1.03-1.05x.
+  const HaanEngine v1(accel::haan_v1());
+  const HaanEngine v2(accel::haan_v2());
+  const GpuNormEngine gpu;
+  const DfxEngine dfx;
+  const SoleEngine sole;
+  const MhaaEngine mhaa;
+
+  for (const std::size_t seq : {128u, 256u, 512u, 1024u}) {
+    const NormWorkload work = gpt2_workload(seq);
+    const double base = v1.total_latency_us(work);
+    EXPECT_NEAR(dfx.total_latency_us(work) / base, 11.7, 3.0) << seq;
+    EXPECT_NEAR(gpu.total_latency_us(work) / base, 10.5, 3.0) << seq;
+    EXPECT_NEAR(sole.total_latency_us(work) / base, 1.35, 0.35) << seq;
+    EXPECT_NEAR(mhaa.total_latency_us(work) / base, 2.4, 0.8) << seq;
+    EXPECT_NEAR(v2.total_latency_us(work) / base, 1.0, 0.1) << seq;
+  }
+}
+
+TEST(Figure8b, OptRelativeLatencies) {
+  // Paper Fig 8(b): on OPT-2.7B — GPU ~10x, SOLE ~1.57x, MHAA ~1.62x,
+  // HAAN-v3 ~ HAAN-v1.
+  const HaanEngine v1(accel::haan_v1());
+  const HaanEngine v3(accel::haan_v3());
+  const GpuNormEngine gpu;
+  const SoleEngine sole;
+  const MhaaEngine mhaa;
+
+  for (const std::size_t seq : {128u, 512u}) {
+    const NormWorkload work = opt_workload(seq);
+    const double base = v1.total_latency_us(work);
+    EXPECT_NEAR(gpu.total_latency_us(work) / base, 10.0, 3.0) << seq;
+    EXPECT_NEAR(sole.total_latency_us(work) / base, 1.5, 0.5) << seq;
+    EXPECT_NEAR(mhaa.total_latency_us(work) / base, 2.0, 0.8) << seq;
+    EXPECT_NEAR(v3.total_latency_us(work) / base, 1.0, 0.1) << seq;
+  }
+}
+
+TEST(Figure8a, PowerOrdering) {
+  // Paper: HAAN uses ~61-64% less power than DFX and slightly less than
+  // SOLE/MHAA.
+  const HaanEngine v1(accel::haan_v1());
+  const DfxEngine dfx;
+  const SoleEngine sole;
+  const MhaaEngine mhaa;
+  const NormWorkload work = gpt2_workload(256);
+
+  const double haan_power = v1.average_power_w(work);
+  const double reduction_vs_dfx = 1.0 - haan_power / dfx.average_power_w(work);
+  EXPECT_NEAR(reduction_vs_dfx, 0.625, 0.08);
+  EXPECT_LT(haan_power, sole.average_power_w(work));
+  EXPECT_LT(haan_power, mhaa.average_power_w(work));
+  // But in the same ballpark (paper: "slightly less").
+  EXPECT_GT(haan_power, 0.6 * sole.average_power_w(work));
+}
+
+TEST(Engines, EnergyIsPowerTimesLatency) {
+  const SoleEngine sole;
+  const NormWorkload work = gpt2_workload(128);
+  EXPECT_DOUBLE_EQ(sole.total_energy_uj(work),
+                   sole.total_latency_us(work) * sole.average_power_w(work));
+}
+
+TEST(Engines, NamesAreStable) {
+  EXPECT_EQ(HaanEngine(accel::haan_v1()).name(), "HAAN-v1");
+  EXPECT_EQ(GpuNormEngine().name(), "GPU");
+  EXPECT_EQ(DfxEngine().name(), "DFX");
+  EXPECT_EQ(SoleEngine().name(), "SOLE");
+  EXPECT_EQ(MhaaEngine().name(), "MHAA");
+}
+
+class EngineMonotonicity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineMonotonicity, AllEnginesMonotoneInSequenceLength) {
+  const std::size_t seq = GetParam();
+  const HaanEngine v1(accel::haan_v1());
+  const GpuNormEngine gpu;
+  const DfxEngine dfx;
+  const SoleEngine sole;
+  const MhaaEngine mhaa;
+  const NormWorkload small = gpt2_workload(seq);
+  const NormWorkload large = gpt2_workload(seq * 2);
+  for (const NormEngineModel* engine :
+       std::initializer_list<const NormEngineModel*>{&v1, &gpu, &dfx, &sole, &mhaa}) {
+    EXPECT_LT(engine->total_latency_us(small), engine->total_latency_us(large))
+        << engine->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeqLens, EngineMonotonicity,
+                         ::testing::Values(64u, 128u, 512u));
+
+}  // namespace
+}  // namespace haan::baselines

@@ -1,0 +1,83 @@
+#include "baselines/gpu_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace haan::baselines {
+namespace {
+
+TEST(GpuRuntime, Figure1bGpt2OriginalShape) {
+  // Paper Fig 1(b), GPT-2 original column: matmul ~57%, softmax ~15%,
+  // normalization ~14-16%, others ~13%.
+  const RuntimeBreakdown run = gpu_runtime_breakdown(
+      model::real_dims_gpt2_117m(), 2048, /*optimized=*/false,
+      gpt2_runtime_params());
+  EXPECT_NEAR(run.matmul_fraction(), 0.572, 0.05);
+  EXPECT_NEAR(run.softmax_fraction(), 0.149, 0.05);
+  EXPECT_NEAR(run.norm_fraction(), 0.15, 0.04);
+  EXPECT_NEAR(run.others_fraction(), 0.134, 0.05);
+}
+
+TEST(GpuRuntime, Figure1bGpt2OptimizedShape) {
+  // After FlashAttention + FP8: normalization becomes the bottleneck-scale
+  // component (>= 30% of runtime, paper: 33.9%).
+  const RuntimeBreakdown run = gpu_runtime_breakdown(
+      model::real_dims_gpt2_117m(), 2048, /*optimized=*/true,
+      gpt2_runtime_params());
+  EXPECT_GT(run.norm_fraction(), 0.30);
+  EXPECT_LT(run.softmax_fraction(), 0.08);
+  EXPECT_NEAR(run.matmul_fraction(), 0.393, 0.07);
+}
+
+TEST(GpuRuntime, Figure1bOptShapes) {
+  const auto params = opt_runtime_params();
+  const RuntimeBreakdown original = gpu_runtime_breakdown(
+      model::real_dims_opt2p7b(), 2048, false, params);
+  EXPECT_NEAR(original.matmul_fraction(), 0.522, 0.06);
+  EXPECT_NEAR(original.norm_fraction(), 0.139, 0.05);
+  const RuntimeBreakdown optimized = gpu_runtime_breakdown(
+      model::real_dims_opt2p7b(), 2048, true, params);
+  EXPECT_GT(optimized.norm_fraction(), 0.30);
+}
+
+TEST(GpuRuntime, OptimizationNeverTouchesNorm) {
+  const auto params = gpt2_runtime_params();
+  const RuntimeBreakdown original = gpu_runtime_breakdown(
+      model::real_dims_gpt2_117m(), 2048, false, params);
+  const RuntimeBreakdown optimized = gpu_runtime_breakdown(
+      model::real_dims_gpt2_117m(), 2048, true, params);
+  EXPECT_DOUBLE_EQ(original.norm_us, optimized.norm_us);
+  EXPECT_LT(optimized.matmul_us, original.matmul_us);
+  EXPECT_LT(optimized.softmax_us, original.softmax_us);
+  EXPECT_LT(optimized.total_us(), original.total_us());
+}
+
+TEST(GpuRuntime, FractionsSumToOne) {
+  for (const bool optimized : {false, true}) {
+    const RuntimeBreakdown run = gpu_runtime_breakdown(
+        model::real_dims_gpt2_117m(), 1024, optimized, gpt2_runtime_params());
+    EXPECT_NEAR(run.matmul_fraction() + run.softmax_fraction() +
+                    run.norm_fraction() + run.others_fraction(),
+                1.0, 1e-9);
+  }
+}
+
+TEST(GpuRuntime, LongerSequencesCostMore) {
+  const auto params = gpt2_runtime_params();
+  const double t1 =
+      gpu_runtime_breakdown(model::real_dims_gpt2_117m(), 512, false, params)
+          .total_us();
+  const double t2 =
+      gpu_runtime_breakdown(model::real_dims_gpt2_117m(), 2048, false, params)
+          .total_us();
+  EXPECT_GT(t2, 3.0 * t1);  // superlinear (attention is quadratic)
+}
+
+TEST(GpuRuntime, IsdShareAboveNinetyPercent) {
+  // Paper §III-A: "ISD computation accounts for more than 90% of the overall
+  // normalization runtime" on GPU.
+  EXPECT_GT(isd_share_of_norm_runtime(4096, 128, gpt2_runtime_params()), 0.9);
+  EXPECT_GT(isd_share_of_norm_runtime(1600, 512, gpt2_runtime_params()), 0.75);
+}
+
+}  // namespace
+}  // namespace haan::baselines

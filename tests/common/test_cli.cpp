@@ -1,0 +1,85 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace haan::common {
+namespace {
+
+CliParser make_parser() {
+  CliParser parser("test program");
+  parser.add_flag("seed", "42", "random seed");
+  parser.add_flag("name", "default", "a name");
+  parser.add_flag("rate", "0.5", "a rate");
+  parser.add_flag("verbose", "false", "verbosity");
+  return parser;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get("name"), "default");
+  EXPECT_EQ(parser.get_int("seed"), 42);
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.5);
+  EXPECT_FALSE(parser.get_bool("verbose"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--seed=7", "--name=haan"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("seed"), 7);
+  EXPECT_EQ(parser.get("name"), "haan");
+}
+
+TEST(Cli, SpaceSyntax) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--rate", "0.25", "--verbose", "true"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_DOUBLE_EQ(parser.get_double("rate"), 0.25);
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(Cli, MissingValueFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--seed"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.error());
+}
+
+TEST(Cli, PositionalArgFails) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalseWithoutError) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_FALSE(parser.error());
+}
+
+TEST(Cli, HelpListsFlags) {
+  auto parser = make_parser();
+  const std::string help = parser.help();
+  EXPECT_NE(help.find("--seed"), std::string::npos);
+  EXPECT_NE(help.find("random seed"), std::string::npos);
+}
+
+TEST(Cli, BooleanSpellings) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=yes"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+}  // namespace
+}  // namespace haan::common

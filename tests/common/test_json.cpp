@@ -1,0 +1,109 @@
+#include "common/json_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace haan::common {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-17")->as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParseNested) {
+  const auto doc = Json::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(doc.has_value());
+  const auto& a = *doc->find("a");
+  ASSERT_TRUE(a.is_array());
+  EXPECT_EQ(a.as_array().size(), 3u);
+  EXPECT_TRUE(a.as_array()[2].find("b")->as_bool());
+  EXPECT_EQ(doc->find("c")->as_string(), "x");
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("12 34").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+}
+
+TEST(Json, EscapesRoundTrip) {
+  Json::Object object;
+  object["key\n\"quoted\""] = Json(std::string("tab\there"));
+  const Json doc{std::move(object)};
+  const auto parsed = Json::parse(doc.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("key\n\"quoted\"")->as_string(), "tab\there");
+}
+
+TEST(Json, UnicodeEscapeDecodes) {
+  const auto doc = Json::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "A\xC3\xA9");  // "Aé" in UTF-8
+}
+
+TEST(Json, DumpRoundTripPreservesStructure) {
+  Json::Array array;
+  array.push_back(Json(1.5));
+  array.push_back(Json(true));
+  array.push_back(Json());
+  Json::Object object;
+  object["list"] = Json(std::move(array));
+  object["n"] = Json(42);
+  const Json doc{std::move(object)};
+
+  for (const std::string& text : {doc.dump(), doc.dump_pretty()}) {
+    const auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->find("n")->as_number(), 42.0);
+    const auto& list = parsed->find("list")->as_array();
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_DOUBLE_EQ(list[0].as_number(), 1.5);
+    EXPECT_TRUE(list[1].as_bool());
+    EXPECT_TRUE(list[2].is_null());
+  }
+}
+
+TEST(Json, IntegersDumpWithoutDecimals) {
+  EXPECT_EQ(Json(1536).dump(), "1536");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/haan_json_test.json";
+  Json::Object object;
+  object["x"] = Json(3.0);
+  ASSERT_TRUE(write_file(path, Json(std::move(object)).dump()));
+  const auto text = read_file(path);
+  ASSERT_TRUE(text.has_value());
+  const auto parsed = Json::parse(*text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->find("x")->as_number(), 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(Json, ReadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_file("/nonexistent/path/file.json").has_value());
+}
+
+TEST(Json, NumberPrecisionSurvivesRoundTrip) {
+  const double value = -0.010223456789012345;
+  const auto parsed = Json::parse(Json(value).dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->as_number(), value);
+}
+
+}  // namespace
+}  // namespace haan::common

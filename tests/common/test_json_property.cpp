@@ -1,0 +1,91 @@
+// Round-trip fuzzing of the JSON substrate: any document the generator can
+// build must survive dump -> parse -> dump bit-identically.
+#include <gtest/gtest.h>
+
+#include "common/json_lite.hpp"
+#include "common/rng.hpp"
+
+namespace haan::common {
+namespace {
+
+Json random_json(Rng& rng, int depth) {
+  const std::uint64_t kind = rng.uniform_index(depth <= 0 ? 4 : 6);
+  switch (kind) {
+    case 0:
+      return Json();
+    case 1:
+      return Json(rng.uniform_index(2) == 0);
+    case 2: {
+      // Mix of integers and awkward doubles.
+      if (rng.uniform_index(2) == 0) {
+        return Json(static_cast<long long>(rng.uniform_index(1000000)) - 500000);
+      }
+      return Json(rng.gaussian(0.0, 1e6));
+    }
+    case 3: {
+      std::string s;
+      const std::size_t len = rng.uniform_index(20);
+      for (std::size_t i = 0; i < len; ++i) {
+        const char alphabet[] = "abcXYZ019 _\"\\\n\t{}[]:,";
+        s += alphabet[rng.uniform_index(sizeof(alphabet) - 1)];
+      }
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json::Array array;
+      const std::size_t len = rng.uniform_index(5);
+      for (std::size_t i = 0; i < len; ++i) array.push_back(random_json(rng, depth - 1));
+      return Json(std::move(array));
+    }
+    default: {
+      Json::Object object;
+      const std::size_t len = rng.uniform_index(5);
+      for (std::size_t i = 0; i < len; ++i) {
+        object["key" + std::to_string(rng.uniform_index(100))] =
+            random_json(rng, depth - 1);
+      }
+      return Json(std::move(object));
+    }
+  }
+}
+
+class JsonFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzzSweep, CompactRoundTripIsStable) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const Json doc = random_json(rng, 4);
+    const std::string first = doc.dump();
+    const auto parsed = Json::parse(first);
+    ASSERT_TRUE(parsed.has_value()) << first;
+    EXPECT_EQ(parsed->dump(), first);
+  }
+}
+
+TEST_P(JsonFuzzSweep, PrettyAndCompactAgree) {
+  Rng rng(GetParam() + 1);
+  for (int i = 0; i < 300; ++i) {
+    const Json doc = random_json(rng, 3);
+    const auto from_pretty = Json::parse(doc.dump_pretty());
+    ASSERT_TRUE(from_pretty.has_value());
+    EXPECT_EQ(from_pretty->dump(), doc.dump());
+  }
+}
+
+TEST_P(JsonFuzzSweep, TruncatedDocumentsNeverParse) {
+  Rng rng(GetParam() + 2);
+  for (int i = 0; i < 300; ++i) {
+    Json::Object object;
+    object["a"] = random_json(rng, 2);
+    const std::string text = Json(std::move(object)).dump();
+    // Any strict prefix of an object document is malformed.
+    const std::size_t cut = 1 + rng.uniform_index(text.size() - 1);
+    EXPECT_FALSE(Json::parse(text.substr(0, cut)).has_value())
+        << text << " cut at " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzSweep, ::testing::Values(7u, 77u, 777u));
+
+}  // namespace
+}  // namespace haan::common

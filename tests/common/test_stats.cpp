@@ -1,0 +1,166 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace haan::common {
+namespace {
+
+TEST(RunningMoments, MatchesClosedForm) {
+  RunningMoments m;
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  for (const double x : xs) m.add(x);
+  EXPECT_EQ(m.count(), 5u);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(m.stddev(), std::sqrt(2.0));
+}
+
+TEST(RunningMoments, EmptyIsZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMoments, SingleValue) {
+  RunningMoments m;
+  m.add(7.5);
+  EXPECT_DOUBLE_EQ(m.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMoments, AgreesWithBatchVariance) {
+  Rng rng(3);
+  std::vector<double> xs(1000);
+  RunningMoments m;
+  for (auto& x : xs) {
+    x = rng.gaussian(2.0, 3.0);
+    m.add(x);
+  }
+  EXPECT_NEAR(m.mean(), mean_of(xs), 1e-12);
+  EXPECT_NEAR(m.variance(), variance_of(xs), 1e-9);
+}
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng(4);
+  std::vector<double> xs(5000), ys(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.gaussian();
+    ys[i] = rng.gaussian();
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.05);
+}
+
+TEST(Pearson, VsIndexMatchesExplicit) {
+  const std::vector<double> ys{3.0, 1.0, 4.0, 1.0, 5.0};
+  const std::vector<double> xs{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson_vs_index(ys), pearson(xs, ys));
+}
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> xs(20), ys(20);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i);
+    ys[i] = -0.75 * xs[i] + 3.25;
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, -0.75, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.25, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineApproximatelyRecovered) {
+  Rng rng(5);
+  std::vector<double> xs(500), ys(500);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i) / 10.0;
+    ys[i] = 2.0 * xs[i] - 1.0 + rng.gaussian(0.0, 0.1);
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.02);
+  EXPECT_NEAR(fit.intercept, -1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLine, ConstantXGivesFlatFit) {
+  const std::vector<double> xs{2, 2, 2};
+  const std::vector<double> ys{1, 2, 3};
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(SpanStats, MeanVarianceRms) {
+  const std::vector<double> xs{1.0, -1.0, 1.0, -1.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 0.0);
+  EXPECT_DOUBLE_EQ(variance_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(rms_of(xs), 1.0);
+}
+
+TEST(SpanStats, GeometricMean) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean_of(xs), 4.0, 1e-12);
+}
+
+TEST(SpanStats, MaxAbsDiff) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.5, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+}
+
+TEST(SpanStats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({5.0}), 5.0);
+}
+
+/// Property: Pearson is invariant under affine transforms of either series.
+class PearsonAffineInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(PearsonAffineInvariance, ScaleAndShiftInvariant) {
+  Rng rng(6);
+  std::vector<double> xs(200), ys(200);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.gaussian();
+    ys[i] = 0.5 * xs[i] + rng.gaussian(0.0, 0.5);
+  }
+  const double base = pearson(xs, ys);
+  const double scale = GetParam();
+  std::vector<double> ys2(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) ys2[i] = scale * ys[i] + 17.0;
+  const double transformed = pearson(xs, ys2);
+  if (scale > 0) {
+    EXPECT_NEAR(transformed, base, 1e-9);
+  } else {
+    EXPECT_NEAR(transformed, -base, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PearsonAffineInvariance,
+                         ::testing::Values(0.001, 0.5, 2.0, 1000.0, -1.0, -3.5));
+
+}  // namespace
+}  // namespace haan::common

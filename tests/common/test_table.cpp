@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace haan::common {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, SeparatorDoesNotCountAsRow) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-key", "2"});
+  const std::string out = t.render();
+  // Every rendered line between rules must have the same length.
+  std::size_t line_len = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t end = out.find('\n', pos);
+    const std::size_t len = end - pos;
+    if (line_len == 0) line_len = len;
+    EXPECT_EQ(len, line_len);
+    pos = end + 1;
+  }
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Table, FormatRatio) {
+  EXPECT_EQ(format_ratio(11.728), "11.73x");
+  EXPECT_EQ(format_ratio(1.0, 1), "1.0x");
+}
+
+TEST(Table, FormatPercent) {
+  EXPECT_EQ(format_percent(0.049), "4.9%");
+  EXPECT_EQ(format_percent(0.125, 1), "12.5%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Table, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1536), "1,536");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-84000), "-84,000");
+}
+
+}  // namespace
+}  // namespace haan::common

@@ -1,0 +1,95 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "model/transformer.hpp"
+
+namespace haan::core {
+namespace {
+
+TEST(Corpus, DeterministicAndInRange) {
+  const auto a = random_token_corpus(100, 5, 8, 42);
+  const auto b = random_token_corpus(100, 5, 8, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 5u);
+  for (const auto& sample : a) {
+    EXPECT_EQ(sample.size(), 8u);
+    for (const int token : sample) {
+      EXPECT_GE(token, 0);
+      EXPECT_LT(token, 100);
+    }
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  EXPECT_NE(random_token_corpus(100, 2, 8, 1), random_token_corpus(100, 2, 8, 2));
+}
+
+TEST(Calibration, ProducesEnabledPlanOnTinyModel) {
+  model::Transformer model(model::tiny_test_model());
+  CalibrationOptions options;
+  options.n_samples = 2;
+  options.seq_len = 8;
+  options.position_stride = 4;
+  options.planner.min_gap = 3;
+  const CalibrationResult result = calibrate_skip_plan(model, options);
+  EXPECT_TRUE(result.plan.enabled);
+  EXPECT_LT(result.plan.start, result.plan.end);
+  EXPECT_LT(result.plan.end, model.config().norm_layer_count());
+  EXPECT_EQ(result.trace.layer_count(), model.config().norm_layer_count());
+  EXPECT_GT(result.trace.observation_count(), 0u);
+}
+
+TEST(Calibration, DeterministicGivenOptions) {
+  model::Transformer model(model::tiny_test_model());
+  CalibrationOptions options;
+  options.n_samples = 2;
+  options.seq_len = 8;
+  options.planner.min_gap = 3;
+  const auto a = calibrate_skip_plan(model, options);
+  const auto b = calibrate_skip_plan(model, options);
+  EXPECT_EQ(a.plan.start, b.plan.start);
+  EXPECT_EQ(a.plan.end, b.plan.end);
+  EXPECT_DOUBLE_EQ(a.plan.decay, b.plan.decay);
+}
+
+TEST(PlanSerialization, JsonRoundTrip) {
+  SkipPlan plan;
+  plan.start = 50;
+  plan.end = 60;
+  plan.decay = -0.0123456789;
+  plan.pearson = -0.9987;
+  plan.enabled = true;
+  const SkipPlan restored = skip_plan_from_json(skip_plan_to_json(plan));
+  EXPECT_EQ(restored.start, plan.start);
+  EXPECT_EQ(restored.end, plan.end);
+  EXPECT_DOUBLE_EQ(restored.decay, plan.decay);
+  EXPECT_DOUBLE_EQ(restored.pearson, plan.pearson);
+  EXPECT_EQ(restored.enabled, plan.enabled);
+}
+
+TEST(PlanSerialization, FileRoundTrip) {
+  SkipPlan plan;
+  plan.start = 10;
+  plan.end = 20;
+  plan.decay = -0.05;
+  plan.enabled = true;
+  const std::string path = ::testing::TempDir() + "/haan_plan_test.json";
+  ASSERT_TRUE(save_skip_plan(plan, path));
+  const SkipPlan restored = load_skip_plan(path);
+  EXPECT_EQ(restored.start, 10u);
+  EXPECT_EQ(restored.end, 20u);
+  EXPECT_DOUBLE_EQ(restored.decay, -0.05);
+  std::remove(path.c_str());
+}
+
+TEST(PlanSerialization, DisabledPlanRoundTrips) {
+  SkipPlan plan;  // disabled default
+  const SkipPlan restored = skip_plan_from_json(skip_plan_to_json(plan));
+  EXPECT_FALSE(restored.enabled);
+}
+
+}  // namespace
+}  // namespace haan::core

@@ -1,0 +1,221 @@
+#include "core/haan_norm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/norm_ref.hpp"
+#include "tensor/ops.hpp"
+
+namespace haan::core {
+namespace {
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed, double mean = 0.5,
+                                 double stddev = 2.0) {
+  common::Rng rng(seed);
+  std::vector<float> z(n);
+  rng.fill_gaussian(z, mean, stddev);
+  return z;
+}
+
+TEST(HaanNorm, AllOffMatchesReferenceLayerNorm) {
+  HaanConfig config;
+  config.use_fast_invsqrt = false;
+  HaanNormProvider provider(config);
+  const auto z = random_vector(128, 1);
+  std::vector<float> out(z.size()), ref(z.size());
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out);
+  tensor::layernorm(z, {}, {}, ref, config.eps);
+  EXPECT_LT(tensor::max_abs_error(out, ref), 1e-5);
+}
+
+TEST(HaanNorm, AllOffMatchesReferenceRmsNorm) {
+  HaanConfig config;
+  config.use_fast_invsqrt = false;
+  HaanNormProvider provider(config);
+  const auto z = random_vector(64, 2);
+  std::vector<float> out(z.size()), ref(z.size());
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kRMSNorm, z, {}, {}, out);
+  tensor::rmsnorm(z, {}, {}, ref, config.eps);
+  EXPECT_LT(tensor::max_abs_error(out, ref), 1e-5);
+}
+
+TEST(HaanNorm, FastInvSqrtWithinQuarterPercent) {
+  HaanConfig config;  // fast invsqrt on, 1 Newton iteration
+  HaanNormProvider provider(config);
+  const auto z = random_vector(256, 3);
+  std::vector<float> out(z.size()), ref(z.size());
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out);
+  tensor::layernorm(z, {}, {}, ref, config.eps);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    if (std::abs(ref[i]) < 0.05f) continue;
+    EXPECT_NEAR(out[i] / ref[i], 1.0, 0.0025);
+  }
+}
+
+TEST(HaanNorm, AffineParamsApplied) {
+  HaanConfig config;
+  config.use_fast_invsqrt = false;
+  HaanNormProvider provider(config);
+  const auto z = random_vector(32, 4);
+  std::vector<float> alpha(32, 2.0f), beta(32, 1.0f);
+  std::vector<float> out(32), ref(32);
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kLayerNorm, z, alpha, beta, out);
+  tensor::layernorm(z, alpha, beta, ref, config.eps);
+  EXPECT_LT(tensor::max_abs_error(out, ref), 1e-5);
+}
+
+TEST(HaanNorm, SkippedLayerUsesPredictedIsd) {
+  SkipPlan plan;
+  plan.start = 0;
+  plan.end = 2;
+  plan.decay = -0.5;
+  plan.enabled = true;
+  HaanConfig config;
+  config.use_fast_invsqrt = false;
+  config.plan = plan;
+  HaanNormProvider provider(config);
+
+  const auto z = random_vector(64, 5);
+  std::vector<float> out(z.size());
+  provider.begin_sequence();
+  // Layer 0 (anchor): computed.
+  provider.normalize(0, 0, model::NormKind::kRMSNorm, z, {}, {}, out);
+  const double anchor_isd = provider.last_isd_used();
+  // Layer 1: predicted = anchor * exp(decay).
+  provider.normalize(1, 0, model::NormKind::kRMSNorm, z, {}, {}, out);
+  EXPECT_NEAR(provider.last_isd_used(), anchor_isd * std::exp(-0.5), 1e-9);
+  // Layer 2: predicted = anchor * exp(2 * decay).
+  provider.normalize(2, 0, model::NormKind::kRMSNorm, z, {}, {}, out);
+  EXPECT_NEAR(provider.last_isd_used(), anchor_isd * std::exp(-1.0), 1e-9);
+  EXPECT_EQ(provider.counters().isd_computed, 1u);
+  EXPECT_EQ(provider.counters().isd_predicted, 2u);
+}
+
+TEST(HaanNorm, SkippedLayerNormStillRecentersWithSubsampledMean) {
+  SkipPlan plan;
+  plan.start = 0;
+  plan.end = 1;
+  plan.decay = 0.0;
+  plan.enabled = true;
+  HaanConfig config;
+  config.use_fast_invsqrt = false;
+  config.plan = plan;
+  config.nsub = 32;
+  HaanNormProvider provider(config);
+
+  const auto z = random_vector(64, 6, /*mean=*/10.0, /*stddev=*/1.0);
+  std::vector<float> out(z.size());
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out);
+  provider.normalize(1, 0, model::NormKind::kLayerNorm, z, {}, {}, out);
+  // The skipped layer's output must still be roughly centered: mean removed.
+  const auto stats = tensor::exact_stats(out);
+  EXPECT_LT(std::abs(stats.mean), 0.2);
+}
+
+TEST(HaanNorm, CountersTrackElementsRead) {
+  HaanConfig config;
+  config.nsub = 16;
+  HaanNormProvider provider(config);
+  const auto z = random_vector(64, 7);
+  std::vector<float> out(z.size());
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kRMSNorm, z, {}, {}, out);
+  EXPECT_EQ(provider.counters().elements_read, 16u);
+  EXPECT_EQ(provider.counters().norm_calls, 1u);
+}
+
+TEST(HaanNorm, SubsamplingChangesOnlyStatistics) {
+  HaanConfig full;
+  full.use_fast_invsqrt = false;
+  HaanConfig sub;
+  sub.use_fast_invsqrt = false;
+  sub.nsub = 64;
+  HaanNormProvider p_full(full), p_sub(sub);
+  const auto z = random_vector(128, 8);
+  std::vector<float> out_full(z.size()), out_sub(z.size());
+  p_full.begin_sequence();
+  p_sub.begin_sequence();
+  p_full.normalize(0, 0, model::NormKind::kRMSNorm, z, {}, {}, out_full);
+  p_sub.normalize(0, 0, model::NormKind::kRMSNorm, z, {}, {}, out_sub);
+  // Outputs are proportional: same direction, different ISD scale.
+  const double ratio = out_sub[0] / out_full[0];
+  for (std::size_t i = 1; i < z.size(); ++i) {
+    if (std::abs(out_full[i]) < 1e-3) continue;
+    EXPECT_NEAR(out_sub[i] / out_full[i], ratio, 1e-4);
+  }
+  EXPECT_NEAR(ratio, 1.0, 0.3);  // subsampled estimate in the right ballpark
+}
+
+TEST(HaanNorm, Int8QuantizationBoundedError) {
+  HaanConfig config;
+  config.use_fast_invsqrt = false;
+  config.format = numerics::NumericFormat::kINT8;
+  HaanNormProvider provider(config);
+  const auto z = random_vector(256, 9);
+  std::vector<float> out(z.size()), ref(z.size());
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out);
+  tensor::layernorm(z, {}, {}, ref, config.eps);
+  // INT8 grid on ~N(0.5, 2): worst element error ~ scale = max|z|/127.
+  EXPECT_LT(tensor::rms_error(out, ref), 0.05);
+}
+
+TEST(HaanNorm, BeginSequenceResetsAnchors) {
+  SkipPlan plan;
+  plan.start = 0;
+  plan.end = 1;
+  plan.decay = 0.0;
+  plan.enabled = true;
+  HaanConfig config;
+  config.plan = plan;
+  HaanNormProvider provider(config);
+  const auto z1 = random_vector(32, 10, 0.0, 1.0);
+  const auto z2 = random_vector(32, 11, 0.0, 10.0);  // very different scale
+  std::vector<float> out(32);
+
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kRMSNorm, z1, {}, {}, out);
+  const double anchor1 = provider.last_isd_used();
+
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kRMSNorm, z2, {}, {}, out);
+  const double anchor2 = provider.last_isd_used();
+  provider.normalize(1, 0, model::NormKind::kRMSNorm, z2, {}, {}, out);
+  // The prediction must be based on z2's anchor (decay 0 => equal), not z1's.
+  EXPECT_NEAR(provider.last_isd_used(), anchor2, 1e-12);
+  EXPECT_LT(provider.last_isd_used(), anchor1 * 0.5);
+}
+
+class HaanNormFormatSweep : public ::testing::TestWithParam<numerics::NumericFormat> {};
+
+TEST_P(HaanNormFormatSweep, OutputsFiniteAndDirectionallyCorrect) {
+  HaanConfig config;
+  config.format = GetParam();
+  HaanNormProvider provider(config);
+  const auto z = random_vector(128, 12);
+  std::vector<float> out(z.size()), ref(z.size());
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out);
+  tensor::layernorm(z, {}, {}, ref, config.eps);
+  for (const float v : out) ASSERT_TRUE(std::isfinite(v));
+  // Cosine similarity with the reference stays very high for all formats.
+  const double cosine = tensor::dot(out, ref) /
+                        (tensor::l2_norm(out) * tensor::l2_norm(ref));
+  EXPECT_GT(cosine, 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, HaanNormFormatSweep,
+                         ::testing::Values(numerics::NumericFormat::kFP32,
+                                           numerics::NumericFormat::kFP16,
+                                           numerics::NumericFormat::kBF16,
+                                           numerics::NumericFormat::kINT8));
+
+}  // namespace
+}  // namespace haan::core

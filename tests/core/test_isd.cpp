@@ -1,0 +1,113 @@
+#include "core/isd.hpp"
+
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/norm_ref.hpp"
+
+namespace haan::core {
+namespace {
+
+TEST(ExactIsd, LayerNormUsesVariance) {
+  const std::vector<float> z{1.0f, 3.0f};  // mean 2, var 1
+  EXPECT_NEAR(exact_isd(z, model::NormKind::kLayerNorm, 0.0), 1.0, 1e-12);
+}
+
+TEST(ExactIsd, RmsNormUsesSecondMoment) {
+  const std::vector<float> z{3.0f, 4.0f};  // ms = 12.5
+  EXPECT_NEAR(exact_isd(z, model::NormKind::kRMSNorm, 0.0), 1.0 / std::sqrt(12.5),
+              1e-12);
+}
+
+TEST(ExactIsd, EpsKeepsFinite) {
+  const std::vector<float> z(8, 2.0f);  // zero variance
+  const double isd = exact_isd(z, model::NormKind::kLayerNorm, 1e-5);
+  EXPECT_TRUE(std::isfinite(isd));
+  EXPECT_NEAR(isd, 1.0 / std::sqrt(1e-5), 1e-6);
+}
+
+TEST(IsdTrace, RecordAndQuery) {
+  IsdTrace trace(4);
+  trace.begin_observation();
+  trace.record(0, -1.0);
+  trace.record(3, -2.0);
+  EXPECT_EQ(trace.observation_count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.log_isd(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(trace.log_isd(0, 3), -2.0);
+  EXPECT_TRUE(std::isnan(trace.log_isd(0, 1)));
+}
+
+TEST(IsdTrace, MeanSkipsNaN) {
+  IsdTrace trace(2);
+  trace.begin_observation();
+  trace.record(0, -1.0);
+  trace.record(1, -3.0);
+  trace.begin_observation();
+  trace.record(0, -2.0);
+  trace.record(1, -5.0);
+  const auto mean = trace.mean_log_isd();
+  EXPECT_DOUBLE_EQ(mean[0], -1.5);
+  EXPECT_DOUBLE_EQ(mean[1], -4.0);
+}
+
+TEST(IsdTrace, RecordAtTargetsSpecificObservation) {
+  IsdTrace trace(2);
+  trace.begin_observation();
+  trace.begin_observation();
+  trace.record_at(0, 0, -1.0);
+  trace.record_at(1, 0, -9.0);
+  EXPECT_DOUBLE_EQ(trace.log_isd(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(trace.log_isd(1, 0), -9.0);
+}
+
+TEST(CollectIsdTrace, OneObservationPerRecordedPosition) {
+  auto config = model::tiny_test_model();
+  model::Transformer tf(config);
+  const auto corpus = random_token_corpus(config.vocab_size, 2, 8, 3);
+  TraceCollectorOptions options;
+  options.position_stride = 2;  // positions 0,2,4,6 -> 4 per sample
+  const IsdTrace trace = collect_isd_trace(tf, corpus, options);
+  EXPECT_EQ(trace.layer_count(), config.norm_layer_count());
+  EXPECT_EQ(trace.observation_count(), 2u * 4u);
+  // Every recorded observation covers every layer (no NaN gaps).
+  const auto mean = trace.mean_log_isd();
+  for (const double v : mean) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CollectIsdTrace, MatchesDirectObserverComputation) {
+  auto config = model::tiny_test_model();
+  model::Transformer tf(config);
+  const auto corpus = random_token_corpus(config.vocab_size, 1, 4, 4);
+  const IsdTrace trace = collect_isd_trace(tf, corpus, {});
+
+  // Recompute one entry directly.
+  model::ExactNormProvider exact;
+  double expected = 0.0;
+  tf.set_norm_observer([&](std::size_t layer, std::size_t pos,
+                           std::span<const float> z) {
+    if (layer == 1 && pos == 2) {
+      expected = std::log(exact_isd(z, config.norm_kind, 1e-5));
+    }
+  });
+  tf.forward_hidden(corpus[0], exact);
+  tf.set_norm_observer({});
+  EXPECT_DOUBLE_EQ(trace.log_isd(2, 1), expected);  // obs index = position
+}
+
+TEST(CollectIsdTrace, ClearsObserverAfterRun) {
+  auto config = model::tiny_test_model();
+  model::Transformer tf(config);
+  const auto corpus = random_token_corpus(config.vocab_size, 1, 4, 5);
+  collect_isd_trace(tf, corpus, {});
+  // A further forward pass must not touch the (now cleared) observer.
+  model::ExactNormProvider exact;
+  const auto h = tf.forward_hidden(corpus[0], exact);
+  EXPECT_EQ(h.shape().dim(0), 4u);
+}
+
+}  // namespace
+}  // namespace haan::core

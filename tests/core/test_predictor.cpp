@@ -1,0 +1,99 @@
+#include "core/isd_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace haan::core {
+namespace {
+
+SkipPlan plan_10_20(double decay = -0.1) {
+  SkipPlan plan;
+  plan.start = 10;
+  plan.end = 20;
+  plan.decay = decay;
+  plan.enabled = true;
+  return plan;
+}
+
+TEST(IsdPredictor, ImplementsPaperEquation3) {
+  IsdPredictor predictor(plan_10_20(-0.1));
+  predictor.record_anchor(0, 0.5);
+  // log(ISD_k) = log(ISD_i) + e * (k - i)
+  for (std::size_t k = 11; k <= 20; ++k) {
+    const double expected =
+        std::exp(std::log(0.5) - 0.1 * static_cast<double>(k - 10));
+    EXPECT_NEAR(predictor.predict(k, 0), expected, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(IsdPredictor, AnchorsArePerPosition) {
+  IsdPredictor predictor(plan_10_20());
+  predictor.record_anchor(0, 1.0);
+  predictor.record_anchor(1, 2.0);
+  EXPECT_NEAR(predictor.predict(11, 0), std::exp(0.0 - 0.1), 1e-12);
+  EXPECT_NEAR(predictor.predict(11, 1), std::exp(std::log(2.0) - 0.1), 1e-12);
+  EXPECT_EQ(predictor.anchor_count(), 2u);
+}
+
+TEST(IsdPredictor, BeginSequenceClearsAnchors) {
+  IsdPredictor predictor(plan_10_20());
+  predictor.record_anchor(0, 1.0);
+  predictor.begin_sequence();
+  EXPECT_EQ(predictor.anchor_count(), 0u);
+}
+
+TEST(IsdPredictor, FallbackUsesMeanAnchor) {
+  IsdPredictor predictor(plan_10_20(0.0));
+  predictor.record_anchor(0, 1.0);
+  predictor.record_anchor(1, std::exp(2.0));  // log = 2
+  // Position 99 has no anchor: geometric mean of anchors = exp(1).
+  EXPECT_NEAR(predictor.predict(15, 99), std::exp(1.0), 1e-9);
+}
+
+TEST(IsdPredictor, SkipAndAnchorQueries) {
+  IsdPredictor predictor(plan_10_20());
+  EXPECT_TRUE(predictor.is_anchor(10));
+  EXPECT_FALSE(predictor.is_anchor(11));
+  EXPECT_FALSE(predictor.should_skip(10));
+  EXPECT_TRUE(predictor.should_skip(15));
+  EXPECT_FALSE(predictor.should_skip(25));
+}
+
+TEST(IsdPredictor, DisabledPlanNeverSkips) {
+  SkipPlan plan;  // disabled
+  IsdPredictor predictor(plan);
+  EXPECT_FALSE(predictor.should_skip(5));
+  EXPECT_FALSE(predictor.is_anchor(0));
+}
+
+TEST(IsdPredictor, Fp16ModeCloseToExact) {
+  IsdPredictor exact(plan_10_20(-0.05), /*fp16=*/false);
+  IsdPredictor half(plan_10_20(-0.05), /*fp16=*/true);
+  exact.record_anchor(0, 0.037);
+  half.record_anchor(0, 0.037);
+  for (std::size_t k = 11; k <= 20; ++k) {
+    const double e = exact.predict(k, 0);
+    const double h = half.predict(k, 0);
+    EXPECT_NEAR(h / e, 1.0, 5e-3) << "k=" << k;  // FP16 has ~0.05% per-op error
+  }
+}
+
+TEST(IsdPredictor, PredictionErrorGrowsWithDistanceOnMismatchedSlope) {
+  // If the true decay differs from the plan's, the relative error grows with
+  // (k - anchor): the reason Table II's early/misfitted ranges hurt.
+  const double true_decay = -0.08;
+  IsdPredictor predictor(plan_10_20(-0.02));
+  predictor.record_anchor(0, 1.0);
+  double prev_error = 0.0;
+  for (std::size_t k = 11; k <= 20; ++k) {
+    const double truth = std::exp(true_decay * static_cast<double>(k - 10));
+    const double error = std::abs(predictor.predict(k, 0) - truth) / truth;
+    EXPECT_GE(error, prev_error);
+    prev_error = error;
+  }
+  EXPECT_GT(prev_error, 0.5);
+}
+
+}  // namespace
+}  // namespace haan::core

@@ -1,0 +1,148 @@
+#include "core/skip_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace haan::core {
+namespace {
+
+/// Builds a trace with a known shape: steep early decay, noisy flat middle,
+/// clean linear tail with slope `tail_slope` starting at `tail_start`.
+IsdTrace synthetic_trace(std::size_t n_layers, std::size_t tail_start,
+                         double tail_slope, double noise, std::uint64_t seed,
+                         std::size_t observations = 4) {
+  IsdTrace trace(n_layers);
+  common::Rng rng(seed);
+  for (std::size_t obs = 0; obs < observations; ++obs) {
+    trace.begin_observation();
+    const double offset = rng.gaussian(0.0, 0.05);
+    for (std::size_t l = 0; l < n_layers; ++l) {
+      double value;
+      if (l < tail_start) {
+        // Early: exponential-ish decay toward -1 plus noticeable noise.
+        value = -1.0 * (1.0 - std::exp(-static_cast<double>(l) / 3.0)) +
+                rng.gaussian(0.0, noise * 4.0);
+      } else {
+        value = -1.0 + tail_slope * static_cast<double>(l - tail_start) +
+                rng.gaussian(0.0, noise);
+      }
+      trace.record(l, value + offset);
+    }
+  }
+  return trace;
+}
+
+TEST(CalDecay, ExactSlope) {
+  const std::vector<double> window{0.0, -0.5, -1.0, -1.5};
+  EXPECT_NEAR(cal_decay(window), -0.5, 1e-12);
+}
+
+TEST(SkipPlanner, FindsTheLinearTail) {
+  const IsdTrace trace = synthetic_trace(40, 20, -0.05, 1e-4, 1);
+  SkipPlannerOptions options;
+  options.min_gap = 8;
+  const SkipPlan plan = plan_skip(trace, options);
+  EXPECT_TRUE(plan.enabled);
+  // The chosen window must sit inside the clean linear region.
+  EXPECT_GE(plan.start, 19u);
+  EXPECT_LE(plan.end, 39u);
+  EXPECT_NEAR(plan.decay, -0.05, 0.01);
+  EXPECT_LT(plan.pearson, -0.999);
+}
+
+TEST(SkipPlanner, RespectsMinGap) {
+  const IsdTrace trace = synthetic_trace(40, 20, -0.05, 1e-3, 2);
+  SkipPlannerOptions options;
+  options.min_gap = 12;
+  const SkipPlan plan = plan_skip(trace, options);
+  EXPECT_GE(plan.end - plan.start, 12u);
+}
+
+TEST(SkipPlanner, RespectsMaxGap) {
+  const IsdTrace trace = synthetic_trace(40, 10, -0.05, 1e-4, 3);
+  SkipPlannerOptions options;
+  options.min_gap = 4;
+  options.max_gap = 8;
+  const SkipPlan plan = plan_skip(trace, options);
+  EXPECT_LE(plan.end - plan.start, 8u);
+}
+
+TEST(SkipPlanner, MostNegativePearsonWinsOverFlatWindow) {
+  // A perfectly flat window has Pearson 0; the declining window must win
+  // even if the flat one is "cleaner".
+  IsdTrace trace(20);
+  trace.begin_observation();
+  for (std::size_t l = 0; l < 10; ++l) trace.record(l, -1.0);  // flat
+  for (std::size_t l = 10; l < 20; ++l) {
+    trace.record(l, -1.0 - 0.1 * static_cast<double>(l - 10));  // declining
+  }
+  SkipPlannerOptions options;
+  options.min_gap = 5;
+  const SkipPlan plan = plan_skip(trace, options);
+  EXPECT_GE(plan.start, 8u);
+  EXPECT_LT(plan.decay, -0.05);
+}
+
+TEST(SkipPlan, SkipsSemantics) {
+  SkipPlan plan;
+  plan.start = 10;
+  plan.end = 20;
+  plan.enabled = true;
+  EXPECT_FALSE(plan.skips(10));  // anchor is computed
+  EXPECT_TRUE(plan.skips(11));
+  EXPECT_TRUE(plan.skips(20));
+  EXPECT_FALSE(plan.skips(21));
+  EXPECT_FALSE(plan.skips(9));
+  EXPECT_EQ(plan.skipped_count(), 10u);
+}
+
+TEST(SkipPlan, DisabledSkipsNothing) {
+  SkipPlan plan;
+  plan.start = 0;
+  plan.end = 100;
+  plan.enabled = false;
+  EXPECT_FALSE(plan.skips(5));
+  EXPECT_EQ(plan.skipped_count(), 0u);
+}
+
+TEST(FixedRangePlan, FitsDecayOnGivenWindow) {
+  const IsdTrace trace = synthetic_trace(40, 0, -0.08, 1e-5, 4);
+  const SkipPlan plan = fixed_range_plan(trace, 10, 30);
+  EXPECT_EQ(plan.start, 10u);
+  EXPECT_EQ(plan.end, 30u);
+  EXPECT_TRUE(plan.enabled);
+  EXPECT_NEAR(plan.decay, -0.08, 0.005);
+}
+
+TEST(SkipPlanner, AlgorithmOneMinCorInitialization) {
+  // Even a *positively* sloped trace returns a plan (minCor starts at 1, so
+  // any correlation below 1 wins), matching Algorithm 1's semantics.
+  IsdTrace trace(16);
+  trace.begin_observation();
+  for (std::size_t l = 0; l < 16; ++l) trace.record(l, 0.1 * static_cast<double>(l));
+  SkipPlannerOptions options;
+  options.min_gap = 4;
+  const SkipPlan plan = plan_skip(trace, options);
+  EXPECT_TRUE(plan.enabled);
+  EXPECT_GT(plan.decay, 0.0);  // faithfully reports the positive slope
+}
+
+class PlannerNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlannerNoiseSweep, TailStillFoundUnderNoise) {
+  const IsdTrace trace = synthetic_trace(60, 30, -0.04, GetParam(), 7, 8);
+  SkipPlannerOptions options;
+  options.min_gap = 10;
+  const SkipPlan plan = plan_skip(trace, options);
+  // Slope estimate within 50% of truth even at the highest noise level.
+  EXPECT_NEAR(plan.decay, -0.04, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, PlannerNoiseSweep,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 5e-3));
+
+}  // namespace
+}  // namespace haan::core

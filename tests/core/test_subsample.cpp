@@ -1,0 +1,114 @@
+#include "core/subsample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "core/isd.hpp"
+
+namespace haan::core {
+namespace {
+
+TEST(Subsample, FullVectorMatchesExact) {
+  common::Rng rng(1);
+  std::vector<float> z(128);
+  rng.fill_gaussian(z, 1.0, 2.0);
+  for (const std::size_t nsub : {std::size_t{0}, z.size(), z.size() + 50}) {
+    const auto stats = subsampled_stats(z, nsub, model::NormKind::kLayerNorm, 1e-5);
+    EXPECT_EQ(stats.used, z.size());
+    EXPECT_NEAR(stats.isd, exact_isd(z, model::NormKind::kLayerNorm, 1e-5), 1e-9);
+  }
+}
+
+TEST(Subsample, UsesExactlyThePrefix) {
+  // Corrupting elements past nsub must not change the estimate (the paper's
+  // "truncate the first Nsub elements" semantics, Fig 7 memory layout).
+  common::Rng rng(2);
+  std::vector<float> z(64);
+  rng.fill_gaussian(z, 0.0, 1.0);
+  const auto before = subsampled_stats(z, 16, model::NormKind::kRMSNorm, 1e-5);
+  for (std::size_t i = 16; i < z.size(); ++i) z[i] = 1e6f;
+  const auto after = subsampled_stats(z, 16, model::NormKind::kRMSNorm, 1e-5);
+  EXPECT_EQ(before.isd, after.isd);
+  EXPECT_EQ(before.used, 16u);
+}
+
+TEST(Subsample, MeanIsPrefixMean) {
+  const std::vector<float> z{1.0f, 3.0f, 100.0f, 200.0f};
+  const auto stats = subsampled_stats(z, 2, model::NormKind::kLayerNorm, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+}
+
+TEST(Subsample, RmsKindIgnoresMeanInIsd) {
+  const std::vector<float> z{2.0f, -2.0f, 2.0f, -2.0f};
+  const auto ln = subsampled_stats(z, 4, model::NormKind::kLayerNorm, 0.0);
+  const auto rms = subsampled_stats(z, 4, model::NormKind::kRMSNorm, 0.0);
+  // Zero-mean input: LN variance == RMS second moment.
+  EXPECT_NEAR(ln.isd, rms.isd, 1e-12);
+  const std::vector<float> shifted{4.0f, 0.0f, 4.0f, 0.0f};  // mean 2
+  const auto ln2 = subsampled_stats(shifted, 4, model::NormKind::kLayerNorm, 0.0);
+  const auto rms2 = subsampled_stats(shifted, 4, model::NormKind::kRMSNorm, 0.0);
+  EXPECT_GT(ln2.isd, rms2.isd);  // variance < second moment when mean != 0
+}
+
+TEST(Subsample, NegativeVarianceClampsToZero) {
+  // A constant vector with eps=0 would give 1/0; the clamp + eps keeps it
+  // finite like the hardware subtractor.
+  const std::vector<float> z(16, 7.0f);
+  const auto stats = subsampled_stats(z, 8, model::NormKind::kLayerNorm, 1e-5);
+  EXPECT_TRUE(std::isfinite(stats.isd));
+}
+
+TEST(Subsample, RelErrorMatchesTheoreticalScaling) {
+  // Relative ISD error should scale ~ 0.5 * sqrt(2(1/n - 1/N)) for Gaussian
+  // inputs. Checked in aggregate over many vectors.
+  common::Rng rng(3);
+  const std::size_t full = 4096;
+  for (const std::size_t nsub : {256u, 1024u}) {
+    double sum_sq = 0.0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<float> z(full);
+      rng.fill_gaussian(z, 0.0, 1.0);
+      const double err =
+          subsample_isd_rel_error(z, nsub, model::NormKind::kRMSNorm, 0.0);
+      sum_sq += err * err;
+    }
+    const double rms_err = std::sqrt(sum_sq / trials);
+    const double predicted = subsample_noise(nsub, full);
+    EXPECT_NEAR(rms_err, predicted, predicted * 0.45) << "nsub=" << nsub;
+  }
+}
+
+TEST(Subsample, NoiseFormula) {
+  EXPECT_DOUBLE_EQ(subsample_noise(0, 128), 0.0);
+  EXPECT_DOUBLE_EQ(subsample_noise(128, 128), 0.0);
+  EXPECT_GT(subsample_noise(32, 128), subsample_noise(64, 128));
+  // The surrogate operating point (64 of 128 -> 6.25%) is the same order as
+  // the paper's (256 of 4096 -> 4.3%): within a factor of 1.5.
+  EXPECT_NEAR(subsample_noise(64, 128), 0.0625, 1e-4);
+  EXPECT_NEAR(subsample_noise(256, 4096), 0.0428, 1e-3);
+  EXPECT_LT(subsample_noise(64, 128) / subsample_noise(256, 4096), 1.6);
+}
+
+class SubsampleMonotonicity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SubsampleMonotonicity, LargerPrefixTracksExactBetterOnAverage) {
+  common::Rng rng(GetParam());
+  const std::size_t n = 512;
+  double err_small = 0.0, err_large = 0.0;
+  for (int t = 0; t < 40; ++t) {
+    std::vector<float> z(n);
+    rng.fill_gaussian(z, 0.5, 1.5);
+    err_small += subsample_isd_rel_error(z, 32, model::NormKind::kLayerNorm, 0.0);
+    err_large += subsample_isd_rel_error(z, 256, model::NormKind::kLayerNorm, 0.0);
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsampleMonotonicity, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace haan::core

@@ -1,0 +1,66 @@
+#include "eval/perplexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.hpp"
+#include "core/haan_norm.hpp"
+
+namespace haan::eval {
+namespace {
+
+TEST(SoftmaxKl, IdenticalDistributionsZero) {
+  const std::vector<float> logits{1.0f, 2.0f, 3.0f};
+  EXPECT_NEAR(softmax_kl(logits, logits), 0.0, 1e-12);
+}
+
+TEST(SoftmaxKl, NonNegativeAndAsymmetric) {
+  const std::vector<float> p{3.0f, 1.0f, 0.0f};
+  const std::vector<float> q{0.0f, 1.0f, 3.0f};
+  EXPECT_GT(softmax_kl(p, q), 0.0);
+}
+
+TEST(SoftmaxKl, ScaleInvariantThroughStandardization) {
+  // Standardization makes the metric invariant to logit scaling — the
+  // property that keeps untrained-readout KL meaningful.
+  const std::vector<float> p{1.0f, 2.0f, 4.0f, 0.5f};
+  std::vector<float> p_scaled(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) p_scaled[i] = 100.0f * p[i];
+  EXPECT_NEAR(softmax_kl(p, p_scaled), 0.0, 1e-9);
+}
+
+TEST(PseudoPpl, ExactVariantIsUnity) {
+  model::Transformer model(model::tiny_test_model());
+  const auto corpus =
+      core::random_token_corpus(model.config().vocab_size, 3, 8, 17);
+  model::ExactNormProvider exact;
+  EXPECT_NEAR(pseudo_ppl_ratio(model, exact, corpus), 1.0, 1e-9);
+}
+
+TEST(PseudoPpl, GoodHaanConfigNearUnity) {
+  model::Transformer model(model::tiny_test_model());
+  const auto corpus =
+      core::random_token_corpus(model.config().vocab_size, 3, 8, 18);
+  core::HaanConfig config;  // fast invsqrt only
+  core::HaanNormProvider provider(config);
+  const double ratio = pseudo_ppl_ratio(model, provider, corpus);
+  EXPECT_GE(ratio, 1.0 - 1e-9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(PseudoPpl, HarsherApproximationRaisesRatio) {
+  model::Transformer model(model::tiny_test_model());
+  const auto corpus =
+      core::random_token_corpus(model.config().vocab_size, 3, 8, 19);
+  core::HaanConfig gentle;  // full stats
+  core::HaanConfig harsh;
+  harsh.nsub = 4;  // 4-of-32 prefix: very noisy ISD
+  core::HaanNormProvider p_gentle(gentle), p_harsh(harsh);
+  const double r_gentle = pseudo_ppl_ratio(model, p_gentle, corpus);
+  const double r_harsh = pseudo_ppl_ratio(model, p_harsh, corpus);
+  EXPECT_GT(r_harsh, r_gentle);
+}
+
+}  // namespace
+}  // namespace haan::eval

@@ -1,0 +1,137 @@
+#include "eval/tasks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace haan::eval {
+namespace {
+
+model::Transformer& tiny_model() {
+  static model::Transformer model(model::tiny_test_model());
+  return model;
+}
+
+TEST(TaskSuite, FiveTasksPerModel) {
+  for (const char* name : {"LLaMA-7B", "OPT-2.7B", "GPT2-1.5B"}) {
+    const auto suite = task_suite_for(name);
+    ASSERT_EQ(suite.size(), 5u) << name;
+    EXPECT_EQ(suite[0].short_name, "WG");
+    EXPECT_EQ(suite[0].n_choices, 2u);
+    EXPECT_EQ(suite[2].short_name, "HS");
+    EXPECT_EQ(suite[2].n_choices, 4u);
+    EXPECT_EQ(suite[4].short_name, "A-c");
+  }
+}
+
+TEST(TaskSuite, TargetsMatchPaperTableI) {
+  const auto llama = task_suite_for("LLaMA-7B");
+  EXPECT_DOUBLE_EQ(llama[0].target_accuracy, 0.7017);  // WG
+  EXPECT_DOUBLE_EQ(llama[1].target_accuracy, 0.7867);  // PQ
+  const auto gpt2 = task_suite_for("GPT2-1.5B");
+  EXPECT_DOUBLE_EQ(gpt2[4].target_accuracy, 0.2500);  // A-c at chance
+}
+
+TEST(TaskDataset, GenerationIsDeterministic) {
+  auto spec = task_suite_for("LLaMA-7B")[0];
+  spec.context_len = 6;
+  const auto a = TaskDataset::generate(tiny_model(), spec, 16, 2);
+  const auto b = TaskDataset::generate(tiny_model(), spec, 16, 4);
+  ASSERT_EQ(a.examples().size(), b.examples().size());
+  for (std::size_t e = 0; e < a.examples().size(); ++e) {
+    EXPECT_EQ(a.examples()[e].tokens, b.examples()[e].tokens);
+    EXPECT_EQ(a.examples()[e].gold, b.examples()[e].gold);
+    EXPECT_EQ(a.examples()[e].choice_embeddings[0],
+              b.examples()[e].choice_embeddings[0]);
+  }
+  EXPECT_DOUBLE_EQ(a.calibrated_difficulty(), b.calibrated_difficulty());
+}
+
+TEST(TaskDataset, BaselineAccuracyNearTarget) {
+  auto spec = task_suite_for("LLaMA-7B")[0];  // WG target 0.7017
+  spec.context_len = 6;
+  const auto dataset = TaskDataset::generate(tiny_model(), spec, 200);
+  // Cross-noise makes the realized accuracy deviate slightly from the
+  // z-draw calibration; it must stay within a few points.
+  EXPECT_NEAR(dataset.baseline_accuracy(), spec.target_accuracy, 0.06);
+}
+
+TEST(TaskDataset, ChanceTargetIsCalibratable) {
+  auto spec = task_suite_for("GPT2-1.5B")[4];  // A-c at 0.25 = chance
+  spec.context_len = 6;
+  const auto dataset = TaskDataset::generate(tiny_model(), spec, 200);
+  EXPECT_NEAR(dataset.baseline_accuracy(), 0.25, 0.08);
+}
+
+TEST(TaskDataset, EmbeddingsAreUnitNorm) {
+  auto spec = task_suite_for("OPT-2.7B")[2];  // HS, 4 choices
+  spec.context_len = 6;
+  const auto dataset = TaskDataset::generate(tiny_model(), spec, 8);
+  for (const auto& example : dataset.examples()) {
+    ASSERT_EQ(example.choice_embeddings.size(), 4u);
+    EXPECT_LT(example.gold, 4u);
+    for (const auto& emb : example.choice_embeddings) {
+      EXPECT_NEAR(tensor::l2_norm(emb), 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(TaskDataset, GeneratorFeaturesAreUnitNorm) {
+  auto spec = task_suite_for("LLaMA-7B")[1];
+  spec.context_len = 6;
+  const auto dataset = TaskDataset::generate(tiny_model(), spec, 8);
+  for (const auto& feature : dataset.generator_features()) {
+    EXPECT_NEAR(tensor::l2_norm(feature), 1.0, 1e-5);
+  }
+}
+
+TEST(TaskDataset, GoldAlignedAboveDistractorsOnAverage) {
+  auto spec = task_suite_for("LLaMA-7B")[0];
+  spec.context_len = 6;
+  const auto dataset = TaskDataset::generate(tiny_model(), spec, 64);
+  double gold_sum = 0.0, other_sum = 0.0;
+  std::size_t other_count = 0;
+  for (std::size_t e = 0; e < dataset.examples().size(); ++e) {
+    const auto& example = dataset.examples()[e];
+    const auto& feature = dataset.generator_features()[e];
+    for (std::size_t c = 0; c < example.choice_embeddings.size(); ++c) {
+      const double score = tensor::dot(example.choice_embeddings[c], feature);
+      if (c == example.gold) {
+        gold_sum += score;
+      } else {
+        other_sum += score;
+        ++other_count;
+      }
+    }
+  }
+  EXPECT_GT(gold_sum / static_cast<double>(dataset.examples().size()),
+            other_sum / static_cast<double>(other_count));
+}
+
+TEST(ScoreExample, PicksHighestCosine) {
+  Example example;
+  example.gold = 1;
+  example.choice_embeddings = {{1.0f, 0.0f}, {0.0f, 1.0f}};
+  const std::vector<float> feature{0.1f, 0.9f};
+  EXPECT_EQ(score_example(example, feature), 1u);
+  const std::vector<float> feature2{0.9f, 0.1f};
+  EXPECT_EQ(score_example(example, feature2), 0u);
+}
+
+class TaskTargetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TaskTargetSweep, CalibrationHitsEachTaskTarget) {
+  auto spec = task_suite_for("LLaMA-7B")[GetParam()];
+  spec.context_len = 6;
+  const auto dataset = TaskDataset::generate(tiny_model(), spec, 150);
+  EXPECT_NEAR(dataset.baseline_accuracy(), spec.target_accuracy, 0.09)
+      << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFiveTasks, TaskTargetSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace haan::eval

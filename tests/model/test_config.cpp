@@ -1,0 +1,63 @@
+#include "model/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace haan::model {
+namespace {
+
+TEST(ModelConfig, NormLayerCountsMatchPaper) {
+  // Paper Fig 2: 64 norm layers in LLaMA-7B; §V-B: 65 in OPT-2.7B, and the
+  // GPT2-1.5B skip range (85, 92) requires 97.
+  EXPECT_EQ(llama7b_surrogate().norm_layer_count(), 64u);
+  EXPECT_EQ(opt2p7b_surrogate().norm_layer_count(), 65u);
+  EXPECT_EQ(gpt2_1p5b_surrogate().norm_layer_count(), 97u);
+  EXPECT_EQ(gpt2_355m_surrogate().norm_layer_count(), 49u);
+  EXPECT_EQ(gpt2_117m_surrogate().norm_layer_count(), 25u);
+}
+
+TEST(ModelConfig, NormKinds) {
+  EXPECT_EQ(llama7b_surrogate().norm_kind, NormKind::kRMSNorm);
+  EXPECT_EQ(opt2p7b_surrogate().norm_kind, NormKind::kLayerNorm);
+  EXPECT_EQ(gpt2_1p5b_surrogate().norm_kind, NormKind::kLayerNorm);
+}
+
+TEST(ModelConfig, LlamaUsesGatedMlpNoFinalNormProfile) {
+  const auto config = llama7b_surrogate();
+  EXPECT_TRUE(config.gated_mlp);
+  EXPECT_FALSE(config.final_norm);
+}
+
+TEST(ModelConfig, WidthScalesConsistently) {
+  const auto config = llama7b_surrogate(256);
+  EXPECT_EQ(config.d_model, 256u);
+  EXPECT_EQ(config.d_model % config.n_heads, 0u);
+  EXPECT_GT(config.d_ff, config.d_model);
+}
+
+TEST(ModelConfig, HeadDimDivides) {
+  for (const auto& config :
+       {llama7b_surrogate(), opt2p7b_surrogate(), gpt2_1p5b_surrogate(),
+        gpt2_355m_surrogate(), gpt2_117m_surrogate(), tiny_test_model()}) {
+    EXPECT_EQ(config.d_model % config.n_heads, 0u) << config.name;
+    EXPECT_EQ(config.d_head() * config.n_heads, config.d_model) << config.name;
+  }
+}
+
+TEST(ModelConfig, RealDimsMatchPublishedArchitectures) {
+  EXPECT_EQ(real_dims_llama7b().d_model, 4096u);
+  EXPECT_EQ(real_dims_llama7b().norm_layers, 64u);
+  EXPECT_EQ(real_dims_opt2p7b().d_model, 2560u);
+  EXPECT_EQ(real_dims_opt2p7b().norm_layers, 65u);
+  EXPECT_EQ(real_dims_gpt2_1p5b().d_model, 1600u);
+  EXPECT_EQ(real_dims_gpt2_1p5b().norm_layers, 97u);
+  EXPECT_EQ(real_dims_gpt2_355m().d_model, 1024u);
+  EXPECT_EQ(real_dims_gpt2_117m().d_model, 768u);
+}
+
+TEST(ModelConfig, DistinctSeedsPerModel) {
+  EXPECT_NE(llama7b_surrogate().seed, opt2p7b_surrogate().seed);
+  EXPECT_NE(opt2p7b_surrogate().seed, gpt2_1p5b_surrogate().seed);
+}
+
+}  // namespace
+}  // namespace haan::model

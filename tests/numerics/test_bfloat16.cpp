@@ -1,0 +1,70 @@
+#include "numerics/bfloat16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace haan::numerics {
+namespace {
+
+TEST(BFloat16, KnownPatterns) {
+  EXPECT_EQ(BFloat16(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(BFloat16(1.0f).bits(), 0x3F80u);
+  EXPECT_EQ(BFloat16(-2.0f).bits(), 0xC000u);
+}
+
+TEST(BFloat16, PreservesFloatExponentRange) {
+  // bfloat16 shares float's exponent: 1e38 must stay finite.
+  const BFloat16 big(1e38f);
+  EXPECT_FALSE(big.is_nan());
+  EXPECT_TRUE(std::isfinite(big.to_float()));
+  EXPECT_NEAR(big.to_float(), 1e38f, 1e38f * 0.01);
+}
+
+TEST(BFloat16, RoundTripExactForBFloatValues) {
+  common::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bits = static_cast<std::uint16_t>(rng.next_u64());
+    const BFloat16 b = BFloat16::from_bits(bits);
+    if (b.is_nan()) continue;
+    EXPECT_EQ(BFloat16(b.to_float()).bits(), b.bits());
+  }
+}
+
+TEST(BFloat16, RelativeErrorBounded) {
+  common::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.gaussian(0.0, 100.0));
+    if (x == 0.0f) continue;
+    const float converted = BFloat16(x).to_float();
+    // 8-bit mantissa (7 stored): half ULP = 2^-8.
+    EXPECT_LE(std::abs(converted - x) / std::abs(x), std::ldexp(1.0, -8) * 1.0001);
+  }
+}
+
+TEST(BFloat16, NanHandling) {
+  const BFloat16 nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_TRUE(std::isnan(nan.to_float()));
+}
+
+TEST(BFloat16, RoundToNearestEven) {
+  // 1 + 2^-8 is exactly halfway between 1.0 and the next bfloat: ties to
+  // even -> 1.0.
+  EXPECT_EQ(BFloat16(1.0f + std::ldexp(1.0f, -8)).bits(), 0x3F80u);
+  // 1 + 3*2^-8 is halfway between (1+2^-7) and (1+2^-6): ties to even.
+  EXPECT_EQ(BFloat16(1.0f + 3.0f * std::ldexp(1.0f, -8)).bits(), 0x3F82u);
+}
+
+TEST(BFloat16, Arithmetic) {
+  EXPECT_EQ((BFloat16(2.0f) + BFloat16(3.0f)).to_float(), 5.0f);
+  EXPECT_EQ((BFloat16(2.0f) * BFloat16(3.0f)).to_float(), 6.0f);
+  EXPECT_EQ((BFloat16(7.0f) - BFloat16(3.0f)).to_float(), 4.0f);
+  EXPECT_EQ((BFloat16(8.0f) / BFloat16(2.0f)).to_float(), 4.0f);
+}
+
+}  // namespace
+}  // namespace haan::numerics

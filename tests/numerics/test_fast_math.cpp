@@ -1,0 +1,123 @@
+#include "numerics/fast_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace haan::numerics {
+namespace {
+
+TEST(FastInvSqrt, InitialGuessWithinKnownBound) {
+  // The classic 0x5F3759DF seed has worst-case relative error ~3.44%.
+  common::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(std::exp(rng.uniform(-20.0, 20.0)));
+    const float guess = inv_sqrt_initial_guess(x);
+    EXPECT_LT(inv_sqrt_rel_error(x, guess), 0.035) << "x=" << x;
+  }
+}
+
+TEST(FastInvSqrt, OneNewtonIterationBelowQuarterPercent) {
+  // After one iteration the error drops below ~0.18% (paper: "a single
+  // iteration is adequate").
+  common::Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(std::exp(rng.uniform(-20.0, 20.0)));
+    const float y = fast_inv_sqrt(x, 1);
+    EXPECT_LT(inv_sqrt_rel_error(x, y), 0.0025) << "x=" << x;
+  }
+}
+
+TEST(FastInvSqrt, TwoIterationsBelowTenPpm) {
+  common::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const float x = static_cast<float>(std::exp(rng.uniform(-10.0, 10.0)));
+    const float y = fast_inv_sqrt(x, 2);
+    EXPECT_LT(inv_sqrt_rel_error(x, y), 1e-5) << "x=" << x;
+  }
+}
+
+TEST(FastInvSqrt, NewtonStepMatchesFormula) {
+  const float x = 2.0f, y = 0.7f;
+  EXPECT_FLOAT_EQ(inv_sqrt_newton_step(x, y), y * (1.5f - 0.5f * x * y * y));
+}
+
+TEST(FastInvSqrt, MonotoneErrorReductionPerIteration) {
+  common::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = static_cast<float>(std::exp(rng.uniform(-6.0, 6.0)));
+    const double e0 = inv_sqrt_rel_error(x, fast_inv_sqrt(x, 0));
+    const double e1 = inv_sqrt_rel_error(x, fast_inv_sqrt(x, 1));
+    const double e2 = inv_sqrt_rel_error(x, fast_inv_sqrt(x, 2));
+    EXPECT_LE(e1, e0 + 1e-7);
+    EXPECT_LE(e2, e1 + 1e-7);
+  }
+}
+
+TEST(FastInvSqrt, ExactPowersOfFour) {
+  // 1/sqrt(4) = 0.5: one iteration should land within float rounding noise.
+  EXPECT_NEAR(fast_inv_sqrt(4.0f, 3), 0.5f, 1e-6f);
+  EXPECT_NEAR(fast_inv_sqrt(16.0f, 3), 0.25f, 1e-6f);
+  EXPECT_NEAR(fast_inv_sqrt(1.0f, 3), 1.0f, 1e-6f);
+}
+
+TEST(FastInvSqrt, MagicConstantIsOptimalish) {
+  // Sweep nearby magic constants: 0x5F3759DF must be near-optimal — no
+  // candidate in a small neighbourhood should beat it by a large margin
+  // after one Newton step.
+  const double base = worst_inv_sqrt_error(1e-6, 1e6, 4000, 1, kInvSqrtMagic);
+  for (const std::uint32_t delta : {0x10000u, 0x40000u}) {
+    const double worse_hi =
+        worst_inv_sqrt_error(1e-6, 1e6, 4000, 1, kInvSqrtMagic + delta);
+    const double worse_lo =
+        worst_inv_sqrt_error(1e-6, 1e6, 4000, 1, kInvSqrtMagic - delta);
+    EXPECT_GT(worse_hi, base * 0.9);
+    EXPECT_GT(worse_lo, base * 0.9);
+  }
+}
+
+TEST(FastLog2, MatchesExactWithinSigmaBound) {
+  // The linearization log2(1+m) ~ m + sigma with sigma = 0.0450465 has
+  // absolute error < ~0.0573 over m in [0,1) (worst at m = 1/ln2 - 1).
+  common::Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(std::exp(rng.uniform(-30.0, 30.0)));
+    const double approx = fast_log2(x);
+    const double exact = std::log2(static_cast<double>(x));
+    EXPECT_NEAR(approx, exact, 0.058) << "x=" << x;
+  }
+}
+
+TEST(FastLog2, PowersOfTwoCarrySigmaBias) {
+  // At x = 2^k the mantissa is 0 and the approximation is k + sigma.
+  EXPECT_NEAR(fast_log2(1.0f), kSigma, 1e-9);
+  EXPECT_NEAR(fast_log2(2.0f), 1.0 + kSigma, 1e-9);
+  EXPECT_NEAR(fast_log2(1024.0f), 10.0 + kSigma, 1e-9);
+}
+
+TEST(ExactInvSqrt, Reference) {
+  EXPECT_DOUBLE_EQ(exact_inv_sqrt(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(exact_inv_sqrt(1.0), 1.0);
+  EXPECT_NEAR(exact_inv_sqrt(2.0), 0.70710678118654752, 1e-15);
+}
+
+class InvSqrtRangeSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(InvSqrtRangeSweep, WorstErrorStableAcrossDecades) {
+  const auto [lo, hi] = GetParam();
+  // The bit-hack error is periodic in the exponent: every decade behaves the
+  // same, so worst error must match the global bound.
+  const double worst = worst_inv_sqrt_error(lo, hi, 2000, 1);
+  EXPECT_LT(worst, 0.0025);
+  EXPECT_GT(worst, 0.0005);  // and it is not accidentally exact
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decades, InvSqrtRangeSweep,
+    ::testing::Values(std::make_pair(1e-8, 1e-6), std::make_pair(1e-2, 1.0),
+                      std::make_pair(1.0, 1e2), std::make_pair(1e6, 1e8)));
+
+}  // namespace
+}  // namespace haan::numerics

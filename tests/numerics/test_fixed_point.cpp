@@ -1,0 +1,171 @@
+#include "numerics/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace haan::numerics {
+namespace {
+
+TEST(FixedFormat, Properties) {
+  const FixedFormat q{16, 12};  // Q3.12
+  EXPECT_EQ(q.int_bits(), 3);
+  EXPECT_DOUBLE_EQ(q.resolution(), std::ldexp(1.0, -12));
+  EXPECT_DOUBLE_EQ(q.max_value(), (32768.0 - 1.0) / 4096.0);
+  EXPECT_DOUBLE_EQ(q.min_value(), -8.0);
+  EXPECT_EQ(q.to_string(), "Q3.12");
+  EXPECT_TRUE(q.valid());
+}
+
+TEST(FixedFormat, InvalidFormats) {
+  EXPECT_FALSE((FixedFormat{1, 0}).valid());
+  EXPECT_FALSE((FixedFormat{64, 16}).valid());
+  EXPECT_FALSE((FixedFormat{16, 16}).valid());
+  EXPECT_FALSE((FixedFormat{16, -1}).valid());
+  EXPECT_TRUE((FixedFormat{2, 0}).valid());
+  EXPECT_TRUE((FixedFormat{48, 47}).valid());
+}
+
+TEST(Fixed, ExactValuesRoundTrip) {
+  const FixedFormat q{24, 12};
+  for (const double v : {0.0, 1.0, -1.0, 0.5, -0.25, 1234.75, -2047.0}) {
+    EXPECT_DOUBLE_EQ(Fixed::from_double(v, q).to_double(), v);
+  }
+}
+
+TEST(Fixed, QuantizationErrorBounded) {
+  const FixedFormat q{20, 10};
+  common::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-500.0, 500.0);
+    const double quantized = Fixed::from_double(v, q).to_double();
+    EXPECT_LE(std::abs(quantized - v), q.resolution() / 2.0 + 1e-15);
+  }
+}
+
+TEST(Fixed, SaturationAtBounds) {
+  const FixedFormat q{8, 4};  // range [-8, 7.9375]
+  EXPECT_DOUBLE_EQ(Fixed::from_double(100.0, q).to_double(), q.max_value());
+  EXPECT_DOUBLE_EQ(Fixed::from_double(-100.0, q).to_double(), q.min_value());
+}
+
+TEST(Fixed, WrapOverflowMode) {
+  const FixedFormat q{8, 0};  // int8 range
+  const Fixed wrapped =
+      Fixed::from_double(130.0, q, RoundingMode::kNearestEven, OverflowMode::kWrap);
+  EXPECT_DOUBLE_EQ(wrapped.to_double(), -126.0);  // 130 - 256
+}
+
+TEST(Fixed, NanFlushesToZero) {
+  const FixedFormat q{16, 8};
+  EXPECT_DOUBLE_EQ(Fixed::from_double(std::nan(""), q).to_double(), 0.0);
+}
+
+TEST(Fixed, RoundingModes) {
+  const FixedFormat q{16, 0};  // integers
+  // 2.5: nearest-even -> 2, nearest-up -> 3, truncate -> 2.
+  EXPECT_DOUBLE_EQ(Fixed::from_double(2.5, q, RoundingMode::kNearestEven).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(Fixed::from_double(2.5, q, RoundingMode::kNearestUp).to_double(), 3.0);
+  EXPECT_DOUBLE_EQ(Fixed::from_double(2.5, q, RoundingMode::kTruncate).to_double(), 2.0);
+  // 3.5: nearest-even -> 4.
+  EXPECT_DOUBLE_EQ(Fixed::from_double(3.5, q, RoundingMode::kNearestEven).to_double(), 4.0);
+  // -2.5: truncate floors toward -inf -> -3.
+  EXPECT_DOUBLE_EQ(Fixed::from_double(-2.5, q, RoundingMode::kTruncate).to_double(), -3.0);
+}
+
+TEST(Fixed, AddSub) {
+  const FixedFormat q{16, 8};
+  const Fixed a = Fixed::from_double(1.5, q);
+  const Fixed b = Fixed::from_double(2.25, q);
+  EXPECT_DOUBLE_EQ(add(a, b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ(sub(a, b).to_double(), -0.75);
+}
+
+TEST(Fixed, AddSaturates) {
+  const FixedFormat q{8, 0};
+  const Fixed a = Fixed::from_double(100.0, q);
+  const Fixed b = Fixed::from_double(100.0, q);
+  EXPECT_DOUBLE_EQ(add(a, b).to_double(), 127.0);
+  EXPECT_DOUBLE_EQ(sub(Fixed::from_double(-100.0, q), b).to_double(), -128.0);
+}
+
+TEST(Fixed, MulExactWhenRepresentable) {
+  const FixedFormat q{24, 12};
+  const Fixed a = Fixed::from_double(1.5, q);
+  const Fixed b = Fixed::from_double(-2.5, q);
+  EXPECT_DOUBLE_EQ(mul(a, b, q).to_double(), -3.75);
+}
+
+TEST(Fixed, MulIntoWiderFormat) {
+  const FixedFormat narrow{12, 8};
+  const FixedFormat wide{32, 20};
+  const Fixed a = Fixed::from_double(3.14453125, narrow);  // exact in Q3.8
+  const Fixed product = mul(a, a, wide);
+  EXPECT_NEAR(product.to_double(), a.to_double() * a.to_double(), wide.resolution());
+}
+
+TEST(Fixed, MulRoundsDiscardedBits) {
+  const FixedFormat q{16, 8};
+  const Fixed a = Fixed::from_raw(1, q);   // 2^-8
+  const Fixed b = Fixed::from_raw(128, q); // 0.5
+  // product = 2^-9, not representable in Q.8: ties-to-even -> 0.
+  EXPECT_DOUBLE_EQ(mul(a, b, q).to_double(), 0.0);
+  const Fixed c = Fixed::from_raw(3, q);  // 3*2^-8
+  // 3*2^-9 = 1.5 ulp -> rounds to even = 2 ulp.
+  EXPECT_DOUBLE_EQ(mul(c, b, q).to_double(), 2.0 * q.resolution());
+}
+
+TEST(Fixed, ConvertBetweenFormats) {
+  const FixedFormat a{16, 4};
+  const FixedFormat b{24, 12};
+  const Fixed x = Fixed::from_double(5.0625, a);
+  EXPECT_DOUBLE_EQ(x.convert_to(b).to_double(), 5.0625);  // gaining bits exact
+  const Fixed y = Fixed::from_double(1.0 + std::ldexp(1.0, -12), b);
+  EXPECT_DOUBLE_EQ(y.convert_to(a).to_double(), 1.0);  // losing bits rounds
+}
+
+TEST(Fixed, ConvertSaturatesNarrowTarget) {
+  const FixedFormat wide{32, 8};
+  const FixedFormat narrow{8, 4};
+  const Fixed big = Fixed::from_double(1000.0, wide);
+  EXPECT_DOUBLE_EQ(big.convert_to(narrow).to_double(), narrow.max_value());
+}
+
+TEST(Fixed, Shifts) {
+  const FixedFormat q{16, 8};
+  const Fixed x = Fixed::from_double(1.0, q);
+  EXPECT_DOUBLE_EQ(x.shifted_left(2).to_double(), 4.0);
+  EXPECT_DOUBLE_EQ(x.shifted_right(3).to_double(), 0.125);
+  // Left shift saturates on overflow.
+  const Fixed big = Fixed::from_double(100.0, q);
+  EXPECT_DOUBLE_EQ(big.shifted_left(4).to_double(), q.max_value());
+}
+
+TEST(Fixed, ShiftRightIsArithmeticForNegatives) {
+  const FixedFormat q{16, 8};
+  const Fixed x = Fixed::from_double(-4.0, q);
+  EXPECT_DOUBLE_EQ(x.shifted_right(1).to_double(), -2.0);
+}
+
+/// Property sweep: add is exact (no rounding) whenever no saturation occurs.
+class FixedAddProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedAddProperty, AddExactWithinRange) {
+  const FixedFormat q{32, GetParam()};
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  for (int i = 0; i < 2000; ++i) {
+    const double bound = q.max_value() / 4.0;
+    const double va = rng.uniform(-bound, bound);
+    const double vb = rng.uniform(-bound, bound);
+    const Fixed a = Fixed::from_double(va, q);
+    const Fixed b = Fixed::from_double(vb, q);
+    EXPECT_DOUBLE_EQ(add(a, b).to_double(), a.to_double() + b.to_double());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FracBits, FixedAddProperty, ::testing::Values(0, 4, 12, 16, 24));
+
+}  // namespace
+}  // namespace haan::numerics

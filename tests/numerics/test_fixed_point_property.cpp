@@ -1,0 +1,128 @@
+// Randomized algebraic property tests for the fixed-point substrate: the
+// accelerator datapath's correctness rests on these invariants holding for
+// every format it is configured with.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "numerics/fixed_point.hpp"
+
+namespace haan::numerics {
+namespace {
+
+struct FormatCase {
+  FixedFormat format;
+  std::uint64_t seed;
+};
+
+class FixedPropertySweep : public ::testing::TestWithParam<FormatCase> {
+ protected:
+  double random_in_range(common::Rng& rng, double shrink = 4.0) const {
+    const auto& f = GetParam().format;
+    return rng.uniform(f.min_value() / shrink, f.max_value() / shrink);
+  }
+};
+
+TEST_P(FixedPropertySweep, QuantizeIsIdempotent) {
+  common::Rng rng(GetParam().seed);
+  for (int i = 0; i < 2000; ++i) {
+    const Fixed x = Fixed::from_double(random_in_range(rng), GetParam().format);
+    const Fixed again = Fixed::from_double(x.to_double(), GetParam().format);
+    EXPECT_EQ(again.raw(), x.raw());
+  }
+}
+
+TEST_P(FixedPropertySweep, AddCommutes) {
+  common::Rng rng(GetParam().seed + 1);
+  for (int i = 0; i < 2000; ++i) {
+    const Fixed a = Fixed::from_double(random_in_range(rng), GetParam().format);
+    const Fixed b = Fixed::from_double(random_in_range(rng), GetParam().format);
+    EXPECT_EQ(add(a, b).raw(), add(b, a).raw());
+  }
+}
+
+TEST_P(FixedPropertySweep, MulCommutes) {
+  common::Rng rng(GetParam().seed + 2);
+  for (int i = 0; i < 2000; ++i) {
+    const Fixed a = Fixed::from_double(random_in_range(rng, 1e3), GetParam().format);
+    const Fixed b = Fixed::from_double(random_in_range(rng, 1e3), GetParam().format);
+    EXPECT_EQ(mul(a, b, GetParam().format).raw(), mul(b, a, GetParam().format).raw());
+  }
+}
+
+TEST_P(FixedPropertySweep, SubIsAddOfNegation) {
+  common::Rng rng(GetParam().seed + 3);
+  for (int i = 0; i < 2000; ++i) {
+    const double va = random_in_range(rng);
+    const double vb = random_in_range(rng);
+    const Fixed a = Fixed::from_double(va, GetParam().format);
+    const Fixed b = Fixed::from_double(vb, GetParam().format);
+    const Fixed neg_b = Fixed::from_double(-b.to_double(), GetParam().format);
+    // -raw(b) is representable unless raw(b) == raw_min (asymmetry of two's
+    // complement); skip that case.
+    if (b.raw() == GetParam().format.raw_min()) continue;
+    EXPECT_EQ(sub(a, b).raw(), add(a, neg_b).raw());
+  }
+}
+
+TEST_P(FixedPropertySweep, QuantizationErrorWithinHalfUlp) {
+  common::Rng rng(GetParam().seed + 4);
+  const double half_ulp = GetParam().format.resolution() / 2.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = random_in_range(rng);
+    const Fixed x = Fixed::from_double(v, GetParam().format);
+    EXPECT_LE(std::abs(x.to_double() - v), half_ulp + 1e-15);
+  }
+}
+
+TEST_P(FixedPropertySweep, SaturationIsMonotone) {
+  // If u <= v then from_double(u) <= from_double(v), including through
+  // saturation at the extremes.
+  common::Rng rng(GetParam().seed + 5);
+  const auto& f = GetParam().format;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.uniform(f.min_value() * 3.0, f.max_value() * 3.0);
+    const double v = rng.uniform(f.min_value() * 3.0, f.max_value() * 3.0);
+    const Fixed a = Fixed::from_double(std::min(u, v), f);
+    const Fixed b = Fixed::from_double(std::max(u, v), f);
+    EXPECT_LE(a.raw(), b.raw());
+  }
+}
+
+TEST_P(FixedPropertySweep, ConvertRoundTripWideningIsExact) {
+  // Converting to any wider format (more total and fraction bits) and back
+  // must reproduce the original raw value.
+  common::Rng rng(GetParam().seed + 6);
+  const auto& f = GetParam().format;
+  FixedFormat wider{f.total_bits + 8, f.frac_bits + 4};
+  if (!wider.valid()) return;
+  for (int i = 0; i < 2000; ++i) {
+    const Fixed x = Fixed::from_double(random_in_range(rng), f);
+    const Fixed back = x.convert_to(wider).convert_to(f);
+    EXPECT_EQ(back.raw(), x.raw());
+  }
+}
+
+TEST_P(FixedPropertySweep, ShiftLeftThenRightRestoresWhenInRange) {
+  common::Rng rng(GetParam().seed + 7);
+  for (int i = 0; i < 2000; ++i) {
+    const Fixed x = Fixed::from_double(random_in_range(rng, 64.0), GetParam().format);
+    const Fixed shifted = x.shifted_left(3);
+    if (shifted.raw() == GetParam().format.raw_max() ||
+        shifted.raw() == GetParam().format.raw_min()) {
+      continue;  // saturated, not reversible
+    }
+    EXPECT_EQ(shifted.shifted_right(3).raw(), x.raw());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FixedPropertySweep,
+    ::testing::Values(FormatCase{{16, 8}, 11}, FormatCase{{18, 12}, 22},
+                      FormatCase{{24, 12}, 33}, FormatCase{{26, 20}, 44},
+                      FormatCase{{32, 16}, 55}, FormatCase{{40, 16}, 66},
+                      FormatCase{{8, 4}, 77}));
+
+}  // namespace
+}  // namespace haan::numerics

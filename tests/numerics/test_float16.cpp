@@ -1,0 +1,148 @@
+#include "numerics/float16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace haan::numerics {
+namespace {
+
+TEST(Float16, KnownBitPatterns) {
+  EXPECT_EQ(Float16(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Float16(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(Float16(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(Float16(-1.0f).bits(), 0xBC00u);
+  EXPECT_EQ(Float16(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(Float16(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Float16(65504.0f).bits(), 0x7BFFu);  // max finite
+  EXPECT_EQ(Float16(1.5f).bits(), 0x3E00u);
+}
+
+TEST(Float16, OverflowToInfinity) {
+  EXPECT_TRUE(Float16(65520.0f).is_inf());  // rounds up past max
+  EXPECT_TRUE(Float16(1e10f).is_inf());
+  EXPECT_TRUE(Float16(-1e10f).is_inf());
+  EXPECT_TRUE(Float16(-1e10f).sign());
+}
+
+TEST(Float16, LargestValueBelowOverflowStaysFinite) {
+  EXPECT_FALSE(Float16(65503.0f).is_inf());
+  EXPECT_EQ(Float16(65503.0f).to_float(), 65504.0f);  // rounds to max
+}
+
+TEST(Float16, SubnormalsRepresentable) {
+  const float min_sub = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Float16(min_sub).bits(), 0x0001u);
+  EXPECT_EQ(Float16::from_bits(0x0001u).to_float(), min_sub);
+  // Half of min subnormal underflows to zero (round to even).
+  EXPECT_TRUE(Float16(min_sub / 2.0f).is_zero());
+  // 0.75 * min_sub rounds to min_sub.
+  EXPECT_EQ(Float16(min_sub * 0.75f).bits(), 0x0001u);
+}
+
+TEST(Float16, SubnormalBoundary) {
+  const float min_normal = std::ldexp(1.0f, -14);
+  EXPECT_EQ(Float16(min_normal).bits(), 0x0400u);
+  // Clearly below the subnormal/normal midpoint rounds down to a subnormal.
+  const float below = std::ldexp(0.999f, -14);
+  const Float16 h(below);
+  EXPECT_LT(h.bits(), 0x0400u);
+  EXPECT_GT(h.bits(), 0x0000u);
+}
+
+TEST(Float16, NanPropagation) {
+  const Float16 nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_TRUE(std::isnan(nan.to_float()));
+  EXPECT_FALSE(nan == nan);  // IEEE semantics
+}
+
+TEST(Float16, InfinityConversions) {
+  const Float16 inf(std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(inf.is_inf());
+  EXPECT_EQ(inf.bits(), 0x7C00u);
+  EXPECT_TRUE(std::isinf(inf.to_float()));
+}
+
+TEST(Float16, RoundTripExactForAllFiniteHalves) {
+  // Every finite half must survive half -> float -> half exactly.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const Float16 h = Float16::from_bits(static_cast<std::uint16_t>(bits));
+    if (h.is_nan()) continue;
+    const Float16 round_trip(h.to_float());
+    EXPECT_EQ(round_trip.bits(), h.bits()) << "bits=0x" << std::hex << bits;
+  }
+}
+
+TEST(Float16, RoundToNearestEven) {
+  // 1.0 + 2^-11 is exactly halfway between 1.0 and 1.0+2^-10: ties to even
+  // (mantissa 0 is even) -> 1.0.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(Float16(halfway).bits(), 0x3C00u);
+  // 1.0 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even -> the
+  // larger (mantissa 2).
+  const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(Float16(halfway2).bits(), 0x3C02u);
+}
+
+TEST(Float16, ConversionErrorBounded) {
+  common::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    const float converted = Float16(x).to_float();
+    if (x == 0.0f) continue;
+    // Relative error bounded by half ULP: 2^-11.
+    EXPECT_LE(std::abs(converted - x) / std::abs(x), std::ldexp(1.0, -11) * 1.0001);
+  }
+}
+
+TEST(Float16, ArithmeticRoundsOncePerOp) {
+  const Float16 a(1.0f), b(std::ldexp(1.0f, -12));
+  // 1.0 + tiny rounds back to 1.0 in half precision.
+  EXPECT_EQ((a + b).bits(), Float16(1.0f).bits());
+  const Float16 c(3.0f), d(3.0f);
+  EXPECT_EQ((c * d).to_float(), 9.0f);
+  EXPECT_EQ((c / d).to_float(), 1.0f);
+  EXPECT_EQ((c - d).to_float(), 0.0f);
+}
+
+TEST(Float16, ComparisonOperators) {
+  EXPECT_TRUE(Float16(1.0f) < Float16(2.0f));
+  EXPECT_FALSE(Float16(2.0f) < Float16(1.0f));
+  EXPECT_TRUE(Float16(0.0f) == Float16(-0.0f));  // IEEE: +0 == -0
+}
+
+TEST(Float16, UlpDistance) {
+  EXPECT_EQ(ulp_distance(Float16(1.0f), Float16(1.0f)), 0);
+  const Float16 one(1.0f);
+  const Float16 next = Float16::from_bits(one.bits() + 1);
+  EXPECT_EQ(ulp_distance(one, next), 1);
+  // Across zero: -min_sub to +min_sub is 2 ulps on the monotone line.
+  EXPECT_EQ(ulp_distance(Float16::from_bits(0x8001), Float16::from_bits(0x0001)), 2);
+}
+
+TEST(Float16, NamedConstants) {
+  EXPECT_EQ(Float16::max().to_float(), 65504.0f);
+  EXPECT_EQ(Float16::min_normal().to_float(), std::ldexp(1.0f, -14));
+  EXPECT_EQ(Float16::min_subnormal().to_float(), std::ldexp(1.0f, -24));
+  EXPECT_TRUE(Float16::infinity().is_inf());
+  EXPECT_TRUE(Float16::quiet_nan().is_nan());
+}
+
+class Float16ExactValues : public ::testing::TestWithParam<float> {};
+
+TEST_P(Float16ExactValues, ExactlyRepresentableValuesSurvive) {
+  const float x = GetParam();
+  EXPECT_EQ(Float16(x).to_float(), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndSmallInts, Float16ExactValues,
+                         ::testing::Values(0.25f, 0.125f, 3.0f, 10.0f, 100.0f,
+                                           1024.0f, 2048.0f, -5.5f, 0.0625f));
+
+}  // namespace
+}  // namespace haan::numerics

@@ -1,0 +1,107 @@
+#include "numerics/formats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace haan::numerics {
+namespace {
+
+TEST(Formats, Names) {
+  EXPECT_EQ(to_string(NumericFormat::kFP32), "FP32");
+  EXPECT_EQ(to_string(NumericFormat::kFP16), "FP16");
+  EXPECT_EQ(to_string(NumericFormat::kBF16), "BF16");
+  EXPECT_EQ(to_string(NumericFormat::kINT8), "INT8");
+  EXPECT_EQ(format_from_string("fp16"), NumericFormat::kFP16);
+  EXPECT_EQ(format_from_string("INT8"), NumericFormat::kINT8);
+}
+
+TEST(Formats, Bits) {
+  EXPECT_EQ(bits_of(NumericFormat::kFP32), 32);
+  EXPECT_EQ(bits_of(NumericFormat::kFP16), 16);
+  EXPECT_EQ(bits_of(NumericFormat::kBF16), 16);
+  EXPECT_EQ(bits_of(NumericFormat::kINT8), 8);
+}
+
+TEST(Formats, IsFloat) {
+  EXPECT_TRUE(is_float(NumericFormat::kFP32));
+  EXPECT_TRUE(is_float(NumericFormat::kFP16));
+  EXPECT_FALSE(is_float(NumericFormat::kINT8));
+}
+
+TEST(Formats, Fp32PassThrough) {
+  EXPECT_EQ(quantize_dequantize(1.2345678f, NumericFormat::kFP32), 1.2345678f);
+}
+
+TEST(Formats, Int8Grid) {
+  const float scale = 0.1f;
+  EXPECT_FLOAT_EQ(quantize_dequantize(0.25f, NumericFormat::kINT8, scale), 0.2f);
+  EXPECT_FLOAT_EQ(quantize_dequantize(0.26f, NumericFormat::kINT8, scale), 0.3f);
+  EXPECT_FLOAT_EQ(quantize_dequantize(-0.25f, NumericFormat::kINT8, scale), -0.2f);
+}
+
+TEST(Formats, Int8Clamps) {
+  const float scale = 1.0f;
+  EXPECT_FLOAT_EQ(quantize_dequantize(200.0f, NumericFormat::kINT8, scale), 127.0f);
+  EXPECT_FLOAT_EQ(quantize_dequantize(-200.0f, NumericFormat::kINT8, scale), -128.0f);
+}
+
+TEST(Formats, ChooseInt8ScaleCoversMax) {
+  std::vector<float> values{0.5f, -3.7f, 1.2f};
+  const float scale = choose_int8_scale(values);
+  EXPECT_FLOAT_EQ(scale, 3.7f / 127.0f);
+  // With that scale the max element is exactly representable.
+  EXPECT_NEAR(quantize_dequantize(-3.7f, NumericFormat::kINT8, scale), -3.7f, 1e-6f);
+}
+
+TEST(Formats, ChooseInt8ScaleZeroVector) {
+  std::vector<float> zeros(10, 0.0f);
+  EXPECT_FLOAT_EQ(choose_int8_scale(zeros), 1.0f);
+}
+
+TEST(Formats, SpanQuantization) {
+  std::vector<float> values{1.0f, 2.0f, 3.0f};
+  quantize_dequantize_span(values, NumericFormat::kFP16);
+  EXPECT_FLOAT_EQ(values[0], 1.0f);
+  EXPECT_FLOAT_EQ(values[2], 3.0f);
+}
+
+class QuantizationErrorSweep : public ::testing::TestWithParam<NumericFormat> {};
+
+TEST_P(QuantizationErrorSweep, ErrorBoundedByFormatResolution) {
+  const NumericFormat format = GetParam();
+  common::Rng rng(11);
+  std::vector<float> values(512);
+  rng.fill_gaussian(values, 0.0, 1.0);
+  const float scale =
+      format == NumericFormat::kINT8 ? choose_int8_scale(values) : 1.0f;
+  double bound = 0.0;
+  switch (format) {
+    case NumericFormat::kFP32:
+      bound = 0.0;
+      break;
+    case NumericFormat::kFP16:
+      bound = std::ldexp(1.0, -11) * 4.0;  // half ULP at |x| up to ~4
+      break;
+    case NumericFormat::kBF16:
+      bound = std::ldexp(1.0, -8) * 4.0;
+      break;
+    case NumericFormat::kINT8:
+      bound = scale / 2.0 + 1e-7;
+      break;
+  }
+  for (const float v : values) {
+    const float q = quantize_dequantize(v, format, scale);
+    EXPECT_LE(std::abs(q - v), bound + 1e-12) << to_string(format) << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, QuantizationErrorSweep,
+                         ::testing::Values(NumericFormat::kFP32, NumericFormat::kFP16,
+                                           NumericFormat::kBF16, NumericFormat::kINT8));
+
+}  // namespace
+}  // namespace haan::numerics

@@ -1,0 +1,145 @@
+#include "tensor/norm_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace haan::tensor {
+namespace {
+
+TEST(ExactStats, KnownValues) {
+  const std::vector<float> z{1.0f, 2.0f, 3.0f, 4.0f};
+  const VectorStats stats = exact_stats(z);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.variance, 1.25);
+  EXPECT_DOUBLE_EQ(stats.rms, std::sqrt(7.5));
+}
+
+TEST(ExactStats, ConstantVector) {
+  const std::vector<float> z(16, 3.0f);
+  const VectorStats stats = exact_stats(z);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.variance, 0.0);
+  EXPECT_DOUBLE_EQ(stats.rms, 3.0);
+}
+
+TEST(LayerNorm, OutputZeroMeanUnitVariance) {
+  common::Rng rng(1);
+  std::vector<float> z(256);
+  rng.fill_gaussian(z, 5.0, 3.0);
+  std::vector<float> out(z.size());
+  layernorm(z, {}, {}, out, 0.0);
+  const VectorStats stats = exact_stats(out);
+  EXPECT_NEAR(stats.mean, 0.0, 1e-6);
+  EXPECT_NEAR(stats.variance, 1.0, 1e-5);
+}
+
+TEST(LayerNorm, AffineTransformApplied) {
+  std::vector<float> z{1.0f, -1.0f};
+  std::vector<float> alpha{2.0f, 2.0f};
+  std::vector<float> beta{10.0f, 10.0f};
+  std::vector<float> out(2);
+  layernorm(z, alpha, beta, out, 0.0);
+  // normalized = {1, -1}; affine: 2*{1,-1}+10 = {12, 8}.
+  EXPECT_NEAR(out[0], 12.0f, 1e-5f);
+  EXPECT_NEAR(out[1], 8.0f, 1e-5f);
+}
+
+TEST(LayerNorm, EpsPreventsDivByZero) {
+  std::vector<float> z(8, 5.0f);  // zero variance
+  std::vector<float> out(8);
+  layernorm(z, {}, {}, out, 1e-5);
+  for (const float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(LayerNorm, ScaleInvarianceOfDirection) {
+  // LayerNorm(c*z) == LayerNorm(z) for c > 0 (scale invariance).
+  common::Rng rng(2);
+  std::vector<float> z(64);
+  rng.fill_gaussian(z, 0.0, 1.0);
+  std::vector<float> z2(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) z2[i] = 7.5f * z[i];
+  std::vector<float> out1(z.size()), out2(z.size());
+  layernorm(z, {}, {}, out1, 0.0);
+  layernorm(z2, {}, {}, out2, 0.0);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_NEAR(out1[i], out2[i], 1e-4f);
+}
+
+TEST(RmsNorm, PreservesDirectionOnly) {
+  std::vector<float> z{3.0f, 4.0f};
+  std::vector<float> out(2);
+  rmsnorm(z, {}, {}, out, 0.0);
+  // rms = sqrt(12.5); out = z / rms.
+  const double rms = std::sqrt(12.5);
+  EXPECT_NEAR(out[0], 3.0 / rms, 1e-6);
+  EXPECT_NEAR(out[1], 4.0 / rms, 1e-6);
+}
+
+TEST(RmsNorm, DoesNotRecenter) {
+  std::vector<float> z{10.0f, 12.0f};  // nonzero mean
+  std::vector<float> out(2);
+  rmsnorm(z, {}, {}, out, 0.0);
+  // Output mean stays positive: RMSNorm does not subtract the mean.
+  EXPECT_GT(out[0] + out[1], 0.0f);
+  // Output RMS is 1.
+  const VectorStats stats = exact_stats(out);
+  EXPECT_NEAR(stats.rms, 1.0, 1e-6);
+}
+
+TEST(NormWithIsd, ExternalIsdMatchesInternal) {
+  common::Rng rng(3);
+  std::vector<float> z(128);
+  rng.fill_gaussian(z, 1.0, 2.0);
+  const VectorStats stats = exact_stats(z);
+  const double isd = 1.0 / std::sqrt(stats.variance);
+  std::vector<float> a(z.size()), b(z.size());
+  layernorm(z, {}, {}, a, 0.0);
+  layernorm_with_isd(z, stats.mean, isd, {}, {}, b);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-5f);
+}
+
+TEST(NormWithIsd, RmsVariant) {
+  common::Rng rng(4);
+  std::vector<float> z(64);
+  rng.fill_gaussian(z, 0.0, 3.0);
+  const VectorStats stats = exact_stats(z);
+  std::vector<float> a(z.size()), b(z.size());
+  rmsnorm(z, {}, {}, a, 0.0);
+  rmsnorm_with_isd(z, 1.0 / stats.rms, {}, {}, b);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-5f);
+}
+
+TEST(NormRef, MatchesPaperEquation1) {
+  // s = alpha * (z - mu) / sigma + beta computed by hand for a tiny case.
+  std::vector<float> z{2.0f, 4.0f, 6.0f};  // mu=4, var=8/3
+  std::vector<float> alpha{1.0f, 2.0f, 3.0f};
+  std::vector<float> beta{0.5f, 0.5f, 0.5f};
+  std::vector<float> out(3);
+  layernorm(z, alpha, beta, out, 0.0);
+  const double sigma = std::sqrt(8.0 / 3.0);
+  EXPECT_NEAR(out[0], 1.0 * (2.0 - 4.0) / sigma + 0.5, 1e-5);
+  EXPECT_NEAR(out[1], 0.5, 1e-5);
+  EXPECT_NEAR(out[2], 3.0 * (6.0 - 4.0) / sigma + 0.5, 1e-5);
+}
+
+class NormLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NormLengthSweep, LayerNormStatsInvariantAcrossLengths) {
+  common::Rng rng(GetParam());
+  std::vector<float> z(GetParam());
+  rng.fill_gaussian(z, -2.0, 0.5);
+  std::vector<float> out(z.size());
+  layernorm(z, {}, {}, out, 0.0);
+  const VectorStats stats = exact_stats(out);
+  EXPECT_NEAR(stats.mean, 0.0, 1e-5);
+  EXPECT_NEAR(stats.variance, 1.0, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, NormLengthSweep,
+                         ::testing::Values(2u, 3u, 16u, 128u, 1024u, 4096u));
+
+}  // namespace
+}  // namespace haan::tensor

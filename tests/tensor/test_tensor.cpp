@@ -1,0 +1,112 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace haan::tensor {
+namespace {
+
+TEST(Shape, Basics) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.dim(0), 2u);
+  EXPECT_EQ(s.dim(2), 4u);
+  EXPECT_EQ(s.numel(), 24u);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, EmptyShape) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 0u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 3});
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(t.numel(), 9u);
+}
+
+TEST(Tensor, AdoptData) {
+  Tensor t(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t.at(5), 7.0f);  // flat index row*cols + col = 5
+}
+
+TEST(Tensor, Rank3Access) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t.at((1 * 3 + 2) * 4 + 3), 9.0f);
+  const auto vec = t.vector_at(1, 2);
+  EXPECT_EQ(vec.size(), 4u);
+  EXPECT_EQ(vec[3], 9.0f);
+}
+
+TEST(Tensor, RowView) {
+  Tensor t(Shape{3, 4});
+  auto row = t.row(1);
+  row[0] = 5.0f;
+  EXPECT_EQ(t.at(1, 0), 5.0f);
+  EXPECT_EQ(row.size(), 4u);
+}
+
+TEST(Tensor, RandnMoments) {
+  common::Rng rng(1);
+  const Tensor t = Tensor::randn(Shape{100, 100}, rng, 1.0, 2.0);
+  double sum = 0.0, sum_sq = 0.0;
+  for (const float v : t.data()) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.numel());
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 4.0, 0.15);
+}
+
+TEST(Tensor, Full) {
+  const Tensor t = Tensor::full(Shape{4}, 2.5f);
+  for (const float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t(Shape{2, 6}, std::vector<float>(12, 1.0f));
+  const Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_EQ(r.numel(), 12u);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t(Shape{100});
+  const std::string s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+using TensorDeath = Tensor;
+
+TEST(TensorDeathTest, OutOfBoundsAborts) {
+  Tensor t(Shape{2, 2});
+  EXPECT_DEATH(t.at(2, 0), "precondition");
+  EXPECT_DEATH(t.at(0, 2), "precondition");
+}
+
+TEST(TensorDeathTest, ShapeMismatchAborts) {
+  EXPECT_DEATH(Tensor(Shape{2, 2}, {1.0f}), "precondition");
+}
+
+}  // namespace
+}  // namespace haan::tensor
