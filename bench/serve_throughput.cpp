@@ -1,0 +1,169 @@
+// Serving throughput/latency bench: drives the haan::serve runtime with a
+// synthetic workload and reports p50/p95/p99 latency, throughput, batch and
+// queue statistics, and aggregated norm counters. With --verify=true (the
+// default) the multi-worker run is checked bit-for-bit against a
+// single-threaded reference execution of the same workload.
+//
+//   ./build/bench/serve_throughput --norm=haan --workers=4 --scenario=steady
+//       --seed=1 --json=bench/serve_baseline.json
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/json_lite.hpp"
+#include "core/provider_factory.hpp"
+#include "serve/server.hpp"
+
+using namespace haan;
+
+int main(int argc, char** argv) {
+  common::CliParser cli("serving throughput/latency under synthetic traffic");
+  cli.add_flag("model", "tiny", model::surrogate_names_help());
+  cli.add_flag("width", "0", "surrogate embedding width (0 = model default)");
+  cli.add_flag("norm", "haan", core::norm_provider_help());
+  cli.add_flag("workers", "4", "worker threads");
+  cli.add_flag("requests", "1000", "requests to serve");
+  cli.add_flag("scenario", "steady", "steady | bursty | ramp");
+  cli.add_flag("rate", "2000", "mean Poisson arrival rate, req/s");
+  cli.add_flag("burst-factor", "4", "bursty peak/trough factor");
+  cli.add_flag("length", "uniform", "fixed | uniform | bimodal prompt lengths");
+  cli.add_flag("min-prompt", "8", "min prompt tokens");
+  cli.add_flag("max-prompt", "32", "max prompt tokens");
+  cli.add_flag("max-batch", "8", "scheduler max batch size");
+  cli.add_flag("max-wait-us", "1000", "scheduler max batching wait (us)");
+  cli.add_flag("queue-cap", "128", "request queue capacity");
+  cli.add_flag("seed", "1", "workload seed");
+  cli.add_flag("paced", "true", "honor Poisson arrival times (open-loop)");
+  cli.add_flag("calibrate", "true", "calibrate a skip plan at startup");
+  cli.add_flag("verify", "true",
+               "compare against a single-threaded reference, bit-for-bit");
+  cli.add_flag("json", "", "write the report as JSON to this path");
+  if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+
+  const auto width = static_cast<std::size_t>(cli.get_int("width"));
+  serve::ServerConfig config;
+  const auto model_config = model::surrogate_by_name(cli.get("model"), width);
+  if (!model_config) {
+    std::fprintf(stderr, "unknown --model '%s' (expected %s)\n",
+                 cli.get("model").c_str(), model::surrogate_names_help().c_str());
+    return 1;
+  }
+  config.model = *model_config;
+  config.norm = cli.get("norm");
+  if (!core::is_norm_provider_name(config.norm)) {
+    std::fprintf(stderr, "unknown --norm '%s' (expected %s)\n",
+                 config.norm.c_str(), core::norm_provider_help().c_str());
+    return 1;
+  }
+  config.workers = static_cast<std::size_t>(cli.get_int("workers"));
+  config.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-cap"));
+  config.scheduler.max_batch = static_cast<std::size_t>(cli.get_int("max-batch"));
+  config.scheduler.max_wait =
+      std::chrono::microseconds(cli.get_int("max-wait-us"));
+  config.paced = cli.get_bool("paced");
+  config.calibrate = cli.get_bool("calibrate");
+  config.calibration.n_samples = 8;
+  config.calibration.seq_len = 16;
+  config.calibration.position_stride = 4;
+  config.calibration.planner.min_gap =
+      config.model.norm_layer_count() > 16 ? 8 : 4;
+
+  const auto scenario = serve::try_scenario_from_string(cli.get("scenario"));
+  if (!scenario) {
+    std::fprintf(stderr, "unknown --scenario '%s' (expected steady | bursty | ramp)\n",
+                 cli.get("scenario").c_str());
+    return 1;
+  }
+  const auto length_model = serve::try_length_model_from_string(cli.get("length"));
+  if (!length_model) {
+    std::fprintf(stderr, "unknown --length '%s' (expected fixed | uniform | bimodal)\n",
+                 cli.get("length").c_str());
+    return 1;
+  }
+
+  serve::WorkloadConfig workload_config;
+  workload_config.n_requests = static_cast<std::size_t>(cli.get_int("requests"));
+  workload_config.rate_rps = cli.get_double("rate");
+  workload_config.scenario = *scenario;
+  workload_config.burst_factor = cli.get_double("burst-factor");
+  workload_config.length_model = *length_model;
+  workload_config.min_prompt = static_cast<std::size_t>(cli.get_int("min-prompt"));
+  workload_config.max_prompt = static_cast<std::size_t>(cli.get_int("max-prompt"));
+  workload_config.vocab_size = config.model.vocab_size;
+  workload_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("=== serve_throughput — %s, norm=%s, %zu workers, %s traffic ===\n",
+              config.model.name.c_str(), config.norm.c_str(), config.workers,
+              serve::to_string(workload_config.scenario).c_str());
+
+  serve::Server server(config);
+  if (config.norm != "exact") {
+    std::printf("skip plan : %s\n", server.plan().to_string().c_str());
+  }
+
+  const auto workload = serve::generate_workload(workload_config);
+  const auto report = server.run(workload);
+  std::printf("%s", report.metrics.to_string().c_str());
+
+  bool verified = true;
+  const bool verify = cli.get_bool("verify");
+  if (verify) {
+    const auto reference = server.run_reference(workload);
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+      if (report.results[i].hidden_checksum !=
+          reference.results[i].hidden_checksum) {
+        ++mismatches;
+      }
+    }
+    const bool counters_match =
+        report.metrics.norm.norm_calls == reference.metrics.norm.norm_calls &&
+        report.metrics.norm.isd_computed == reference.metrics.norm.isd_computed &&
+        report.metrics.norm.isd_predicted ==
+            reference.metrics.norm.isd_predicted &&
+        report.metrics.norm.elements_read == reference.metrics.norm.elements_read;
+    verified = mismatches == 0 && counters_match;
+    std::printf(
+        "verify           : %s (%zu/%zu hidden-state checksums match, "
+        "counters %s)\n",
+        verified ? "bit-identical to single-threaded reference" : "MISMATCH",
+        report.results.size() - mismatches, report.results.size(),
+        counters_match ? "identical" : "DIFFER");
+  }
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    common::Json::Object doc;
+    doc["bench"] = "serve_throughput";
+    common::Json::Object cfg;
+    cfg["model"] = config.model.name;
+    cfg["d_model"] = config.model.d_model;
+    cfg["norm"] = config.norm;
+    cfg["workers"] = config.workers;
+    cfg["requests"] = workload_config.n_requests;
+    cfg["scenario"] = serve::to_string(workload_config.scenario);
+    cfg["rate_rps"] = workload_config.rate_rps;
+    cfg["length_model"] = serve::to_string(workload_config.length_model);
+    cfg["min_prompt"] = workload_config.min_prompt;
+    cfg["max_prompt"] = workload_config.max_prompt;
+    cfg["max_batch"] = config.scheduler.max_batch;
+    cfg["max_wait_us"] =
+        static_cast<std::size_t>(config.scheduler.max_wait.count());
+    cfg["queue_capacity"] = config.queue_capacity;
+    cfg["paced"] = config.paced;
+    cfg["seed"] = static_cast<std::size_t>(workload_config.seed);
+    cfg["skip_plan"] = server.plan().to_string();
+    doc["config"] = cfg;
+    doc["metrics"] = report.metrics.to_json();
+    common::Json::Object ver;
+    ver["checked"] = verify;
+    ver["bit_identical"] = verified;
+    doc["verify"] = ver;
+    if (!common::write_file(json_path, common::Json(doc).dump_pretty() + "\n")) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json report      : %s\n", json_path.c_str());
+  }
+  return verified ? 0 : 1;
+}

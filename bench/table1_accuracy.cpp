@@ -7,7 +7,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/calibration.hpp"
-#include "core/haan_norm.hpp"
+#include "core/provider_factory.hpp"
 #include "eval/evaluator.hpp"
 
 using namespace haan;
@@ -16,7 +16,6 @@ namespace {
 
 struct ModelUnderTest {
   model::ModelConfig config;
-  core::HaanConfig haan;
   const double* paper_original;  // 5 task accuracies
   const double* paper_haan;
   const char* paper_config;
@@ -31,8 +30,14 @@ void run_model(const ModelUnderTest& spec, std::size_t n_examples,
   cal.seq_len = 16;
   cal.position_stride = 4;
   const auto calibration = core::calibrate_skip_plan(model, cal);
-  core::HaanConfig haan_config = spec.haan;
-  haan_config.plan = calibration.plan;
+  // The factory resolves "haan" to the paper's per-model configuration
+  // (Nsub fraction + operand format) from the model name.
+  core::ProviderOptions provider_options;
+  provider_options.width = spec.config.d_model;
+  provider_options.model_name = spec.config.name;
+  provider_options.plan = calibration.plan;
+  const core::HaanConfig haan_config =
+      core::resolve_haan_config("haan", provider_options);
 
   const auto suite = eval::task_suite_for(spec.config.name);
   common::Table table({"method", "WG", "PQ", "HS", "A-e", "A-c"});
@@ -46,7 +51,7 @@ void run_model(const ModelUnderTest& spec, std::size_t n_examples,
     original.push_back(common::format_double(dataset.baseline_accuracy(), 4));
     const auto result = eval::evaluate_accuracy_parallel(
         model,
-        [&] { return std::make_unique<core::HaanNormProvider>(haan_config); },
+        [&] { return core::make_norm_provider("haan", provider_options); },
         dataset, threads);
     haan.push_back(common::format_double(result.accuracy, 4));
     paper_orig.push_back(common::format_double(spec.paper_original[t], 4));
@@ -85,16 +90,13 @@ int main(int argc, char** argv) {
   static const double gpt2_orig[5] = {0.5833, 0.7084, 0.4004, 0.5829, 0.2500};
   static const double gpt2_haan[5] = {0.5801, 0.7065, 0.3997, 0.5779, 0.2554};
 
-  run_model({model::llama7b_surrogate(width),
-             core::llama7b_algorithm_config(width), llama_orig, llama_haan,
+  run_model({model::llama7b_surrogate(width), llama_orig, llama_haan,
              "Nsub=256, skip (50,60), INT8"},
             n, threads);
-  run_model({model::opt2p7b_surrogate(width),
-             core::opt2p7b_algorithm_config(width), opt_orig, opt_haan,
+  run_model({model::opt2p7b_surrogate(width), opt_orig, opt_haan,
              "Nsub=1280, skip (55,62), FP16"},
             n, threads);
-  run_model({model::gpt2_1p5b_surrogate(width),
-             core::gpt2_1p5b_algorithm_config(width), gpt2_orig, gpt2_haan,
+  run_model({model::gpt2_1p5b_surrogate(width), gpt2_orig, gpt2_haan,
              "Nsub=800, skip (85,92), FP16"},
             n, threads);
   return 0;

@@ -10,7 +10,7 @@
 #include "baselines/haan_engine.hpp"
 #include "common/cli.hpp"
 #include "core/calibration.hpp"
-#include "core/haan_norm.hpp"
+#include "core/provider_factory.hpp"
 #include "eval/evaluator.hpp"
 #include "eval/perplexity.hpp"
 
@@ -18,7 +18,8 @@ using namespace haan;
 
 int main(int argc, char** argv) {
   common::CliParser cli("calibrate -> configure -> evaluate pipeline");
-  cli.add_flag("model", "llama", "llama | opt | gpt2");
+  cli.add_flag("model", "llama",
+               "llama7b | opt2.7b | gpt2-1.5b (aliases: llama, opt, gpt2)");
   cli.add_flag("width", "128", "surrogate embedding width");
   cli.add_flag("examples", "150", "examples for the task evaluation");
   cli.add_flag("task", "1", "task index 0..4 (WG, PQ, HS, A-e, A-c)");
@@ -26,9 +27,17 @@ int main(int argc, char** argv) {
 
   const std::string name = cli.get("model");
   const auto width = static_cast<std::size_t>(cli.get_int("width"));
-  model::ModelConfig config = name == "opt" ? model::opt2p7b_surrogate(width)
-                              : name == "gpt2" ? model::gpt2_1p5b_surrogate(width)
-                                               : model::llama7b_surrogate(width);
+  const auto selected = model::surrogate_by_name(name, width);
+  // Only the three paper models have task suites and real-dims tables here.
+  if (!selected || (selected->name != "LLaMA-7B" && selected->name != "OPT-2.7B" &&
+                    selected->name != "GPT2-1.5B")) {
+    std::fprintf(stderr,
+                 "unsupported --model '%s' (this example supports "
+                 "llama7b | opt2.7b | gpt2-1.5b)\n",
+                 name.c_str());
+    return 1;
+  }
+  const model::ModelConfig config = *selected;
   model::Transformer model(config);
 
   // Step 1: offline calibration (Algorithm 1 on a synthetic corpus).
@@ -39,13 +48,14 @@ int main(int argc, char** argv) {
   cal.position_stride = 4;
   const auto calibration = core::calibrate_skip_plan(model, cal);
 
-  // Step 2: configure the HAAN algorithm (paper defaults for the model).
-  core::HaanConfig haan = name == "opt" ? core::opt2p7b_algorithm_config(width)
-                          : name == "gpt2"
-                              ? core::gpt2_1p5b_algorithm_config(width)
-                              : core::llama7b_algorithm_config(width);
-  haan.plan = calibration.plan;
-  std::printf("[2/4] configuration: %s\n", haan.to_string().c_str());
+  // Step 2: configure the HAAN algorithm via the shared provider factory,
+  // which resolves "haan" to the paper defaults for the model.
+  core::ProviderOptions provider_options;
+  provider_options.width = config.d_model;  // the resolved width, not the flag
+  provider_options.model_name = config.name;
+  provider_options.plan = calibration.plan;
+  std::printf("[2/4] configuration: %s\n",
+              core::resolve_haan_config("haan", provider_options).to_string().c_str());
 
   // Step 3: accuracy against the exact baseline.
   auto task = eval::task_suite_for(config.name)
@@ -55,21 +65,23 @@ int main(int argc, char** argv) {
   std::printf("[3/4] evaluating %s on %zu examples ...\n", task.name.c_str(), n);
   const auto dataset = eval::TaskDataset::generate(model, task, n);
   const auto result = eval::evaluate_accuracy_parallel(
-      model, [&] { return std::make_unique<core::HaanNormProvider>(haan); },
+      model, [&] { return core::make_norm_provider("haan", provider_options); },
       dataset, 0);
   std::printf("      original %.4f | HAAN %.4f | decision flips %zu/%zu\n",
               dataset.baseline_accuracy(), result.accuracy,
               result.flips_vs_baseline, result.n_examples);
 
   const auto corpus = core::random_token_corpus(config.vocab_size, 4, 12, 3);
-  core::HaanNormProvider ppl_provider(haan);
+  const auto ppl_provider = core::make_norm_provider("haan", provider_options);
   std::printf("      pseudo-perplexity ratio vs exact: %.4f\n",
-              eval::pseudo_ppl_ratio(model, ppl_provider, corpus));
+              eval::pseudo_ppl_ratio(model, *ppl_provider, corpus));
 
   // Step 4: what the accelerator gains from this plan on the real dims.
-  const model::RealDims dims = name == "opt" ? model::real_dims_opt2p7b()
-                               : name == "gpt2" ? model::real_dims_gpt2_1p5b()
-                                                : model::real_dims_llama7b();
+  const model::RealDims dims = config.name == "OPT-2.7B"
+                                   ? model::real_dims_opt2p7b()
+                               : config.name == "GPT2-1.5B"
+                                   ? model::real_dims_gpt2_1p5b()
+                                   : model::real_dims_llama7b();
   const baselines::HaanEngine engine(accel::haan_v1());
   const auto with_skip = baselines::make_workload(
       dims, 256, calibration.plan.skipped_count(), dims.d_model / 2,

@@ -8,7 +8,7 @@
 
 #include "accel/accelerator.hpp"
 #include "common/rng.hpp"
-#include "core/haan_norm.hpp"
+#include "core/provider_factory.hpp"
 #include "tensor/norm_ref.hpp"
 #include "tensor/ops.hpp"
 
@@ -27,16 +27,16 @@ int main() {
   std::vector<float> reference(kWidth);
   tensor::layernorm(batch.row(0), {}, {}, reference);
 
-  // 2. HAAN algorithm: statistics from the first half of the vector, ISD via
-  //    the 0x5F3759DF inverse-sqrt with one Newton refinement.
-  core::HaanConfig config;
-  config.nsub = kWidth / 2;
-  config.format = numerics::NumericFormat::kFP16;
-  core::HaanNormProvider provider(config);
-  provider.begin_sequence();
+  // 2. HAAN algorithm via the shared provider factory: subsampled statistics
+  //    in FP16, ISD via the 0x5F3759DF inverse-sqrt with one Newton step.
+  core::ProviderOptions options;
+  options.width = kWidth;
+  const core::HaanConfig config = core::resolve_haan_config("haan-fp16", options);
+  const auto provider = core::make_norm_provider("haan-fp16", options);
+  provider->begin_sequence();
   std::vector<float> approx(kWidth);
-  provider.normalize(/*layer=*/0, /*position=*/0, model::NormKind::kLayerNorm,
-                     batch.row(0), {}, {}, approx);
+  provider->normalize(/*layer=*/0, /*position=*/0, model::NormKind::kLayerNorm,
+                      batch.row(0), {}, {}, approx);
 
   std::printf("HAAN vs reference LayerNorm (width %zu, Nsub %zu):\n", kWidth,
               config.nsub);
@@ -45,7 +45,8 @@ int main() {
   std::printf("  max abs error  : %.5f\n",
               tensor::max_abs_error(approx, reference));
   std::printf("  elements read  : %zu of %zu (statistics path)\n",
-              provider.counters().elements_read, kWidth);
+              core::as_haan_provider(provider.get())->counters().elements_read,
+              kWidth);
 
   // 3. The accelerator: same computation with cycle and energy accounting.
   const accel::HaanAccelerator accelerator(accel::haan_v1());

@@ -1,0 +1,64 @@
+// Serving quickstart: stand up the batched multi-threaded inference server on
+// the tiny test model, replay a short Poisson workload twice — once with
+// exact normalization, once with the HAAN provider — and compare latency,
+// throughput and the norm-path work the HAAN optimizations elide.
+//
+//   ./build/examples/serving_quickstart
+#include <cstdio>
+
+#include "serve/server.hpp"
+
+using namespace haan;
+
+namespace {
+
+serve::ServeReport serve_once(const std::string& norm,
+                              const std::vector<serve::Request>& workload) {
+  serve::ServerConfig config;
+  config.model = model::tiny_test_model();
+  config.norm = norm;
+  config.workers = 4;
+  config.scheduler.max_batch = 4;
+  config.scheduler.max_wait = std::chrono::microseconds(500);
+  config.calibration.n_samples = 8;
+  config.calibration.seq_len = 16;
+  config.calibration.position_stride = 4;
+  config.calibration.planner.min_gap = 4;
+
+  serve::Server server(config);
+  std::printf("--- norm=%s (4 workers, max batch 4) ---\n", norm.c_str());
+  const auto report = server.run(workload);
+  std::printf("%s\n", report.metrics.to_string().c_str());
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  // 256 requests, steady Poisson arrivals at 2000 req/s, prompts of 8-24
+  // tokens — a miniature of the serve_throughput bench.
+  serve::WorkloadConfig workload_config;
+  workload_config.n_requests = 256;
+  workload_config.rate_rps = 2000.0;
+  workload_config.min_prompt = 8;
+  workload_config.max_prompt = 24;
+  workload_config.vocab_size = model::tiny_test_model().vocab_size;
+  workload_config.seed = 1;
+  const auto workload = serve::generate_workload(workload_config);
+  std::printf("workload: %zu requests over %.2f s (steady Poisson)\n\n",
+              workload.size(), workload.back().arrival_us / 1e6);
+
+  const auto exact = serve_once("exact", workload);
+  const auto haan = serve_once("haan", workload);
+
+  const auto& counters = haan.metrics.norm;
+  std::printf("HAAN norm-path work on this workload:\n");
+  std::printf("  norm calls      : %zu\n", counters.norm_calls);
+  std::printf("  ISD predicted   : %zu of %zu (skipped square-root inverter)\n",
+              counters.isd_predicted,
+              counters.isd_computed + counters.isd_predicted);
+  std::printf("  p50 latency     : exact %.3f ms vs haan %.3f ms\n",
+              exact.metrics.total.p50_us / 1000.0,
+              haan.metrics.total.p50_us / 1000.0);
+  return 0;
+}

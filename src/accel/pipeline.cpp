@@ -108,7 +108,7 @@ CycleStats simulate_norm_layer(const NormLayerWork& work,
 }
 
 ActivityStats layer_activity(const NormLayerWork& work,
-                             const AcceleratorConfig& config) {
+                             const AcceleratorConfig& /*config*/) {
   ActivityStats activity;
   const std::size_t stat_elems =
       (work.nsub == 0) ? work.n : std::min(work.nsub, work.n);

@@ -27,7 +27,7 @@ class GpuNormEngine final : public NormEngineModel {
   std::string name() const override { return "GPU"; }
 
   double total_latency_us(const NormWorkload& work) const override;
-  double average_power_w(const NormWorkload& work) const override { return params_.power_w; }
+  double average_power_w(const NormWorkload& /*work*/) const override { return params_.power_w; }
 
  private:
   Params params_;

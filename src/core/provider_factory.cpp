@@ -1,0 +1,86 @@
+#include "core/provider_factory.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/assert.hpp"
+
+namespace haan::core {
+
+namespace {
+
+constexpr std::array<const char*, 6> kNames = {
+    "exact", "haan", "haan-int8", "haan-fp16", "haan-full", "haan-noskip",
+};
+
+/// Paper per-model configuration by case-insensitive model-name prefix
+/// (surrogate names are capitalized: "LLaMA-7B", "GPT2-1.5B", ...).
+HaanConfig model_default_config(const std::string& model_name, std::size_t width) {
+  std::string lower(model_name.size(), '\0');
+  std::transform(model_name.begin(), model_name.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower.rfind("llama", 0) == 0) return llama7b_algorithm_config(width);
+  if (lower.rfind("gpt2", 0) == 0) return gpt2_1p5b_algorithm_config(width);
+  // OPT and everything else (incl. tiny test models): Nsub = E/2, FP16.
+  return opt2p7b_algorithm_config(width);
+}
+
+}  // namespace
+
+std::vector<std::string> norm_provider_names() {
+  return {kNames.begin(), kNames.end()};
+}
+
+bool is_norm_provider_name(const std::string& name) {
+  for (const char* candidate : kNames) {
+    if (name == candidate) return true;
+  }
+  return false;
+}
+
+std::string norm_provider_help() {
+  std::string out;
+  for (const char* name : kNames) {
+    if (!out.empty()) out += " | ";
+    out += name;
+  }
+  return out;
+}
+
+HaanConfig resolve_haan_config(const std::string& name,
+                               const ProviderOptions& options) {
+  HAAN_EXPECTS(options.width > 0);
+  HaanConfig config;
+  if (name == "haan" || name == "haan-noskip") {
+    config = model_default_config(options.model_name, options.width);
+  } else if (name == "haan-int8") {
+    config = llama7b_algorithm_config(options.width);
+  } else if (name == "haan-fp16") {
+    config = opt2p7b_algorithm_config(options.width);
+  } else if (name == "haan-full") {
+    config.nsub = 0;  // full-vector statistics
+    config.format = numerics::NumericFormat::kFP32;
+  } else {
+    HAAN_EXPECTS(false && "resolve_haan_config: not a haan variant");
+  }
+  config.eps = options.eps;
+  config.plan = options.plan;
+  if (name == "haan-noskip") config.plan.enabled = false;
+  return config;
+}
+
+std::unique_ptr<model::NormProvider> make_norm_provider(
+    const std::string& name, const ProviderOptions& options) {
+  if (name == "exact") {
+    return std::make_unique<model::ExactNormProvider>(options.eps);
+  }
+  if (!is_norm_provider_name(name)) return nullptr;
+  return std::make_unique<HaanNormProvider>(resolve_haan_config(name, options));
+}
+
+const HaanNormProvider* as_haan_provider(const model::NormProvider* provider) {
+  return dynamic_cast<const HaanNormProvider*>(provider);
+}
+
+}  // namespace haan::core

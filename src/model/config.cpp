@@ -79,6 +79,31 @@ ModelConfig tiny_test_model() {
   return config;
 }
 
+std::optional<ModelConfig> surrogate_by_name(const std::string& name,
+                                             std::size_t width) {
+  if (name == "tiny") return tiny_test_model();
+  if (name == "llama7b" || name == "llama") {
+    return width == 0 ? llama7b_surrogate() : llama7b_surrogate(width);
+  }
+  if (name == "opt2.7b" || name == "opt") {
+    return width == 0 ? opt2p7b_surrogate() : opt2p7b_surrogate(width);
+  }
+  if (name == "gpt2-1.5b" || name == "gpt2") {
+    return width == 0 ? gpt2_1p5b_surrogate() : gpt2_1p5b_surrogate(width);
+  }
+  if (name == "gpt2-355m") {
+    return width == 0 ? gpt2_355m_surrogate() : gpt2_355m_surrogate(width);
+  }
+  if (name == "gpt2-117m") {
+    return width == 0 ? gpt2_117m_surrogate() : gpt2_117m_surrogate(width);
+  }
+  return std::nullopt;
+}
+
+std::string surrogate_names_help() {
+  return "tiny | llama7b | opt2.7b | gpt2-1.5b | gpt2-355m | gpt2-117m";
+}
+
 RealDims real_dims_llama7b() { return {32, 4096, 32, 11008, 64}; }
 RealDims real_dims_opt2p7b() { return {32, 2560, 32, 10240, 65}; }
 RealDims real_dims_gpt2_1p5b() { return {48, 1600, 25, 6400, 97}; }

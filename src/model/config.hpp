@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 namespace haan::model {
@@ -72,6 +73,17 @@ ModelConfig gpt2_117m_surrogate(std::size_t width = 128);
 
 /// Tiny config for unit tests (fast to run, still 2 norms/block).
 ModelConfig tiny_test_model();
+
+/// Surrogate lookup by CLI name, shared by every --model flag so the
+/// binaries agree on one vocabulary. Accepts the canonical names ("tiny",
+/// "llama7b", "opt2.7b", "gpt2-1.5b", "gpt2-355m", "gpt2-117m") and short
+/// aliases ("llama", "opt", "gpt2"). `width` 0 = the surrogate's default;
+/// ignored by "tiny". Returns nullopt for unknown names.
+std::optional<ModelConfig> surrogate_by_name(const std::string& name,
+                                             std::size_t width = 0);
+
+/// The names surrogate_by_name accepts, for --help strings.
+std::string surrogate_names_help();
 
 /// Real (unscaled) dimensions of the paper's models, used by the latency and
 /// hardware models where the true embedding width matters.

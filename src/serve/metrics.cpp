@@ -1,0 +1,165 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace haan::serve {
+
+LatencySummary summarize_latency(std::vector<double> samples) {
+  LatencySummary summary;
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: smallest value with at least ceil(q*n) samples <= it.
+  const auto nearest_rank = [&](double q) {
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(q * static_cast<double>(samples.size())));
+    if (rank > 0) --rank;  // 1-based rank -> 0-based index
+    return samples[rank];
+  };
+  summary.count = samples.size();
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  summary.mean_us = sum / static_cast<double>(samples.size());
+  summary.max_us = samples.back();
+  summary.p50_us = nearest_rank(0.50);
+  summary.p95_us = nearest_rank(0.95);
+  summary.p99_us = nearest_rank(0.99);
+  return summary;
+}
+
+common::Json LatencySummary::to_json() const {
+  common::Json::Object out;
+  out["count"] = count;
+  out["mean_us"] = mean_us;
+  out["p50_us"] = p50_us;
+  out["p95_us"] = p95_us;
+  out["p99_us"] = p99_us;
+  out["max_us"] = max_us;
+  return out;
+}
+
+common::Json ServeMetrics::to_json() const {
+  common::Json::Object out;
+  out["completed"] = completed;
+  out["wall_us"] = wall_us;
+  out["throughput_rps"] = throughput_rps;
+  out["latency_total"] = total.to_json();
+  out["latency_queue"] = queued.to_json();
+  out["latency_compute"] = compute.to_json();
+  out["batches"] = static_cast<std::size_t>(batches);
+  out["mean_batch_size"] = mean_batch_size;
+  out["max_batch_size"] = max_batch_size;
+  out["max_queue_depth"] = max_queue_depth;
+  out["mean_queue_depth"] = mean_queue_depth;
+  common::Json::Object counters;
+  counters["norm_calls"] = norm.norm_calls;
+  counters["isd_computed"] = norm.isd_computed;
+  counters["isd_predicted"] = norm.isd_predicted;
+  counters["elements_read"] = norm.elements_read;
+  out["norm_counters"] = counters;
+  return out;
+}
+
+std::string ServeMetrics::to_string() const {
+  common::Table table({"metric", "mean", "p50", "p95", "p99", "max"});
+  const auto row = [](const char* name, const LatencySummary& s) {
+    return std::vector<std::string>{
+        name,
+        common::format_double(s.mean_us / 1000.0, 3),
+        common::format_double(s.p50_us / 1000.0, 3),
+        common::format_double(s.p95_us / 1000.0, 3),
+        common::format_double(s.p99_us / 1000.0, 3),
+        common::format_double(s.max_us / 1000.0, 3)};
+  };
+  table.add_row(row("total latency (ms)", total));
+  table.add_row(row("queue latency (ms)", queued));
+  table.add_row(row("compute latency (ms)", compute));
+
+  std::ostringstream out;
+  out << table.render();
+  out << "completed        : " << completed << " requests in "
+      << common::format_double(wall_us / 1e6, 3) << " s ("
+      << common::format_double(throughput_rps, 1) << " req/s)\n";
+  out << "batches          : " << batches << " (mean size "
+      << common::format_double(mean_batch_size, 2) << ", max " << max_batch_size
+      << ")\n";
+  out << "queue depth      : max " << max_queue_depth << ", mean "
+      << common::format_double(mean_queue_depth, 2) << "\n";
+  out << "norm counters    : calls " << norm.norm_calls << ", isd computed "
+      << norm.isd_computed << ", isd predicted " << norm.isd_predicted
+      << ", elements read " << norm.elements_read << "\n";
+  return out.str();
+}
+
+void MetricsCollector::record(const RequestResult& result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_us_.push_back(result.total_us);
+  queue_us_.push_back(result.queue_us);
+  compute_us_.push_back(result.compute_us);
+}
+
+void MetricsCollector::record_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_sizes_.push_back(batch_size);
+}
+
+void MetricsCollector::sample_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  depth_samples_.push_back(depth);
+}
+
+void MetricsCollector::add_norm_counters(const NormCounters& counters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  norm_.norm_calls += counters.norm_calls;
+  norm_.isd_computed += counters.isd_computed;
+  norm_.isd_predicted += counters.isd_predicted;
+  norm_.elements_read += counters.elements_read;
+}
+
+std::size_t MetricsCollector::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_us_.size();
+}
+
+ServeMetrics MetricsCollector::finalize(double wall_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServeMetrics metrics;
+  metrics.completed = total_us_.size();
+  metrics.wall_us = wall_us;
+  metrics.throughput_rps =
+      wall_us > 0.0 ? static_cast<double>(metrics.completed) / (wall_us / 1e6)
+                    : 0.0;
+  metrics.total = summarize_latency(total_us_);
+  metrics.queued = summarize_latency(queue_us_);
+  metrics.compute = summarize_latency(compute_us_);
+
+  metrics.batches = batch_sizes_.size();
+  std::size_t batched_requests = 0, max_batch = 0;
+  for (const std::size_t b : batch_sizes_) {
+    batched_requests += b;
+    if (b > max_batch) max_batch = b;
+  }
+  metrics.mean_batch_size =
+      batch_sizes_.empty() ? 0.0
+                           : static_cast<double>(batched_requests) /
+                                 static_cast<double>(batch_sizes_.size());
+  metrics.max_batch_size = max_batch;
+
+  std::size_t depth_sum = 0, max_depth = 0;
+  for (const std::size_t d : depth_samples_) {
+    depth_sum += d;
+    if (d > max_depth) max_depth = d;
+  }
+  metrics.max_queue_depth = max_depth;
+  metrics.mean_queue_depth =
+      depth_samples_.empty() ? 0.0
+                             : static_cast<double>(depth_sum) /
+                                   static_cast<double>(depth_samples_.size());
+  metrics.norm = norm_;
+  return metrics;
+}
+
+}  // namespace haan::serve

@@ -1,0 +1,91 @@
+// Serving metrics: per-request latency percentiles (p50/p95/p99), throughput,
+// batch and queue-depth statistics, and HAAN norm-execution counters
+// aggregated across workers. The collector is thread-safe; finalize() renders
+// an immutable summary that serializes to JSON for trajectory anchoring.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json_lite.hpp"
+#include "core/haan_norm.hpp"
+#include "serve/request.hpp"
+
+namespace haan::serve {
+
+/// Aggregated HAAN execution counters (sums across all workers' providers).
+using NormCounters = core::HaanNormProvider::Counters;
+
+/// Latency distribution summary in microseconds.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  common::Json to_json() const;
+};
+
+/// Builds the full summary (mean/max + nearest-rank p50/p95/p99) from an
+/// unsorted sample set; all zeros when empty.
+LatencySummary summarize_latency(std::vector<double> samples);
+
+/// Immutable end-of-run metrics.
+struct ServeMetrics {
+  std::size_t completed = 0;
+  double wall_us = 0.0;
+  double throughput_rps = 0.0;
+
+  LatencySummary total;    ///< enqueue -> completion
+  LatencySummary queued;   ///< enqueue -> dequeue
+  LatencySummary compute;  ///< forward pass
+
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  std::size_t max_batch_size = 0;
+
+  std::size_t max_queue_depth = 0;
+  double mean_queue_depth = 0.0;
+
+  NormCounters norm;
+
+  common::Json to_json() const;
+  std::string to_string() const;  ///< multi-line human-readable report
+};
+
+/// Thread-safe metrics sink shared by the feeder and all workers.
+class MetricsCollector {
+ public:
+  /// Records one completed request (called by workers).
+  void record(const RequestResult& result);
+
+  /// Records one formed batch's size (called by workers).
+  void record_batch(std::size_t batch_size);
+
+  /// Samples the queue depth (called by the feeder on every push).
+  void sample_queue_depth(std::size_t depth);
+
+  /// Accumulates one worker's provider counters at drain time.
+  void add_norm_counters(const NormCounters& counters);
+
+  /// Number of results recorded so far.
+  std::size_t completed() const;
+
+  /// Renders the summary; `wall_us` is the workload wall-clock span.
+  ServeMetrics finalize(double wall_us) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> total_us_;
+  std::vector<double> queue_us_;
+  std::vector<double> compute_us_;
+  std::vector<std::size_t> batch_sizes_;
+  std::vector<std::size_t> depth_samples_;
+  NormCounters norm_;
+};
+
+}  // namespace haan::serve

@@ -1,0 +1,91 @@
+#include "serve/queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace haan::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  HAAN_EXPECTS(capacity > 0);
+}
+
+bool RequestQueue::push(Request request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  items_.push_back(std::move(request));
+  if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::try_push(Request request) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_ || items_.size() >= capacity_) return false;
+  items_.push_back(std::move(request));
+  if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Request> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Request request = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return request;
+}
+
+std::optional<Request> RequestQueue::try_pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (items_.empty()) return std::nullopt;
+  Request request = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return request;
+}
+
+std::optional<Request> RequestQueue::pop_for(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!not_empty_.wait_for(lock, timeout,
+                           [&] { return !items_.empty() || closed_; })) {
+    return std::nullopt;  // timeout
+  }
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Request request = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return request;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::size_t RequestQueue::high_watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_watermark_;
+}
+
+}  // namespace haan::serve

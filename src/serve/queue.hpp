@@ -1,0 +1,61 @@
+// Bounded MPMC request queue: the admission point of the serving runtime.
+// Producers block when the queue is full (backpressure), consumers block when
+// it is empty. close() wakes everyone; consumers drain remaining items and
+// then observe end-of-stream.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/request.hpp"
+
+namespace haan::serve {
+
+/// Bounded blocking multi-producer / multi-consumer FIFO of Requests.
+class RequestQueue {
+ public:
+  /// `capacity` must be > 0.
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Blocks while full. Returns false (request dropped) iff the queue was
+  /// closed before space became available.
+  bool push(Request request);
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(Request request);
+
+  /// Blocks while empty. Returns nullopt only after close() with the queue
+  /// fully drained (end-of-stream).
+  std::optional<Request> pop();
+
+  /// Non-blocking pop; nullopt when currently empty.
+  std::optional<Request> try_pop();
+
+  /// Pop waiting at most `timeout`; nullopt on timeout or end-of-stream.
+  std::optional<Request> pop_for(std::chrono::microseconds timeout);
+
+  /// Closes the queue: no new pushes; consumers drain then see end-of-stream.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Deepest occupancy observed since construction (metrics).
+  std::size_t high_watermark() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> items_;
+  std::size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace haan::serve

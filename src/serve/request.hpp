@@ -1,0 +1,74 @@
+// Request/result types flowing through the serving runtime. A Request is a
+// token prompt plus its workload arrival offset; the runtime stamps queue
+// timestamps on it as it moves. A RequestResult carries the latency breakdown
+// and a checksum of the final hidden states so multi-threaded runs can be
+// compared bit-for-bit against a single-threaded reference.
+#pragma once
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace haan::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// One inference request.
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<int> tokens;
+
+  /// Arrival offset from workload start, microseconds (open-loop pacing).
+  double arrival_us = 0.0;
+
+  /// Stamped by the server when the request enters the queue.
+  Clock::time_point enqueued_at{};
+
+  /// Stamped by the scheduler when the request leaves the queue into a batch.
+  Clock::time_point dequeued_at{};
+};
+
+/// Completion record for one request.
+struct RequestResult {
+  std::uint64_t id = 0;
+  std::size_t worker = 0;       ///< worker index that executed the request
+  std::uint64_t batch = 0;      ///< batch sequence number it rode in
+  std::size_t batch_size = 0;   ///< size of that batch
+  std::size_t prompt_len = 0;
+
+  /// FNV-1a over the raw bits of the final hidden states (L x d_model).
+  std::uint64_t hidden_checksum = 0;
+
+  /// Full final hidden states, kept only when the server's keep_hidden flag
+  /// is set (tests); empty otherwise to bound memory.
+  std::vector<float> hidden;
+
+  double queue_us = 0.0;    ///< enqueue -> dequeue (batch formation)
+  double compute_us = 0.0;  ///< forward pass
+  double total_us = 0.0;    ///< enqueue -> completion
+};
+
+/// FNV-1a over the bit patterns of a float span. Bit-exact: two runs agree
+/// iff every float is binary-identical.
+inline std::uint64_t checksum_floats(std::span<const float> values) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const float v : values) {
+    std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+    for (int byte = 0; byte < 4; ++byte) {
+      hash ^= (bits >> (8 * byte)) & 0xFFU;
+      hash *= 0x100000001B3ULL;
+    }
+  }
+  return hash;
+}
+
+/// Microseconds between two clock points (negative-clamped to 0).
+inline double elapsed_us(Clock::time_point from, Clock::time_point to) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(to - from);
+  const double us = static_cast<double>(ns.count()) / 1000.0;
+  return us < 0.0 ? 0.0 : us;
+}
+
+}  // namespace haan::serve

@@ -1,0 +1,48 @@
+#include "serve/scheduler.hpp"
+
+#include "common/assert.hpp"
+
+namespace haan::serve {
+
+BatchScheduler::BatchScheduler(RequestQueue& queue, SchedulerConfig config)
+    : queue_(queue), config_(config) {
+  HAAN_EXPECTS(config_.max_batch > 0);
+}
+
+std::optional<Batch> BatchScheduler::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+
+  // The batch opens on the first request; this blocks until one arrives or
+  // the stream ends. Holding mu_ here is intentional: another worker waiting
+  // in next_batch() would otherwise interleave pops and break FIFO runs.
+  std::optional<Request> first = queue_.pop();
+  if (!first) return std::nullopt;
+
+  Batch batch;
+  batch.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point opened = Clock::now();
+  first->dequeued_at = opened;
+  batch.requests.push_back(std::move(*first));
+
+  const Clock::time_point deadline = opened + config_.max_wait;
+  while (batch.requests.size() < config_.max_batch) {
+    // Fast path: take whatever is already queued without waiting.
+    std::optional<Request> next = queue_.try_pop();
+    if (!next) {
+      const Clock::time_point now = Clock::now();
+      if (now >= deadline) break;
+      next = queue_.pop_for(
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
+      if (!next) break;  // max-wait expired or end-of-stream
+    }
+    next->dequeued_at = Clock::now();
+    batch.requests.push_back(std::move(*next));
+  }
+  return batch;
+}
+
+std::uint64_t BatchScheduler::batches_formed() const {
+  return next_sequence_.load(std::memory_order_relaxed);
+}
+
+}  // namespace haan::serve

@@ -1,0 +1,62 @@
+// Continuous-batching scheduler: turns the FIFO request stream into batches
+// for the worker pool. A batch opens when the first request is popped and
+// closes when either max_batch requests have been collected or max_wait has
+// elapsed since the batch opened — the classic batching latency/throughput
+// knob. Batch formation is serialized so batches are contiguous FIFO runs
+// with monotonically increasing sequence numbers (fairness: no request can be
+// overtaken by a later arrival in a different batch).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace haan::serve {
+
+/// Batch formation knobs.
+struct SchedulerConfig {
+  /// Maximum requests per batch; must be > 0.
+  std::size_t max_batch = 8;
+
+  /// Maximum time to hold an open batch waiting for more requests.
+  std::chrono::microseconds max_wait{1000};
+};
+
+/// One formed batch.
+struct Batch {
+  std::uint64_t sequence = 0;  ///< monotone formation order
+  std::vector<Request> requests;
+};
+
+/// Pulls batches off a RequestQueue. Thread-safe: any number of workers may
+/// call next_batch() concurrently; formation itself is serialized.
+class BatchScheduler {
+ public:
+  BatchScheduler(RequestQueue& queue, SchedulerConfig config);
+
+  /// Blocks for the next batch. Returns nullopt only at end-of-stream (queue
+  /// closed and drained). The returned batch has 1..max_batch requests, each
+  /// stamped with its dequeue time.
+  std::optional<Batch> next_batch();
+
+  /// Number of batches formed so far.
+  std::uint64_t batches_formed() const;
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  RequestQueue& queue_;
+  SchedulerConfig config_;
+  std::mutex mu_;  ///< serializes batch formation (FIFO fairness)
+  /// Atomic (not mu_-guarded) so batches_formed() never blocks behind a
+  /// worker that is parked inside next_batch() holding mu_.
+  std::atomic<std::uint64_t> next_sequence_{0};
+};
+
+}  // namespace haan::serve

@@ -1,0 +1,105 @@
+#include "serve/server.hpp"
+
+#include <thread>
+
+#include "common/assert.hpp"
+#include "serve/queue.hpp"
+#include "serve/worker_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace haan::serve {
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), model_(config_.model) {
+  HAAN_EXPECTS(core::is_norm_provider_name(config_.norm));
+  HAAN_EXPECTS(config_.workers > 0);
+
+  provider_options_.width = config_.model.d_model;
+  provider_options_.model_name = config_.model.name;
+
+  if (config_.norm != "exact" && config_.calibrate) {
+    const auto calibration = core::calibrate_skip_plan(model_, config_.calibration);
+    provider_options_.plan = calibration.plan;
+  }
+}
+
+std::unique_ptr<model::NormProvider> Server::make_provider() const {
+  auto provider = core::make_norm_provider(config_.norm, provider_options_);
+  HAAN_ASSERT(provider != nullptr);
+  return provider;
+}
+
+ServeReport Server::run(const std::vector<Request>& workload) {
+  RequestQueue queue(config_.queue_capacity);
+  BatchScheduler scheduler(queue, config_.scheduler);
+  MetricsCollector metrics;
+  WorkerPool pool(model_, scheduler, [this] { return make_provider(); }, metrics,
+                  {config_.workers, config_.keep_hidden});
+  pool.start();
+
+  const Clock::time_point start = Clock::now();
+  for (const Request& request : workload) {
+    if (config_.paced) {
+      const auto arrival =
+          start + std::chrono::microseconds(
+                      static_cast<std::int64_t>(request.arrival_us));
+      std::this_thread::sleep_until(arrival);
+    }
+    Request admitted = request;
+    admitted.enqueued_at = Clock::now();
+    const bool accepted = queue.push(std::move(admitted));
+    HAAN_ASSERT(accepted);  // the server closes the queue only after feeding
+    metrics.sample_queue_depth(queue.size());
+  }
+  queue.close();
+  pool.join();
+  const double wall_us = elapsed_us(start, Clock::now());
+
+  ServeReport report;
+  report.results = pool.take_results();
+  report.metrics = metrics.finalize(wall_us);
+  // The queue tracks its peak occupancy under its own lock; the feeder's
+  // post-push size() samples can miss the true maximum (a worker may pop in
+  // between), so they only feed the mean.
+  report.metrics.max_queue_depth = queue.high_watermark();
+  return report;
+}
+
+ServeReport Server::run_reference(const std::vector<Request>& workload) {
+  const std::unique_ptr<model::NormProvider> provider = make_provider();
+  MetricsCollector metrics;
+
+  const Clock::time_point start = Clock::now();
+  std::vector<RequestResult> results;
+  results.reserve(workload.size());
+  for (const Request& request : workload) {
+    const Clock::time_point begin = Clock::now();
+    const tensor::Tensor hidden = model_.forward_hidden(request.tokens, *provider);
+    const Clock::time_point done = Clock::now();
+
+    RequestResult result;
+    result.id = request.id;
+    result.batch_size = 1;
+    result.prompt_len = request.tokens.size();
+    result.hidden_checksum = checksum_floats(hidden.data());
+    if (config_.keep_hidden) {
+      result.hidden.assign(hidden.data().begin(), hidden.data().end());
+    }
+    result.compute_us = elapsed_us(begin, done);
+    result.total_us = result.compute_us;
+    metrics.record(result);
+    metrics.record_batch(1);
+    results.push_back(std::move(result));
+  }
+  const double wall_us = elapsed_us(start, Clock::now());
+  if (const core::HaanNormProvider* haan = core::as_haan_provider(provider.get())) {
+    metrics.add_norm_counters(haan->counters());
+  }
+
+  ServeReport report;
+  report.results = std::move(results);
+  report.metrics = metrics.finalize(wall_us);
+  return report;
+}
+
+}  // namespace haan::serve

@@ -1,0 +1,84 @@
+// The serving facade: wires queue + scheduler + worker pool + metrics around
+// a Transformer. Construction builds the model and (for haan* providers)
+// runs offline calibration once so every worker's provider shares the same
+// skip plan. run() plays a workload open-loop (honoring arrival offsets) or
+// closed-loop (as fast as the queue admits); run_reference() executes the
+// same workload single-threaded in arrival order — the determinism oracle
+// multi-worker runs are compared against bit-for-bit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/provider_factory.hpp"
+#include "model/transformer.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace haan::serve {
+
+/// Full serving configuration.
+struct ServerConfig {
+  model::ModelConfig model = model::tiny_test_model();
+
+  /// Provider name (core::norm_provider_names()).
+  std::string norm = "haan";
+
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  SchedulerConfig scheduler;
+
+  /// Honor workload arrival offsets (open-loop). False = closed-loop: feed as
+  /// fast as queue backpressure admits.
+  bool paced = true;
+
+  /// Keep full hidden states in results (verification; memory-heavy).
+  bool keep_hidden = false;
+
+  /// Run Algorithm 1 at startup and attach the plan to haan* providers.
+  bool calibrate = true;
+  core::CalibrationOptions calibration;
+};
+
+/// End-of-run report.
+struct ServeReport {
+  ServeMetrics metrics;
+  std::vector<RequestResult> results;  ///< sorted by request id
+};
+
+/// Batched multi-threaded inference server.
+class Server {
+ public:
+  /// Builds the model, validates the provider name (aborts on unknown) and
+  /// calibrates the skip plan when configured.
+  explicit Server(ServerConfig config);
+
+  const ServerConfig& config() const { return config_; }
+  const model::Transformer& model() const { return model_; }
+
+  /// Skip plan attached to haan* providers (disabled for "exact" or when
+  /// calibration is off).
+  const core::SkipPlan& plan() const { return provider_options_.plan; }
+
+  /// Builds one provider exactly as the workers do (shared with
+  /// run_reference and external verification).
+  std::unique_ptr<model::NormProvider> make_provider() const;
+
+  /// Serves the workload to completion through the concurrent runtime.
+  ServeReport run(const std::vector<Request>& workload);
+
+  /// Single-threaded in-order execution with one provider; no queue, no
+  /// batching. Produces bit-identical per-request hidden states (and, summed,
+  /// identical norm counters) to run() under any worker count.
+  ServeReport run_reference(const std::vector<Request>& workload);
+
+ private:
+  ServerConfig config_;
+  model::Transformer model_;
+  core::ProviderOptions provider_options_;
+};
+
+}  // namespace haan::serve

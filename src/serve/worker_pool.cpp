@@ -1,0 +1,87 @@
+#include "serve/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/provider_factory.hpp"
+#include "tensor/tensor.hpp"
+
+namespace haan::serve {
+
+WorkerPool::WorkerPool(const model::Transformer& model, BatchScheduler& scheduler,
+                       ProviderFactory provider_factory, MetricsCollector& metrics,
+                       Options options)
+    : model_(model),
+      scheduler_(scheduler),
+      provider_factory_(std::move(provider_factory)),
+      metrics_(metrics),
+      options_(options) {
+  HAAN_EXPECTS(options_.n_workers > 0);
+  HAAN_EXPECTS(static_cast<bool>(provider_factory_));
+}
+
+WorkerPool::~WorkerPool() { join(); }
+
+void WorkerPool::start() {
+  HAAN_EXPECTS(threads_.empty());
+  threads_.reserve(options_.n_workers);
+  for (std::size_t w = 0; w < options_.n_workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+void WorkerPool::join() {
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+std::vector<RequestResult> WorkerPool::take_results() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  std::vector<RequestResult> out = std::move(results_);
+  results_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const RequestResult& a, const RequestResult& b) { return a.id < b.id; });
+  return out;
+}
+
+void WorkerPool::worker_main(std::size_t worker_index) {
+  const std::unique_ptr<model::NormProvider> provider = provider_factory_();
+  HAAN_ASSERT(provider != nullptr);
+
+  while (auto batch = scheduler_.next_batch()) {
+    metrics_.record_batch(batch->requests.size());
+    for (Request& request : batch->requests) {
+      const Clock::time_point compute_start = Clock::now();
+      const tensor::Tensor hidden = model_.forward_hidden(request.tokens, *provider);
+      const Clock::time_point done = Clock::now();
+
+      RequestResult result;
+      result.id = request.id;
+      result.worker = worker_index;
+      result.batch = batch->sequence;
+      result.batch_size = batch->requests.size();
+      result.prompt_len = request.tokens.size();
+      result.hidden_checksum = checksum_floats(hidden.data());
+      if (options_.keep_hidden) {
+        result.hidden.assign(hidden.data().begin(), hidden.data().end());
+      }
+      result.queue_us = elapsed_us(request.enqueued_at, request.dequeued_at);
+      result.compute_us = elapsed_us(compute_start, done);
+      result.total_us = elapsed_us(request.enqueued_at, done);
+
+      metrics_.record(result);
+      {
+        std::lock_guard<std::mutex> lock(results_mu_);
+        results_.push_back(std::move(result));
+      }
+    }
+  }
+
+  // End-of-stream: fold this worker's HAAN counters into the shared metrics.
+  if (const core::HaanNormProvider* haan = core::as_haan_provider(provider.get())) {
+    metrics_.add_norm_counters(haan->counters());
+  }
+}
+
+}  // namespace haan::serve

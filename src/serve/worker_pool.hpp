@@ -1,0 +1,73 @@
+// Worker thread pool: N threads, each owning a private NormProvider built
+// from a shared factory, pulling batches from the scheduler and running
+// Transformer forward passes. The Transformer is shared read-only (its
+// forward path is const and pure given the provider); per-request outputs are
+// therefore bit-identical regardless of which worker executes a request,
+// because every provider resets its per-sequence state in begin_sequence().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "model/norm_provider.hpp"
+#include "model/transformer.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+
+namespace haan::serve {
+
+/// Pool of inference workers draining a BatchScheduler.
+class WorkerPool {
+ public:
+  using ProviderFactory =
+      std::function<std::unique_ptr<model::NormProvider>()>;
+
+  struct Options {
+    std::size_t n_workers = 4;
+    /// Keep the full final hidden states in each RequestResult (tests /
+    /// verification); checksums are always kept.
+    bool keep_hidden = false;
+  };
+
+  /// Workers are created by start(); the pool must outlive its threads, and
+  /// `model`, `scheduler`, `metrics` must outlive the pool.
+  WorkerPool(const model::Transformer& model, BatchScheduler& scheduler,
+             ProviderFactory provider_factory, MetricsCollector& metrics,
+             Options options);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Launches the worker threads.
+  void start();
+
+  /// Blocks until every worker has exited (the scheduler's queue was closed
+  /// and drained). Each worker's provider counters are folded into the
+  /// metrics collector as it exits.
+  void join();
+
+  /// Moves out all accumulated results, sorted by request id. Call after
+  /// join().
+  std::vector<RequestResult> take_results();
+
+  const Options& options() const { return options_; }
+
+ private:
+  void worker_main(std::size_t worker_index);
+
+  const model::Transformer& model_;
+  BatchScheduler& scheduler_;
+  ProviderFactory provider_factory_;
+  MetricsCollector& metrics_;
+  Options options_;
+
+  std::vector<std::thread> threads_;
+  std::mutex results_mu_;
+  std::vector<RequestResult> results_;
+};
+
+}  // namespace haan::serve

@@ -1,0 +1,132 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace haan::serve {
+
+std::optional<Scenario> try_scenario_from_string(const std::string& name) {
+  if (name == "steady") return Scenario::kSteady;
+  if (name == "bursty") return Scenario::kBursty;
+  if (name == "ramp") return Scenario::kRamp;
+  return std::nullopt;
+}
+
+Scenario scenario_from_string(const std::string& name) {
+  const auto scenario = try_scenario_from_string(name);
+  HAAN_EXPECTS(scenario.has_value() &&
+               "unknown scenario (expected steady | bursty | ramp)");
+  return *scenario;
+}
+
+std::string to_string(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kSteady: return "steady";
+    case Scenario::kBursty: return "bursty";
+    case Scenario::kRamp: return "ramp";
+  }
+  return "?";
+}
+
+std::optional<LengthModel> try_length_model_from_string(const std::string& name) {
+  if (name == "fixed") return LengthModel::kFixed;
+  if (name == "uniform") return LengthModel::kUniform;
+  if (name == "bimodal") return LengthModel::kBimodal;
+  return std::nullopt;
+}
+
+LengthModel length_model_from_string(const std::string& name) {
+  const auto model = try_length_model_from_string(name);
+  HAAN_EXPECTS(model.has_value() &&
+               "unknown length model (expected fixed | uniform | bimodal)");
+  return *model;
+}
+
+std::string to_string(LengthModel model) {
+  switch (model) {
+    case LengthModel::kFixed: return "fixed";
+    case LengthModel::kUniform: return "uniform";
+    case LengthModel::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Instantaneous Poisson rate for request `i` of `n` under the scenario.
+double instant_rate(const WorkloadConfig& config, std::size_t i) {
+  switch (config.scenario) {
+    case Scenario::kSteady:
+      return config.rate_rps;
+    case Scenario::kBursty: {
+      const bool peak = (i / config.burst_period) % 2 == 0;
+      return peak ? config.rate_rps * config.burst_factor
+                  : config.rate_rps / config.burst_factor;
+    }
+    case Scenario::kRamp: {
+      const double t = config.n_requests <= 1
+                           ? 0.0
+                           : static_cast<double>(i) /
+                                 static_cast<double>(config.n_requests - 1);
+      return config.rate_rps *
+             (config.ramp_start + (config.ramp_end - config.ramp_start) * t);
+    }
+  }
+  return config.rate_rps;
+}
+
+std::size_t draw_length(const WorkloadConfig& config, common::Rng& rng) {
+  switch (config.length_model) {
+    case LengthModel::kFixed:
+      return config.min_prompt;
+    case LengthModel::kUniform:
+      return config.min_prompt +
+             rng.uniform_index(config.max_prompt - config.min_prompt + 1);
+    case LengthModel::kBimodal:
+      return rng.uniform() < config.long_fraction ? config.max_prompt
+                                                  : config.min_prompt;
+  }
+  return config.min_prompt;
+}
+
+}  // namespace
+
+std::vector<Request> generate_workload(const WorkloadConfig& config) {
+  HAAN_EXPECTS(config.rate_rps > 0.0);
+  HAAN_EXPECTS(config.min_prompt > 0 && config.min_prompt <= config.max_prompt);
+  HAAN_EXPECTS(config.vocab_size > 0);
+  HAAN_EXPECTS(config.burst_factor >= 1.0 && config.burst_period > 0);
+  // A non-positive ramp endpoint would yield an infinite or negative
+  // inter-arrival time at some point of the run.
+  HAAN_EXPECTS(config.ramp_start > 0.0 && config.ramp_end > 0.0);
+
+  common::Rng root(config.seed);
+  common::Rng arrival_rng = root.fork();
+  common::Rng length_rng = root.fork();
+  common::Rng token_rng = root.fork();
+
+  std::vector<Request> requests;
+  requests.reserve(config.n_requests);
+  double clock_us = 0.0;
+  for (std::size_t i = 0; i < config.n_requests; ++i) {
+    // Exponential inter-arrival at the scenario's instantaneous rate.
+    const double rate = instant_rate(config, i);
+    const double u = arrival_rng.uniform();
+    clock_us += -std::log(1.0 - u) / rate * 1e6;
+
+    Request request;
+    request.id = i;
+    request.arrival_us = clock_us;
+    const std::size_t len = draw_length(config, length_rng);
+    request.tokens.resize(len);
+    for (auto& token : request.tokens) {
+      token = static_cast<int>(token_rng.uniform_index(config.vocab_size));
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace haan::serve

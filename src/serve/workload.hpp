@@ -1,0 +1,76 @@
+// Synthetic workload generator: Poisson request arrivals with configurable
+// prompt-length distributions and traffic scenarios (steady, bursty, ramp).
+// Fully deterministic under a fixed seed — arrivals, lengths and token
+// contents draw from independent forked Rng streams, so changing one knob
+// does not reshuffle the others.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace haan::serve {
+
+/// Traffic shape over the run.
+enum class Scenario {
+  kSteady,  ///< constant Poisson rate
+  kBursty,  ///< square wave: rate*burst_factor <-> rate/burst_factor
+  kRamp,    ///< rate ramps linearly from ramp_start to ramp_end x rate
+};
+
+/// Prompt-length distribution.
+enum class LengthModel {
+  kFixed,    ///< every prompt is min_prompt tokens
+  kUniform,  ///< uniform in [min_prompt, max_prompt]
+  kBimodal,  ///< min_prompt, with probability long_fraction -> max_prompt
+};
+
+/// Nullopt-returning parsers for CLI validation...
+std::optional<Scenario> try_scenario_from_string(const std::string& name);
+std::optional<LengthModel> try_length_model_from_string(const std::string& name);
+
+/// ...and aborting ones for call sites where the name is already trusted.
+Scenario scenario_from_string(const std::string& name);
+LengthModel length_model_from_string(const std::string& name);
+
+std::string to_string(Scenario scenario);
+std::string to_string(LengthModel model);
+
+/// Generator knobs.
+struct WorkloadConfig {
+  std::size_t n_requests = 1000;
+
+  /// Mean Poisson arrival rate, requests/second.
+  double rate_rps = 2000.0;
+
+  Scenario scenario = Scenario::kSteady;
+
+  /// Bursty: peak rate = rate*burst_factor, trough = rate/burst_factor,
+  /// toggling every burst_period requests. Must be >= 1.
+  double burst_factor = 4.0;
+  std::size_t burst_period = 64;
+
+  /// Ramp: instantaneous rate goes linearly from ramp_start*rate (first
+  /// request) to ramp_end*rate (last request).
+  double ramp_start = 0.25;
+  double ramp_end = 2.0;
+
+  LengthModel length_model = LengthModel::kUniform;
+  std::size_t min_prompt = 8;
+  std::size_t max_prompt = 32;
+  double long_fraction = 0.1;  ///< bimodal: probability of a max_prompt prompt
+
+  /// Token ids are uniform in [0, vocab_size).
+  std::size_t vocab_size = 512;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates the request trace: ids 0..n-1 in arrival order, nondecreasing
+/// arrival_us offsets, prompts within [min_prompt, max_prompt].
+std::vector<Request> generate_workload(const WorkloadConfig& config);
+
+}  // namespace haan::serve

@@ -1,0 +1,111 @@
+#include "core/provider_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace haan::core {
+namespace {
+
+ProviderOptions options_for(std::size_t width, const std::string& model_name = "") {
+  ProviderOptions options;
+  options.width = width;
+  options.model_name = model_name;
+  return options;
+}
+
+TEST(ProviderFactory, AllRegisteredNamesConstruct) {
+  for (const auto& name : norm_provider_names()) {
+    EXPECT_TRUE(is_norm_provider_name(name));
+    const auto provider = make_norm_provider(name, options_for(64));
+    EXPECT_NE(provider, nullptr) << name;
+  }
+}
+
+TEST(ProviderFactory, UnknownNameReturnsNull) {
+  EXPECT_FALSE(is_norm_provider_name("sole"));
+  EXPECT_EQ(make_norm_provider("sole", options_for(64)), nullptr);
+  EXPECT_EQ(make_norm_provider("", options_for(64)), nullptr);
+}
+
+TEST(ProviderFactory, HelpListsEveryName) {
+  const std::string help = norm_provider_help();
+  for (const auto& name : norm_provider_names()) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ProviderFactory, ExactIsNotAHaanProvider) {
+  const auto exact = make_norm_provider("exact", options_for(64));
+  EXPECT_EQ(as_haan_provider(exact.get()), nullptr);
+  const auto haan = make_norm_provider("haan", options_for(64));
+  EXPECT_NE(as_haan_provider(haan.get()), nullptr);
+}
+
+TEST(ProviderFactory, HaanResolvesModelPaperConfig) {
+  // llama -> INT8 (paper §V-A), gpt2/opt -> FP16.
+  const auto llama = resolve_haan_config("haan", options_for(128, "llama7b"));
+  EXPECT_EQ(llama.format, numerics::NumericFormat::kINT8);
+  EXPECT_EQ(llama.nsub, llama7b_algorithm_config(128).nsub);
+
+  const auto opt = resolve_haan_config("haan", options_for(128, "opt2.7b"));
+  EXPECT_EQ(opt.format, numerics::NumericFormat::kFP16);
+
+  const auto gpt2 = resolve_haan_config("haan", options_for(96, "gpt2-1.5b"));
+  EXPECT_EQ(gpt2.format, numerics::NumericFormat::kFP16);
+  EXPECT_EQ(gpt2.nsub, gpt2_1p5b_algorithm_config(96).nsub);
+}
+
+TEST(ProviderFactory, VariantsPinTheirConfig) {
+  const auto int8 = resolve_haan_config("haan-int8", options_for(128, "gpt2"));
+  EXPECT_EQ(int8.format, numerics::NumericFormat::kINT8);
+
+  const auto fp16 = resolve_haan_config("haan-fp16", options_for(128, "llama7b"));
+  EXPECT_EQ(fp16.format, numerics::NumericFormat::kFP16);
+
+  const auto full = resolve_haan_config("haan-full", options_for(128));
+  EXPECT_EQ(full.nsub, 0u);
+  EXPECT_EQ(full.format, numerics::NumericFormat::kFP32);
+}
+
+TEST(ProviderFactory, PlanAttachmentAndNoskip) {
+  ProviderOptions options = options_for(64);
+  options.plan.enabled = true;
+  options.plan.start = 3;
+  options.plan.end = 7;
+  options.plan.decay = -0.1;
+
+  const auto with_plan = resolve_haan_config("haan", options);
+  EXPECT_TRUE(with_plan.plan.enabled);
+  EXPECT_EQ(with_plan.plan.start, 3u);
+
+  const auto noskip = resolve_haan_config("haan-noskip", options);
+  EXPECT_FALSE(noskip.plan.enabled);
+}
+
+TEST(ProviderFactory, EpsPropagates) {
+  ProviderOptions options = options_for(64);
+  options.eps = 1e-3;
+  EXPECT_DOUBLE_EQ(resolve_haan_config("haan", options).eps, 1e-3);
+}
+
+TEST(ProviderFactory, FactoryProvidersNormalize) {
+  common::Rng rng(9);
+  std::vector<float> z(64);
+  for (auto& v : z) v = static_cast<float>(rng.gaussian(0.1, 1.4));
+  for (const auto& name : norm_provider_names()) {
+    const auto provider = make_norm_provider(name, options_for(64));
+    provider->begin_sequence();
+    std::vector<float> out(64);
+    provider->normalize(0, 0, model::NormKind::kLayerNorm, z, {}, {}, out);
+    double sum = 0.0;
+    for (const float v : out) sum += v;
+    // Normalized output is near zero-mean for every backend.
+    EXPECT_NEAR(sum / 64.0, 0.0, 0.25) << name;
+  }
+}
+
+}  // namespace
+}  // namespace haan::core

@@ -178,7 +178,7 @@ TEST(Integration, TaskAccuracyPreservedUnderFullHaanConfig) {
   auto& p = pipeline();
   auto spec = eval::task_suite_for("LLaMA-7B")[1];  // PIQA
   spec.context_len = 8;
-  const auto dataset = eval::TaskDataset::generate(p.model, spec, 64);
+  const auto dataset = eval::TaskDataset::generate(p.model, spec, 128);
 
   core::HaanConfig config = core::llama7b_algorithm_config(p.config.d_model);
   config.plan = p.calibration.plan;
@@ -187,7 +187,7 @@ TEST(Integration, TaskAccuracyPreservedUnderFullHaanConfig) {
       dataset, 8);
   const auto baseline = eval::evaluate_baseline(dataset);
   // Width 64 is the noisiest surrogate (subsample floor 48/64 = 5.1% ISD
-  // noise) and n=64 examples carry +-4% churn noise of their own; the
+  // noise) and n=128 examples carry +-3% churn noise of their own; the
   // width-128 benches demonstrate the paper's sub-percent deltas.
   EXPECT_NEAR(result.accuracy, baseline.accuracy, 0.12);
 }

@@ -1,0 +1,147 @@
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace haan::serve {
+namespace {
+
+Request make_request(std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.tokens = {1, 2, 3};
+  return request;
+}
+
+TEST(RequestQueue, FifoOrder) {
+  RequestQueue queue(8);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(make_request(i)));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto popped = queue.pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->id, i);
+  }
+}
+
+TEST(RequestQueue, TryPushFailsWhenFull) {
+  RequestQueue queue(2);
+  EXPECT_TRUE(queue.try_push(make_request(0)));
+  EXPECT_TRUE(queue.try_push(make_request(1)));
+  EXPECT_FALSE(queue.try_push(make_request(2)));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(RequestQueue, TryPopEmptyReturnsNullopt) {
+  RequestQueue queue(2);
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(RequestQueue, PushBlocksUntilSpace) {
+  RequestQueue queue(1);
+  ASSERT_TRUE(queue.push(make_request(0)));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(make_request(1)));  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still parked on the full queue
+
+  const auto popped = queue.pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 0u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(RequestQueue, PopBlocksUntilPush) {
+  RequestQueue queue(2);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const auto popped = queue.pop();  // blocks: queue is empty
+    EXPECT_TRUE(popped.has_value());
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  EXPECT_TRUE(queue.push(make_request(7)));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(RequestQueue, PopForTimesOut) {
+  RequestQueue queue(2);
+  const auto popped = queue.pop_for(std::chrono::microseconds(2000));
+  EXPECT_FALSE(popped.has_value());
+}
+
+TEST(RequestQueue, CloseDrainsThenEndOfStream) {
+  RequestQueue queue(4);
+  EXPECT_TRUE(queue.push(make_request(0)));
+  EXPECT_TRUE(queue.push(make_request(1)));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(make_request(2)));      // rejected after close
+  EXPECT_FALSE(queue.try_push(make_request(3)));  // ditto
+  EXPECT_TRUE(queue.pop().has_value());           // drains remaining items
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());  // end-of-stream, no block
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumers) {
+  RequestQueue queue(2);
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  consumer.join();
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducers) {
+  RequestQueue queue(1);
+  ASSERT_TRUE(queue.push(make_request(0)));
+  std::thread producer([&] { EXPECT_FALSE(queue.push(make_request(1))); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  producer.join();
+}
+
+TEST(RequestQueue, HighWatermarkTracksDeepestOccupancy) {
+  RequestQueue queue(8);
+  for (std::uint64_t i = 0; i < 6; ++i) ASSERT_TRUE(queue.push(make_request(i)));
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_EQ(queue.high_watermark(), 6u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(RequestQueue, ManyProducersManyConsumersLoseNothing) {
+  RequestQueue queue(4);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 50;
+
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(make_request(
+            static_cast<std::uint64_t>(p * kPerProducer + i))));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (queue.pop().has_value()) consumed.fetch_add(1);
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace haan::serve

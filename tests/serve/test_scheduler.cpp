@@ -1,0 +1,145 @@
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace haan::serve {
+namespace {
+
+Request make_request(std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.tokens = {0};
+  request.enqueued_at = Clock::now();
+  return request;
+}
+
+TEST(BatchScheduler, FormsFullBatchFromBackloggedQueue) {
+  RequestQueue queue(16);
+  for (std::uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(queue.push(make_request(i)));
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/4,
+                                   /*max_wait=*/std::chrono::microseconds(100)});
+  const auto batch = scheduler.next_batch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 4u);
+  EXPECT_EQ(batch->sequence, 0u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch->requests[i].id, i);
+}
+
+TEST(BatchScheduler, MaxWaitDeadlineClosesPartialBatch) {
+  RequestQueue queue(16);
+  ASSERT_TRUE(queue.push(make_request(0)));
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/8,
+                                   /*max_wait=*/std::chrono::microseconds(5000)});
+  const auto t0 = Clock::now();
+  const auto batch = scheduler.next_batch();  // nothing else arrives
+  const double waited = elapsed_us(t0, Clock::now());
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 1u);
+  // Scheduler held the batch open for the deadline, not forever.
+  EXPECT_GE(waited, 4000.0);
+  EXPECT_LT(waited, 2e6);
+}
+
+TEST(BatchScheduler, CollectsLateArrivalsWithinDeadline) {
+  RequestQueue queue(16);
+  ASSERT_TRUE(queue.push(make_request(0)));
+
+  BatchScheduler scheduler(
+      queue, {/*max_batch=*/4, /*max_wait=*/std::chrono::microseconds(200000)});
+  std::thread late_producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(queue.push(make_request(1)));
+    ASSERT_TRUE(queue.push(make_request(2)));
+    ASSERT_TRUE(queue.push(make_request(3)));
+  });
+  const auto batch = scheduler.next_batch();
+  late_producer.join();
+  ASSERT_TRUE(batch.has_value());
+  // Batch filled to max_batch from arrivals inside the wait window.
+  EXPECT_EQ(batch->requests.size(), 4u);
+}
+
+TEST(BatchScheduler, FifoAcrossConsecutiveBatches) {
+  RequestQueue queue(32);
+  for (std::uint64_t i = 0; i < 12; ++i) ASSERT_TRUE(queue.push(make_request(i)));
+  queue.close();
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/5,
+                                   /*max_wait=*/std::chrono::microseconds(100)});
+  std::vector<std::uint64_t> order;
+  std::uint64_t expected_sequence = 0;
+  while (const auto batch = scheduler.next_batch()) {
+    EXPECT_EQ(batch->sequence, expected_sequence++);
+    for (const Request& request : batch->requests) order.push_back(request.id);
+  }
+  ASSERT_EQ(order.size(), 12u);
+  for (std::uint64_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(scheduler.batches_formed(), 3u);  // 5 + 5 + 2
+}
+
+TEST(BatchScheduler, EndOfStreamAfterDrain) {
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue.push(make_request(0)));
+  queue.close();
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/2,
+                                   /*max_wait=*/std::chrono::microseconds(100)});
+  EXPECT_TRUE(scheduler.next_batch().has_value());
+  EXPECT_FALSE(scheduler.next_batch().has_value());
+  EXPECT_FALSE(scheduler.next_batch().has_value());  // stays terminated
+}
+
+TEST(BatchScheduler, StampsDequeueTimes) {
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue.push(make_request(0)));
+  ASSERT_TRUE(queue.push(make_request(1)));
+  queue.close();
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/2,
+                                   /*max_wait=*/std::chrono::microseconds(100)});
+  const auto batch = scheduler.next_batch();
+  ASSERT_TRUE(batch.has_value());
+  for (const Request& request : batch->requests) {
+    EXPECT_GE(elapsed_us(request.enqueued_at, request.dequeued_at), 0.0);
+    EXPECT_NE(request.dequeued_at, Clock::time_point{});
+  }
+}
+
+TEST(BatchScheduler, ConcurrentConsumersPartitionTheStream) {
+  RequestQueue queue(64);
+  constexpr std::uint64_t kRequests = 40;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(queue.push(make_request(i)));
+  }
+  queue.close();
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/3,
+                                   /*max_wait=*/std::chrono::microseconds(100)});
+  std::mutex mu;
+  std::vector<std::uint64_t> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      while (const auto batch = scheduler.next_batch()) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (const Request& request : batch->requests) seen.push_back(request.id);
+      }
+    });
+  }
+  for (auto& consumer : consumers) consumer.join();
+
+  // No request lost, none duplicated.
+  ASSERT_EQ(seen.size(), kRequests);
+  std::sort(seen.begin(), seen.end());
+  for (std::uint64_t i = 0; i < kRequests; ++i) EXPECT_EQ(seen[i], i);
+}
+
+}  // namespace
+}  // namespace haan::serve

@@ -1,0 +1,149 @@
+#include "serve/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace haan::serve {
+namespace {
+
+WorkloadConfig base_config() {
+  WorkloadConfig config;
+  config.n_requests = 400;
+  config.rate_rps = 1000.0;
+  config.min_prompt = 4;
+  config.max_prompt = 16;
+  config.vocab_size = 64;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Workload, DeterministicUnderFixedSeed) {
+  const auto a = generate_workload(base_config());
+  const auto b = generate_workload(base_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].tokens, b[i].tokens);
+    EXPECT_DOUBLE_EQ(a[i].arrival_us, b[i].arrival_us);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  auto config = base_config();
+  const auto a = generate_workload(config);
+  config.seed = 12;
+  const auto b = generate_workload(config);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size() && !any_different; ++i) {
+    any_different = a[i].tokens != b[i].tokens ||
+                    a[i].arrival_us != b[i].arrival_us;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Workload, IdsSequentialArrivalsMonotone) {
+  const auto requests = generate_workload(base_config());
+  ASSERT_EQ(requests.size(), 400u);
+  double last = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].id, i);
+    EXPECT_GE(requests[i].arrival_us, last);
+    last = requests[i].arrival_us;
+  }
+}
+
+TEST(Workload, PromptLengthsAndTokensWithinBounds) {
+  const auto config = base_config();
+  for (const auto& request : generate_workload(config)) {
+    EXPECT_GE(request.tokens.size(), config.min_prompt);
+    EXPECT_LE(request.tokens.size(), config.max_prompt);
+    for (const int token : request.tokens) {
+      EXPECT_GE(token, 0);
+      EXPECT_LT(token, static_cast<int>(config.vocab_size));
+    }
+  }
+}
+
+TEST(Workload, FixedLengthModelUsesMinPrompt) {
+  auto config = base_config();
+  config.length_model = LengthModel::kFixed;
+  for (const auto& request : generate_workload(config)) {
+    EXPECT_EQ(request.tokens.size(), config.min_prompt);
+  }
+}
+
+TEST(Workload, BimodalLengthsAreTwoPoint) {
+  auto config = base_config();
+  config.length_model = LengthModel::kBimodal;
+  config.long_fraction = 0.3;
+  std::size_t longs = 0;
+  const auto requests = generate_workload(config);
+  for (const auto& request : requests) {
+    const std::size_t len = request.tokens.size();
+    EXPECT_TRUE(len == config.min_prompt || len == config.max_prompt);
+    if (len == config.max_prompt) ++longs;
+  }
+  // ~30% of 400; generous band.
+  EXPECT_GT(longs, 60u);
+  EXPECT_LT(longs, 180u);
+}
+
+TEST(Workload, SteadyMeanRateNearConfigured) {
+  auto config = base_config();
+  config.n_requests = 2000;
+  const auto requests = generate_workload(config);
+  const double span_s = requests.back().arrival_us / 1e6;
+  const double rate = static_cast<double>(requests.size()) / span_s;
+  EXPECT_NEAR(rate, config.rate_rps, config.rate_rps * 0.15);
+}
+
+TEST(Workload, RampEndsDenserThanItStarts) {
+  auto config = base_config();
+  config.scenario = Scenario::kRamp;
+  config.n_requests = 1000;
+  const auto requests = generate_workload(config);
+  const std::size_t half = requests.size() / 2;
+  const double first_half = requests[half - 1].arrival_us;
+  const double second_half = requests.back().arrival_us - first_half;
+  // Rate ramps 0.25x -> 2x: the first half of the requests takes much longer.
+  EXPECT_GT(first_half, second_half * 1.5);
+}
+
+TEST(Workload, BurstyHasHigherInterarrivalVarianceThanSteady) {
+  auto config = base_config();
+  config.n_requests = 1024;
+  const auto steady = generate_workload(config);
+  config.scenario = Scenario::kBursty;
+  config.burst_factor = 8.0;
+  const auto bursty = generate_workload(config);
+
+  const auto interarrival_cv2 = [](const std::vector<Request>& requests) {
+    double mean = 0.0, m2 = 0.0;
+    const std::size_t n = requests.size() - 1;
+    std::vector<double> gaps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      gaps[i] = requests[i + 1].arrival_us - requests[i].arrival_us;
+      mean += gaps[i];
+    }
+    mean /= static_cast<double>(n);
+    for (const double g : gaps) m2 += (g - mean) * (g - mean);
+    return m2 / static_cast<double>(n) / (mean * mean);  // squared CV
+  };
+  // Exponential gaps have CV^2 ~ 1; the 8x square wave inflates it well past.
+  EXPECT_GT(interarrival_cv2(bursty), interarrival_cv2(steady) * 1.5);
+}
+
+TEST(Workload, ScenarioAndLengthModelStringsRoundTrip) {
+  for (const auto scenario :
+       {Scenario::kSteady, Scenario::kBursty, Scenario::kRamp}) {
+    EXPECT_EQ(scenario_from_string(to_string(scenario)), scenario);
+  }
+  for (const auto model :
+       {LengthModel::kFixed, LengthModel::kUniform, LengthModel::kBimodal}) {
+    EXPECT_EQ(length_model_from_string(to_string(model)), model);
+  }
+}
+
+}  // namespace
+}  // namespace haan::serve
