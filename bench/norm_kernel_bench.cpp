@@ -1,0 +1,251 @@
+// Per-kernel ns/element across d in {768, 2048, 4096, 8192}: every backend's
+// kernels plus the seed's scalar two-pass path (separate residual add, exact
+// double-precision stats, temp normalize buffer, separate affine pass) as the
+// pre-kernel-layer baseline. The JSON report is the anchor recorded in
+// bench/kernel_baseline.json; --min-speedup gates CI on the fused vectorized
+// residual_add_rmsnorm at d=4096 staying ahead of the seed path.
+//
+//   ./build/bench/norm_kernel_bench --json=bench/kernel_baseline.json
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/json_lite.hpp"
+#include "common/rng.hpp"
+#include "kernels/kernels.hpp"
+#include "numerics/formats.hpp"
+
+using namespace haan;
+
+namespace {
+
+double g_sink = 0.0;  // defeats dead-code elimination across measurements
+
+void sink(double v) {
+  g_sink += v;
+  asm volatile("" : : "r,m"(g_sink) : "memory");
+}
+
+/// Median-free simple timer: calibrates an iteration count to ~target_ms,
+/// then reports ns per element over the timed loop.
+double time_ns_per_element(const std::function<void()>& op, std::size_t d,
+                           double target_ms) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warm up caches and code
+  std::size_t iters = 1;
+  for (;;) {
+    const Clock::time_point begin = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) op();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - begin)
+            .count());
+    if (ns >= target_ms * 1e6 || iters >= (1u << 24)) {
+      return ns / static_cast<double>(iters) / static_cast<double>(d);
+    }
+    const double scale = ns > 0.0 ? (target_ms * 1.2e6) / ns : 16.0;
+    iters = static_cast<std::size_t>(static_cast<double>(iters) *
+                                     std::max(2.0, scale));
+  }
+}
+
+/// The seed's pre-kernel-layer residual + norm sequence, verbatim: one add
+/// pass, exact_stats (sum/sum_sq pass + centered two-pass variance), a temp
+/// normalized buffer, and a separate affine pass.
+void seed_residual_norm(std::vector<float>& h, const std::vector<float>& r,
+                        const std::vector<float>& alpha,
+                        const std::vector<float>& beta, std::vector<float>& out,
+                        bool layernorm, double eps) {
+  const std::size_t n = h.size();
+  for (std::size_t i = 0; i < n; ++i) h[i] += r[i];
+  double sum = 0.0, sum_sq = 0.0;
+  for (const float v : h) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double dn = static_cast<double>(n);
+  const double mean = sum / dn;
+  double acc = 0.0;
+  for (const float v : h) {
+    const double dv = v - mean;
+    acc += dv * dv;
+  }
+  const double variance = acc / dn;
+  const double rms = std::sqrt(sum_sq / dn);
+  double isd;
+  double shift;
+  if (layernorm) {
+    isd = 1.0 / std::sqrt(variance + eps);
+    shift = mean;
+  } else {
+    isd = 1.0 / std::sqrt(rms * rms + eps);
+    shift = 0.0;
+  }
+  std::vector<float> normalized(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized[i] = static_cast<float>((h[i] - shift) * isd);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    float v = normalized[i];
+    v *= alpha[i];
+    v += beta[i];
+    out[i] = v;
+  }
+}
+
+struct Workspace {
+  std::vector<float> h, residual, alpha, beta, out, quant;
+
+  explicit Workspace(std::size_t d) : h(d), residual(d), alpha(d), beta(d), out(d), quant(d) {
+    common::Rng rng(d);
+    rng.fill_gaussian(h, 0.2, 1.5);
+    rng.fill_gaussian(residual, 0.0, 0.02);  // keeps repeated adds bounded
+    rng.fill_gaussian(alpha, 1.0, 0.1);
+    rng.fill_gaussian(beta, 0.0, 0.2);
+    rng.fill_gaussian(quant, 0.0, 2.0);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliParser cli("normalization kernel microbenchmark");
+  cli.add_flag("target-ms", "25", "per-measurement timed-loop budget, ms");
+  cli.add_flag("min-speedup", "0",
+               "fail unless fused residual_add_rmsnorm at d=4096 beats the "
+               "seed scalar path by this factor (0 disables)");
+  cli.add_flag("json", "", "write the report as JSON to this path");
+  if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+
+  const double target_ms = cli.get_double("target-ms");
+  const double min_speedup = cli.get_double("min-speedup");
+  const std::vector<std::size_t> dims = {768, 2048, 4096, 8192};
+  constexpr double kEps = 1e-5;
+
+  std::printf("=== norm_kernel_bench — active dispatch: %s ===\n",
+              kernels::active_name());
+
+  common::Json::Array results;
+  double rmsnorm_speedup_4096 = 0.0;
+  for (const std::size_t d : dims) {
+    Workspace ws(d);
+    common::Json::Object per_backend;
+
+    // Seed reference: the pre-kernel-layer five-pass scalar path.
+    common::Json::Object seed_ref;
+    seed_ref["residual_add_rmsnorm"] = time_ns_per_element(
+        [&] {
+          seed_residual_norm(ws.h, ws.residual, ws.alpha, ws.beta, ws.out,
+                             /*layernorm=*/false, kEps);
+          sink(ws.out[0]);
+        },
+        d, target_ms);
+    seed_ref["residual_add_layernorm"] = time_ns_per_element(
+        [&] {
+          seed_residual_norm(ws.h, ws.residual, ws.alpha, ws.beta, ws.out,
+                             /*layernorm=*/true, kEps);
+          sink(ws.out[0]);
+        },
+        d, target_ms);
+    per_backend["seed_ref"] = seed_ref;
+
+    double active_fused_rmsnorm = 0.0;
+    for (const kernels::KernelTable* table : kernels::supported_kernels()) {
+      common::Json::Object ops;
+      ops["stats"] = time_ns_per_element(
+          [&] { sink(table->stats(ws.h.data(), d).sum_sq); }, d, target_ms);
+      ops["residual_add_stats"] = time_ns_per_element(
+          [&] {
+            sink(table->residual_add_stats(ws.h.data(), ws.residual.data(), d)
+                     .sum_sq);
+          },
+          d, target_ms);
+      ops["normalize_affine"] = time_ns_per_element(
+          [&] {
+            table->normalize_affine(ws.h.data(), d, 0.01, 0.66,
+                                    ws.alpha.data(), ws.beta.data(),
+                                    ws.out.data());
+            sink(ws.out[0]);
+          },
+          d, target_ms);
+      ops["quantize_int8"] = time_ns_per_element(
+          [&] {
+            table->quantize_dequantize(ws.quant.data(), d,
+                                       numerics::NumericFormat::kINT8, 0.05f);
+            sink(ws.quant[0]);
+          },
+          d, target_ms);
+      ops["quantize_fp16"] = time_ns_per_element(
+          [&] {
+            table->quantize_dequantize(ws.quant.data(), d,
+                                       numerics::NumericFormat::kFP16, 1.0f);
+            sink(ws.quant[0]);
+          },
+          d, target_ms);
+      const double fused_rms = time_ns_per_element(
+          [&] {
+            kernels::residual_add_rmsnorm(*table, ws.h, ws.residual, ws.alpha,
+                                          ws.beta, ws.out, kEps);
+            sink(ws.out[0]);
+          },
+          d, target_ms);
+      ops["residual_add_rmsnorm"] = fused_rms;
+      ops["residual_add_layernorm"] = time_ns_per_element(
+          [&] {
+            kernels::residual_add_layernorm(*table, ws.h, ws.residual, ws.alpha,
+                                            ws.beta, ws.out, kEps);
+            sink(ws.out[0]);
+          },
+          d, target_ms);
+      per_backend[table->name] = ops;
+      if (std::string(table->name) == kernels::active_name()) {
+        active_fused_rmsnorm = fused_rms;
+      }
+    }
+
+    common::Json::Object row;
+    row["d"] = d;
+    row["ns_per_element"] = per_backend;
+    const double seed_rms = per_backend["seed_ref"]
+                                .find("residual_add_rmsnorm")
+                                ->as_number();
+    const double speedup =
+        active_fused_rmsnorm > 0.0 ? seed_rms / active_fused_rmsnorm : 0.0;
+    row["speedup_fused_rmsnorm_vs_seed"] = speedup;
+    if (d == 4096) rmsnorm_speedup_4096 = speedup;
+    results.push_back(row);
+
+    std::printf(
+        "d=%5zu  seed %6.3f ns/el  fused(%s) %6.3f ns/el  speedup %5.2fx\n", d,
+        seed_rms, kernels::active_name(), active_fused_rmsnorm, speedup);
+  }
+
+  common::Json::Object doc;
+  doc["bench"] = "norm_kernel_bench";
+  doc["active_kernel"] = kernels::active_name();
+  common::Json::Array dims_json;
+  for (const std::size_t d : dims) dims_json.push_back(d);
+  doc["dims"] = dims_json;
+  doc["results"] = results;
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) {
+    if (!common::write_file(json_path, common::Json(doc).dump_pretty() + "\n")) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json report: %s\n", json_path.c_str());
+  }
+
+  if (min_speedup > 0.0 && rmsnorm_speedup_4096 < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: fused residual_add_rmsnorm at d=4096 is %.2fx the seed "
+                 "path (< required %.2fx)\n",
+                 rmsnorm_speedup_4096, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "common/cli.hpp"
 #include "common/json_lite.hpp"
 #include "core/provider_factory.hpp"
+#include "kernels/kernels.hpp"
 #include "serve/server.hpp"
 
 using namespace haan;
@@ -92,9 +93,12 @@ int main(int argc, char** argv) {
   workload_config.vocab_size = config.model.vocab_size;
   workload_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  std::printf("=== serve_throughput — %s, norm=%s, %zu workers, %s traffic ===\n",
-              config.model.name.c_str(), config.norm.c_str(), config.workers,
-              serve::to_string(workload_config.scenario).c_str());
+  std::printf(
+      "=== serve_throughput — %s, norm=%s, %zu workers, %s traffic, "
+      "%s kernels ===\n",
+      config.model.name.c_str(), config.norm.c_str(), config.workers,
+      serve::to_string(workload_config.scenario).c_str(),
+      kernels::active_name());
 
   serve::Server server(config);
   if (config.norm != "exact") {
@@ -121,7 +125,10 @@ int main(int argc, char** argv) {
         report.metrics.norm.isd_computed == reference.metrics.norm.isd_computed &&
         report.metrics.norm.isd_predicted ==
             reference.metrics.norm.isd_predicted &&
-        report.metrics.norm.elements_read == reference.metrics.norm.elements_read;
+        report.metrics.norm.elements_read ==
+            reference.metrics.norm.elements_read &&
+        report.metrics.norm.fused_residual_norms ==
+            reference.metrics.norm.fused_residual_norms;
     verified = mismatches == 0 && counters_match;
     std::printf(
         "verify           : %s (%zu/%zu hidden-state checksums match, "
@@ -153,6 +160,7 @@ int main(int argc, char** argv) {
     cfg["paced"] = config.paced;
     cfg["seed"] = static_cast<std::size_t>(workload_config.seed);
     cfg["skip_plan"] = server.plan().to_string();
+    cfg["kernel"] = kernels::active_name();
     doc["config"] = cfg;
     doc["metrics"] = report.metrics.to_json();
     common::Json::Object ver;

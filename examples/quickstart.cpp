@@ -9,12 +9,15 @@
 #include "accel/accelerator.hpp"
 #include "common/rng.hpp"
 #include "core/provider_factory.hpp"
+#include "kernels/kernels.hpp"
 #include "tensor/norm_ref.hpp"
 #include "tensor/ops.hpp"
 
 using namespace haan;
 
 int main() {
+  std::printf("norm kernels: %s dispatch (HAAN_FORCE_SCALAR=1 forces scalar)\n",
+              kernels::active_name());
   // A batch of 4 activation vectors of width 1024, like one token batch
   // hitting a normalization layer.
   constexpr std::size_t kVectors = 4;

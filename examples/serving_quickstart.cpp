@@ -6,6 +6,7 @@
 //   ./build/examples/serving_quickstart
 #include <cstdio>
 
+#include "kernels/kernels.hpp"
 #include "serve/server.hpp"
 
 using namespace haan;
@@ -45,6 +46,7 @@ int main() {
   workload_config.vocab_size = model::tiny_test_model().vocab_size;
   workload_config.seed = 1;
   const auto workload = serve::generate_workload(workload_config);
+  std::printf("norm kernels: %s dispatch\n", kernels::active_name());
   std::printf("workload: %zu requests over %.2f s (steady Poisson)\n\n",
               workload.size(), workload.back().arrival_us / 1e6);
 

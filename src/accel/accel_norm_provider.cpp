@@ -1,6 +1,7 @@
 #include "accel/accel_norm_provider.hpp"
 
 #include "common/assert.hpp"
+#include "kernels/kernels.hpp"
 #include "numerics/formats.hpp"
 
 namespace haan::accel {
@@ -28,7 +29,7 @@ void AcceleratorNormProvider::normalize(std::size_t layer_index,
     const float scale = config.io_format == numerics::NumericFormat::kINT8
                             ? numerics::choose_int8_scale(quantized)
                             : 1.0f;
-    numerics::quantize_dequantize_span(quantized, config.io_format, scale);
+    kernels::quantize_dequantize_span(quantized, config.io_format, scale);
   }
 
   const bool skipped = predictor_.should_skip(layer_index);

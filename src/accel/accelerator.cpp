@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "kernels/kernels.hpp"
 #include "numerics/formats.hpp"
 
 namespace haan::accel {
@@ -53,7 +54,7 @@ LayerRunResult HaanAccelerator::run_layer(const tensor::Tensor& input,
       const float scale = config_.io_format == numerics::NumericFormat::kINT8
                               ? numerics::choose_int8_scale(quantized)
                               : 1.0f;
-      numerics::quantize_dequantize_span(quantized, config_.io_format, scale);
+      kernels::quantize_dequantize_span(quantized, config_.io_format, scale);
     }
 
     numerics::Fixed mean(config_.acc_fixed);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.hpp"
 #include "core/subsample.hpp"
+#include "kernels/kernels.hpp"
 #include "numerics/fast_math.hpp"
 #include "tensor/norm_ref.hpp"
 
@@ -18,7 +20,14 @@ void HaanNormProvider::begin_sequence() { predictor_.begin_sequence(); }
 double HaanNormProvider::compute_isd(double second_moment) const {
   const double x = second_moment + config_.eps;
   if (!config_.use_fast_invsqrt) return 1.0 / std::sqrt(x);
-  return static_cast<double>(numerics::fast_inv_sqrt(static_cast<float>(x),
+  // The float cast of a tiny second moment (all-zero / constant / denormal-
+  // scale activations with a small eps) can land in the denormal range or
+  // round to zero, violating the bit hack's documented precondition (x > 0,
+  // finite, *normal*). Clamp to the smallest normal float, like the hardware
+  // square-root inverter's flush-to-smallest-input does.
+  const float xf = std::max(static_cast<float>(x),
+                            std::numeric_limits<float>::min());
+  return static_cast<double>(numerics::fast_inv_sqrt(xf,
                                                      config_.newton_iterations));
 }
 
@@ -27,16 +36,40 @@ void HaanNormProvider::normalize(std::size_t layer_index, std::size_t position,
                                  std::span<const float> alpha,
                                  std::span<const float> beta, std::span<float> out) {
   HAAN_EXPECTS(out.size() == z.size());
+  buffer_.assign(z.begin(), z.end());
+  normalize_prepared(layer_index, position, kind, alpha, beta, out);
+}
+
+void HaanNormProvider::residual_add_normalize(
+    std::size_t layer_index, std::size_t position, model::NormKind kind,
+    std::span<float> h, std::span<const float> residual,
+    std::span<const float> alpha, std::span<const float> beta,
+    std::span<float> out) {
+  HAAN_EXPECTS(out.size() == h.size());
+  HAAN_EXPECTS(residual.size() == h.size());
+  // One pass updates the residual stream and fills the operand buffer.
+  buffer_.resize(h.size());
+  kernels::active().residual_add_copy(h.data(), residual.data(), buffer_.data(),
+                                      h.size());
+  ++counters_.fused_residual_norms;
+  normalize_prepared(layer_index, position, kind, alpha, beta, out);
+}
+
+void HaanNormProvider::normalize_prepared(std::size_t layer_index,
+                                          std::size_t position,
+                                          model::NormKind kind,
+                                          std::span<const float> alpha,
+                                          std::span<const float> beta,
+                                          std::span<float> out) {
   ++counters_.norm_calls;
 
   // Operand quantization: the datapath sees the quantized input both in the
   // statistics path and the normalization path (paper §III-C / §IV-A).
-  buffer_.assign(z.begin(), z.end());
   if (config_.format != numerics::NumericFormat::kFP32) {
     const float scale = config_.format == numerics::NumericFormat::kINT8
                             ? numerics::choose_int8_scale(buffer_)
                             : 1.0f;
-    numerics::quantize_dequantize_span(buffer_, config_.format, scale);
+    kernels::quantize_dequantize_span(buffer_, config_.format, scale);
   }
 
   double mean = 0.0;

@@ -26,12 +26,22 @@ class HaanNormProvider final : public model::NormProvider {
                  std::span<const float> z, std::span<const float> alpha,
                  std::span<const float> beta, std::span<float> out) override;
 
+  /// Fused path: the residual add shares a pass with the operand-buffer fill,
+  /// so the datapath reads the hidden vector once less per norm layer.
+  void residual_add_normalize(std::size_t layer_index, std::size_t position,
+                              model::NormKind kind, std::span<float> h,
+                              std::span<const float> residual,
+                              std::span<const float> alpha,
+                              std::span<const float> beta,
+                              std::span<float> out) override;
+
   /// Execution counters for verifying skip behaviour end to end.
   struct Counters {
     std::size_t norm_calls = 0;
     std::size_t isd_computed = 0;   ///< square-root inverter invocations
     std::size_t isd_predicted = 0;  ///< predictor invocations (skipped ISD)
     std::size_t elements_read = 0;  ///< statistics-path memory reads
+    std::size_t fused_residual_norms = 0;  ///< fused residual+norm calls
   };
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
@@ -41,6 +51,12 @@ class HaanNormProvider final : public model::NormProvider {
 
  private:
   double compute_isd(double second_moment) const;
+
+  /// Statistics + normalization over the already-filled (pre-quantization)
+  /// operand buffer; shared by the plain and fused entry points.
+  void normalize_prepared(std::size_t layer_index, std::size_t position,
+                          model::NormKind kind, std::span<const float> alpha,
+                          std::span<const float> beta, std::span<float> out);
 
   HaanConfig config_;
   IsdPredictor predictor_;

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "core/isd.hpp"
+#include "kernels/kernels.hpp"
 
 namespace haan::core {
 
@@ -15,18 +16,15 @@ SubsampledStats subsampled_stats(std::span<const float> z, std::size_t nsub,
   SubsampledStats stats;
   stats.used = n;
 
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    sum += z[i];
-    sum_sq += static_cast<double>(z[i]) * z[i];
-  }
+  // Vectorized adder-tree pass over the subsampled prefix.
+  const kernels::SumStats sums = kernels::active().stats(z.data(), n);
   const double inv_n = 1.0 / static_cast<double>(n);
-  stats.mean = sum * inv_n;
+  stats.mean = sums.sum * inv_n;
 
-  const double second_moment = kind == model::NormKind::kLayerNorm
-                                   ? sum_sq * inv_n - stats.mean * stats.mean
-                                   : sum_sq * inv_n;
+  const double second_moment =
+      kind == model::NormKind::kLayerNorm
+          ? sums.sum_sq * inv_n - stats.mean * stats.mean
+          : sums.sum_sq * inv_n;
   // The E[x^2] - E[x]^2 form can go fractionally negative in floating point;
   // clamp like the hardware subtractor does.
   stats.second_moment = std::max(second_moment, 0.0);

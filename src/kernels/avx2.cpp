@@ -1,0 +1,261 @@
+// AVX2 backend. This translation unit is compiled with -mavx2 -mfma -mf16c on
+// x86 targets (see CMakeLists); the dispatcher verifies CPU support via
+// __builtin_cpu_supports before handing out this table, so no code here runs
+// on machines without the ISA.
+//
+// Reductions widen to double lanes (two accumulators per moment) and so
+// reassociate relative to the scalar reference; elementwise kernels perform
+// the same rounding steps as scalar and are bit-identical except where the
+// header's tolerance contract says otherwise (FP16 NaN payloads).
+#include "kernels/backends.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace haan::kernels {
+namespace {
+
+double hsum_pd(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+}
+
+/// Accumulates sum and sum-of-squares of the 8 floats in `v`.
+void accumulate8(__m256 v, __m256d& sum0, __m256d& sum1, __m256d& sq0,
+                 __m256d& sq1) {
+  const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+  sum0 = _mm256_add_pd(sum0, lo);
+  sum1 = _mm256_add_pd(sum1, hi);
+  sq0 = _mm256_fmadd_pd(lo, lo, sq0);
+  sq1 = _mm256_fmadd_pd(hi, hi, sq1);
+}
+
+SumStats stats_avx2(const float* z, std::size_t n) {
+  __m256d sum0 = _mm256_setzero_pd(), sum1 = _mm256_setzero_pd();
+  __m256d sq0 = _mm256_setzero_pd(), sq1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    accumulate8(_mm256_loadu_ps(z + i), sum0, sum1, sq0, sq1);
+  }
+  SumStats out;
+  out.sum = hsum_pd(_mm256_add_pd(sum0, sum1));
+  out.sum_sq = hsum_pd(_mm256_add_pd(sq0, sq1));
+  for (; i < n; ++i) {
+    const float v = z[i];
+    out.sum += v;
+    out.sum_sq += static_cast<double>(v) * v;
+  }
+  return out;
+}
+
+double centered_sum_sq_avx2(const float* z, std::size_t n, double mean) {
+  const __m256d mean_v = _mm256_set1_pd(mean);
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(z + i);
+    const __m256d lo =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(v)), mean_v);
+    const __m256d hi =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)), mean_v);
+    acc0 = _mm256_fmadd_pd(lo, lo, acc0);
+    acc1 = _mm256_fmadd_pd(hi, hi, acc1);
+  }
+  double acc = hsum_pd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = z[i] - mean;
+    acc += d * d;
+  }
+  return acc;
+}
+
+void residual_add_avx2(float* h, const float* residual, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 sum =
+        _mm256_add_ps(_mm256_loadu_ps(h + i), _mm256_loadu_ps(residual + i));
+    _mm256_storeu_ps(h + i, sum);
+  }
+  for (; i < n; ++i) h[i] += residual[i];
+}
+
+void residual_add_copy_avx2(float* h, const float* residual, float* dst,
+                            std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 sum =
+        _mm256_add_ps(_mm256_loadu_ps(h + i), _mm256_loadu_ps(residual + i));
+    _mm256_storeu_ps(h + i, sum);
+    _mm256_storeu_ps(dst + i, sum);
+  }
+  for (; i < n; ++i) {
+    h[i] += residual[i];
+    dst[i] = h[i];
+  }
+}
+
+SumStats residual_add_stats_avx2(float* h, const float* residual,
+                                 std::size_t n) {
+  __m256d sum0 = _mm256_setzero_pd(), sum1 = _mm256_setzero_pd();
+  __m256d sq0 = _mm256_setzero_pd(), sq1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 sum =
+        _mm256_add_ps(_mm256_loadu_ps(h + i), _mm256_loadu_ps(residual + i));
+    _mm256_storeu_ps(h + i, sum);
+    accumulate8(sum, sum0, sum1, sq0, sq1);
+  }
+  SumStats out;
+  out.sum = hsum_pd(_mm256_add_pd(sum0, sum1));
+  out.sum_sq = hsum_pd(_mm256_add_pd(sq0, sq1));
+  for (; i < n; ++i) {
+    h[i] += residual[i];
+    const float v = h[i];
+    out.sum += v;
+    out.sum_sq += static_cast<double>(v) * v;
+  }
+  return out;
+}
+
+void normalize_affine_avx2(const float* z, std::size_t n, double mean,
+                           double isd, const float* alpha, const float* beta,
+                           float* out) {
+  const __m256d mean_v = _mm256_set1_pd(mean);
+  const __m256d isd_v = _mm256_set1_pd(isd);
+  // alpha == nullptr multiplies by 1.0f, which is exact for every value; a
+  // missing beta must genuinely skip the add (0.0f + -0.0f would flip signs).
+  const __m256 ones = _mm256_set1_ps(1.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 zv = _mm256_loadu_ps(z + i);
+    const __m256d lo = _mm256_mul_pd(
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(zv)), mean_v),
+        isd_v);
+    const __m256d hi = _mm256_mul_pd(
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(zv, 1)), mean_v),
+        isd_v);
+    __m256 v = _mm256_set_m128(_mm256_cvtpd_ps(hi), _mm256_cvtpd_ps(lo));
+    const __m256 a = alpha != nullptr ? _mm256_loadu_ps(alpha + i) : ones;
+    v = _mm256_mul_ps(v, a);
+    if (beta != nullptr) v = _mm256_add_ps(v, _mm256_loadu_ps(beta + i));
+    _mm256_storeu_ps(out + i, v);
+  }
+  for (; i < n; ++i) {
+    float v = static_cast<float>((z[i] - mean) * isd);
+    if (alpha != nullptr) v *= alpha[i];
+    if (beta != nullptr) v += beta[i];
+    out[i] = v;
+  }
+}
+
+void quantize_int8_avx2(float* values, std::size_t n, float scale) {
+  const __m256 scale_v = _mm256_set1_ps(scale);
+  const __m256 lo_v = _mm256_set1_ps(-128.0f);
+  const __m256 hi_v = _mm256_set1_ps(127.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(values + i);
+    const __m256 q = _mm256_round_ps(_mm256_div_ps(v, scale_v),
+                                     _MM_FROUND_CUR_DIRECTION | _MM_FROUND_NO_EXC);
+    // Keep q as the second operand so min/max propagate NaN like std::clamp.
+    const __m256 clamped = _mm256_min_ps(hi_v, _mm256_max_ps(lo_v, q));
+    _mm256_storeu_ps(values + i, _mm256_mul_ps(clamped, scale_v));
+  }
+  for (; i < n; ++i) {
+    values[i] =
+        numerics::quantize_dequantize(values[i], numerics::NumericFormat::kINT8,
+                                      scale);
+  }
+}
+
+void quantize_fp16_avx2(float* values, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i half =
+        _mm256_cvtps_ph(_mm256_loadu_ps(values + i), _MM_FROUND_TO_NEAREST_INT);
+    _mm256_storeu_ps(values + i, _mm256_cvtph_ps(half));
+  }
+  for (; i < n; ++i) {
+    values[i] = numerics::quantize_dequantize(
+        values[i], numerics::NumericFormat::kFP16, 1.0f);
+  }
+}
+
+void quantize_bf16_avx2(float* values, std::size_t n) {
+  // Integer replica of BFloat16::from_float/to_float: round-to-nearest-even
+  // on the truncated 16 bits, quiet-NaN preservation. Bit-exact vs scalar.
+  const __m256i inf_bits = _mm256_set1_epi32(0x7F800000);
+  const __m256i abs_mask = _mm256_set1_epi32(0x7FFFFFFF);
+  const __m256i round_base = _mm256_set1_epi32(0x7FFF);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i quiet_bit = _mm256_set1_epi32(0x40);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits =
+        _mm256_castps_si256(_mm256_loadu_ps(values + i));
+    const __m256i abs = _mm256_and_si256(bits, abs_mask);
+    const __m256i is_nan = _mm256_cmpgt_epi32(abs, inf_bits);
+    const __m256i top = _mm256_srli_epi32(bits, 16);
+    const __m256i nan_res =
+        _mm256_slli_epi32(_mm256_or_si256(top, quiet_bit), 16);
+    const __m256i lsb = _mm256_and_si256(top, one);
+    const __m256i rounded =
+        _mm256_add_epi32(bits, _mm256_add_epi32(round_base, lsb));
+    const __m256i rne_res =
+        _mm256_slli_epi32(_mm256_srli_epi32(rounded, 16), 16);
+    const __m256i res = _mm256_blendv_epi8(rne_res, nan_res, is_nan);
+    _mm256_storeu_ps(values + i, _mm256_castsi256_ps(res));
+  }
+  for (; i < n; ++i) {
+    values[i] = numerics::quantize_dequantize(
+        values[i], numerics::NumericFormat::kBF16, 1.0f);
+  }
+}
+
+void quantize_dequantize_avx2(float* values, std::size_t n,
+                              numerics::NumericFormat format, float scale) {
+  switch (format) {
+    case numerics::NumericFormat::kFP32:
+      return;
+    case numerics::NumericFormat::kFP16:
+      quantize_fp16_avx2(values, n);
+      return;
+    case numerics::NumericFormat::kBF16:
+      quantize_bf16_avx2(values, n);
+      return;
+    case numerics::NumericFormat::kINT8:
+      quantize_int8_avx2(values, n, scale);
+      return;
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2",
+    stats_avx2,
+    centered_sum_sq_avx2,
+    residual_add_avx2,
+    residual_add_copy_avx2,
+    residual_add_stats_avx2,
+    normalize_affine_avx2,
+    quantize_dequantize_avx2,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable* avx2_table() { return &kAvx2Table; }
+}  // namespace detail
+
+}  // namespace haan::kernels
+
+#else  // !x86
+
+namespace haan::kernels::detail {
+const KernelTable* avx2_table() { return nullptr; }
+}  // namespace haan::kernels::detail
+
+#endif

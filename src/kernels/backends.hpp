@@ -1,0 +1,18 @@
+// Internal backend registry. Each SIMD backend translation unit is compiled
+// with its ISA flags and exports a raw table getter; the dispatcher (compiled
+// with baseline flags) performs the CPU feature check before ever calling
+// into backend code.
+#pragma once
+
+#include "kernels/kernels.hpp"
+
+namespace haan::kernels::detail {
+
+/// The AVX2+FMA+F16C table. Null when this build does not target x86.
+/// Callers must verify CPU support (see kernels.cpp) before using the table.
+const KernelTable* avx2_table();
+
+/// The NEON (AArch64) table. Null when this build does not target AArch64.
+const KernelTable* neon_table();
+
+}  // namespace haan::kernels::detail

@@ -1,0 +1,139 @@
+// Dispatcher and fused span-level entry points. This translation unit is
+// compiled with baseline flags only: the CPU feature check happens here,
+// before any backend code (compiled with ISA flags) can execute.
+#include "kernels/kernels.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/assert.hpp"
+#include "kernels/backends.hpp"
+
+namespace haan::kernels {
+namespace {
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* best_simd_table() {
+  if (cpu_supports_avx2()) return detail::avx2_table();
+  return detail::neon_table();  // null off-aarch64
+}
+
+const KernelTable& dispatch_once() {
+  if (force_scalar_requested()) return scalar_kernels();
+  if (const KernelTable* simd = best_simd_table()) return *simd;
+  return scalar_kernels();
+}
+
+/// Shared by both fused entry points: shape checks + the pass-1 residual
+/// add + sums.
+SumStats add_and_sum(const KernelTable& kernels, std::span<float> h,
+                     std::span<const float> residual,
+                     std::span<const float> alpha, std::span<const float> beta,
+                     std::span<const float> out) {
+  HAAN_EXPECTS(!h.empty());
+  HAAN_EXPECTS(out.size() == h.size());
+  HAAN_EXPECTS(alpha.empty() || alpha.size() == h.size());
+  HAAN_EXPECTS(beta.empty() || beta.size() == h.size());
+  if (residual.empty()) return kernels.stats(h.data(), h.size());
+  HAAN_EXPECTS(residual.size() == h.size());
+  return kernels.residual_add_stats(h.data(), residual.data(), h.size());
+}
+
+const float* data_or_null(std::span<const float> s) {
+  return s.empty() ? nullptr : s.data();
+}
+
+}  // namespace
+
+bool force_scalar_requested() {
+  const char* env = std::getenv("HAAN_FORCE_SCALAR");
+  if (env == nullptr || env[0] == '\0') return false;
+  return !(env[0] == '0' && env[1] == '\0');
+}
+
+const KernelTable& active() {
+  static const KernelTable& table = dispatch_once();
+  return table;
+}
+
+const char* active_name() { return active().name; }
+
+std::vector<const KernelTable*> supported_kernels() {
+  std::vector<const KernelTable*> tables{&scalar_kernels()};
+  if (const KernelTable* simd = best_simd_table()) tables.push_back(simd);
+  return tables;
+}
+
+void residual_add_rmsnorm(const KernelTable& kernels, std::span<float> h,
+                          std::span<const float> residual,
+                          std::span<const float> alpha,
+                          std::span<const float> beta, std::span<float> out,
+                          double eps) {
+  const SumStats sums = add_and_sum(kernels, h, residual, alpha, beta, out);
+  const double n = static_cast<double>(h.size());
+  // Matches tensor::rmsnorm: rms is materialized before being squared again,
+  // so the scalar path rounds identically to the seed reference.
+  const double rms = std::sqrt(sums.sum_sq / n);
+  const double isd = 1.0 / std::sqrt(rms * rms + eps);
+  kernels.normalize_affine(h.data(), h.size(), 0.0, isd, data_or_null(alpha),
+                           data_or_null(beta), out.data());
+}
+
+void residual_add_rmsnorm(std::span<float> h, std::span<const float> residual,
+                          std::span<const float> alpha,
+                          std::span<const float> beta, std::span<float> out,
+                          double eps) {
+  residual_add_rmsnorm(active(), h, residual, alpha, beta, out, eps);
+}
+
+void residual_add_layernorm(const KernelTable& kernels, std::span<float> h,
+                            std::span<const float> residual,
+                            std::span<const float> alpha,
+                            std::span<const float> beta, std::span<float> out,
+                            double eps) {
+  const SumStats sums = add_and_sum(kernels, h, residual, alpha, beta, out);
+  const double n = static_cast<double>(h.size());
+  const double mean = sums.sum / n;
+  // Two-pass variance, like tensor::exact_stats, to avoid E[x^2] - E[x]^2
+  // cancellation in the reference path.
+  const double variance =
+      kernels.centered_sum_sq(h.data(), h.size(), mean) / n;
+  const double isd = 1.0 / std::sqrt(variance + eps);
+  kernels.normalize_affine(h.data(), h.size(), mean, isd, data_or_null(alpha),
+                           data_or_null(beta), out.data());
+}
+
+void residual_add_layernorm(std::span<float> h, std::span<const float> residual,
+                            std::span<const float> alpha,
+                            std::span<const float> beta, std::span<float> out,
+                            double eps) {
+  residual_add_layernorm(active(), h, residual, alpha, beta, out, eps);
+}
+
+SumStats stats(std::span<const float> z) {
+  HAAN_EXPECTS(!z.empty());
+  return active().stats(z.data(), z.size());
+}
+
+void residual_add(std::span<float> h, std::span<const float> residual) {
+  HAAN_EXPECTS(residual.size() == h.size());
+  if (h.empty()) return;
+  active().residual_add(h.data(), residual.data(), h.size());
+}
+
+void quantize_dequantize_span(std::span<float> values,
+                              numerics::NumericFormat format, float scale) {
+  if (values.empty() || format == numerics::NumericFormat::kFP32) return;
+  if (format == numerics::NumericFormat::kINT8) HAAN_EXPECTS(scale > 0.0f);
+  active().quantize_dequantize(values.data(), values.size(), format, scale);
+}
+
+}  // namespace haan::kernels

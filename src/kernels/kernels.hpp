@@ -1,0 +1,143 @@
+// Runtime-dispatched normalization kernels: the vectorized hot loops behind
+// every norm in the repo. One KernelTable per backend (portable scalar, AVX2,
+// NEON); dispatch picks the widest backend the CPU supports once at first use,
+// with `HAAN_FORCE_SCALAR=1` forcing the scalar reference.
+//
+// The scalar backend is the semantic reference: it reproduces the seed
+// `tensor::norm_ref` / `core::subsample` arithmetic bit for bit (same
+// accumulation order, same double intermediates, same float rounding points).
+// SIMD backends are tested against it under the per-kernel tolerance contract
+// documented on each KernelTable entry.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numerics/formats.hpp"
+
+namespace haan::kernels {
+
+/// Raw sums from one pass over the data, double accumulators:
+///   sum = Σ z[i],  sum_sq = Σ z[i]^2.
+struct SumStats {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+};
+
+/// One backend's kernel set. All pointers are non-null; alpha/beta may be
+/// null (identity). Spans must not alias except where noted.
+///
+/// Tolerance contract (SIMD vs the scalar reference, per kernel):
+///   stats / residual_add_stats / centered_sum_sq
+///     Reassociated accumulation: |Δsum| <= 1e-12 * Σ|z|, |Δsum_sq| <=
+///     1e-12 * Σ z^2 (and likewise for the centered moment). The updated `h`
+///     of residual_add_stats is bit-identical (the float adds are elementwise).
+///   residual_add / residual_add_copy
+///     Bit-identical: elementwise float adds in both backends.
+///   normalize_affine
+///     Elementwise with double intermediates; results within 1 ulp of scalar.
+///     All kernel TUs are built with -ffp-contract=off (see CMakeLists) so
+///     the affine multiply-add rounds identically everywhere; without it, a
+///     backend whose ISA has FMA could contract its tail loops and diverge
+///     arbitrarily under cancellation.
+///   quantize_dequantize
+///     FP32/INT8/BF16: bit-identical for every input including NaN. FP16:
+///     bit-identical for all non-NaN inputs; NaN stays NaN but the payload
+///     bits may differ (both backends produce a quiet NaN).
+struct KernelTable {
+  const char* name;  ///< "scalar", "avx2", "neon"
+
+  /// Sum and sum of squares of z[0..n).
+  SumStats (*stats)(const float* z, std::size_t n);
+
+  /// Σ (z[i] - mean)^2 over z[0..n), double accumulation.
+  double (*centered_sum_sq)(const float* z, std::size_t n, double mean);
+
+  /// h[i] += residual[i].
+  void (*residual_add)(float* h, const float* residual, std::size_t n);
+
+  /// h[i] += residual[i]; dst[i] = h[i] — one pass feeding a scratch buffer.
+  void (*residual_add_copy)(float* h, const float* residual, float* dst,
+                            std::size_t n);
+
+  /// Fused residual add + statistics: h[i] += residual[i], returning the
+  /// SumStats of the updated h in the same pass.
+  SumStats (*residual_add_stats)(float* h, const float* residual, std::size_t n);
+
+  /// out[i] = (float)((z[i] - mean) * isd), then out[i] *= alpha[i] (when
+  /// alpha != nullptr) and out[i] += beta[i] (when beta != nullptr), all in
+  /// float. Pass mean = 0.0 for the RMSNorm flavour. out may alias z.
+  void (*normalize_affine)(const float* z, std::size_t n, double mean,
+                           double isd, const float* alpha, const float* beta,
+                           float* out);
+
+  /// Elementwise numerics::quantize_dequantize over values[0..n).
+  void (*quantize_dequantize)(float* values, std::size_t n,
+                              numerics::NumericFormat format, float scale);
+};
+
+/// The portable scalar backend (always available; the bit-exact reference).
+const KernelTable& scalar_kernels();
+
+/// The backend selected for this process: the widest SIMD backend the CPU
+/// supports, or scalar when HAAN_FORCE_SCALAR=1 is set in the environment.
+/// The choice is made once, at the first call, and cached.
+const KernelTable& active();
+
+/// active().name — for logs, bench reports and serve configs.
+const char* active_name();
+
+/// Every backend this build + CPU can run (scalar first). Parity tests and
+/// benches iterate this list; it ignores HAAN_FORCE_SCALAR.
+std::vector<const KernelTable*> supported_kernels();
+
+/// True when the HAAN_FORCE_SCALAR environment variable requests the scalar
+/// backend (set, non-empty, and not "0"). Read afresh on every call; note
+/// active() caches its first answer.
+bool force_scalar_requested();
+
+// ---------------------------------------------------------------------------
+// Span-level fused entry points. Each takes the backend explicitly (for tests
+// and benches) and has an active()-dispatched overload (for production code).
+// ---------------------------------------------------------------------------
+
+/// Fused residual-add + RMSNorm: h[i] += residual[i] (in place; skipped when
+/// `residual` is empty), then out = alpha * (h * isd) + beta with
+/// isd = 1 / sqrt(rms^2 + eps), rms = sqrt(mean(h^2)). Scalar dispatch is
+/// bit-identical to tensor::add_inplace + tensor::rmsnorm on the same data.
+void residual_add_rmsnorm(const KernelTable& kernels, std::span<float> h,
+                          std::span<const float> residual,
+                          std::span<const float> alpha,
+                          std::span<const float> beta, std::span<float> out,
+                          double eps);
+void residual_add_rmsnorm(std::span<float> h, std::span<const float> residual,
+                          std::span<const float> alpha,
+                          std::span<const float> beta, std::span<float> out,
+                          double eps);
+
+/// Fused residual-add + LayerNorm, two-pass variance like the seed reference:
+/// pass 1 adds the residual and accumulates the sums, pass 2 computes the
+/// centered second moment, pass 3 normalizes with the affine parameters.
+void residual_add_layernorm(const KernelTable& kernels, std::span<float> h,
+                            std::span<const float> residual,
+                            std::span<const float> alpha,
+                            std::span<const float> beta, std::span<float> out,
+                            double eps);
+void residual_add_layernorm(std::span<float> h, std::span<const float> residual,
+                            std::span<const float> alpha,
+                            std::span<const float> beta, std::span<float> out,
+                            double eps);
+
+/// Vectorized sum / sum-of-squares reduction over the active backend.
+SumStats stats(std::span<const float> z);
+
+/// h += residual over the active backend.
+void residual_add(std::span<float> h, std::span<const float> residual);
+
+/// Elementwise quantize-dequantize over the active backend.
+void quantize_dequantize_span(std::span<float> values,
+                              numerics::NumericFormat format,
+                              float scale = 1.0f);
+
+}  // namespace haan::kernels

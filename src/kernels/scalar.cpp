@@ -1,0 +1,89 @@
+// Portable scalar backend: the bit-exact reference every SIMD backend is
+// tested against. The loop bodies reproduce the seed's `tensor::norm_ref` and
+// `core::subsample` arithmetic exactly — same accumulation order, same double
+// intermediates, same float rounding points — so HAAN_FORCE_SCALAR=1 runs are
+// bit-identical to the pre-kernel-layer implementation.
+#include "kernels/kernels.hpp"
+
+namespace haan::kernels {
+namespace {
+
+SumStats stats_scalar(const float* z, std::size_t n) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = z[i];
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  return {sum, sum_sq};
+}
+
+double centered_sum_sq_scalar(const float* z, std::size_t n, double mean) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = z[i] - mean;
+    acc += d * d;
+  }
+  return acc;
+}
+
+void residual_add_scalar(float* h, const float* residual, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) h[i] += residual[i];
+}
+
+void residual_add_copy_scalar(float* h, const float* residual, float* dst,
+                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h[i] += residual[i];
+    dst[i] = h[i];
+  }
+}
+
+SumStats residual_add_stats_scalar(float* h, const float* residual,
+                                   std::size_t n) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    h[i] += residual[i];
+    const float v = h[i];
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  return {sum, sum_sq};
+}
+
+void normalize_affine_scalar(const float* z, std::size_t n, double mean,
+                             double isd, const float* alpha, const float* beta,
+                             float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    float v = static_cast<float>((z[i] - mean) * isd);
+    if (alpha != nullptr) v *= alpha[i];
+    if (beta != nullptr) v += beta[i];
+    out[i] = v;
+  }
+}
+
+void quantize_dequantize_scalar(float* values, std::size_t n,
+                                numerics::NumericFormat format, float scale) {
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = numerics::quantize_dequantize(values[i], format, scale);
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",
+    stats_scalar,
+    centered_sum_sq_scalar,
+    residual_add_scalar,
+    residual_add_copy_scalar,
+    residual_add_stats_scalar,
+    normalize_affine_scalar,
+    quantize_dequantize_scalar,
+};
+
+}  // namespace
+
+const KernelTable& scalar_kernels() { return kScalarTable; }
+
+}  // namespace haan::kernels

@@ -1,6 +1,7 @@
 #include "model/block.hpp"
 
 #include "common/assert.hpp"
+#include "kernels/kernels.hpp"
 #include "model/attention.hpp"
 #include "tensor/ops.hpp"
 
@@ -17,6 +18,36 @@ tensor::Tensor apply_norm_layer(const tensor::Tensor& x, std::size_t layer_index
     const auto z = x.row(r);
     if (observer) observer(layer_index, r, z);
     norm.normalize(layer_index, r, kind, z, alpha, beta, out.row(r));
+  }
+  return out;
+}
+
+tensor::Tensor apply_residual_norm_layer(tensor::Tensor& x,
+                                         const tensor::Tensor& residual,
+                                         std::size_t layer_index, NormKind kind,
+                                         std::span<const float> alpha,
+                                         std::span<const float> beta,
+                                         NormProvider& norm,
+                                         const NormInputObserver& observer) {
+  if (residual.numel() == 0) {
+    return apply_norm_layer(x, layer_index, kind, alpha, beta, norm, observer);
+  }
+  HAAN_EXPECTS(x.shape().rank() == 2);
+  HAAN_EXPECTS(residual.shape() == x.shape());
+  tensor::Tensor out(x.shape());
+  const std::size_t rows = x.shape().dim(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto base = x.row(r);
+    if (observer) {
+      // The observer must see the norm *input* (the sum), so materialize the
+      // add first; values are bit-identical to the fused path.
+      kernels::residual_add(base, residual.row(r));
+      observer(layer_index, r, base);
+      norm.normalize(layer_index, r, kind, base, alpha, beta, out.row(r));
+    } else {
+      norm.residual_add_normalize(layer_index, r, kind, base, residual.row(r),
+                                  alpha, beta, out.row(r));
+    }
   }
   return out;
 }
@@ -38,34 +69,43 @@ tensor::Tensor run_mlp(const tensor::Tensor& x, const BlockWeights& block,
 
 }  // namespace
 
-void run_block(tensor::Tensor& h, const BlockWeights& block,
-               const ModelConfig& config, std::size_t block_index,
-               NormProvider& norm, const NormInputObserver& observer) {
+void run_block(tensor::Tensor& h, tensor::Tensor& pending,
+               const BlockWeights& block, const ModelConfig& config,
+               std::size_t block_index, NormProvider& norm,
+               const NormInputObserver& observer) {
   const std::size_t norm1 = 2 * block_index;
   const std::size_t norm2 = 2 * block_index + 1;
 
   if (config.placement == NormPlacement::kPreNorm) {
-    tensor::Tensor normed = apply_norm_layer(h, norm1, config.norm_kind,
-                                             block.norm1_alpha, block.norm1_beta,
-                                             norm, observer);
+    // The previous sub-layer's output (attention/MLP of the block before, or
+    // nothing for block 0) folds into this norm's fused residual add.
+    tensor::Tensor normed =
+        apply_residual_norm_layer(h, pending, norm1, config.norm_kind,
+                                  block.norm1_alpha, block.norm1_beta, norm,
+                                  observer);
     tensor::Tensor attn = multi_head_attention(normed, block, config.n_heads);
-    tensor::add_inplace(h, attn);
 
-    normed = apply_norm_layer(h, norm2, config.norm_kind, block.norm2_alpha,
-                              block.norm2_beta, norm, observer);
-    tensor::Tensor mlp = run_mlp(normed, block, config);
-    tensor::add_inplace(h, mlp);
+    normed = apply_residual_norm_layer(h, attn, norm2, config.norm_kind,
+                                       block.norm2_alpha, block.norm2_beta,
+                                       norm, observer);
+    // Defer the MLP residual add to the next norm layer (or the caller).
+    pending = run_mlp(normed, block, config);
   } else {
-    // Post-norm: residual add first, then normalize the sum.
+    // Post-norm: residual add first, then normalize the sum. Post-norm blocks
+    // never leave a deferred residual, but fold one in if present.
+    if (pending.numel() != 0) {
+      tensor::add_inplace(h, pending);
+      pending = tensor::Tensor();
+    }
     tensor::Tensor attn = multi_head_attention(h, block, config.n_heads);
-    tensor::add_inplace(attn, h);
-    h = apply_norm_layer(attn, norm1, config.norm_kind, block.norm1_alpha,
-                         block.norm1_beta, norm, observer);
+    h = apply_residual_norm_layer(attn, h, norm1, config.norm_kind,
+                                  block.norm1_alpha, block.norm1_beta, norm,
+                                  observer);
 
     tensor::Tensor mlp = run_mlp(h, block, config);
-    tensor::add_inplace(mlp, h);
-    h = apply_norm_layer(mlp, norm2, config.norm_kind, block.norm2_alpha,
-                         block.norm2_beta, norm, observer);
+    h = apply_residual_norm_layer(mlp, h, norm2, config.norm_kind,
+                                  block.norm2_alpha, block.norm2_beta, norm,
+                                  observer);
   }
 }
 

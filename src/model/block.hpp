@@ -24,10 +24,30 @@ tensor::Tensor apply_norm_layer(const tensor::Tensor& x, std::size_t layer_index
                                 std::span<const float> beta, NormProvider& norm,
                                 const NormInputObserver& observer);
 
+/// Fused residual-add + norm over rows: updates `x += residual` in place and
+/// normalizes the sums, via the provider's fused entry point (one fewer pass
+/// over each hidden vector than add_inplace + apply_norm_layer, with
+/// bit-identical results). An empty `residual` degrades to apply_norm_layer.
+tensor::Tensor apply_residual_norm_layer(tensor::Tensor& x,
+                                         const tensor::Tensor& residual,
+                                         std::size_t layer_index, NormKind kind,
+                                         std::span<const float> alpha,
+                                         std::span<const float> beta,
+                                         NormProvider& norm,
+                                         const NormInputObserver& observer);
+
 /// Runs block `block_index` over hidden states `h` (L x d_model) in place.
 /// Norm layers get global indices 2*block_index and 2*block_index + 1.
-void run_block(tensor::Tensor& h, const BlockWeights& block,
-               const ModelConfig& config, std::size_t block_index,
-               NormProvider& norm, const NormInputObserver& observer);
+///
+/// `pending` threads the deferred residual between norm layers: on entry it
+/// holds a sub-layer output not yet added to `h` (empty when none), and the
+/// block folds it into its first norm's fused add. On exit it holds this
+/// block's trailing MLP output (pre-norm placement) or is empty (post-norm,
+/// which normalizes inside the block). The caller must fold a non-empty
+/// `pending` into `h` after the last block (the final norm does it fused).
+void run_block(tensor::Tensor& h, tensor::Tensor& pending,
+               const BlockWeights& block, const ModelConfig& config,
+               std::size_t block_index, NormProvider& norm,
+               const NormInputObserver& observer);
 
 }  // namespace haan::model

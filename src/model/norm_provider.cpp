@@ -1,8 +1,21 @@
 #include "model/norm_provider.hpp"
 
+#include "kernels/kernels.hpp"
 #include "tensor/norm_ref.hpp"
 
 namespace haan::model {
+
+void NormProvider::residual_add_normalize(std::size_t layer_index,
+                                          std::size_t position, NormKind kind,
+                                          std::span<float> h,
+                                          std::span<const float> residual,
+                                          std::span<const float> alpha,
+                                          std::span<const float> beta,
+                                          std::span<float> out) {
+  // Unfused fallback for providers without a fused statistics pass.
+  kernels::residual_add(h, residual);
+  normalize(layer_index, position, kind, h, alpha, beta, out);
+}
 
 void ExactNormProvider::normalize(std::size_t /*layer_index*/, std::size_t /*position*/,
                                   NormKind kind, std::span<const float> z,
@@ -12,6 +25,18 @@ void ExactNormProvider::normalize(std::size_t /*layer_index*/, std::size_t /*pos
     tensor::layernorm(z, alpha, beta, out, eps_);
   } else {
     tensor::rmsnorm(z, alpha, beta, out, eps_);
+  }
+}
+
+void ExactNormProvider::residual_add_normalize(
+    std::size_t /*layer_index*/, std::size_t /*position*/, NormKind kind,
+    std::span<float> h, std::span<const float> residual,
+    std::span<const float> alpha, std::span<const float> beta,
+    std::span<float> out) {
+  if (kind == NormKind::kLayerNorm) {
+    kernels::residual_add_layernorm(h, residual, alpha, beta, out, eps_);
+  } else {
+    kernels::residual_add_rmsnorm(h, residual, alpha, beta, out, eps_);
   }
 }
 

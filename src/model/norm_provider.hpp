@@ -30,6 +30,19 @@ class NormProvider {
   virtual void normalize(std::size_t layer_index, std::size_t position, NormKind kind,
                          std::span<const float> z, std::span<const float> alpha,
                          std::span<const float> beta, std::span<float> out) = 0;
+
+  /// Fused residual-add + normalize: updates `h += residual` in place (the
+  /// caller keeps `h` as the residual stream) and normalizes the sum into
+  /// `out`, saving one full pass over the hidden vector versus add-then-
+  /// normalize. The result is bit-identical to calling
+  /// kernels::residual_add(h, residual) followed by normalize(h). Providers
+  /// override this to fuse the add into their statistics pass.
+  virtual void residual_add_normalize(std::size_t layer_index, std::size_t position,
+                                      NormKind kind, std::span<float> h,
+                                      std::span<const float> residual,
+                                      std::span<const float> alpha,
+                                      std::span<const float> beta,
+                                      std::span<float> out);
 };
 
 /// Exact FP32 normalization with double-precision internals (the "Original"
@@ -42,6 +55,14 @@ class ExactNormProvider final : public NormProvider {
   void normalize(std::size_t layer_index, std::size_t position, NormKind kind,
                  std::span<const float> z, std::span<const float> alpha,
                  std::span<const float> beta, std::span<float> out) override;
+
+  /// Single fused kernel call: residual add + statistics share one pass.
+  void residual_add_normalize(std::size_t layer_index, std::size_t position,
+                              NormKind kind, std::span<float> h,
+                              std::span<const float> residual,
+                              std::span<const float> alpha,
+                              std::span<const float> beta,
+                              std::span<float> out) override;
 
  private:
   double eps_;

@@ -32,13 +32,20 @@ tensor::Tensor Transformer::forward_hidden(std::span<const int> tokens,
     for (std::size_t c = 0; c < d; ++c) row[c] = emb[c] + pos[c];
   }
 
+  // `pending` carries each sub-layer output to the next norm layer, where the
+  // residual add fuses with the statistics pass (one fewer pass over the
+  // hidden vector per norm layer; bit-identical to add-then-normalize).
+  tensor::Tensor pending;
   for (std::size_t b = 0; b < config_.n_blocks; ++b) {
-    run_block(h, weights_.blocks[b], config_, b, norm, observer_);
+    run_block(h, pending, weights_.blocks[b], config_, b, norm, observer_);
   }
 
   if (config_.final_norm) {
-    h = apply_norm_layer(h, 2 * config_.n_blocks, config_.norm_kind,
-                         weights_.final_alpha, weights_.final_beta, norm, observer_);
+    h = apply_residual_norm_layer(h, pending, 2 * config_.n_blocks,
+                                  config_.norm_kind, weights_.final_alpha,
+                                  weights_.final_beta, norm, observer_);
+  } else if (pending.numel() != 0) {
+    tensor::add_inplace(h, pending);
   }
   return h;
 }

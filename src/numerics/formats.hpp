@@ -35,7 +35,9 @@ bool is_float(NumericFormat format);
 /// real value v to round(v / scale) clamped to [-128, 127].
 float quantize_dequantize(float value, NumericFormat format, float scale = 1.0f);
 
-/// Applies quantize_dequantize elementwise.
+/// Applies quantize_dequantize elementwise. Scalar reference loop — hot
+/// paths should call kernels::quantize_dequantize_span (SIMD-dispatched,
+/// bit-identical under the kernels.hpp tolerance contract).
 void quantize_dequantize_span(std::span<float> values, NumericFormat format,
                               float scale = 1.0f);
 

@@ -59,6 +59,7 @@ common::Json ServeMetrics::to_json() const {
   counters["isd_computed"] = norm.isd_computed;
   counters["isd_predicted"] = norm.isd_predicted;
   counters["elements_read"] = norm.elements_read;
+  counters["fused_residual_norms"] = norm.fused_residual_norms;
   out["norm_counters"] = counters;
   return out;
 }
@@ -90,7 +91,8 @@ std::string ServeMetrics::to_string() const {
       << common::format_double(mean_queue_depth, 2) << "\n";
   out << "norm counters    : calls " << norm.norm_calls << ", isd computed "
       << norm.isd_computed << ", isd predicted " << norm.isd_predicted
-      << ", elements read " << norm.elements_read << "\n";
+      << ", elements read " << norm.elements_read << ", fused residual+norm "
+      << norm.fused_residual_norms << "\n";
   return out.str();
 }
 
@@ -117,6 +119,7 @@ void MetricsCollector::add_norm_counters(const NormCounters& counters) {
   norm_.isd_computed += counters.isd_computed;
   norm_.isd_predicted += counters.isd_predicted;
   norm_.elements_read += counters.elements_read;
+  norm_.fused_residual_norms += counters.fused_residual_norms;
 }
 
 std::size_t MetricsCollector::completed() const {

@@ -41,13 +41,21 @@ std::optional<Request> RequestQueue::pop() {
 }
 
 std::optional<Request> RequestQueue::try_pop() {
+  Request request;
+  if (try_pop(request) != TryPopResult::kItem) return std::nullopt;
+  return request;
+}
+
+TryPopResult RequestQueue::try_pop(Request& out) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (items_.empty()) return std::nullopt;
-  Request request = std::move(items_.front());
+  if (items_.empty()) {
+    return closed_ ? TryPopResult::kDrained : TryPopResult::kEmpty;
+  }
+  out = std::move(items_.front());
   items_.pop_front();
   lock.unlock();
   not_full_.notify_one();
-  return request;
+  return TryPopResult::kItem;
 }
 
 std::optional<Request> RequestQueue::pop_for(std::chrono::microseconds timeout) {

@@ -15,6 +15,15 @@
 
 namespace haan::serve {
 
+/// Outcome of a non-blocking pop: distinguishes a queue that is momentarily
+/// empty (more items may arrive) from one that is closed and fully drained
+/// (end-of-stream), so non-blocking consumers don't spin after shutdown.
+enum class TryPopResult {
+  kItem,     ///< an item was popped
+  kEmpty,    ///< nothing available right now; the queue is still open
+  kDrained,  ///< closed and empty: no item will ever arrive again
+};
+
 /// Bounded blocking multi-producer / multi-consumer FIFO of Requests.
 class RequestQueue {
  public:
@@ -32,8 +41,14 @@ class RequestQueue {
   /// fully drained (end-of-stream).
   std::optional<Request> pop();
 
-  /// Non-blocking pop; nullopt when currently empty.
+  /// Non-blocking pop; nullopt when currently empty. Cannot distinguish
+  /// "momentarily empty" from end-of-stream — prefer the tri-state overload
+  /// in consumers that loop.
   std::optional<Request> try_pop();
+
+  /// Non-blocking tri-state pop: fills `out` and returns kItem, or reports
+  /// kEmpty (still open) / kDrained (closed and fully drained).
+  TryPopResult try_pop(Request& out);
 
   /// Pop waiting at most `timeout`; nullopt on timeout or end-of-stream.
   std::optional<Request> pop_for(std::chrono::microseconds timeout);

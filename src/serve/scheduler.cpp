@@ -26,17 +26,22 @@ std::optional<Batch> BatchScheduler::next_batch() {
 
   const Clock::time_point deadline = opened + config_.max_wait;
   while (batch.requests.size() < config_.max_batch) {
-    // Fast path: take whatever is already queued without waiting.
-    std::optional<Request> next = queue_.try_pop();
-    if (!next) {
+    // Fast path: take whatever is already queued without waiting. The
+    // tri-state pop lets us close the batch immediately at end-of-stream
+    // instead of burning the remaining max-wait on a drained queue.
+    Request next;
+    const TryPopResult result = queue_.try_pop(next);
+    if (result == TryPopResult::kDrained) break;
+    if (result == TryPopResult::kEmpty) {
       const Clock::time_point now = Clock::now();
       if (now >= deadline) break;
-      next = queue_.pop_for(
+      std::optional<Request> waited = queue_.pop_for(
           std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
-      if (!next) break;  // max-wait expired or end-of-stream
+      if (!waited) break;  // max-wait expired or end-of-stream
+      next = std::move(*waited);
     }
-    next->dequeued_at = Clock::now();
-    batch.requests.push_back(std::move(*next));
+    next.dequeued_at = Clock::now();
+    batch.requests.push_back(std::move(next));
   }
   return batch;
 }

@@ -61,9 +61,17 @@ double instant_rate(const WorkloadConfig& config, std::size_t i) {
     case Scenario::kSteady:
       return config.rate_rps;
     case Scenario::kBursty: {
+      // Phases alternate every burst_period *requests*, so the time-average
+      // arrival rate is the harmonic mean of the two phase rates: the raw
+      // rate*f / rate/f square wave has mean inter-arrival (1/f + f)/2 / rate
+      // and under-delivers the configured rate by that factor. Scale both
+      // phases by it so the mean arrival rate equals rate_rps while the
+      // peak:trough ratio stays f^2.
+      const double f = config.burst_factor;
+      const double balance = 0.5 * (f + 1.0 / f);
       const bool peak = (i / config.burst_period) % 2 == 0;
-      return peak ? config.rate_rps * config.burst_factor
-                  : config.rate_rps / config.burst_factor;
+      return peak ? config.rate_rps * f * balance
+                  : config.rate_rps / f * balance;
     }
     case Scenario::kRamp: {
       const double t = config.n_requests <= 1

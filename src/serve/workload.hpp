@@ -17,7 +17,7 @@ namespace haan::serve {
 /// Traffic shape over the run.
 enum class Scenario {
   kSteady,  ///< constant Poisson rate
-  kBursty,  ///< square wave: rate*burst_factor <-> rate/burst_factor
+  kBursty,  ///< square wave, peak:trough = burst_factor^2, mean = rate_rps
   kRamp,    ///< rate ramps linearly from ramp_start to ramp_end x rate
 };
 
@@ -48,8 +48,9 @@ struct WorkloadConfig {
 
   Scenario scenario = Scenario::kSteady;
 
-  /// Bursty: peak rate = rate*burst_factor, trough = rate/burst_factor,
-  /// toggling every burst_period requests. Must be >= 1.
+  /// Bursty: the instantaneous rate toggles between a peak and a trough in a
+  /// burst_factor^2 ratio every burst_period requests, normalized so the
+  /// time-average arrival rate equals rate_rps. Must be >= 1.
   double burst_factor = 4.0;
   std::size_t burst_period = 64;
 

@@ -1,49 +1,37 @@
 #include "tensor/norm_ref.hpp"
 
 #include <cmath>
-#include <vector>
 
 #include "common/assert.hpp"
+#include "kernels/kernels.hpp"
 
 namespace haan::tensor {
 
 VectorStats exact_stats(std::span<const float> z) {
   HAAN_EXPECTS(!z.empty());
+  const kernels::KernelTable& k = kernels::active();
   const double n = static_cast<double>(z.size());
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  for (const float v : z) {
-    sum += v;
-    sum_sq += static_cast<double>(v) * v;
-  }
+  const kernels::SumStats sums = k.stats(z.data(), z.size());
   VectorStats stats;
-  stats.mean = sum / n;
+  stats.mean = sums.sum / n;
   // Two-pass for the variance to avoid E[x^2]-E[x]^2 cancellation in the
   // *reference*; the hardware model deliberately uses the one-pass form.
-  double acc = 0.0;
-  for (const float v : z) {
-    const double d = v - stats.mean;
-    acc += d * d;
-  }
-  stats.variance = acc / n;
-  stats.rms = std::sqrt(sum_sq / n);
+  stats.variance = k.centered_sum_sq(z.data(), z.size(), stats.mean) / n;
+  stats.rms = std::sqrt(sums.sum_sq / n);
   return stats;
 }
 
 namespace {
 
-void affine(std::span<const float> normalized, std::span<const float> alpha,
-            std::span<const float> beta, std::span<float> out) {
-  const std::size_t n = normalized.size();
-  HAAN_EXPECTS(out.size() == n);
-  HAAN_EXPECTS(alpha.empty() || alpha.size() == n);
-  HAAN_EXPECTS(beta.empty() || beta.size() == n);
-  for (std::size_t i = 0; i < n; ++i) {
-    float v = normalized[i];
-    if (!alpha.empty()) v *= alpha[i];
-    if (!beta.empty()) v += beta[i];
-    out[i] = v;
-  }
+const float* data_or_null(std::span<const float> s) {
+  return s.empty() ? nullptr : s.data();
+}
+
+void check_affine_shapes(std::span<const float> z, std::span<const float> alpha,
+                         std::span<const float> beta, std::span<float> out) {
+  HAAN_EXPECTS(out.size() == z.size());
+  HAAN_EXPECTS(alpha.empty() || alpha.size() == z.size());
+  HAAN_EXPECTS(beta.empty() || beta.size() == z.size());
 }
 
 }  // namespace
@@ -65,23 +53,20 @@ void rmsnorm(std::span<const float> z, std::span<const float> alpha,
 void layernorm_with_isd(std::span<const float> z, double mean, double isd,
                         std::span<const float> alpha, std::span<const float> beta,
                         std::span<float> out) {
-  HAAN_EXPECTS(out.size() == z.size());
-  std::vector<float> normalized(z.size());
-  for (std::size_t i = 0; i < z.size(); ++i) {
-    normalized[i] = static_cast<float>((z[i] - mean) * isd);
-  }
-  affine(normalized, alpha, beta, out);
+  check_affine_shapes(z, alpha, beta, out);
+  kernels::active().normalize_affine(z.data(), z.size(), mean, isd,
+                                     data_or_null(alpha), data_or_null(beta),
+                                     out.data());
 }
 
 void rmsnorm_with_isd(std::span<const float> z, double isd,
                       std::span<const float> alpha, std::span<const float> beta,
                       std::span<float> out) {
-  HAAN_EXPECTS(out.size() == z.size());
-  std::vector<float> normalized(z.size());
-  for (std::size_t i = 0; i < z.size(); ++i) {
-    normalized[i] = static_cast<float>(z[i] * isd);
-  }
-  affine(normalized, alpha, beta, out);
+  check_affine_shapes(z, alpha, beta, out);
+  // mean = 0.0: (z - 0.0) * isd rounds identically to z * isd.
+  kernels::active().normalize_affine(z.data(), z.size(), 0.0, isd,
+                                     data_or_null(alpha), data_or_null(beta),
+                                     out.data());
 }
 
 }  // namespace haan::tensor

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "tensor/norm_ref.hpp"
@@ -165,6 +167,83 @@ TEST(HaanNorm, Int8QuantizationBoundedError) {
   tensor::layernorm(z, {}, {}, ref, config.eps);
   // INT8 grid on ~N(0.5, 2): worst element error ~ scale = max|z|/127.
   EXPECT_LT(tensor::rms_error(out, ref), 0.05);
+}
+
+TEST(HaanNorm, DenormalScaleSecondMomentGivesFiniteClampedIsd) {
+  // Regression: compute_isd casts second_moment + eps to float before the
+  // fast_inv_sqrt bit hack. A denormal-scale activation vector with eps = 0
+  // produced a denormal (or zero) float, violating the bit hack's x > 0,
+  // finite, *normal* precondition and yielding garbage ISD. The operand is
+  // now clamped to the smallest normal float.
+  HaanConfig config;
+  config.eps = 0.0;  // fast invsqrt on (default), nothing masking the cast
+  HaanNormProvider provider(config);
+
+  // second_moment ~ 4e-40: denormal as float.
+  const std::vector<float> denormal_scale(64, 2e-20f);
+  std::vector<float> out(denormal_scale.size());
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kRMSNorm, denormal_scale, {}, {}, out);
+  const double isd = provider.last_isd_used();
+  EXPECT_TRUE(std::isfinite(isd));
+  EXPECT_GT(isd, 0.0);
+  // The clamp floors the operand at FLT_MIN; one Newton step keeps the
+  // inverter within a fraction of a percent of 1/sqrt(FLT_MIN).
+  const double expected = 1.0 / std::sqrt(std::numeric_limits<float>::min());
+  EXPECT_NEAR(isd / expected, 1.0, 0.004);
+  for (const float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(HaanNorm, ZeroAndConstantVectorsStayFinite) {
+  HaanConfig config;
+  config.eps = 0.0;
+  HaanNormProvider provider(config);
+  std::vector<float> out(32);
+
+  const std::vector<float> zeros(32, 0.0f);  // second_moment exactly 0
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kRMSNorm, zeros, {}, {}, out);
+  EXPECT_TRUE(std::isfinite(provider.last_isd_used()));
+  for (const float v : out) EXPECT_TRUE(std::isfinite(v));
+
+  // Tiny constant vector: float(second_moment) rounds to 0 without the clamp.
+  const std::vector<float> tiny(32, 1e-30f);
+  provider.begin_sequence();
+  provider.normalize(0, 0, model::NormKind::kLayerNorm, tiny, {}, {}, out);
+  EXPECT_TRUE(std::isfinite(provider.last_isd_used()));
+  for (const float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(HaanNorm, FusedResidualNormalizeMatchesAddThenNormalize) {
+  // The fused entry point must be bit-identical to the unfused sequence and
+  // leave h updated with the sum (it stays the residual stream).
+  for (const auto kind : {model::NormKind::kLayerNorm, model::NormKind::kRMSNorm}) {
+    HaanConfig config;
+    config.nsub = 48;
+    config.format = numerics::NumericFormat::kFP16;
+    HaanNormProvider fused_provider(config), plain_provider(config);
+
+    auto h_fused = random_vector(96, 21);
+    auto h_plain = h_fused;
+    const auto residual = random_vector(96, 22, 0.0, 1.0);
+    const auto alpha = random_vector(96, 23, 1.0, 0.1);
+    std::vector<float> out_fused(96), out_plain(96);
+
+    fused_provider.begin_sequence();
+    fused_provider.residual_add_normalize(0, 0, kind, h_fused, residual, alpha,
+                                          {}, out_fused);
+    plain_provider.begin_sequence();
+    for (std::size_t i = 0; i < h_plain.size(); ++i) h_plain[i] += residual[i];
+    plain_provider.normalize(0, 0, kind, h_plain, alpha, {}, out_plain);
+
+    for (std::size_t i = 0; i < out_fused.size(); ++i) {
+      EXPECT_EQ(out_fused[i], out_plain[i]);
+      EXPECT_EQ(h_fused[i], h_plain[i]);
+    }
+    EXPECT_EQ(fused_provider.counters().fused_residual_norms, 1u);
+    EXPECT_EQ(plain_provider.counters().fused_residual_norms, 0u);
+    EXPECT_EQ(fused_provider.counters().norm_calls, 1u);
+  }
 }
 
 TEST(HaanNorm, BeginSequenceResetsAnchors) {

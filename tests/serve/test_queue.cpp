@@ -39,6 +39,42 @@ TEST(RequestQueue, TryPopEmptyReturnsNullopt) {
   EXPECT_FALSE(queue.try_pop().has_value());
 }
 
+TEST(RequestQueue, TriStateTryPopDistinguishesEmptyFromDrained) {
+  RequestQueue queue(4);
+  Request out;
+  // Open and empty: momentarily nothing, more may arrive.
+  EXPECT_EQ(queue.try_pop(out), TryPopResult::kEmpty);
+
+  ASSERT_TRUE(queue.push(make_request(0)));
+  ASSERT_TRUE(queue.push(make_request(1)));
+  queue.close();
+
+  // Closed but not drained: items still pop.
+  EXPECT_EQ(queue.try_pop(out), TryPopResult::kItem);
+  EXPECT_EQ(out.id, 0u);
+  EXPECT_EQ(queue.try_pop(out), TryPopResult::kItem);
+  EXPECT_EQ(out.id, 1u);
+
+  // Closed and drained: end-of-stream, repeatably.
+  EXPECT_EQ(queue.try_pop(out), TryPopResult::kDrained);
+  EXPECT_EQ(queue.try_pop(out), TryPopResult::kDrained);
+}
+
+TEST(RequestQueue, TriStateTryPopReleasesBlockedProducer) {
+  RequestQueue queue(1);
+  ASSERT_TRUE(queue.push(make_request(0)));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(make_request(1)));  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Request out;
+  EXPECT_EQ(queue.try_pop(out), TryPopResult::kItem);  // frees a slot
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
 TEST(RequestQueue, PushBlocksUntilSpace) {
   RequestQueue queue(1);
   ASSERT_TRUE(queue.push(make_request(0)));

@@ -98,6 +98,39 @@ TEST(Workload, SteadyMeanRateNearConfigured) {
   EXPECT_NEAR(rate, config.rate_rps, config.rate_rps * 0.15);
 }
 
+TEST(Workload, BurstyMeanRateMatchesConfigured) {
+  // Regression: the raw rate*f / rate/f square wave has mean inter-arrival
+  // (1/f + f)/2 / rate — 4x the configured gap at f=8 — so bursty runs
+  // under-delivered the offered load. The phases are now normalized so the
+  // empirical mean rate equals rate_rps.
+  auto config = base_config();
+  config.scenario = Scenario::kBursty;
+  config.burst_factor = 8.0;
+  config.n_requests = 6000;
+  const auto requests = generate_workload(config);
+  const double span_s = requests.back().arrival_us / 1e6;
+  const double rate = static_cast<double>(requests.size()) / span_s;
+  EXPECT_NEAR(rate, config.rate_rps, config.rate_rps * 0.15);
+}
+
+TEST(Workload, BurstyPeakTroughRatioIsBurstFactorSquared) {
+  auto config = base_config();
+  config.scenario = Scenario::kBursty;
+  config.burst_factor = 4.0;
+  config.burst_period = 500;
+  config.n_requests = 2000;  // exactly two peak and two trough phases
+  const auto requests = generate_workload(config);
+  const auto phase_span = [&](std::size_t begin, std::size_t end) {
+    return requests[end - 1].arrival_us - requests[begin].arrival_us;
+  };
+  // Peak phases (requests 0-499, 1000-1499) run ~f^2 denser than trough
+  // phases (500-999, 1500-1999); generous band for Poisson noise.
+  const double peak = phase_span(0, 500) + phase_span(1000, 1500);
+  const double trough = phase_span(500, 1000) + phase_span(1500, 2000);
+  EXPECT_GT(trough / peak, 8.0);
+  EXPECT_LT(trough / peak, 32.0);
+}
+
 TEST(Workload, RampEndsDenserThanItStarts) {
   auto config = base_config();
   config.scenario = Scenario::kRamp;
