@@ -15,6 +15,11 @@
 namespace haan::accel {
 
 /// NormProvider executing through the accelerator datapath.
+///
+/// Deliberately per-row: the cycle/energy model prices one vector through the
+/// pipeline at a time, so this provider does not override the row-block entry
+/// points — batched callers fall back to NormProvider's default per-row loop
+/// and the hardware cost accounting stays exact per normalize() call.
 class AcceleratorNormProvider final : public model::NormProvider {
  public:
   /// `arch` fixes the hardware configuration; `algorithm` carries the HAAN

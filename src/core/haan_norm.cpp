@@ -55,6 +55,151 @@ void HaanNormProvider::residual_add_normalize(
   normalize_prepared(layer_index, position, kind, alpha, beta, out);
 }
 
+void HaanNormProvider::normalize_rows(std::size_t layer_index,
+                                      std::size_t start_position,
+                                      model::NormKind kind, std::size_t rows,
+                                      std::span<const float> x,
+                                      std::span<const float> alpha,
+                                      std::span<const float> beta,
+                                      std::span<float> out) {
+  HAAN_EXPECTS(rows > 0 && !x.empty() && x.size() % rows == 0);
+  HAAN_EXPECTS(out.size() == x.size());
+  const std::size_t d = x.size() / rows;
+  HAAN_EXPECTS(alpha.empty() || alpha.size() == d);
+  HAAN_EXPECTS(beta.empty() || beta.size() == d);
+  counters_.norm_calls += rows;
+  ++counters_.batched_norm_calls;
+  counters_.batched_rows += rows;
+
+  const float* src = x.data();
+  if (config_.format != numerics::NumericFormat::kFP32) {
+    buffer_.assign(x.begin(), x.end());
+    quantize_rows(buffer_.data(), rows, d);
+    src = buffer_.data();
+  }
+  // FP32: no operand copy at all — statistics and normalization read the
+  // input block in place (the per-row path pays a full buffer fill per row).
+  finish_rows(layer_index, start_position, kind, rows, d, src,
+              /*stats_done=*/false, alpha, beta, out);
+}
+
+void HaanNormProvider::residual_add_normalize_rows(
+    std::size_t layer_index, std::size_t start_position, model::NormKind kind,
+    std::size_t rows, std::span<float> h, std::span<const float> residual,
+    std::span<const float> alpha, std::span<const float> beta,
+    std::span<float> out) {
+  HAAN_EXPECTS(rows > 0 && !h.empty() && h.size() % rows == 0);
+  HAAN_EXPECTS(out.size() == h.size());
+  HAAN_EXPECTS(residual.size() == h.size());
+  const std::size_t d = h.size() / rows;
+  HAAN_EXPECTS(alpha.empty() || alpha.size() == d);
+  HAAN_EXPECTS(beta.empty() || beta.size() == d);
+  counters_.norm_calls += rows;
+  counters_.fused_residual_norms += rows;
+  ++counters_.batched_norm_calls;
+  counters_.batched_rows += rows;
+
+  const kernels::KernelTable& k = kernels::active();
+  const float* src;
+  bool stats_done = false;
+  if (config_.format != numerics::NumericFormat::kFP32) {
+    // One pass updates the residual stream and fills the operand block.
+    buffer_.resize(h.size());
+    k.residual_add_copy(h.data(), residual.data(), buffer_.data(), h.size());
+    quantize_rows(buffer_.data(), rows, d);
+    src = buffer_.data();
+  } else {
+    // FP32: fuse the residual add with the per-row statistics sweep and feed
+    // the normalization directly from the updated hidden block.
+    const bool skip = predictor_.should_skip(layer_index);
+    if (!skip || kind == model::NormKind::kLayerNorm) {
+      const std::size_t nstat =
+          config_.nsub == 0 ? d : std::min(config_.nsub, d);
+      row_stats_.resize(rows);
+      k.residual_add_stats_rows(h.data(), residual.data(), rows, d, nstat,
+                                row_stats_.data());
+      stats_done = true;
+    } else {
+      // Skipped RMSNorm layers never read statistics: plain add only.
+      k.residual_add(h.data(), residual.data(), h.size());
+    }
+    src = h.data();
+  }
+  finish_rows(layer_index, start_position, kind, rows, d, src, stats_done,
+              alpha, beta, out);
+}
+
+void HaanNormProvider::quantize_rows(float* block, std::size_t rows,
+                                     std::size_t d) {
+  row_scale_.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_scale_[r] =
+        config_.format == numerics::NumericFormat::kINT8
+            ? numerics::choose_int8_scale(std::span(block + r * d, d))
+            : 1.0f;
+  }
+  kernels::active().quantize_dequantize_rows(block, rows, d, config_.format,
+                                             row_scale_.data());
+}
+
+void HaanNormProvider::finish_rows(std::size_t layer_index,
+                                   std::size_t start_position,
+                                   model::NormKind kind, std::size_t rows,
+                                   std::size_t d, const float* src,
+                                   bool stats_done, std::span<const float> alpha,
+                                   std::span<const float> beta,
+                                   std::span<float> out) {
+  const kernels::KernelTable& k = kernels::active();
+  // Per-layer resolution, hoisted out of the row loop: one skip-plan lookup,
+  // one anchor check, one statistics width.
+  const bool skip = predictor_.should_skip(layer_index);
+  const bool anchor = predictor_.is_anchor(layer_index);
+  const bool need_stats = !skip || kind == model::NormKind::kLayerNorm;
+  const std::size_t nstat = config_.nsub == 0 ? d : std::min(config_.nsub, d);
+
+  if (need_stats && !stats_done) {
+    row_stats_.resize(rows);
+    k.stats_rows(src, rows, d, nstat, row_stats_.data());
+  }
+
+  row_mean_.resize(rows);
+  row_isd_.resize(rows);
+  const double inv_n = 1.0 / static_cast<double>(nstat);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t position = start_position + r;
+    double mean = 0.0;
+    double second_moment = 0.0;
+    if (need_stats) {
+      // Same arithmetic as subsampled_stats over the row's prefix.
+      mean = row_stats_[r].sum * inv_n;
+      const double sm = kind == model::NormKind::kLayerNorm
+                            ? row_stats_[r].sum_sq * inv_n - mean * mean
+                            : row_stats_[r].sum_sq * inv_n;
+      second_moment = std::max(sm, 0.0);
+      counters_.elements_read += nstat;
+    }
+    double isd;
+    if (skip) {
+      isd = predictor_.predict(layer_index, position);
+      ++counters_.isd_predicted;
+    } else {
+      isd = compute_isd(second_moment);
+      ++counters_.isd_computed;
+      if (anchor) predictor_.record_anchor(position, isd);
+    }
+    row_mean_[r] = kind == model::NormKind::kLayerNorm ? mean : 0.0;
+    row_isd_[r] = isd;
+  }
+  last_isd_ = row_isd_[rows - 1];
+
+  // One normalize+affine kernel call over the whole block; the saturation
+  // clamp (hardware FP16 I/O range) is fused into the same pass.
+  k.normalize_affine_rows(src, rows, d, row_mean_.data(), row_isd_.data(),
+                          kernels::data_or_null(alpha),
+                          kernels::data_or_null(beta), out.data(),
+                          /*saturate=*/true);
+}
+
 void HaanNormProvider::normalize_prepared(std::size_t layer_index,
                                           std::size_t position,
                                           model::NormKind kind,

@@ -35,13 +35,37 @@ class HaanNormProvider final : public model::NormProvider {
                               std::span<const float> beta,
                               std::span<float> out) override;
 
-  /// Execution counters for verifying skip behaviour end to end.
+  /// Row-block overrides: per-layer work (skip-plan lookup, kernel backend
+  /// resolution, alpha/beta prep, scratch sizing) is hoisted out of the row
+  /// loop and the kernels run once over the whole (rows x d) block. In FP32
+  /// the operand-buffer copy disappears entirely (statistics read the hidden
+  /// block in place). Bit-identical to the per-row loop for a given backend.
+  void normalize_rows(std::size_t layer_index, std::size_t start_position,
+                      model::NormKind kind, std::size_t rows,
+                      std::span<const float> x, std::span<const float> alpha,
+                      std::span<const float> beta, std::span<float> out) override;
+
+  void residual_add_normalize_rows(std::size_t layer_index,
+                                   std::size_t start_position,
+                                   model::NormKind kind, std::size_t rows,
+                                   std::span<float> h,
+                                   std::span<const float> residual,
+                                   std::span<const float> alpha,
+                                   std::span<const float> beta,
+                                   std::span<float> out) override;
+
+  /// Execution counters for verifying skip behaviour end to end. The per-row
+  /// counters (norm_calls, isd_*, elements_read, fused_residual_norms) count
+  /// rows regardless of entry point, so per-row and row-block execution report
+  /// identical values; batched_* record how well callers batch the seam.
   struct Counters {
     std::size_t norm_calls = 0;
     std::size_t isd_computed = 0;   ///< square-root inverter invocations
     std::size_t isd_predicted = 0;  ///< predictor invocations (skipped ISD)
     std::size_t elements_read = 0;  ///< statistics-path memory reads
-    std::size_t fused_residual_norms = 0;  ///< fused residual+norm calls
+    std::size_t fused_residual_norms = 0;  ///< fused residual+norm rows
+    std::size_t batched_norm_calls = 0;    ///< row-block layer invocations
+    std::size_t batched_rows = 0;          ///< rows through the row-block path
   };
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
@@ -58,11 +82,29 @@ class HaanNormProvider final : public model::NormProvider {
                           model::NormKind kind, std::span<const float> alpha,
                           std::span<const float> beta, std::span<float> out);
 
+  /// Quantizes a (rows x d) operand block in place with per-row scales.
+  void quantize_rows(float* block, std::size_t rows, std::size_t d);
+
+  /// Shared tail of the row-block entry points: per-row statistics over
+  /// `src` (the quantized operand block, or the hidden block itself in FP32),
+  /// ISD compute/predict per row, then one normalize+saturate kernel call.
+  void finish_rows(std::size_t layer_index, std::size_t start_position,
+                   model::NormKind kind, std::size_t rows, std::size_t d,
+                   const float* src, bool stats_done,
+                   std::span<const float> alpha, std::span<const float> beta,
+                   std::span<float> out);
+
   HaanConfig config_;
   IsdPredictor predictor_;
   Counters counters_;
   std::vector<float> buffer_;
   double last_isd_ = 0.0;
+
+  // Row-block scratch, reused across layers (no hot-path allocation).
+  std::vector<kernels::SumStats> row_stats_;
+  std::vector<double> row_mean_;
+  std::vector<double> row_isd_;
+  std::vector<float> row_scale_;
 };
 
 }  // namespace haan::core

@@ -13,6 +13,9 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
+#include <cmath>
+
 namespace haan::kernels {
 namespace {
 
@@ -233,6 +236,75 @@ void quantize_dequantize_avx2(float* values, std::size_t n,
   }
 }
 
+// Row-block kernels: loop the per-row bodies above inside this TU, so every
+// row runs the same vector/tail split as the per-row entry points (bit-
+// identical per backend) with no per-row dispatch.
+
+void stats_rows_avx2(const float* x, std::size_t rows, std::size_t stride,
+                     std::size_t n, SumStats* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = stats_avx2(x + r * stride, n);
+  }
+}
+
+void centered_sum_sq_rows_avx2(const float* x, std::size_t rows,
+                               std::size_t stride, std::size_t n,
+                               const double* mean, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = centered_sum_sq_avx2(x + r * stride, n, mean[r]);
+  }
+}
+
+void residual_add_stats_rows_avx2(float* h, const float* residual,
+                                  std::size_t rows, std::size_t d,
+                                  std::size_t nstats, SumStats* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* hr = h + r * d;
+    const float* rr = residual + r * d;
+    out[r] = residual_add_stats_avx2(hr, rr, nstats);
+    residual_add_avx2(hr + nstats, rr + nstats, d - nstats);
+  }
+}
+
+/// NaN -> 0, clamp to +/-65504; elementwise, matching the scalar backend's
+/// std::isnan/std::clamp sequence bit for bit.
+void saturate_avx2(float* v, std::size_t n) {
+  constexpr float kSaturation = 65504.0f;
+  const __m256 hi = _mm256_set1_ps(kSaturation);
+  const __m256 lo = _mm256_set1_ps(-kSaturation);
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    const __m256 nan_mask = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+    const __m256 clamped = _mm256_min_ps(hi, _mm256_max_ps(lo, x));
+    _mm256_storeu_ps(v + i, _mm256_blendv_ps(clamped, zero, nan_mask));
+  }
+  for (; i < n; ++i) {
+    const float x = v[i];
+    v[i] = std::isnan(x) ? 0.0f : std::clamp(x, -kSaturation, kSaturation);
+  }
+}
+
+void normalize_affine_rows_avx2(const float* x, std::size_t rows, std::size_t d,
+                                const double* mean, const double* isd,
+                                const float* alpha, const float* beta,
+                                float* out, bool saturate) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* out_r = out + r * d;
+    normalize_affine_avx2(x + r * d, d, mean[r], isd[r], alpha, beta, out_r);
+    if (saturate) saturate_avx2(out_r, d);
+  }
+}
+
+void quantize_dequantize_rows_avx2(float* x, std::size_t rows, std::size_t d,
+                                   numerics::NumericFormat format,
+                                   const float* scales) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    quantize_dequantize_avx2(x + r * d, d, format, scales[r]);
+  }
+}
+
 constexpr KernelTable kAvx2Table = {
     "avx2",
     stats_avx2,
@@ -242,6 +314,11 @@ constexpr KernelTable kAvx2Table = {
     residual_add_stats_avx2,
     normalize_affine_avx2,
     quantize_dequantize_avx2,
+    stats_rows_avx2,
+    centered_sum_sq_rows_avx2,
+    residual_add_stats_rows_avx2,
+    normalize_affine_rows_avx2,
+    quantize_dequantize_rows_avx2,
 };
 
 }  // namespace

@@ -47,10 +47,6 @@ SumStats add_and_sum(const KernelTable& kernels, std::span<float> h,
   return kernels.residual_add_stats(h.data(), residual.data(), h.size());
 }
 
-const float* data_or_null(std::span<const float> s) {
-  return s.empty() ? nullptr : s.data();
-}
-
 }  // namespace
 
 bool force_scalar_requested() {
@@ -116,6 +112,101 @@ void residual_add_layernorm(std::span<float> h, std::span<const float> residual,
                             std::span<const float> beta, std::span<float> out,
                             double eps) {
   residual_add_layernorm(active(), h, residual, alpha, beta, out, eps);
+}
+
+namespace {
+
+/// Shared by the row-block fused entry points: shape checks, scratch sizing,
+/// and the pass-1 residual add + per-row sums (full-row statistics).
+void add_and_sum_rows(const KernelTable& kernels, std::size_t rows,
+                      std::span<float> h, std::span<const float> residual,
+                      std::span<const float> alpha, std::span<const float> beta,
+                      std::span<const float> out, RowNormWorkspace& ws) {
+  HAAN_EXPECTS(rows > 0);
+  HAAN_EXPECTS(!h.empty() && h.size() % rows == 0);
+  const std::size_t d = h.size() / rows;
+  HAAN_EXPECTS(out.size() == h.size());
+  HAAN_EXPECTS(alpha.empty() || alpha.size() == d);
+  HAAN_EXPECTS(beta.empty() || beta.size() == d);
+  ws.stats.resize(rows);
+  ws.mean.resize(rows);
+  ws.isd.resize(rows);
+  if (residual.empty()) {
+    kernels.stats_rows(h.data(), rows, d, d, ws.stats.data());
+    return;
+  }
+  HAAN_EXPECTS(residual.size() == h.size());
+  kernels.residual_add_stats_rows(h.data(), residual.data(), rows, d, d,
+                                  ws.stats.data());
+}
+
+}  // namespace
+
+void residual_add_rmsnorm_rows(const KernelTable& kernels, std::size_t rows,
+                               std::span<float> h,
+                               std::span<const float> residual,
+                               std::span<const float> alpha,
+                               std::span<const float> beta, std::span<float> out,
+                               double eps, RowNormWorkspace& ws) {
+  add_and_sum_rows(kernels, rows, h, residual, alpha, beta, out, ws);
+  const std::size_t d = h.size() / rows;
+  const double n = static_cast<double>(d);
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Same rounding points as the per-row entry point: rms is materialized
+    // before being squared again.
+    const double rms = std::sqrt(ws.stats[r].sum_sq / n);
+    ws.mean[r] = 0.0;
+    ws.isd[r] = 1.0 / std::sqrt(rms * rms + eps);
+  }
+  kernels.normalize_affine_rows(h.data(), rows, d, ws.mean.data(),
+                                ws.isd.data(), data_or_null(alpha),
+                                data_or_null(beta), out.data(),
+                                /*saturate=*/false);
+}
+
+void residual_add_rmsnorm_rows(std::size_t rows, std::span<float> h,
+                               std::span<const float> residual,
+                               std::span<const float> alpha,
+                               std::span<const float> beta, std::span<float> out,
+                               double eps, RowNormWorkspace& ws) {
+  residual_add_rmsnorm_rows(active(), rows, h, residual, alpha, beta, out, eps,
+                            ws);
+}
+
+void residual_add_layernorm_rows(const KernelTable& kernels, std::size_t rows,
+                                 std::span<float> h,
+                                 std::span<const float> residual,
+                                 std::span<const float> alpha,
+                                 std::span<const float> beta,
+                                 std::span<float> out, double eps,
+                                 RowNormWorkspace& ws) {
+  add_and_sum_rows(kernels, rows, h, residual, alpha, beta, out, ws);
+  const std::size_t d = h.size() / rows;
+  const double n = static_cast<double>(d);
+  for (std::size_t r = 0; r < rows; ++r) {
+    ws.mean[r] = ws.stats[r].sum / n;
+  }
+  // Two-pass variance per row, reusing ws.isd as the centered-moment scratch.
+  kernels.centered_sum_sq_rows(h.data(), rows, d, d, ws.mean.data(),
+                               ws.isd.data());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double variance = ws.isd[r] / n;
+    ws.isd[r] = 1.0 / std::sqrt(variance + eps);
+  }
+  kernels.normalize_affine_rows(h.data(), rows, d, ws.mean.data(),
+                                ws.isd.data(), data_or_null(alpha),
+                                data_or_null(beta), out.data(),
+                                /*saturate=*/false);
+}
+
+void residual_add_layernorm_rows(std::size_t rows, std::span<float> h,
+                                 std::span<const float> residual,
+                                 std::span<const float> alpha,
+                                 std::span<const float> beta,
+                                 std::span<float> out, double eps,
+                                 RowNormWorkspace& ws) {
+  residual_add_layernorm_rows(active(), rows, h, residual, alpha, beta, out,
+                              eps, ws);
 }
 
 SumStats stats(std::span<const float> z) {

@@ -75,7 +75,55 @@ struct KernelTable {
   /// Elementwise numerics::quantize_dequantize over values[0..n).
   void (*quantize_dequantize)(float* values, std::size_t n,
                               numerics::NumericFormat format, float scale);
+
+  // --- Row-block kernels -----------------------------------------------
+  // One call per norm *layer* instead of one per token row: the backend loops
+  // the rows internally (no per-row dispatch), reading a contiguous row-major
+  // block. Each row is processed with exactly the per-row kernel's arithmetic,
+  // so for a given backend the row-block kernels are bit-identical to looping
+  // the per-row entries; the scalar/SIMD tolerance contract above carries
+  // over per row unchanged.
+
+  /// out[r] = stats of x[r*stride .. r*stride + n) for r in [0, rows).
+  /// n <= stride selects a subsampled prefix of each row (HAAN Nsub).
+  void (*stats_rows)(const float* x, std::size_t rows, std::size_t stride,
+                     std::size_t n, SumStats* out);
+
+  /// out[r] = Σ (x[r*stride + i] - mean[r])^2 over i in [0, n).
+  void (*centered_sum_sq_rows)(const float* x, std::size_t rows,
+                               std::size_t stride, std::size_t n,
+                               const double* mean, double* out);
+
+  /// h[r][i] += residual[r][i] for every element of the (rows x d) block;
+  /// out[r] = stats of the first `nstats` updated elements of row r. The
+  /// updated h is bit-identical to residual_add; the per-row stats are
+  /// bit-identical to stats() over the updated prefix.
+  void (*residual_add_stats_rows)(float* h, const float* residual,
+                                  std::size_t rows, std::size_t d,
+                                  std::size_t nstats, SumStats* out);
+
+  /// Per-row normalize+affine with per-row mean/isd:
+  ///   out[r][i] = (float)((x[r][i] - mean[r]) * isd[r]) (*alpha[i], +beta[i]).
+  /// When `saturate` is set, each element is then clamped to the HAAN
+  /// datapath's FP16 I/O range (NaN -> 0, clamp to +/-65504) — bit-identical
+  /// to a separate clamp pass over the same values.
+  void (*normalize_affine_rows)(const float* x, std::size_t rows, std::size_t d,
+                                const double* mean, const double* isd,
+                                const float* alpha, const float* beta,
+                                float* out, bool saturate);
+
+  /// Per-row quantize-dequantize over a (rows x d) block; scales[r] is the
+  /// INT8 scale of row r (ignored by the float formats).
+  void (*quantize_dequantize_rows)(float* x, std::size_t rows, std::size_t d,
+                                   numerics::NumericFormat format,
+                                   const float* scales);
 };
+
+/// Maps an empty span to the nullptr the kernel tables use for "no affine
+/// parameter"; shared by every layer that bridges spans to raw kernels.
+inline const float* data_or_null(std::span<const float> s) {
+  return s.empty() ? nullptr : s.data();
+}
 
 /// The portable scalar backend (always available; the bit-exact reference).
 const KernelTable& scalar_kernels();
@@ -128,6 +176,53 @@ void residual_add_layernorm(std::span<float> h, std::span<const float> residual,
                             std::span<const float> alpha,
                             std::span<const float> beta, std::span<float> out,
                             double eps);
+
+// ---------------------------------------------------------------------------
+// Row-block fused entry points: one call normalizes a whole contiguous
+// (rows x d) block, hoisting the per-layer bookkeeping (shape checks, eps
+// math, scratch sizing) out of the row loop. For a given backend the results
+// are bit-identical to calling the per-row fused entry point on each row.
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch for the row-block fused norms; hold one per thread and
+/// pass it to every call so no allocation happens on the hot path.
+struct RowNormWorkspace {
+  std::vector<SumStats> stats;
+  std::vector<double> mean;
+  std::vector<double> isd;
+};
+
+/// Row-block fused residual-add + RMSNorm over a contiguous (rows x d) block:
+/// h[r] += residual[r] in place (skipped when `residual` is empty), then
+/// out[r] = alpha * (h[r] * isd_r) + beta per row. Bit-identical to calling
+/// residual_add_rmsnorm(kernels, ...) on each row.
+void residual_add_rmsnorm_rows(const KernelTable& kernels, std::size_t rows,
+                               std::span<float> h,
+                               std::span<const float> residual,
+                               std::span<const float> alpha,
+                               std::span<const float> beta, std::span<float> out,
+                               double eps, RowNormWorkspace& ws);
+void residual_add_rmsnorm_rows(std::size_t rows, std::span<float> h,
+                               std::span<const float> residual,
+                               std::span<const float> alpha,
+                               std::span<const float> beta, std::span<float> out,
+                               double eps, RowNormWorkspace& ws);
+
+/// Row-block fused residual-add + LayerNorm (two-pass per-row variance, like
+/// the per-row entry point). Bit-identical to the per-row loop.
+void residual_add_layernorm_rows(const KernelTable& kernels, std::size_t rows,
+                                 std::span<float> h,
+                                 std::span<const float> residual,
+                                 std::span<const float> alpha,
+                                 std::span<const float> beta,
+                                 std::span<float> out, double eps,
+                                 RowNormWorkspace& ws);
+void residual_add_layernorm_rows(std::size_t rows, std::span<float> h,
+                                 std::span<const float> residual,
+                                 std::span<const float> alpha,
+                                 std::span<const float> beta,
+                                 std::span<float> out, double eps,
+                                 RowNormWorkspace& ws);
 
 /// Vectorized sum / sum-of-squares reduction over the active backend.
 SumStats stats(std::span<const float> z);

@@ -9,6 +9,9 @@
 
 #include <arm_neon.h>
 
+#include <algorithm>
+#include <cmath>
+
 namespace haan::kernels {
 namespace {
 
@@ -204,6 +207,75 @@ void quantize_dequantize_neon(float* values, std::size_t n,
   }
 }
 
+// Row-block kernels: loop the per-row bodies above inside this TU, so every
+// row runs the same vector/tail split as the per-row entry points (bit-
+// identical per backend) with no per-row dispatch.
+
+void stats_rows_neon(const float* x, std::size_t rows, std::size_t stride,
+                     std::size_t n, SumStats* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = stats_neon(x + r * stride, n);
+  }
+}
+
+void centered_sum_sq_rows_neon(const float* x, std::size_t rows,
+                               std::size_t stride, std::size_t n,
+                               const double* mean, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = centered_sum_sq_neon(x + r * stride, n, mean[r]);
+  }
+}
+
+void residual_add_stats_rows_neon(float* h, const float* residual,
+                                  std::size_t rows, std::size_t d,
+                                  std::size_t nstats, SumStats* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* hr = h + r * d;
+    const float* rr = residual + r * d;
+    out[r] = residual_add_stats_neon(hr, rr, nstats);
+    residual_add_neon(hr + nstats, rr + nstats, d - nstats);
+  }
+}
+
+/// NaN -> 0, clamp to +/-65504; elementwise, matching the scalar backend's
+/// std::isnan/std::clamp sequence bit for bit (vmin/vmax propagate NaN).
+void saturate_neon(float* v, std::size_t n) {
+  constexpr float kSaturation = 65504.0f;
+  const float32x4_t hi = vdupq_n_f32(kSaturation);
+  const float32x4_t lo = vdupq_n_f32(-kSaturation);
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t x = vld1q_f32(v + i);
+    const uint32x4_t ordered = vceqq_f32(x, x);  // false lanes are NaN
+    const float32x4_t clamped = vminq_f32(hi, vmaxq_f32(lo, x));
+    vst1q_f32(v + i, vbslq_f32(ordered, clamped, zero));
+  }
+  for (; i < n; ++i) {
+    const float x = v[i];
+    v[i] = std::isnan(x) ? 0.0f : std::clamp(x, -kSaturation, kSaturation);
+  }
+}
+
+void normalize_affine_rows_neon(const float* x, std::size_t rows, std::size_t d,
+                                const double* mean, const double* isd,
+                                const float* alpha, const float* beta,
+                                float* out, bool saturate) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* out_r = out + r * d;
+    normalize_affine_neon(x + r * d, d, mean[r], isd[r], alpha, beta, out_r);
+    if (saturate) saturate_neon(out_r, d);
+  }
+}
+
+void quantize_dequantize_rows_neon(float* x, std::size_t rows, std::size_t d,
+                                   numerics::NumericFormat format,
+                                   const float* scales) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    quantize_dequantize_neon(x + r * d, d, format, scales[r]);
+  }
+}
+
 constexpr KernelTable kNeonTable = {
     "neon",
     stats_neon,
@@ -213,6 +285,11 @@ constexpr KernelTable kNeonTable = {
     residual_add_stats_neon,
     normalize_affine_neon,
     quantize_dequantize_neon,
+    stats_rows_neon,
+    centered_sum_sq_rows_neon,
+    residual_add_stats_rows_neon,
+    normalize_affine_rows_neon,
+    quantize_dequantize_rows_neon,
 };
 
 }  // namespace

@@ -5,6 +5,9 @@
 // bit-identical to the pre-kernel-layer implementation.
 #include "kernels/kernels.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace haan::kernels {
 namespace {
 
@@ -71,6 +74,62 @@ void quantize_dequantize_scalar(float* values, std::size_t n,
   }
 }
 
+// Row-block kernels: plain loops over the per-row bodies above, so each row
+// rounds exactly like the per-row entry points.
+
+void stats_rows_scalar(const float* x, std::size_t rows, std::size_t stride,
+                       std::size_t n, SumStats* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = stats_scalar(x + r * stride, n);
+  }
+}
+
+void centered_sum_sq_rows_scalar(const float* x, std::size_t rows,
+                                 std::size_t stride, std::size_t n,
+                                 const double* mean, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = centered_sum_sq_scalar(x + r * stride, n, mean[r]);
+  }
+}
+
+void residual_add_stats_rows_scalar(float* h, const float* residual,
+                                    std::size_t rows, std::size_t d,
+                                    std::size_t nstats, SumStats* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* hr = h + r * d;
+    const float* rr = residual + r * d;
+    // Fused add+stats over the statistics prefix, plain add over the rest.
+    // The float adds are elementwise, so the updated h and the prefix stats
+    // round identically to a full-row add followed by a prefix stats pass.
+    out[r] = residual_add_stats_scalar(hr, rr, nstats);
+    residual_add_scalar(hr + nstats, rr + nstats, d - nstats);
+  }
+}
+
+void normalize_affine_rows_scalar(const float* x, std::size_t rows,
+                                  std::size_t d, const double* mean,
+                                  const double* isd, const float* alpha,
+                                  const float* beta, float* out, bool saturate) {
+  constexpr float kSaturation = 65504.0f;  // FP16 max, the widest I/O format
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* out_r = out + r * d;
+    normalize_affine_scalar(x + r * d, d, mean[r], isd[r], alpha, beta, out_r);
+    if (!saturate) continue;
+    for (std::size_t i = 0; i < d; ++i) {
+      const float v = out_r[i];
+      out_r[i] = std::isnan(v) ? 0.0f : std::clamp(v, -kSaturation, kSaturation);
+    }
+  }
+}
+
+void quantize_dequantize_rows_scalar(float* x, std::size_t rows, std::size_t d,
+                                     numerics::NumericFormat format,
+                                     const float* scales) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    quantize_dequantize_scalar(x + r * d, d, format, scales[r]);
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     "scalar",
     stats_scalar,
@@ -80,6 +139,11 @@ constexpr KernelTable kScalarTable = {
     residual_add_stats_scalar,
     normalize_affine_scalar,
     quantize_dequantize_scalar,
+    stats_rows_scalar,
+    centered_sum_sq_rows_scalar,
+    residual_add_stats_rows_scalar,
+    normalize_affine_rows_scalar,
+    quantize_dequantize_rows_scalar,
 };
 
 }  // namespace

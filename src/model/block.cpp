@@ -14,11 +14,13 @@ tensor::Tensor apply_norm_layer(const tensor::Tensor& x, std::size_t layer_index
   HAAN_EXPECTS(x.shape().rank() == 2);
   tensor::Tensor out(x.shape());
   const std::size_t rows = x.shape().dim(0);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const auto z = x.row(r);
-    if (observer) observer(layer_index, r, z);
-    norm.normalize(layer_index, r, kind, z, alpha, beta, out.row(r));
+  if (observer) {
+    // The observer sees each row's norm input (x itself, unmodified) before
+    // the single batched provider call.
+    for (std::size_t r = 0; r < rows; ++r) observer(layer_index, r, x.row(r));
   }
+  norm.normalize_rows(layer_index, /*start_position=*/0, kind, rows, x.data(),
+                      alpha, beta, out.data());
   return out;
 }
 
@@ -34,21 +36,19 @@ tensor::Tensor apply_residual_norm_layer(tensor::Tensor& x,
   }
   HAAN_EXPECTS(x.shape().rank() == 2);
   HAAN_EXPECTS(residual.shape() == x.shape());
+  if (observer) {
+    // The observer must see the norm *input* (the sum), so materialize the
+    // whole block's add once and route through the same batched normalize
+    // call as the observer-free path; values are bit-identical to the fused
+    // path (the float adds are elementwise either way).
+    kernels::residual_add(x.data(), residual.data());
+    return apply_norm_layer(x, layer_index, kind, alpha, beta, norm, observer);
+  }
   tensor::Tensor out(x.shape());
   const std::size_t rows = x.shape().dim(0);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const auto base = x.row(r);
-    if (observer) {
-      // The observer must see the norm *input* (the sum), so materialize the
-      // add first; values are bit-identical to the fused path.
-      kernels::residual_add(base, residual.row(r));
-      observer(layer_index, r, base);
-      norm.normalize(layer_index, r, kind, base, alpha, beta, out.row(r));
-    } else {
-      norm.residual_add_normalize(layer_index, r, kind, base, residual.row(r),
-                                  alpha, beta, out.row(r));
-    }
-  }
+  norm.residual_add_normalize_rows(layer_index, /*start_position=*/0, kind,
+                                   rows, x.data(), residual.data(), alpha, beta,
+                                   out.data());
   return out;
 }
 

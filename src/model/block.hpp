@@ -17,17 +17,23 @@ namespace haan::model {
 using NormInputObserver =
     std::function<void(std::size_t layer, std::size_t position, std::span<const float> z)>;
 
-/// Applies `norm` row-wise over `x` for global norm layer `layer_index`,
-/// notifying `observer` (if set) with each input row.
+/// Applies `norm` over `x` for global norm layer `layer_index` with ONE
+/// batched provider call (normalize_rows) covering every token row, after
+/// notifying `observer` (if set) with each input row. Row r is token
+/// position r.
 tensor::Tensor apply_norm_layer(const tensor::Tensor& x, std::size_t layer_index,
                                 NormKind kind, std::span<const float> alpha,
                                 std::span<const float> beta, NormProvider& norm,
                                 const NormInputObserver& observer);
 
-/// Fused residual-add + norm over rows: updates `x += residual` in place and
-/// normalizes the sums, via the provider's fused entry point (one fewer pass
+/// Fused residual-add + norm over the whole block: updates `x += residual` in
+/// place and normalizes the sums via the provider's batched fused entry point
+/// (residual_add_normalize_rows — one call per norm layer, one fewer pass
 /// over each hidden vector than add_inplace + apply_norm_layer, with
-/// bit-identical results). An empty `residual` degrades to apply_norm_layer.
+/// bit-identical results). With an observer the add is materialized once for
+/// the whole block and the same batched normalize_rows path runs, so the
+/// observer sees each row's norm input bit-identically. An empty `residual`
+/// degrades to apply_norm_layer.
 tensor::Tensor apply_residual_norm_layer(tensor::Tensor& x,
                                          const tensor::Tensor& residual,
                                          std::size_t layer_index, NormKind kind,

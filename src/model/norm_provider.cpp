@@ -1,9 +1,31 @@
 #include "model/norm_provider.hpp"
 
+#include <cmath>
+
+#include "common/assert.hpp"
 #include "kernels/kernels.hpp"
 #include "tensor/norm_ref.hpp"
 
 namespace haan::model {
+
+namespace {
+
+using kernels::data_or_null;
+
+/// Shared shape validation for the row-block entry points; returns d.
+std::size_t check_rows(std::size_t rows, std::size_t numel,
+                       std::span<const float> alpha, std::span<const float> beta,
+                       std::size_t out_size) {
+  HAAN_EXPECTS(rows > 0);
+  HAAN_EXPECTS(numel > 0 && numel % rows == 0);
+  const std::size_t d = numel / rows;
+  HAAN_EXPECTS(out_size == numel);
+  HAAN_EXPECTS(alpha.empty() || alpha.size() == d);
+  HAAN_EXPECTS(beta.empty() || beta.size() == d);
+  return d;
+}
+
+}  // namespace
 
 void NormProvider::residual_add_normalize(std::size_t layer_index,
                                           std::size_t position, NormKind kind,
@@ -15,6 +37,34 @@ void NormProvider::residual_add_normalize(std::size_t layer_index,
   // Unfused fallback for providers without a fused statistics pass.
   kernels::residual_add(h, residual);
   normalize(layer_index, position, kind, h, alpha, beta, out);
+}
+
+void NormProvider::normalize_rows(std::size_t layer_index,
+                                  std::size_t start_position, NormKind kind,
+                                  std::size_t rows, std::span<const float> x,
+                                  std::span<const float> alpha,
+                                  std::span<const float> beta,
+                                  std::span<float> out) {
+  // Per-row fallback for providers without a batched path.
+  const std::size_t d = check_rows(rows, x.size(), alpha, beta, out.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    normalize(layer_index, start_position + r, kind, x.subspan(r * d, d), alpha,
+              beta, out.subspan(r * d, d));
+  }
+}
+
+void NormProvider::residual_add_normalize_rows(
+    std::size_t layer_index, std::size_t start_position, NormKind kind,
+    std::size_t rows, std::span<float> h, std::span<const float> residual,
+    std::span<const float> alpha, std::span<const float> beta,
+    std::span<float> out) {
+  const std::size_t d = check_rows(rows, h.size(), alpha, beta, out.size());
+  HAAN_EXPECTS(residual.size() == h.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    residual_add_normalize(layer_index, start_position + r, kind,
+                           h.subspan(r * d, d), residual.subspan(r * d, d),
+                           alpha, beta, out.subspan(r * d, d));
+  }
 }
 
 void ExactNormProvider::normalize(std::size_t /*layer_index*/, std::size_t /*position*/,
@@ -37,6 +87,57 @@ void ExactNormProvider::residual_add_normalize(
     kernels::residual_add_layernorm(h, residual, alpha, beta, out, eps_);
   } else {
     kernels::residual_add_rmsnorm(h, residual, alpha, beta, out, eps_);
+  }
+}
+
+void ExactNormProvider::normalize_rows(std::size_t /*layer_index*/,
+                                       std::size_t /*start_position*/,
+                                       NormKind kind, std::size_t rows,
+                                       std::span<const float> x,
+                                       std::span<const float> alpha,
+                                       std::span<const float> beta,
+                                       std::span<float> out) {
+  const std::size_t d = check_rows(rows, x.size(), alpha, beta, out.size());
+  const kernels::KernelTable& k = kernels::active();
+  const double n = static_cast<double>(d);
+  workspace_.stats.resize(rows);
+  workspace_.mean.resize(rows);
+  workspace_.isd.resize(rows);
+  k.stats_rows(x.data(), rows, d, d, workspace_.stats.data());
+  if (kind == NormKind::kLayerNorm) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      workspace_.mean[r] = workspace_.stats[r].sum / n;
+    }
+    // Two-pass per-row variance, same rounding as tensor::exact_stats.
+    k.centered_sum_sq_rows(x.data(), rows, d, d, workspace_.mean.data(),
+                           workspace_.isd.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      workspace_.isd[r] = 1.0 / std::sqrt(workspace_.isd[r] / n + eps_);
+    }
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      // rms is materialized before being squared again, like tensor::rmsnorm.
+      const double rms = std::sqrt(workspace_.stats[r].sum_sq / n);
+      workspace_.mean[r] = 0.0;
+      workspace_.isd[r] = 1.0 / std::sqrt(rms * rms + eps_);
+    }
+  }
+  k.normalize_affine_rows(x.data(), rows, d, workspace_.mean.data(),
+                          workspace_.isd.data(), data_or_null(alpha),
+                          data_or_null(beta), out.data(), /*saturate=*/false);
+}
+
+void ExactNormProvider::residual_add_normalize_rows(
+    std::size_t /*layer_index*/, std::size_t /*start_position*/, NormKind kind,
+    std::size_t rows, std::span<float> h, std::span<const float> residual,
+    std::span<const float> alpha, std::span<const float> beta,
+    std::span<float> out) {
+  if (kind == NormKind::kLayerNorm) {
+    kernels::residual_add_layernorm_rows(rows, h, residual, alpha, beta, out,
+                                         eps_, workspace_);
+  } else {
+    kernels::residual_add_rmsnorm_rows(rows, h, residual, alpha, beta, out,
+                                       eps_, workspace_);
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include <span>
 
+#include "kernels/kernels.hpp"
 #include "model/config.hpp"
 
 namespace haan::model {
@@ -43,6 +44,33 @@ class NormProvider {
                                       std::span<const float> alpha,
                                       std::span<const float> beta,
                                       std::span<float> out);
+
+  // --- Row-block entry points ------------------------------------------
+  // One call per norm layer over a contiguous row-major (rows x d) block;
+  // row r holds the vector of token position `start_position + r`. The
+  // defaults loop the per-row virtuals, so per-row providers (e.g. the
+  // accelerator timing model) work unchanged; batching providers override
+  // them to hoist per-layer work (skip-plan lookup, predictor state, kernel
+  // backend resolution, scratch sizing) out of the row loop. Results must be
+  // bit-identical to the per-row loop for the same provider.
+
+  /// Batched normalize: `x` and `out` are (rows x d) blocks, d = size/rows.
+  virtual void normalize_rows(std::size_t layer_index, std::size_t start_position,
+                              NormKind kind, std::size_t rows,
+                              std::span<const float> x,
+                              std::span<const float> alpha,
+                              std::span<const float> beta, std::span<float> out);
+
+  /// Batched fused residual-add + normalize: updates the whole `h` block in
+  /// place (h[r] += residual[r]) and normalizes each summed row into `out`.
+  virtual void residual_add_normalize_rows(std::size_t layer_index,
+                                           std::size_t start_position,
+                                           NormKind kind, std::size_t rows,
+                                           std::span<float> h,
+                                           std::span<const float> residual,
+                                           std::span<const float> alpha,
+                                           std::span<const float> beta,
+                                           std::span<float> out);
 };
 
 /// Exact FP32 normalization with double-precision internals (the "Original"
@@ -64,8 +92,24 @@ class ExactNormProvider final : public NormProvider {
                               std::span<const float> beta,
                               std::span<float> out) override;
 
+  /// Row-block overrides: one fused kernel call per layer (per-row stats
+  /// resolved inside the backend), bit-identical to the per-row loop.
+  void normalize_rows(std::size_t layer_index, std::size_t start_position,
+                      NormKind kind, std::size_t rows, std::span<const float> x,
+                      std::span<const float> alpha, std::span<const float> beta,
+                      std::span<float> out) override;
+
+  void residual_add_normalize_rows(std::size_t layer_index,
+                                   std::size_t start_position, NormKind kind,
+                                   std::size_t rows, std::span<float> h,
+                                   std::span<const float> residual,
+                                   std::span<const float> alpha,
+                                   std::span<const float> beta,
+                                   std::span<float> out) override;
+
  private:
   double eps_;
+  kernels::RowNormWorkspace workspace_;  ///< per-layer scratch, reused
 };
 
 }  // namespace haan::model

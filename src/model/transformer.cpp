@@ -34,7 +34,9 @@ tensor::Tensor Transformer::forward_hidden(std::span<const int> tokens,
 
   // `pending` carries each sub-layer output to the next norm layer, where the
   // residual add fuses with the statistics pass (one fewer pass over the
-  // hidden vector per norm layer; bit-identical to add-then-normalize).
+  // hidden vector per norm layer; bit-identical to add-then-normalize). Every
+  // norm layer is executed as ONE batched row-block provider call over the
+  // full sequence, not a per-token loop (see apply_residual_norm_layer).
   tensor::Tensor pending;
   for (std::size_t b = 0; b < config_.n_blocks; ++b) {
     run_block(h, pending, weights_.blocks[b], config_, b, norm, observer_);

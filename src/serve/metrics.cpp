@@ -10,6 +10,8 @@ namespace haan::serve {
 
 LatencySummary summarize_latency(std::vector<double> samples) {
   LatencySummary summary;
+  // Empty sample sets (a drained-empty run with zero completed requests) must
+  // report all-zero summaries; everything below indexes into `samples`.
   if (samples.empty()) return summary;
   std::sort(samples.begin(), samples.end());
   // Nearest-rank: smallest value with at least ceil(q*n) samples <= it.
@@ -60,6 +62,9 @@ common::Json ServeMetrics::to_json() const {
   counters["isd_predicted"] = norm.isd_predicted;
   counters["elements_read"] = norm.elements_read;
   counters["fused_residual_norms"] = norm.fused_residual_norms;
+  counters["batched_norm_calls"] = norm.batched_norm_calls;
+  counters["batched_rows"] = norm.batched_rows;
+  counters["rows_per_batched_call"] = rows_per_batched_call();
   out["norm_counters"] = counters;
   return out;
 }
@@ -93,6 +98,8 @@ std::string ServeMetrics::to_string() const {
       << norm.isd_computed << ", isd predicted " << norm.isd_predicted
       << ", elements read " << norm.elements_read << ", fused residual+norm "
       << norm.fused_residual_norms << "\n";
+  out << "batched norms    : " << norm.batched_norm_calls << " calls ("
+      << common::format_double(rows_per_batched_call(), 2) << " rows/call)\n";
   return out.str();
 }
 
@@ -120,6 +127,8 @@ void MetricsCollector::add_norm_counters(const NormCounters& counters) {
   norm_.isd_predicted += counters.isd_predicted;
   norm_.elements_read += counters.elements_read;
   norm_.fused_residual_norms += counters.fused_residual_norms;
+  norm_.batched_norm_calls += counters.batched_norm_calls;
+  norm_.batched_rows += counters.batched_rows;
 }
 
 std::size_t MetricsCollector::completed() const {

@@ -53,6 +53,16 @@ struct ServeMetrics {
 
   NormCounters norm;
 
+  /// Mean rows per batched norm call (0 when the batch path never ran) — the
+  /// row-block execution model's utilization: seq_len for full-sequence
+  /// forwards, 1 if the seam degenerated to token-at-a-time calls.
+  double rows_per_batched_call() const {
+    return norm.batched_norm_calls == 0
+               ? 0.0
+               : static_cast<double>(norm.batched_rows) /
+                     static_cast<double>(norm.batched_norm_calls);
+  }
+
   common::Json to_json() const;
   std::string to_string() const;  ///< multi-line human-readable report
 };

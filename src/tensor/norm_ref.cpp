@@ -23,9 +23,7 @@ VectorStats exact_stats(std::span<const float> z) {
 
 namespace {
 
-const float* data_or_null(std::span<const float> s) {
-  return s.empty() ? nullptr : s.data();
-}
+using kernels::data_or_null;
 
 void check_affine_shapes(std::span<const float> z, std::span<const float> alpha,
                          std::span<const float> beta, std::span<float> out) {
@@ -67,6 +65,28 @@ void rmsnorm_with_isd(std::span<const float> z, double isd,
   kernels::active().normalize_affine(z.data(), z.size(), 0.0, isd,
                                      data_or_null(alpha), data_or_null(beta),
                                      out.data());
+}
+
+void layernorm_rows(std::size_t rows, std::span<const float> x,
+                    std::span<const float> alpha, std::span<const float> beta,
+                    std::span<float> out, double eps) {
+  HAAN_EXPECTS(rows > 0 && x.size() % rows == 0);
+  HAAN_EXPECTS(out.size() == x.size());
+  const std::size_t d = x.size() / rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    layernorm(x.subspan(r * d, d), alpha, beta, out.subspan(r * d, d), eps);
+  }
+}
+
+void rmsnorm_rows(std::size_t rows, std::span<const float> x,
+                  std::span<const float> alpha, std::span<const float> beta,
+                  std::span<float> out, double eps) {
+  HAAN_EXPECTS(rows > 0 && x.size() % rows == 0);
+  HAAN_EXPECTS(out.size() == x.size());
+  const std::size_t d = x.size() / rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    rmsnorm(x.subspan(r * d, d), alpha, beta, out.subspan(r * d, d), eps);
+  }
 }
 
 }  // namespace haan::tensor

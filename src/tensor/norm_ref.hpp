@@ -38,4 +38,15 @@ void rmsnorm_with_isd(std::span<const float> z, double isd,
                       std::span<const float> alpha, std::span<const float> beta,
                       std::span<float> out);
 
+/// Row-block references: the exact per-row norm applied to each row of a
+/// contiguous row-major (rows x d) block, d = x.size() / rows. These loop the
+/// per-row reference verbatim — the seed semantics every batched
+/// normalization path is tested against.
+void layernorm_rows(std::size_t rows, std::span<const float> x,
+                    std::span<const float> alpha, std::span<const float> beta,
+                    std::span<float> out, double eps = 1e-5);
+void rmsnorm_rows(std::size_t rows, std::span<const float> x,
+                  std::span<const float> alpha, std::span<const float> beta,
+                  std::span<float> out, double eps = 1e-5);
+
 }  // namespace haan::tensor

@@ -1,0 +1,133 @@
+// ServeMetrics / MetricsCollector unit coverage: empty sample sets (a
+// drained-empty run with zero completed requests) must finalize to all-zero
+// summaries without touching an empty vector, percentiles must follow the
+// nearest-rank definition, and the aggregated HAAN norm counters (including
+// the row-block batching counters) must sum across workers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/metrics.hpp"
+
+namespace haan::serve {
+namespace {
+
+TEST(SummarizeLatency, EmptySampleSetIsAllZeros) {
+  const LatencySummary summary = summarize_latency({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_EQ(summary.mean_us, 0.0);
+  EXPECT_EQ(summary.p50_us, 0.0);
+  EXPECT_EQ(summary.p95_us, 0.0);
+  EXPECT_EQ(summary.p99_us, 0.0);
+  EXPECT_EQ(summary.max_us, 0.0);
+}
+
+TEST(SummarizeLatency, SingleSampleIsEveryPercentile) {
+  const LatencySummary summary = summarize_latency({42.0});
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_EQ(summary.mean_us, 42.0);
+  EXPECT_EQ(summary.p50_us, 42.0);
+  EXPECT_EQ(summary.p95_us, 42.0);
+  EXPECT_EQ(summary.p99_us, 42.0);
+  EXPECT_EQ(summary.max_us, 42.0);
+}
+
+TEST(SummarizeLatency, NearestRankPercentiles) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  const LatencySummary summary = summarize_latency(samples);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_EQ(summary.p50_us, 50.0);
+  EXPECT_EQ(summary.p95_us, 95.0);
+  EXPECT_EQ(summary.p99_us, 99.0);
+  EXPECT_EQ(summary.max_us, 100.0);
+  EXPECT_EQ(summary.mean_us, 50.5);
+}
+
+TEST(MetricsCollector, FinalizeWithZeroCompletedRequestsReportsZeros) {
+  // A run that drains empty: no records, no batches, no queue samples.
+  const MetricsCollector collector;
+  const ServeMetrics metrics = collector.finalize(0.0);
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.throughput_rps, 0.0);
+  EXPECT_EQ(metrics.total.count, 0u);
+  EXPECT_EQ(metrics.total.p99_us, 0.0);
+  EXPECT_EQ(metrics.queued.count, 0u);
+  EXPECT_EQ(metrics.compute.count, 0u);
+  EXPECT_EQ(metrics.batches, 0u);
+  EXPECT_EQ(metrics.mean_batch_size, 0.0);
+  EXPECT_EQ(metrics.max_batch_size, 0u);
+  EXPECT_EQ(metrics.max_queue_depth, 0u);
+  EXPECT_EQ(metrics.mean_queue_depth, 0.0);
+  EXPECT_EQ(metrics.norm.norm_calls, 0u);
+  EXPECT_EQ(metrics.rows_per_batched_call(), 0.0);
+  // Rendering the empty report must not crash either.
+  EXPECT_FALSE(metrics.to_string().empty());
+  EXPECT_FALSE(metrics.to_json().dump().empty());
+}
+
+TEST(MetricsCollector, FinalizeWithPositiveWallAndNoRequests) {
+  // Wall clock elapsed but nothing completed (e.g. all requests rejected).
+  const MetricsCollector collector;
+  const ServeMetrics metrics = collector.finalize(2.5e6);
+  EXPECT_EQ(metrics.completed, 0u);
+  EXPECT_EQ(metrics.throughput_rps, 0.0);
+  EXPECT_EQ(metrics.total.mean_us, 0.0);
+}
+
+TEST(MetricsCollector, NormCountersAggregateAcrossWorkers) {
+  MetricsCollector collector;
+  NormCounters worker1;
+  worker1.norm_calls = 10;
+  worker1.isd_computed = 6;
+  worker1.isd_predicted = 4;
+  worker1.elements_read = 640;
+  worker1.fused_residual_norms = 8;
+  worker1.batched_norm_calls = 2;
+  worker1.batched_rows = 10;
+  NormCounters worker2;
+  worker2.norm_calls = 5;
+  worker2.batched_norm_calls = 1;
+  worker2.batched_rows = 5;
+  collector.add_norm_counters(worker1);
+  collector.add_norm_counters(worker2);
+
+  const ServeMetrics metrics = collector.finalize(1.0);
+  EXPECT_EQ(metrics.norm.norm_calls, 15u);
+  EXPECT_EQ(metrics.norm.isd_computed, 6u);
+  EXPECT_EQ(metrics.norm.isd_predicted, 4u);
+  EXPECT_EQ(metrics.norm.elements_read, 640u);
+  EXPECT_EQ(metrics.norm.fused_residual_norms, 8u);
+  EXPECT_EQ(metrics.norm.batched_norm_calls, 3u);
+  EXPECT_EQ(metrics.norm.batched_rows, 15u);
+  EXPECT_EQ(metrics.rows_per_batched_call(), 5.0);
+  const std::string rendered = metrics.to_string();
+  EXPECT_NE(rendered.find("batched norms"), std::string::npos);
+}
+
+TEST(MetricsCollector, RecordedLatenciesSummarize) {
+  MetricsCollector collector;
+  for (double us : {100.0, 200.0, 300.0}) {
+    RequestResult result;
+    result.total_us = us;
+    result.queue_us = us / 2;
+    result.compute_us = us / 2;
+    collector.record(result);
+  }
+  collector.record_batch(2);
+  collector.record_batch(1);
+  collector.sample_queue_depth(3);
+  const ServeMetrics metrics = collector.finalize(1e6);
+  EXPECT_EQ(metrics.completed, 3u);
+  EXPECT_EQ(metrics.throughput_rps, 3.0);
+  EXPECT_EQ(metrics.total.mean_us, 200.0);
+  EXPECT_EQ(metrics.total.p50_us, 200.0);
+  EXPECT_EQ(metrics.batches, 2u);
+  EXPECT_EQ(metrics.mean_batch_size, 1.5);
+  EXPECT_EQ(metrics.max_batch_size, 2u);
+  EXPECT_EQ(metrics.max_queue_depth, 3u);
+}
+
+}  // namespace
+}  // namespace haan::serve
