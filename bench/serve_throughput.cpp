@@ -4,10 +4,17 @@
 // default) the multi-worker run is checked bit-for-bit against a
 // single-threaded reference execution of the same workload.
 //
+// With --compare=true it additionally sweeps mega-batch (packed cross-request
+// forwards + row-partitioned norms) against the per-request execution model
+// over batch size × prompt length × workers, closed-loop, and can gate on the
+// batch >= 8 speedup (--min-mega-speedup).
+//
 //   ./build/bench/serve_throughput --norm=haan --workers=4 --scenario=steady
-//       --seed=1 --json=bench/serve_baseline.json
+//       --seed=1 --compare=true --json=bench/serve_baseline.json
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/json_lite.hpp"
@@ -16,6 +23,35 @@
 #include "serve/server.hpp"
 
 using namespace haan;
+
+namespace {
+
+/// One cell of the mega-batch vs per-request sweep.
+struct CompareCell {
+  std::size_t max_batch = 0;
+  std::size_t prompt_len = 0;
+  std::size_t workers = 0;
+  double mega_rps = 0.0;
+  double per_request_rps = 0.0;
+  double speedup = 0.0;  ///< wall-clock; needs spare cores to exceed 1
+  /// Mean rows per batched norm-provider call in each mode — the dispatch
+  /// amortization the mega-batch seam exists for. Deterministic (a pure
+  /// function of packing), unlike the wall-clock speedup.
+  double mega_rows_per_call = 0.0;
+  double per_request_rows_per_call = 0.0;
+  double amortization = 0.0;  ///< mega_rows_per_call / per_request_rows_per_call
+};
+
+/// Closed-loop metrics of one server configuration over `workload`.
+serve::ServeMetrics closed_loop_metrics(serve::ServerConfig config,
+                                        const std::vector<serve::Request>& workload) {
+  config.paced = false;
+  config.keep_hidden = false;
+  serve::Server server(config);
+  return server.run(workload).metrics;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   common::CliParser cli("serving throughput/latency under synthetic traffic");
@@ -36,8 +72,23 @@ int main(int argc, char** argv) {
   cli.add_flag("seed", "1", "workload seed");
   cli.add_flag("paced", "true", "honor Poisson arrival times (open-loop)");
   cli.add_flag("calibrate", "true", "calibrate a skip plan at startup");
+  cli.add_flag("mega-batch", "true",
+               "pack whole scheduler batches into one cross-request forward");
+  cli.add_flag("norm-threads", "0",
+               "row-partition threads per worker (0 = auto, 1 = serial)");
   cli.add_flag("verify", "true",
                "compare against a single-threaded reference, bit-for-bit");
+  cli.add_flag("compare", "false",
+               "sweep mega-batch vs per-request over batch x length x workers");
+  cli.add_flag("compare-requests", "240", "requests per comparison cell");
+  cli.add_flag("min-mega-speedup", "0",
+               "fail unless the geomean batch>=8 wall-clock mega-batch speedup "
+               "reaches this (e.g. 1.05; 0 disables; needs spare cores for the "
+               "row/span pools; implies --compare)");
+  cli.add_flag("min-pack-amortization", "0",
+               "fail unless the geomean batch>=8 rows-per-batched-norm-call "
+               "ratio (mega / per-request) reaches this (e.g. 4; 0 disables; "
+               "deterministic on any machine; implies --compare)");
   cli.add_flag("json", "", "write the report as JSON to this path");
   if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
 
@@ -63,6 +114,8 @@ int main(int argc, char** argv) {
       std::chrono::microseconds(cli.get_int("max-wait-us"));
   config.paced = cli.get_bool("paced");
   config.calibrate = cli.get_bool("calibrate");
+  config.mega_batch = cli.get_bool("mega-batch");
+  config.norm_threads = static_cast<std::size_t>(cli.get_int("norm-threads"));
   config.calibration.n_samples = 8;
   config.calibration.seq_len = 16;
   config.calibration.position_stride = 4;
@@ -138,6 +191,104 @@ int main(int argc, char** argv) {
         counters_match ? "identical" : "DIFFER");
   }
 
+  // --- Mega-batch vs per-request sweep -----------------------------------
+  const double min_mega_speedup = cli.get_double("min-mega-speedup");
+  const double min_pack_amortization = cli.get_double("min-pack-amortization");
+  const bool compare = cli.get_bool("compare") || min_mega_speedup > 0.0 ||
+                       min_pack_amortization > 0.0;
+  std::vector<CompareCell> cells;
+  bool mega_gate_ok = true;
+  double speedup_geomean = 0.0;
+  double amortization_geomean = 0.0;
+  if (compare) {
+    const std::size_t cell_requests =
+        static_cast<std::size_t>(cli.get_int("compare-requests"));
+    const std::size_t batch_sizes[] = {2, 8, 16};
+    const std::size_t prompt_lens[] = {16, 48};
+    const std::size_t worker_counts[] = {1, 4};
+    std::printf(
+        "\n=== mega-batch vs per-request (closed loop, %zu requests/cell) "
+        "===\n", cell_requests);
+    std::printf("%9s %5s %7s %12s %12s %8s %10s %10s %7s\n", "max_batch", "len",
+                "workers", "mega req/s", "per-req r/s", "speedup", "rows/call",
+                "(per-req)", "amort");
+    double speedup_log_sum = 0.0, amortization_log_sum = 0.0;
+    std::size_t gated_cells = 0;
+    for (const std::size_t max_batch : batch_sizes) {
+      for (const std::size_t len : prompt_lens) {
+        for (const std::size_t workers : worker_counts) {
+          serve::WorkloadConfig cell_workload = workload_config;
+          cell_workload.n_requests = cell_requests;
+          cell_workload.length_model = serve::LengthModel::kFixed;
+          cell_workload.min_prompt = len;
+          cell_workload.max_prompt = len;
+          const auto requests = serve::generate_workload(cell_workload);
+
+          serve::ServerConfig cell_config = config;
+          cell_config.workers = workers;
+          cell_config.scheduler.max_batch = max_batch;
+          // Reuse the main server's calibration: the plan depends only on
+          // the model and calibration knobs, which are identical across
+          // every cell — no need to re-run Algorithm 1 24 times.
+          cell_config.calibrate = false;
+          cell_config.preset_plan = server.plan();
+
+          CompareCell cell;
+          cell.max_batch = max_batch;
+          cell.prompt_len = len;
+          cell.workers = workers;
+          cell_config.mega_batch = true;
+          const serve::ServeMetrics mega = closed_loop_metrics(cell_config, requests);
+          cell_config.mega_batch = false;
+          const serve::ServeMetrics per = closed_loop_metrics(cell_config, requests);
+          cell.mega_rps = mega.throughput_rps;
+          cell.per_request_rps = per.throughput_rps;
+          cell.speedup =
+              cell.per_request_rps > 0.0 ? cell.mega_rps / cell.per_request_rps : 0.0;
+          cell.mega_rows_per_call = mega.rows_per_batched_call();
+          cell.per_request_rows_per_call = per.rows_per_batched_call();
+          cell.amortization = cell.per_request_rows_per_call > 0.0
+                                  ? cell.mega_rows_per_call /
+                                        cell.per_request_rows_per_call
+                                  : 0.0;
+          cells.push_back(cell);
+          std::printf("%9zu %5zu %7zu %12.1f %12.1f %7.2fx %10.1f %10.1f %6.2fx\n",
+                      max_batch, len, workers, cell.mega_rps, cell.per_request_rps,
+                      cell.speedup, cell.mega_rows_per_call,
+                      cell.per_request_rows_per_call, cell.amortization);
+          if (max_batch >= 8 && cell.speedup > 0.0 && cell.amortization > 0.0) {
+            speedup_log_sum += std::log(cell.speedup);
+            amortization_log_sum += std::log(cell.amortization);
+            ++gated_cells;
+          }
+        }
+      }
+    }
+    if (gated_cells > 0) {
+      speedup_geomean = std::exp(speedup_log_sum / gated_cells);
+      amortization_geomean = std::exp(amortization_log_sum / gated_cells);
+    }
+    std::printf(
+        "geomean at batch >= 8: speedup %.2fx, norm-call amortization %.2fx "
+        "(%zu row/span threads per worker)\n",
+        speedup_geomean, amortization_geomean,
+        config.norm_threads == 0 ? model::RowPartitionPool::default_threads()
+                                 : config.norm_threads);
+    if (min_mega_speedup > 0.0) {
+      const bool ok = speedup_geomean >= min_mega_speedup;
+      mega_gate_ok = mega_gate_ok && ok;
+      std::printf("mega speedup gate: %s (%.2fx, >= %.2fx required)\n",
+                  ok ? "PASS" : "FAIL", speedup_geomean, min_mega_speedup);
+    }
+    if (min_pack_amortization > 0.0) {
+      const bool ok = amortization_geomean >= min_pack_amortization;
+      mega_gate_ok = mega_gate_ok && ok;
+      std::printf("amortization gate: %s (%.2fx, >= %.2fx required)\n",
+                  ok ? "PASS" : "FAIL", amortization_geomean,
+                  min_pack_amortization);
+    }
+  }
+
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
     common::Json::Object doc;
@@ -158,6 +309,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(config.scheduler.max_wait.count());
     cfg["queue_capacity"] = config.queue_capacity;
     cfg["paced"] = config.paced;
+    cfg["mega_batch"] = config.mega_batch;
+    cfg["norm_threads"] = config.norm_threads;
     cfg["seed"] = static_cast<std::size_t>(workload_config.seed);
     cfg["skip_plan"] = server.plan().to_string();
     cfg["kernel"] = kernels::active_name();
@@ -167,11 +320,35 @@ int main(int argc, char** argv) {
     ver["checked"] = verify;
     ver["bit_identical"] = verified;
     doc["verify"] = ver;
+    if (compare) {
+      common::Json::Array sweep;
+      for (const CompareCell& cell : cells) {
+        common::Json::Object entry;
+        entry["max_batch"] = cell.max_batch;
+        entry["prompt_len"] = cell.prompt_len;
+        entry["workers"] = cell.workers;
+        entry["mega_rps"] = cell.mega_rps;
+        entry["per_request_rps"] = cell.per_request_rps;
+        entry["speedup"] = cell.speedup;
+        entry["mega_rows_per_call"] = cell.mega_rows_per_call;
+        entry["per_request_rows_per_call"] = cell.per_request_rows_per_call;
+        entry["amortization"] = cell.amortization;
+        sweep.push_back(entry);
+      }
+      common::Json::Object cmp;
+      cmp["cells"] = sweep;
+      cmp["geomean_speedup_batch_ge_8"] = speedup_geomean;
+      cmp["geomean_amortization_batch_ge_8"] = amortization_geomean;
+      cmp["min_mega_speedup"] = min_mega_speedup;
+      cmp["min_pack_amortization"] = min_pack_amortization;
+      cmp["gate_ok"] = mega_gate_ok;
+      doc["mega_batch_compare"] = cmp;
+    }
     if (!common::write_file(json_path, common::Json(doc).dump_pretty() + "\n")) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
     }
     std::printf("json report      : %s\n", json_path.c_str());
   }
-  return verified ? 0 : 1;
+  return verified && mega_gate_ok ? 0 : 1;
 }

@@ -14,12 +14,13 @@ AcceleratorNormProvider::AcceleratorNormProvider(AcceleratorConfig arch,
 
 void AcceleratorNormProvider::begin_sequence() { predictor_.begin_sequence(); }
 
-void AcceleratorNormProvider::normalize(std::size_t layer_index,
-                                        std::size_t position, model::NormKind kind,
-                                        std::span<const float> z,
-                                        std::span<const float> alpha,
-                                        std::span<const float> beta,
-                                        std::span<float> out) {
+bool AcceleratorNormProvider::run_datapath(std::size_t layer_index,
+                                           std::size_t position,
+                                           model::NormKind kind,
+                                           std::span<const float> z,
+                                           std::span<const float> alpha,
+                                           std::span<const float> beta,
+                                           std::span<float> out) {
   HAAN_EXPECTS(out.size() == z.size());
   const AcceleratorConfig& config = accel_.config();
 
@@ -52,8 +53,20 @@ void AcceleratorNormProvider::normalize(std::size_t layer_index,
     }
   }
   normalization_unit(quantized, mean, isd, alpha, beta, kind, config, out);
+  return skipped;
+}
 
-  // Charge the cycle/energy cost of this vector.
+void AcceleratorNormProvider::normalize(std::size_t layer_index,
+                                        std::size_t position, model::NormKind kind,
+                                        std::span<const float> z,
+                                        std::span<const float> alpha,
+                                        std::span<const float> beta,
+                                        std::span<float> out) {
+  const bool skipped =
+      run_datapath(layer_index, position, kind, z, alpha, beta, out);
+
+  // Charge the cycle/energy cost of this vector (fill paid per vector: the
+  // per-row entry point models unbatched dispatch, one DMA burst per call).
   NormLayerWork work;
   work.n = z.size();
   work.vectors = 1;
@@ -65,6 +78,50 @@ void AcceleratorNormProvider::normalize(std::size_t layer_index,
   cost_.energy_uj += accel_.layer_energy_uj(work);
   ++cost_.norm_calls;
   if (skipped) ++cost_.skipped;
+}
+
+void AcceleratorNormProvider::normalize_rows(
+    std::size_t layer_index, std::size_t start_position, model::NormKind kind,
+    std::size_t rows, std::span<const float> x, std::span<const float> alpha,
+    std::span<const float> beta, std::span<float> out) {
+  const std::size_t d = check_row_block(rows, x.size(), alpha, beta, out.size());
+
+  // Skip is resolved per layer, so one batched work item describes every row.
+  bool skipped = false;
+  for (std::size_t r = 0; r < rows; ++r) {
+    skipped = run_datapath(layer_index, start_position + r, kind,
+                           x.subspan(r * d, d), alpha, beta,
+                           out.subspan(r * d, d));
+  }
+
+  // Batched cycle model: the whole block streams through the pipeline as one
+  // DMA burst — fill once, then one bottleneck interval per additional row —
+  // instead of paying the fill per row as the per-row loop would.
+  NormLayerWork work;
+  work.n = d;
+  work.vectors = rows;
+  work.nsub = algorithm_.nsub;
+  work.isd_skipped = skipped;
+  work.kind = kind;
+  cost_.cycles += accel_.time_layer(work).cycles;
+  cost_.energy_uj += accel_.layer_energy_uj(work);
+  cost_.norm_calls += rows;
+  if (skipped) cost_.skipped += rows;
+  ++cost_.batched_layers;
+  cost_.batched_rows += rows;
+}
+
+void AcceleratorNormProvider::residual_add_normalize_rows(
+    std::size_t layer_index, std::size_t start_position, model::NormKind kind,
+    std::size_t rows, std::span<float> h, std::span<const float> residual,
+    std::span<const float> alpha, std::span<const float> beta,
+    std::span<float> out) {
+  HAAN_EXPECTS(h.size() == residual.size());
+  // The residual add happens host-side (the accelerator sees the summed
+  // vector arriving over DMA, exactly like the unfused per-row fallback);
+  // the summed block then runs the batched datapath pricing above.
+  kernels::residual_add(h, residual);
+  normalize_rows(layer_index, start_position, kind, rows, h, alpha, beta, out);
 }
 
 }  // namespace haan::accel

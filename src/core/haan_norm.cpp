@@ -12,8 +12,10 @@
 
 namespace haan::core {
 
-HaanNormProvider::HaanNormProvider(HaanConfig config)
-    : config_(config), predictor_(config.plan, config.predictor_fp16) {}
+HaanNormProvider::HaanNormProvider(HaanConfig config, std::size_t norm_threads)
+    : config_(config),
+      predictor_(config.plan, config.predictor_fp16),
+      pool_(norm_threads) {}
 
 void HaanNormProvider::begin_sequence() { predictor_.begin_sequence(); }
 
@@ -62,11 +64,7 @@ void HaanNormProvider::normalize_rows(std::size_t layer_index,
                                       std::span<const float> alpha,
                                       std::span<const float> beta,
                                       std::span<float> out) {
-  HAAN_EXPECTS(rows > 0 && !x.empty() && x.size() % rows == 0);
-  HAAN_EXPECTS(out.size() == x.size());
-  const std::size_t d = x.size() / rows;
-  HAAN_EXPECTS(alpha.empty() || alpha.size() == d);
-  HAAN_EXPECTS(beta.empty() || beta.size() == d);
+  const std::size_t d = check_row_block(rows, x.size(), alpha, beta, out.size());
   counters_.norm_calls += rows;
   ++counters_.batched_norm_calls;
   counters_.batched_rows += rows;
@@ -88,24 +86,25 @@ void HaanNormProvider::residual_add_normalize_rows(
     std::size_t rows, std::span<float> h, std::span<const float> residual,
     std::span<const float> alpha, std::span<const float> beta,
     std::span<float> out) {
-  HAAN_EXPECTS(rows > 0 && !h.empty() && h.size() % rows == 0);
-  HAAN_EXPECTS(out.size() == h.size());
+  const std::size_t d = check_row_block(rows, h.size(), alpha, beta, out.size());
   HAAN_EXPECTS(residual.size() == h.size());
-  const std::size_t d = h.size() / rows;
-  HAAN_EXPECTS(alpha.empty() || alpha.size() == d);
-  HAAN_EXPECTS(beta.empty() || beta.size() == d);
   counters_.norm_calls += rows;
   counters_.fused_residual_norms += rows;
   ++counters_.batched_norm_calls;
   counters_.batched_rows += rows;
 
   const kernels::KernelTable& k = kernels::active();
+  const std::size_t min_rows = model::min_partition_rows(d);
   const float* src;
   bool stats_done = false;
   if (config_.format != numerics::NumericFormat::kFP32) {
     // One pass updates the residual stream and fills the operand block.
     buffer_.resize(h.size());
-    k.residual_add_copy(h.data(), residual.data(), buffer_.data(), h.size());
+    pool_.for_rows(rows, min_rows, [&](std::size_t, std::size_t r0,
+                                       std::size_t nr) {
+      k.residual_add_copy(h.data() + r0 * d, residual.data() + r0 * d,
+                          buffer_.data() + r0 * d, nr * d);
+    });
     quantize_rows(buffer_.data(), rows, d);
     src = buffer_.data();
   } else {
@@ -116,12 +115,18 @@ void HaanNormProvider::residual_add_normalize_rows(
       const std::size_t nstat =
           config_.nsub == 0 ? d : std::min(config_.nsub, d);
       row_stats_.resize(rows);
-      k.residual_add_stats_rows(h.data(), residual.data(), rows, d, nstat,
-                                row_stats_.data());
+      pool_.for_rows(rows, min_rows, [&](std::size_t, std::size_t r0,
+                                         std::size_t nr) {
+        k.residual_add_stats_rows(h.data() + r0 * d, residual.data() + r0 * d,
+                                  nr, d, nstat, row_stats_.data() + r0);
+      });
       stats_done = true;
     } else {
       // Skipped RMSNorm layers never read statistics: plain add only.
-      k.residual_add(h.data(), residual.data(), h.size());
+      pool_.for_rows(rows, min_rows, [&](std::size_t, std::size_t r0,
+                                         std::size_t nr) {
+        k.residual_add(h.data() + r0 * d, residual.data() + r0 * d, nr * d);
+      });
     }
     src = h.data();
   }
@@ -132,14 +137,20 @@ void HaanNormProvider::residual_add_normalize_rows(
 void HaanNormProvider::quantize_rows(float* block, std::size_t rows,
                                      std::size_t d) {
   row_scale_.resize(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    row_scale_[r] =
-        config_.format == numerics::NumericFormat::kINT8
-            ? numerics::choose_int8_scale(std::span(block + r * d, d))
-            : 1.0f;
-  }
-  kernels::active().quantize_dequantize_rows(block, rows, d, config_.format,
-                                             row_scale_.data());
+  const kernels::KernelTable& k = kernels::active();
+  // Scale selection and quantization are per-row; chunks write disjoint
+  // row_scale_ slots and block rows.
+  pool_.for_rows(rows, model::min_partition_rows(d),
+                 [&](std::size_t, std::size_t r0, std::size_t nr) {
+    for (std::size_t r = r0; r < r0 + nr; ++r) {
+      row_scale_[r] =
+          config_.format == numerics::NumericFormat::kINT8
+              ? numerics::choose_int8_scale(std::span(block + r * d, d))
+              : 1.0f;
+    }
+    k.quantize_dequantize_rows(block + r0 * d, nr, d, config_.format,
+                               row_scale_.data() + r0);
+  });
 }
 
 void HaanNormProvider::finish_rows(std::size_t layer_index,
@@ -157,47 +168,57 @@ void HaanNormProvider::finish_rows(std::size_t layer_index,
   const bool need_stats = !skip || kind == model::NormKind::kLayerNorm;
   const std::size_t nstat = config_.nsub == 0 ? d : std::min(config_.nsub, d);
 
-  if (need_stats && !stats_done) {
-    row_stats_.resize(rows);
-    k.stats_rows(src, rows, d, nstat, row_stats_.data());
-  }
-
+  if (need_stats && !stats_done) row_stats_.resize(rows);
   row_mean_.resize(rows);
   row_isd_.resize(rows);
   const double inv_n = 1.0 / static_cast<double>(nstat);
-  for (std::size_t r = 0; r < rows; ++r) {
-    const std::size_t position = start_position + r;
-    double mean = 0.0;
-    double second_moment = 0.0;
-    if (need_stats) {
-      // Same arithmetic as subsampled_stats over the row's prefix.
-      mean = row_stats_[r].sum * inv_n;
-      const double sm = kind == model::NormKind::kLayerNorm
-                            ? row_stats_[r].sum_sq * inv_n - mean * mean
-                            : row_stats_[r].sum_sq * inv_n;
-      second_moment = std::max(sm, 0.0);
-      counters_.elements_read += nstat;
+
+  // Rows partition across the worker-local pool. Within one layer call every
+  // row either computes its ISD or predicts it (skip is per layer), so pool
+  // chunks only *read* predictor state (predict() is const); anchor recording
+  // — the lone predictor write — happens serially below from row_isd_.
+  // Counters accumulate serially too, so totals and results are bit-identical
+  // to the serial loop for any thread count.
+  pool_.for_rows(rows, model::min_partition_rows(d),
+                 [&](std::size_t, std::size_t r0, std::size_t nr) {
+    if (need_stats && !stats_done) {
+      k.stats_rows(src + r0 * d, nr, d, nstat, row_stats_.data() + r0);
     }
-    double isd;
-    if (skip) {
-      isd = predictor_.predict(layer_index, position);
-      ++counters_.isd_predicted;
-    } else {
-      isd = compute_isd(second_moment);
-      ++counters_.isd_computed;
-      if (anchor) predictor_.record_anchor(position, isd);
+    for (std::size_t r = r0; r < r0 + nr; ++r) {
+      double mean = 0.0;
+      double second_moment = 0.0;
+      if (need_stats) {
+        // Same arithmetic as subsampled_stats over the row's prefix.
+        mean = row_stats_[r].sum * inv_n;
+        const double sm = kind == model::NormKind::kLayerNorm
+                              ? row_stats_[r].sum_sq * inv_n - mean * mean
+                              : row_stats_[r].sum_sq * inv_n;
+        second_moment = std::max(sm, 0.0);
+      }
+      row_mean_[r] = kind == model::NormKind::kLayerNorm ? mean : 0.0;
+      row_isd_[r] = skip ? predictor_.predict(layer_index, start_position + r)
+                         : compute_isd(second_moment);
     }
-    row_mean_[r] = kind == model::NormKind::kLayerNorm ? mean : 0.0;
-    row_isd_[r] = isd;
+    // One normalize+affine kernel call per chunk; the saturation clamp
+    // (hardware FP16 I/O range) is fused into the same pass.
+    k.normalize_affine_rows(src + r0 * d, nr, d, row_mean_.data() + r0,
+                            row_isd_.data() + r0, kernels::data_or_null(alpha),
+                            kernels::data_or_null(beta), out.data() + r0 * d,
+                            /*saturate=*/true);
+  });
+
+  if (need_stats) counters_.elements_read += rows * nstat;
+  if (skip) {
+    counters_.isd_predicted += rows;
+  } else {
+    counters_.isd_computed += rows;
+    if (anchor) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        predictor_.record_anchor(start_position + r, row_isd_[r]);
+      }
+    }
   }
   last_isd_ = row_isd_[rows - 1];
-
-  // One normalize+affine kernel call over the whole block; the saturation
-  // clamp (hardware FP16 I/O range) is fused into the same pass.
-  k.normalize_affine_rows(src, rows, d, row_mean_.data(), row_isd_.data(),
-                          kernels::data_or_null(alpha),
-                          kernels::data_or_null(beta), out.data(),
-                          /*saturate=*/true);
 }
 
 void HaanNormProvider::normalize_prepared(std::size_t layer_index,

@@ -16,7 +16,12 @@ namespace haan::core {
 /// Drop-in HAAN normalization.
 class HaanNormProvider final : public model::NormProvider {
  public:
-  explicit HaanNormProvider(HaanConfig config);
+  /// `norm_threads` sizes the worker-local RowPartitionPool that splits large
+  /// row blocks across threads (0 = HAAN_NORM_THREADS / hardware default,
+  /// 1 = fully serial). Row kernels are row-wise and the ISD predictor's
+  /// record/predict bookkeeping stays serial, so results are bit-identical
+  /// for any thread count.
+  explicit HaanNormProvider(HaanConfig config, std::size_t norm_threads = 0);
 
   const HaanConfig& config() const { return config_; }
 
@@ -96,6 +101,7 @@ class HaanNormProvider final : public model::NormProvider {
 
   HaanConfig config_;
   IsdPredictor predictor_;
+  model::RowPartitionPool pool_;  ///< worker-local row parallelism
   Counters counters_;
   std::vector<float> buffer_;
   double last_isd_ = 0.0;

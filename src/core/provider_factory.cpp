@@ -73,10 +73,12 @@ HaanConfig resolve_haan_config(const std::string& name,
 std::unique_ptr<model::NormProvider> make_norm_provider(
     const std::string& name, const ProviderOptions& options) {
   if (name == "exact") {
-    return std::make_unique<model::ExactNormProvider>(options.eps);
+    return std::make_unique<model::ExactNormProvider>(options.eps,
+                                                      options.norm_threads);
   }
   if (!is_norm_provider_name(name)) return nullptr;
-  return std::make_unique<HaanNormProvider>(resolve_haan_config(name, options));
+  return std::make_unique<HaanNormProvider>(resolve_haan_config(name, options),
+                                            options.norm_threads);
 }
 
 const HaanNormProvider* as_haan_provider(const model::NormProvider* provider) {

@@ -31,6 +31,11 @@ struct ProviderOptions {
   /// configuration for the plain "haan" variant. Unknown/empty names fall
   /// back to the OPT-style config (Nsub = width/2, FP16).
   std::string model_name;
+
+  /// Worker-local RowPartitionPool size for the row-block entry points
+  /// (0 = HAAN_NORM_THREADS / hardware default, 1 = fully serial). Outputs
+  /// are bit-identical for any value.
+  std::size_t norm_threads = 0;
 };
 
 /// Registered provider names, in help order.

@@ -1,0 +1,49 @@
+#include "model/batch_layout.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace haan::model {
+
+BatchLayout BatchLayout::from_lengths(std::span<const std::size_t> lengths) {
+  HAAN_EXPECTS(!lengths.empty());
+  BatchLayout layout;
+  layout.spans_.reserve(lengths.size());
+  std::size_t row = 0;
+  for (const std::size_t len : lengths) {
+    HAAN_EXPECTS(len > 0);
+    layout.spans_.push_back({row, len, /*start_position=*/0});
+    row += len;
+  }
+  layout.total_rows_ = row;
+  return layout;
+}
+
+BatchLayout BatchLayout::from_sequences(
+    std::span<const std::span<const int>> sequences) {
+  HAAN_EXPECTS(!sequences.empty());
+  std::vector<std::size_t> lengths;
+  lengths.reserve(sequences.size());
+  for (const auto& tokens : sequences) lengths.push_back(tokens.size());
+  return from_lengths(lengths);
+}
+
+BatchLayout BatchLayout::single(std::size_t rows) {
+  const std::size_t lengths[] = {rows};
+  return from_lengths(lengths);
+}
+
+const SequenceSpan& BatchLayout::span(std::size_t i) const {
+  HAAN_EXPECTS(i < spans_.size());
+  return spans_[i];
+}
+
+std::string BatchLayout::to_string() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "BatchLayout{%zu seqs, %zu rows}",
+                spans_.size(), total_rows_);
+  return buffer;
+}
+
+}  // namespace haan::model

@@ -1,0 +1,54 @@
+// Cross-request packing layout: a scheduler batch's sequences are concatenated
+// into ONE contiguous (Σ seq_len × d) row-major hidden block, so every
+// normalization layer of the forward pass is a single row-block provider call
+// covering all sequences. The layout records where each sequence's rows live
+// inside the packed block; attention (the only sub-layer with cross-row state)
+// iterates the spans, everything else — MLP, residual adds, norms — runs over
+// the whole packed block at once.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace haan::model {
+
+/// Row span of one sequence inside a packed (Σ seq_len × d) hidden block.
+struct SequenceSpan {
+  std::size_t row_begin = 0;  ///< first packed row of this sequence
+  std::size_t rows = 0;       ///< seq_len (contiguous rows)
+
+  /// Token position of `row_begin` within its own sequence. Always 0 for
+  /// full-prompt forwards; kept explicit so chunked-decode packings can reuse
+  /// the layout unchanged.
+  std::size_t start_position = 0;
+};
+
+/// Immutable packing plan for one mega-batch forward.
+class BatchLayout {
+ public:
+  BatchLayout() = default;
+
+  /// Packs sequences of the given lengths back to back (every length > 0).
+  static BatchLayout from_lengths(std::span<const std::size_t> lengths);
+
+  /// Convenience: layout for the given token sequences, in order.
+  static BatchLayout from_sequences(std::span<const std::span<const int>> sequences);
+
+  /// Degenerate single-sequence layout (the per-request forward path).
+  static BatchLayout single(std::size_t rows);
+
+  std::size_t sequences() const { return spans_.size(); }
+  std::size_t total_rows() const { return total_rows_; }
+  const SequenceSpan& span(std::size_t i) const;
+  const std::vector<SequenceSpan>& spans() const { return spans_; }
+
+  std::string to_string() const;  ///< "BatchLayout{3 seqs, 24 rows}"
+
+ private:
+  std::vector<SequenceSpan> spans_;
+  std::size_t total_rows_ = 0;
+};
+
+}  // namespace haan::model

@@ -1,5 +1,7 @@
 #include "model/block.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "kernels/kernels.hpp"
 #include "model/attention.hpp"
@@ -67,12 +69,83 @@ tensor::Tensor run_mlp(const tensor::Tensor& x, const BlockWeights& block,
   return tensor::linear(up, block.w_down, {});
 }
 
+/// Copies span rows out of the packed block, applies `fn` (sub-block in, same
+/// shape out), and writes the result back into the span's rows of `out`.
+template <typename Fn>
+void apply_to_span(const tensor::Tensor& x, const SequenceSpan& span,
+                   std::size_t d, tensor::Tensor& out, const Fn& fn) {
+  tensor::Tensor sub(tensor::Shape{span.rows, d});
+  std::copy_n(x.data().data() + span.row_begin * d, span.rows * d,
+              sub.data().data());
+  const tensor::Tensor result = fn(sub);
+  std::copy_n(result.data().data(), span.rows * d,
+              out.data().data() + span.row_begin * d);
+}
+
+/// Runs `fn` over every span of the layout, span-parallel when a pool with
+/// more than one thread is available. Spans write disjoint row ranges of
+/// `out`, so concurrent execution is bit-identical to the serial loop.
+template <typename Fn>
+tensor::Tensor map_spans(const tensor::Tensor& x, const BatchLayout& layout,
+                         RowPartitionPool* pool, const Fn& fn) {
+  HAAN_EXPECTS(x.shape().dim(0) == layout.total_rows());
+  const std::size_t d = x.shape().dim(1);
+  tensor::Tensor out(x.shape());
+  if (pool != nullptr && pool->threads() > 1 && layout.sequences() > 1) {
+    pool->for_rows(layout.sequences(), /*min_rows=*/1,
+                   [&](std::size_t, std::size_t s0, std::size_t ns) {
+      for (std::size_t s = s0; s < s0 + ns; ++s) {
+        apply_to_span(x, layout.span(s), d, out, fn);
+      }
+    });
+  } else {
+    for (const SequenceSpan& span : layout.spans()) {
+      apply_to_span(x, span, d, out, fn);
+    }
+  }
+  return out;
+}
+
+/// Causal attention over a packed block: each sequence span attends only
+/// within itself (the causal mask never crosses sequences). The single-span
+/// case passes the block straight through; multi-span packings materialize
+/// each span once for the attention call — attention itself is a pure per-
+/// sequence function, so the packed result is bit-identical to running every
+/// sequence through multi_head_attention on its own.
+tensor::Tensor run_attention(const tensor::Tensor& x, const BatchLayout& layout,
+                             const BlockWeights& block, const ModelConfig& config,
+                             RowPartitionPool* span_pool) {
+  if (layout.sequences() == 1) {
+    return multi_head_attention(x, block, config.n_heads);
+  }
+  return map_spans(x, layout, span_pool, [&](const tensor::Tensor& sub) {
+    return multi_head_attention(sub, block, config.n_heads);
+  });
+}
+
+/// MLP over a packed block. The MLP is row-wise (linear + activation), so the
+/// whole packed block runs in one call; with a span pool, spans run
+/// concurrently instead — bit-identical either way because every op touches
+/// one row at a time.
+tensor::Tensor run_mlp_packed(const tensor::Tensor& x, const BatchLayout& layout,
+                              const BlockWeights& block, const ModelConfig& config,
+                              RowPartitionPool* span_pool) {
+  if (span_pool == nullptr || span_pool->threads() <= 1 ||
+      layout.sequences() == 1) {
+    return run_mlp(x, block, config);
+  }
+  return map_spans(x, layout, span_pool, [&](const tensor::Tensor& sub) {
+    return run_mlp(sub, block, config);
+  });
+}
+
 }  // namespace
 
 void run_block(tensor::Tensor& h, tensor::Tensor& pending,
-               const BlockWeights& block, const ModelConfig& config,
-               std::size_t block_index, NormProvider& norm,
-               const NormInputObserver& observer) {
+               const BatchLayout& layout, const BlockWeights& block,
+               const ModelConfig& config, std::size_t block_index,
+               NormProvider& norm, const NormInputObserver& observer,
+               RowPartitionPool* span_pool) {
   const std::size_t norm1 = 2 * block_index;
   const std::size_t norm2 = 2 * block_index + 1;
 
@@ -83,13 +156,13 @@ void run_block(tensor::Tensor& h, tensor::Tensor& pending,
         apply_residual_norm_layer(h, pending, norm1, config.norm_kind,
                                   block.norm1_alpha, block.norm1_beta, norm,
                                   observer);
-    tensor::Tensor attn = multi_head_attention(normed, block, config.n_heads);
+    tensor::Tensor attn = run_attention(normed, layout, block, config, span_pool);
 
     normed = apply_residual_norm_layer(h, attn, norm2, config.norm_kind,
                                        block.norm2_alpha, block.norm2_beta,
                                        norm, observer);
     // Defer the MLP residual add to the next norm layer (or the caller).
-    pending = run_mlp(normed, block, config);
+    pending = run_mlp_packed(normed, layout, block, config, span_pool);
   } else {
     // Post-norm: residual add first, then normalize the sum. Post-norm blocks
     // never leave a deferred residual, but fold one in if present.
@@ -97,12 +170,12 @@ void run_block(tensor::Tensor& h, tensor::Tensor& pending,
       tensor::add_inplace(h, pending);
       pending = tensor::Tensor();
     }
-    tensor::Tensor attn = multi_head_attention(h, block, config.n_heads);
+    tensor::Tensor attn = run_attention(h, layout, block, config, span_pool);
     h = apply_residual_norm_layer(attn, h, norm1, config.norm_kind,
                                   block.norm1_alpha, block.norm1_beta, norm,
                                   observer);
 
-    tensor::Tensor mlp = run_mlp(h, block, config);
+    tensor::Tensor mlp = run_mlp_packed(h, layout, block, config, span_pool);
     h = apply_residual_norm_layer(mlp, h, norm2, config.norm_kind,
                                   block.norm2_alpha, block.norm2_beta, norm,
                                   observer);

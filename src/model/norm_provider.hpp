@@ -5,9 +5,11 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "kernels/kernels.hpp"
 #include "model/config.hpp"
+#include "model/row_partition.hpp"
 
 namespace haan::model {
 
@@ -71,6 +73,15 @@ class NormProvider {
                                            std::span<const float> alpha,
                                            std::span<const float> beta,
                                            std::span<float> out);
+
+ protected:
+  /// Shared shape validation for row-block entry points (every override
+  /// should call this): rows divides the block, out matches, alpha/beta are
+  /// empty or exactly one row wide. Returns d.
+  static std::size_t check_row_block(std::size_t rows, std::size_t numel,
+                                     std::span<const float> alpha,
+                                     std::span<const float> beta,
+                                     std::size_t out_size);
 };
 
 /// Exact FP32 normalization with double-precision internals (the "Original"
@@ -78,7 +89,11 @@ class NormProvider {
 class ExactNormProvider final : public NormProvider {
  public:
   /// `eps` matches the framework epsilon added to the variance.
-  explicit ExactNormProvider(double eps = 1e-5) : eps_(eps) {}
+  /// `norm_threads` sizes the worker-local RowPartitionPool that splits large
+  /// row blocks across threads (0 = HAAN_NORM_THREADS / hardware default,
+  /// 1 = fully serial); results are bit-identical for any value.
+  explicit ExactNormProvider(double eps = 1e-5, std::size_t norm_threads = 0)
+      : eps_(eps), pool_(norm_threads) {}
 
   void normalize(std::size_t layer_index, std::size_t position, NormKind kind,
                  std::span<const float> z, std::span<const float> alpha,
@@ -109,7 +124,11 @@ class ExactNormProvider final : public NormProvider {
 
  private:
   double eps_;
-  kernels::RowNormWorkspace workspace_;  ///< per-layer scratch, reused
+  RowPartitionPool pool_;  ///< worker-local row parallelism (lazy threads)
+  kernels::RowNormWorkspace workspace_;  ///< chunk-0 scratch, reused
+  /// One workspace per extra pool chunk so concurrent chunks never share
+  /// scratch; sized on first partitioned call.
+  std::vector<kernels::RowNormWorkspace> chunk_workspaces_;
 };
 
 }  // namespace haan::model

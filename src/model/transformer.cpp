@@ -14,32 +14,50 @@ void Transformer::set_norm_observer(NormInputObserver observer) {
 
 tensor::Tensor Transformer::forward_hidden(std::span<const int> tokens,
                                            NormProvider& norm) const {
-  HAAN_EXPECTS(!tokens.empty());
-  HAAN_EXPECTS(tokens.size() <= config_.max_seq_len);
-  const std::size_t seq_len = tokens.size();
+  const BatchLayout layout = BatchLayout::single(tokens.size());
+  const std::span<const int> sequences[] = {tokens};
+  return forward_hidden_batch(sequences, layout, norm);
+}
+
+tensor::Tensor Transformer::forward_hidden_batch(
+    std::span<const std::span<const int>> sequences, const BatchLayout& layout,
+    NormProvider& norm, RowPartitionPool* span_pool) const {
+  HAAN_EXPECTS(!sequences.empty());
+  HAAN_EXPECTS(layout.sequences() == sequences.size());
   const std::size_t d = config_.d_model;
 
   norm.begin_sequence();
 
-  tensor::Tensor h(tensor::Shape{seq_len, d});
-  for (std::size_t t = 0; t < seq_len; ++t) {
-    const int token = tokens[t];
-    HAAN_EXPECTS(token >= 0 &&
-                 static_cast<std::size_t>(token) < config_.vocab_size);
-    const auto emb = weights_.embedding.row(static_cast<std::size_t>(token));
-    const auto pos = weights_.pos_embedding.row(t);
-    const auto row = h.row(t);
-    for (std::size_t c = 0; c < d; ++c) row[c] = emb[c] + pos[c];
+  // Embedding fill: each sequence's rows land in its span of the packed
+  // block; positions restart at the span's start_position per sequence.
+  tensor::Tensor h(tensor::Shape{layout.total_rows(), d});
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    const std::span<const int> tokens = sequences[s];
+    const SequenceSpan& span = layout.span(s);
+    HAAN_EXPECTS(!tokens.empty());
+    HAAN_EXPECTS(tokens.size() == span.rows);
+    HAAN_EXPECTS(span.start_position + tokens.size() <= config_.max_seq_len);
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+      const int token = tokens[t];
+      HAAN_EXPECTS(token >= 0 &&
+                   static_cast<std::size_t>(token) < config_.vocab_size);
+      const auto emb = weights_.embedding.row(static_cast<std::size_t>(token));
+      const auto pos = weights_.pos_embedding.row(span.start_position + t);
+      const auto row = h.row(span.row_begin + t);
+      for (std::size_t c = 0; c < d; ++c) row[c] = emb[c] + pos[c];
+    }
   }
 
   // `pending` carries each sub-layer output to the next norm layer, where the
   // residual add fuses with the statistics pass (one fewer pass over the
   // hidden vector per norm layer; bit-identical to add-then-normalize). Every
   // norm layer is executed as ONE batched row-block provider call over the
-  // full sequence, not a per-token loop (see apply_residual_norm_layer).
+  // whole packed block — all sequences at once, never a per-token or
+  // per-sequence loop (see apply_residual_norm_layer).
   tensor::Tensor pending;
   for (std::size_t b = 0; b < config_.n_blocks; ++b) {
-    run_block(h, pending, weights_.blocks[b], config_, b, norm, observer_);
+    run_block(h, pending, layout, weights_.blocks[b], config_, b, norm,
+              observer_, span_pool);
   }
 
   if (config_.final_norm) {

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "model/batch_layout.hpp"
 #include "model/block.hpp"
 #include "model/config.hpp"
 #include "model/norm_provider.hpp"
@@ -29,7 +30,29 @@ class Transformer {
 
   /// Full forward pass. Returns final hidden states (L x d_model), after the
   /// final norm when the architecture has one. Calls norm.begin_sequence().
+  /// Equivalent to forward_hidden_batch over a single-sequence layout.
   tensor::Tensor forward_hidden(std::span<const int> tokens, NormProvider& norm) const;
+
+  /// Packed cross-request forward: runs EVERY sequence of a scheduler batch
+  /// as one forward over the concatenated (Σ seq_len × d_model) hidden block
+  /// described by `layout` (which must match `sequences`). Attention runs
+  /// causally per sequence span; every normalization layer is a single
+  /// row-block provider call covering all packed rows, so norm dispatch and
+  /// per-layer state resolution amortize across requests. Calls
+  /// norm.begin_sequence() once for the whole batch.
+  ///
+  /// Bit-identity guarantee: row span i of the returned block equals
+  /// forward_hidden(sequences[i]) bit for bit, for any provider, packing and
+  /// row-partition thread count — providers key their per-position state
+  /// (the ISD predictor's anchors) by packed row index, which is unique per
+  /// row and carries exactly the per-sequence anchor values.
+  ///
+  /// `span_pool` (optional, worker-local) runs attention/MLP sub-layers
+  /// span-parallel across the packed sequences; see run_block.
+  tensor::Tensor forward_hidden_batch(std::span<const std::span<const int>> sequences,
+                                      const BatchLayout& layout,
+                                      NormProvider& norm,
+                                      RowPartitionPool* span_pool = nullptr) const;
 
   /// Mean-pooled final hidden state (length d_model) — the feature vector the
   /// evaluation harness scores answer choices against.

@@ -56,6 +56,11 @@ common::Json ServeMetrics::to_json() const {
   out["max_batch_size"] = max_batch_size;
   out["max_queue_depth"] = max_queue_depth;
   out["mean_queue_depth"] = mean_queue_depth;
+  out["packed_forwards"] = static_cast<std::size_t>(packed_forwards);
+  out["packed_rows"] = packed_rows;
+  out["packed_sequences"] = packed_sequences;
+  out["rows_per_pack"] = rows_per_pack();
+  out["pack_occupancy"] = pack_occupancy();
   common::Json::Object counters;
   counters["norm_calls"] = norm.norm_calls;
   counters["isd_computed"] = norm.isd_computed;
@@ -94,6 +99,11 @@ std::string ServeMetrics::to_string() const {
       << ")\n";
   out << "queue depth      : max " << max_queue_depth << ", mean "
       << common::format_double(mean_queue_depth, 2) << "\n";
+  if (packed_forwards > 0) {
+    out << "mega-batch packs : " << packed_forwards << " ("
+        << common::format_double(rows_per_pack(), 1) << " rows/pack, occupancy "
+        << common::format_double(pack_occupancy(), 2) << ")\n";
+  }
   out << "norm counters    : calls " << norm.norm_calls << ", isd computed "
       << norm.isd_computed << ", isd predicted " << norm.isd_predicted
       << ", elements read " << norm.elements_read << ", fused residual+norm "
@@ -113,6 +123,13 @@ void MetricsCollector::record(const RequestResult& result) {
 void MetricsCollector::record_batch(std::size_t batch_size) {
   std::lock_guard<std::mutex> lock(mu_);
   batch_sizes_.push_back(batch_size);
+}
+
+void MetricsCollector::record_packed(std::size_t rows, std::size_t sequences) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++packed_forwards_;
+  packed_rows_ += rows;
+  packed_sequences_ += sequences;
 }
 
 void MetricsCollector::sample_queue_depth(std::size_t depth) {
@@ -170,6 +187,9 @@ ServeMetrics MetricsCollector::finalize(double wall_us) const {
       depth_samples_.empty() ? 0.0
                              : static_cast<double>(depth_sum) /
                                    static_cast<double>(depth_samples_.size());
+  metrics.packed_forwards = packed_forwards_;
+  metrics.packed_rows = packed_rows_;
+  metrics.packed_sequences = packed_sequences_;
   metrics.norm = norm_;
   return metrics;
 }

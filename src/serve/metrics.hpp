@@ -51,16 +51,43 @@ struct ServeMetrics {
   std::size_t max_queue_depth = 0;
   double mean_queue_depth = 0.0;
 
+  /// Mega-batch packing: one "pack" = one cross-request forward_hidden_batch
+  /// over a whole scheduler batch. Zero in per-request mode.
+  std::uint64_t packed_forwards = 0;
+  std::size_t packed_rows = 0;       ///< Σ seq_len over all packs
+  std::size_t packed_sequences = 0;  ///< Σ requests over all packs
+  /// Scheduler max_batch, stamped by the server so occupancy is computable.
+  std::size_t pack_capacity = 0;
+
   NormCounters norm;
 
   /// Mean rows per batched norm call (0 when the batch path never ran) — the
-  /// row-block execution model's utilization: seq_len for full-sequence
-  /// forwards, 1 if the seam degenerated to token-at-a-time calls.
+  /// row-block execution model's utilization: Σ seq_len of a whole mega-batch
+  /// under packed execution, seq_len for per-request forwards, 1 if the seam
+  /// degenerated to token-at-a-time calls.
   double rows_per_batched_call() const {
     return norm.batched_norm_calls == 0
                ? 0.0
                : static_cast<double>(norm.batched_rows) /
                      static_cast<double>(norm.batched_norm_calls);
+  }
+
+  /// Mean token rows packed into one cross-request forward.
+  double rows_per_pack() const {
+    return packed_forwards == 0 ? 0.0
+                                : static_cast<double>(packed_rows) /
+                                      static_cast<double>(packed_forwards);
+  }
+
+  /// Batch-pack occupancy: mean sequences per pack relative to the
+  /// scheduler's max_batch — 1.0 when every pack carried a full batch, lower
+  /// when max-wait expiry or end-of-stream closed batches early.
+  double pack_occupancy() const {
+    return packed_forwards == 0 || pack_capacity == 0
+               ? 0.0
+               : static_cast<double>(packed_sequences) /
+                     (static_cast<double>(packed_forwards) *
+                      static_cast<double>(pack_capacity));
   }
 
   common::Json to_json() const;
@@ -75,6 +102,10 @@ class MetricsCollector {
 
   /// Records one formed batch's size (called by workers).
   void record_batch(std::size_t batch_size);
+
+  /// Records one packed cross-request forward (called by workers in
+  /// mega-batch mode): `rows` = Σ seq_len, `sequences` = requests packed.
+  void record_packed(std::size_t rows, std::size_t sequences);
 
   /// Samples the queue depth (called by the feeder on every push).
   void sample_queue_depth(std::size_t depth);
@@ -95,6 +126,9 @@ class MetricsCollector {
   std::vector<double> compute_us_;
   std::vector<std::size_t> batch_sizes_;
   std::vector<std::size_t> depth_samples_;
+  std::uint64_t packed_forwards_ = 0;
+  std::size_t packed_rows_ = 0;
+  std::size_t packed_sequences_ = 0;
   NormCounters norm_;
 };
 

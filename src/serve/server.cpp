@@ -16,10 +16,16 @@ Server::Server(ServerConfig config)
 
   provider_options_.width = config_.model.d_model;
   provider_options_.model_name = config_.model.name;
+  provider_options_.norm_threads = config_.norm_threads;
 
-  if (config_.norm != "exact" && config_.calibrate) {
-    const auto calibration = core::calibrate_skip_plan(model_, config_.calibration);
-    provider_options_.plan = calibration.plan;
+  if (config_.norm != "exact") {
+    if (config_.calibrate) {
+      const auto calibration =
+          core::calibrate_skip_plan(model_, config_.calibration);
+      provider_options_.plan = calibration.plan;
+    } else {
+      provider_options_.plan = config_.preset_plan;
+    }
   }
 }
 
@@ -34,7 +40,8 @@ ServeReport Server::run(const std::vector<Request>& workload) {
   BatchScheduler scheduler(queue, config_.scheduler);
   MetricsCollector metrics;
   WorkerPool pool(model_, scheduler, [this] { return make_provider(); }, metrics,
-                  {config_.workers, config_.keep_hidden});
+                  {config_.workers, config_.keep_hidden, config_.mega_batch,
+                   config_.norm_threads});
   pool.start();
 
   const Clock::time_point start = Clock::now();
@@ -62,6 +69,7 @@ ServeReport Server::run(const std::vector<Request>& workload) {
   // post-push size() samples can miss the true maximum (a worker may pop in
   // between), so they only feed the mean.
   report.metrics.max_queue_depth = queue.high_watermark();
+  report.metrics.pack_capacity = config_.scheduler.max_batch;
   return report;
 }
 

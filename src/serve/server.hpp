@@ -2,9 +2,17 @@
 // a Transformer. Construction builds the model and (for haan* providers)
 // runs offline calibration once so every worker's provider shares the same
 // skip plan. run() plays a workload open-loop (honoring arrival offsets) or
-// closed-loop (as fast as the queue admits); run_reference() executes the
-// same workload single-threaded in arrival order — the determinism oracle
-// multi-worker runs are compared against bit-for-bit.
+// closed-loop (as fast as the queue admits), executing each scheduler batch
+// as ONE packed cross-request forward by default (mega_batch): the batch's
+// sequences concatenate into a (Σ seq_len × d) block and every norm layer is
+// a single row-block provider call spanning all of them, optionally split
+// across a worker-local row-partition pool. run_reference() executes the
+// same workload single-threaded, request-at-a-time, with one provider — the
+// determinism oracle. Packed multi-worker runs are compared against it
+// bit-for-bit: per-request hidden states are identical for any worker count,
+// batch packing, and norm-thread count, because providers key per-position
+// state by packed row (unique per row, carrying exactly the per-sequence
+// anchor values) and every row kernel is row-wise.
 #pragma once
 
 #include <memory>
@@ -31,6 +39,14 @@ struct ServerConfig {
   std::size_t queue_capacity = 64;
   SchedulerConfig scheduler;
 
+  /// Pack whole scheduler batches into one cross-request forward (default).
+  /// False restores the per-request execution model for A/B comparison.
+  bool mega_batch = true;
+
+  /// Row-partition threads per worker provider (0 = HAAN_NORM_THREADS /
+  /// hardware default, 1 = serial). Outputs are bit-identical regardless.
+  std::size_t norm_threads = 0;
+
   /// Honor workload arrival offsets (open-loop). False = closed-loop: feed as
   /// fast as queue backpressure admits.
   bool paced = true;
@@ -41,6 +57,11 @@ struct ServerConfig {
   /// Run Algorithm 1 at startup and attach the plan to haan* providers.
   bool calibrate = true;
   core::CalibrationOptions calibration;
+
+  /// Plan attached to haan* providers when `calibrate` is false
+  /// (default-constructed = disabled). Lets benches reuse one calibration
+  /// across many server instances instead of re-running Algorithm 1 each.
+  core::SkipPlan preset_plan;
 };
 
 /// End-of-run report.
@@ -71,8 +92,12 @@ class Server {
   ServeReport run(const std::vector<Request>& workload);
 
   /// Single-threaded in-order execution with one provider; no queue, no
-  /// batching. Produces bit-identical per-request hidden states (and, summed,
-  /// identical norm counters) to run() under any worker count.
+  /// batching, no cross-request packing — one forward_hidden per request.
+  /// Produces bit-identical per-request hidden states (and identical per-row
+  /// norm counters: norm_calls / isd_* / elements_read / fused sums) to
+  /// run() under any worker count, batch packing and norm-thread count.
+  /// Only the batching-shape counters (batched_norm_calls, packed_*) differ:
+  /// packed execution makes fewer row-block calls covering more rows.
   ServeReport run_reference(const std::vector<Request>& workload);
 
  private:

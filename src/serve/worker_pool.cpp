@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "core/provider_factory.hpp"
+#include "model/batch_layout.hpp"
 #include "tensor/tensor.hpp"
 
 namespace haan::serve {
@@ -45,42 +46,92 @@ std::vector<RequestResult> WorkerPool::take_results() {
   return out;
 }
 
+void WorkerPool::push_result(RequestResult result) {
+  metrics_.record(result);
+  std::lock_guard<std::mutex> lock(results_mu_);
+  results_.push_back(std::move(result));
+}
+
+RequestResult WorkerPool::make_result(std::size_t worker_index,
+                                      const Batch& batch, const Request& request,
+                                      std::span<const float> hidden,
+                                      double compute_us,
+                                      Clock::time_point done) const {
+  RequestResult result;
+  result.id = request.id;
+  result.worker = worker_index;
+  result.batch = batch.sequence;
+  result.batch_size = batch.requests.size();
+  result.prompt_len = request.tokens.size();
+  result.hidden_checksum = checksum_floats(hidden);
+  if (options_.keep_hidden) {
+    result.hidden.assign(hidden.begin(), hidden.end());
+  }
+  result.queue_us = elapsed_us(request.enqueued_at, request.dequeued_at);
+  result.compute_us = compute_us;
+  result.total_us = elapsed_us(request.enqueued_at, done);
+  return result;
+}
+
 void WorkerPool::worker_main(std::size_t worker_index) {
   const std::unique_ptr<model::NormProvider> provider = provider_factory_();
   HAAN_ASSERT(provider != nullptr);
+  // Worker-local span parallelism for packed forwards (threads start lazily,
+  // so per-request mode never pays for the pool).
+  model::RowPartitionPool span_pool(options_.norm_threads);
 
   while (auto batch = scheduler_.next_batch()) {
     metrics_.record_batch(batch->requests.size());
-    for (Request& request : batch->requests) {
-      const Clock::time_point compute_start = Clock::now();
-      const tensor::Tensor hidden = model_.forward_hidden(request.tokens, *provider);
-      const Clock::time_point done = Clock::now();
-
-      RequestResult result;
-      result.id = request.id;
-      result.worker = worker_index;
-      result.batch = batch->sequence;
-      result.batch_size = batch->requests.size();
-      result.prompt_len = request.tokens.size();
-      result.hidden_checksum = checksum_floats(hidden.data());
-      if (options_.keep_hidden) {
-        result.hidden.assign(hidden.data().begin(), hidden.data().end());
-      }
-      result.queue_us = elapsed_us(request.enqueued_at, request.dequeued_at);
-      result.compute_us = elapsed_us(compute_start, done);
-      result.total_us = elapsed_us(request.enqueued_at, done);
-
-      metrics_.record(result);
-      {
-        std::lock_guard<std::mutex> lock(results_mu_);
-        results_.push_back(std::move(result));
-      }
+    if (options_.mega_batch) {
+      execute_packed(worker_index, *batch, *provider, span_pool);
+    } else {
+      execute_per_request(worker_index, *batch, *provider);
     }
   }
 
   // End-of-stream: fold this worker's HAAN counters into the shared metrics.
   if (const core::HaanNormProvider* haan = core::as_haan_provider(provider.get())) {
     metrics_.add_norm_counters(haan->counters());
+  }
+}
+
+void WorkerPool::execute_packed(std::size_t worker_index, Batch& batch,
+                                model::NormProvider& provider,
+                                model::RowPartitionPool& span_pool) {
+  std::vector<std::span<const int>> sequences;
+  sequences.reserve(batch.requests.size());
+  for (const Request& request : batch.requests) {
+    sequences.emplace_back(request.tokens);
+  }
+  const model::BatchLayout layout = model::BatchLayout::from_sequences(sequences);
+
+  const Clock::time_point compute_start = Clock::now();
+  const tensor::Tensor hidden =
+      model_.forward_hidden_batch(sequences, layout, provider, &span_pool);
+  const Clock::time_point done = Clock::now();
+  metrics_.record_packed(layout.total_rows(), layout.sequences());
+
+  // Requests in a mega-batch complete together: each carries the packed
+  // forward's duration as its compute time.
+  const double compute_us = elapsed_us(compute_start, done);
+  const std::size_t d = model_.config().d_model;
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    const model::SequenceSpan& span = layout.span(i);
+    push_result(make_result(
+        worker_index, batch, batch.requests[i],
+        hidden.data().subspan(span.row_begin * d, span.rows * d), compute_us,
+        done));
+  }
+}
+
+void WorkerPool::execute_per_request(std::size_t worker_index, Batch& batch,
+                                     model::NormProvider& provider) {
+  for (const Request& request : batch.requests) {
+    const Clock::time_point compute_start = Clock::now();
+    const tensor::Tensor hidden = model_.forward_hidden(request.tokens, provider);
+    const Clock::time_point done = Clock::now();
+    push_result(make_result(worker_index, batch, request, hidden.data(),
+                            elapsed_us(compute_start, done), done));
   }
 }
 

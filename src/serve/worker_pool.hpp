@@ -1,9 +1,15 @@
 // Worker thread pool: N threads, each owning a private NormProvider built
 // from a shared factory, pulling batches from the scheduler and running
-// Transformer forward passes. The Transformer is shared read-only (its
+// Transformer forward passes. In mega-batch mode (the default) a worker packs
+// its whole batch into one BatchLayout and runs a single
+// forward_hidden_batch over the concatenated (Σ seq_len × d) hidden block, so
+// every norm layer amortizes across ALL sequences in the batch; per-request
+// mode forwards one request at a time (the pre-mega-batch execution model,
+// kept for A/B benchmarking). The Transformer is shared read-only (its
 // forward path is const and pure given the provider); per-request outputs are
-// therefore bit-identical regardless of which worker executes a request,
-// because every provider resets its per-sequence state in begin_sequence().
+// bit-identical in either mode and regardless of which worker executes a
+// request, because every provider resets its per-sequence state in
+// begin_sequence() and packed rows carry per-row predictor state.
 #pragma once
 
 #include <functional>
@@ -30,6 +36,13 @@ class WorkerPool {
     /// Keep the full final hidden states in each RequestResult (tests /
     /// verification); checksums are always kept.
     bool keep_hidden = false;
+    /// Pack whole scheduler batches into one cross-request forward (true) or
+    /// forward request-at-a-time (false; the PR 3 execution model).
+    bool mega_batch = true;
+    /// Worker-local span/row parallelism inside a packed forward (0 =
+    /// HAAN_NORM_THREADS / hardware default, 1 = serial). Bit-identical for
+    /// any value.
+    std::size_t norm_threads = 0;
   };
 
   /// Workers are created by start(); the pool must outlive its threads, and
@@ -58,6 +71,27 @@ class WorkerPool {
 
  private:
   void worker_main(std::size_t worker_index);
+
+  /// One packed cross-request forward over the whole batch; per-request
+  /// results are unpacked from the batch's row spans. compute_us is the
+  /// packed forward's duration (requests in a mega-batch complete together).
+  void execute_packed(std::size_t worker_index, Batch& batch,
+                      model::NormProvider& provider,
+                      model::RowPartitionPool& span_pool);
+
+  /// The per-request execution model: one forward_hidden per request.
+  void execute_per_request(std::size_t worker_index, Batch& batch,
+                           model::NormProvider& provider);
+
+  void push_result(RequestResult result);
+
+  /// Shared RequestResult population for both execution modes; `hidden` is
+  /// the request's final hidden rows (a span of the packed block or the
+  /// per-request tensor).
+  RequestResult make_result(std::size_t worker_index, const Batch& batch,
+                            const Request& request,
+                            std::span<const float> hidden, double compute_us,
+                            Clock::time_point done) const;
 
   const model::Transformer& model_;
   BatchScheduler& scheduler_;

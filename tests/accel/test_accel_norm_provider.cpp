@@ -86,6 +86,77 @@ TEST(AcceleratorNormProvider, SkipPlanReducesEnergyPerCall) {
   EXPECT_EQ(hw.cost().skipped, 1u);
 }
 
+TEST(AcceleratorNormProvider, BatchedRowBlockBitIdenticalAndCheaper) {
+  core::HaanConfig algorithm;
+  algorithm.nsub = 64;
+  common::Rng rng(9);
+  const std::size_t rows = 13, d = 128;  // prime row count
+  std::vector<float> x(rows * d);
+  rng.fill_gaussian(x, 0.1, 1.2);
+
+  // Per-row reference: the default NormProvider loop over normalize().
+  AcceleratorNormProvider per_row(haan_v1(), algorithm);
+  std::vector<float> out_ref(x.size());
+  per_row.begin_sequence();
+  for (std::size_t r = 0; r < rows; ++r) {
+    per_row.normalize(0, r, model::NormKind::kLayerNorm,
+                      std::span<const float>(x).subspan(r * d, d), {}, {},
+                      std::span<float>(out_ref).subspan(r * d, d));
+  }
+
+  // Batched: one row-block call, one burst-amortized cost charge.
+  AcceleratorNormProvider batched(haan_v1(), algorithm);
+  std::vector<float> out_batched(x.size());
+  batched.begin_sequence();
+  batched.normalize_rows(0, 0, model::NormKind::kLayerNorm, rows, x, {}, {},
+                         out_batched);
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(out_batched[i], out_ref[i]) << "element " << i;
+  }
+  EXPECT_EQ(batched.cost().norm_calls, per_row.cost().norm_calls);
+  EXPECT_EQ(batched.cost().batched_layers, 1u);
+  EXPECT_EQ(batched.cost().batched_rows, rows);
+  EXPECT_EQ(per_row.cost().batched_layers, 0u);
+  // Pipeline fill + DMA burst amortize across the packed rows: strictly
+  // cheaper than rows independent per-vector charges, but still at least the
+  // steady-state streaming cost of all rows.
+  EXPECT_LT(batched.cost().cycles, per_row.cost().cycles);
+  EXPECT_GE(batched.cost().cycles,
+            (rows - 1) * batched.accelerator()
+                             .time_layer({d, 1, algorithm.nsub, false,
+                                          model::NormKind::kLayerNorm})
+                             .per_vector.bottleneck());
+}
+
+TEST(AcceleratorNormProvider, BatchedResidualPathMatchesUnfusedFallback) {
+  core::HaanConfig algorithm;
+  common::Rng rng(11);
+  const std::size_t rows = 5, d = 96;
+  std::vector<float> h(rows * d), residual(rows * d);
+  rng.fill_gaussian(h, 0.0, 1.0);
+  rng.fill_gaussian(residual, 0.0, 0.5);
+
+  // Reference: the base-class default (per-row residual_add + normalize).
+  AcceleratorNormProvider ref(haan_v1(), algorithm);
+  std::vector<float> h_ref = h, out_ref(h.size());
+  ref.begin_sequence();
+  ref.model::NormProvider::residual_add_normalize_rows(
+      0, 0, model::NormKind::kRMSNorm, rows, h_ref, residual, {}, {}, out_ref);
+
+  AcceleratorNormProvider batched(haan_v1(), algorithm);
+  std::vector<float> h_batched = h, out_batched(h.size());
+  batched.begin_sequence();
+  batched.residual_add_normalize_rows(0, 0, model::NormKind::kRMSNorm, rows,
+                                      h_batched, residual, {}, {}, out_batched);
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    ASSERT_EQ(out_batched[i], out_ref[i]) << "element " << i;
+    ASSERT_EQ(h_batched[i], h_ref[i]) << "residual stream element " << i;
+  }
+  EXPECT_EQ(batched.cost().batched_layers, 1u);
+}
+
 TEST(AcceleratorNormProvider, SkippedIsdFollowsPredictor) {
   core::SkipPlan plan;
   plan.start = 0;

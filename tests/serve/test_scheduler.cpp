@@ -112,6 +112,75 @@ TEST(BatchScheduler, StampsDequeueTimes) {
   }
 }
 
+TEST(BatchScheduler, ZeroMaxWaitFormsSingletonBatchFromEmptyQueue) {
+  // max_wait=0: the deadline is already expired when the queue runs dry, so a
+  // lone request forms a singleton batch immediately — the packed path must
+  // handle these (a mega-batch of one sequence).
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue.push(make_request(0)));
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/8,
+                                   /*max_wait=*/std::chrono::microseconds(0)});
+  const auto t0 = Clock::now();
+  const auto batch = scheduler.next_batch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 1u);
+  EXPECT_LT(elapsed_us(t0, Clock::now()), 1e6);  // no wait burned
+}
+
+TEST(BatchScheduler, ZeroMaxWaitStillDrainsBackloggedQueue) {
+  // The fast-path pop takes already-queued requests regardless of the
+  // deadline; max_wait only bounds *waiting* for future arrivals.
+  RequestQueue queue(16);
+  for (std::uint64_t i = 0; i < 6; ++i) ASSERT_TRUE(queue.push(make_request(i)));
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/8,
+                                   /*max_wait=*/std::chrono::microseconds(0)});
+  const auto batch = scheduler.next_batch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 6u);
+}
+
+TEST(BatchScheduler, EndOfStreamClosesOpenBatchWithoutBurningMaxWait) {
+  // A batch held open under a long max-wait must close as soon as the stream
+  // ends (tri-state try_pop reports kDrained), not when the deadline expires.
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue.push(make_request(0)));
+
+  BatchScheduler scheduler(
+      queue, {/*max_batch=*/8, /*max_wait=*/std::chrono::microseconds(30000000)});
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(queue.push(make_request(1)));
+    queue.close();
+  });
+  const auto t0 = Clock::now();
+  const auto batch = scheduler.next_batch();
+  closer.join();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 2u);
+  EXPECT_LT(elapsed_us(t0, Clock::now()), 10e6);  // << the 30 s max-wait
+  EXPECT_FALSE(scheduler.next_batch().has_value());
+}
+
+TEST(BatchScheduler, DrainedTailYieldsRaggedFinalBatch) {
+  // 7 requests into max_batch=4 -> a full batch and a ragged 3-request tail
+  // (the packed path sees both a full and a partial mega-batch).
+  RequestQueue queue(16);
+  for (std::uint64_t i = 0; i < 7; ++i) ASSERT_TRUE(queue.push(make_request(i)));
+  queue.close();
+
+  BatchScheduler scheduler(queue, {/*max_batch=*/4,
+                                   /*max_wait=*/std::chrono::microseconds(100)});
+  const auto first = scheduler.next_batch();
+  const auto second = scheduler.next_batch();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->requests.size(), 4u);
+  EXPECT_EQ(second->requests.size(), 3u);
+  EXPECT_FALSE(scheduler.next_batch().has_value());
+}
+
 TEST(BatchScheduler, ConcurrentConsumersPartitionTheStream) {
   RequestQueue queue(64);
   constexpr std::uint64_t kRequests = 40;
