@@ -9,17 +9,30 @@
 // over batch size × prompt length × workers, closed-loop, and can gate on the
 // batch >= 8 speedup (--min-mega-speedup).
 //
+// Observability: --trace-out exports the run as Chrome Trace Event JSON
+// (Perfetto-loadable) and cross-checks it against the report (per-thread
+// begin/end balance, one flow start+finish per request, sum of forward spans
+// within 5% of the compute total); --stats-interval / --stats-json stream
+// live snapshots during the run; --max-trace-overhead gates the cost of
+// enabled tracing against an untraced run (best-of-2 closed-loop walls).
+//
 //   ./build/bench/serve_throughput --norm=haan --workers=4 --scenario=steady
 //       --seed=1 --compare=true --json=bench/serve_baseline.json
+//   ./build/bench/serve_throughput --trace-out=/tmp/trace.json \
+//       --stats-interval=250 --max-trace-overhead=1.10
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/json_lite.hpp"
 #include "core/provider_factory.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 
 using namespace haan;
@@ -49,6 +62,112 @@ serve::ServeMetrics closed_loop_metrics(serve::ServerConfig config,
   config.keep_hidden = false;
   serve::Server server(config);
   return server.run(workload).metrics;
+}
+
+/// Self-check of the exported Chrome trace against the run's own metrics.
+struct TraceCheck {
+  bool parsed = false;
+  bool balanced = false;   ///< every "E" had a "B"; no span left open per tid
+  bool flows_ok = false;   ///< one flow start + one finish per served request
+  bool compute_match = false;  ///< Σ forward spans vs Σ packed compute <= 5%
+  std::uint64_t dropped = 0;
+  std::size_t events = 0;
+  double forward_span_us = 0.0;
+  double compute_total_us = 0.0;
+  double norm_span_us = 0.0;
+  bool ok() const { return parsed && balanced && flows_ok && compute_match; }
+};
+
+/// Parses `json` (the Chrome trace of `report`'s run) and cross-checks it:
+/// per-thread begin/end balance, exactly one flow start/finish per request,
+/// and — the wall-clock invariant — the summed duration of "forward" spans
+/// matching the metrics' packed compute total within 5% (both time the same
+/// forward_hidden_batch calls with the same monotonic clock; packed requests
+/// share their batch's compute_us, so dedupe by batch sequence). Ring
+/// wrap-around (dropped > 0) voids the duration sums, so the 5% gate only
+/// applies to loss-free traces.
+TraceCheck check_trace(const std::string& json, const serve::ServeReport& report,
+                       bool mega_batch, std::uint64_t dropped) {
+  TraceCheck check;
+  check.dropped = dropped;
+  const auto parsed = common::Json::parse(json);
+  if (!parsed.has_value()) return check;
+  const common::Json* events = parsed->find("traceEvents");
+  if (events == nullptr || !events->is_array()) return check;
+  check.parsed = true;
+  check.events = events->as_array().size();
+
+  std::map<int, std::vector<std::pair<std::string, double>>> open;  // per tid
+  std::size_t flow_starts = 0, flow_finishes = 0;
+  bool balanced = true;
+  for (const common::Json& event : events->as_array()) {
+    const std::string& ph = event.find("ph")->as_string();
+    if (ph == "M") continue;
+    const int tid = static_cast<int>(event.find("tid")->as_number());
+    const double ts = event.find("ts")->as_number();
+    if (ph == "B") {
+      open[tid].emplace_back(event.find("name")->as_string(), ts);
+    } else if (ph == "E") {
+      auto& stack = open[tid];
+      if (stack.empty()) {
+        balanced = false;
+        continue;
+      }
+      const auto [name, begin_ts] = stack.back();
+      stack.pop_back();
+      const double duration = ts - begin_ts;
+      if (name == "forward") check.forward_span_us += duration;
+      if (name.rfind("norm/", 0) == 0) check.norm_span_us += duration;
+    } else if (ph == "s") {
+      ++flow_starts;
+    } else if (ph == "f") {
+      ++flow_finishes;
+    }
+  }
+  for (const auto& [tid, stack] : open) balanced = balanced && stack.empty();
+  check.balanced = balanced;
+  check.flows_ok = flow_starts == report.results.size() &&
+                   flow_finishes == report.results.size();
+
+  if (mega_batch) {
+    // Every request in a pack carries the pack's compute_us: count each batch
+    // sequence once.
+    std::map<std::uint64_t, double> by_batch;
+    for (const serve::RequestResult& result : report.results) {
+      by_batch.emplace(result.batch, result.compute_us);
+    }
+    for (const auto& [batch, us] : by_batch) check.compute_total_us += us;
+  } else {
+    for (const serve::RequestResult& result : report.results) {
+      check.compute_total_us += result.compute_us;
+    }
+  }
+  const double rel =
+      check.compute_total_us > 0.0
+          ? std::abs(check.forward_span_us - check.compute_total_us) /
+                check.compute_total_us
+          : 1.0;
+  check.compute_match = dropped > 0 || rel <= 0.05;
+  return check;
+}
+
+/// Minimum closed-loop wall time over `runs` repetitions (noise floor for the
+/// tracing-overhead gate). Reuses `plan` so calibration isn't re-run.
+double min_closed_loop_wall_us(serve::ServerConfig config,
+                               const std::vector<serve::Request>& workload,
+                               const core::SkipPlan& plan, int runs) {
+  config.paced = false;
+  config.keep_hidden = false;
+  config.calibrate = false;
+  config.preset_plan = plan;
+  config.stats_interval_ms = 0;
+  double best = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    serve::Server server(config);
+    const double wall = server.run(workload).metrics.wall_us;
+    best = r == 0 ? wall : std::min(best, wall);
+  }
+  return best;
 }
 
 }  // namespace
@@ -89,6 +208,19 @@ int main(int argc, char** argv) {
                "fail unless the geomean batch>=8 rows-per-batched-norm-call "
                "ratio (mega / per-request) reaches this (e.g. 4; 0 disables; "
                "deterministic on any machine; implies --compare)");
+  cli.add_flag("trace-out", "",
+               "trace the serve run and export Chrome/Perfetto JSON to this "
+               "path, self-checking span balance, per-request flow links and "
+               "forward-span wall time vs packed compute (5%)");
+  cli.add_flag("stats-interval", "0",
+               "emit a live metrics snapshot (log line, component \"stats\") "
+               "every N ms while the run is in flight (0 disables)");
+  cli.add_flag("stats-json", "",
+               "append one JSON object per snapshot to this path");
+  cli.add_flag("max-trace-overhead", "0",
+               "fail if the closed-loop wall-clock of a tracing-enabled run "
+               "exceeds a tracing-disabled run by more than this ratio "
+               "(e.g. 1.10 = 10%; 0 disables)");
   cli.add_flag("json", "", "write the report as JSON to this path");
   if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
 
@@ -116,6 +248,9 @@ int main(int argc, char** argv) {
   config.calibrate = cli.get_bool("calibrate");
   config.mega_batch = cli.get_bool("mega-batch");
   config.norm_threads = static_cast<std::size_t>(cli.get_int("norm-threads"));
+  config.stats_interval_ms =
+      static_cast<std::size_t>(cli.get_int("stats-interval"));
+  config.stats_json_path = cli.get("stats-json");
   config.calibration.n_samples = 8;
   config.calibration.seq_len = 16;
   config.calibration.position_stride = 4;
@@ -159,8 +294,45 @@ int main(int argc, char** argv) {
   }
 
   const auto workload = serve::generate_workload(workload_config);
+
+  // Trace only the serve run itself — calibration (already done) and the
+  // verification pass below stay out of the exported trace.
+  const std::string trace_out = cli.get("trace-out");
+  if (!trace_out.empty()) {
+    obs::tracer().set_ring_capacity(1 << 18);
+    obs::tracer().reset();
+    obs::tracer().set_enabled(true);
+  }
   const auto report = server.run(workload);
+  obs::tracer().set_enabled(false);
   std::printf("%s", report.metrics.to_string().c_str());
+
+  bool trace_ok = true;
+  TraceCheck trace_check;
+  if (!trace_out.empty()) {
+    const std::string trace_json = obs::tracer().export_chrome_json();
+    const obs::Tracer::Stats stats = obs::tracer().stats();
+    if (!common::write_file(trace_out, trace_json)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    trace_check = check_trace(trace_json, report, config.mega_batch, stats.dropped);
+    trace_ok = trace_check.ok();
+    std::printf(
+        "trace            : %s -> %zu events on %zu threads (%llu dropped)\n",
+        trace_out.c_str(), trace_check.events, stats.threads,
+        static_cast<unsigned long long>(stats.dropped));
+    std::printf(
+        "trace check      : %s (balanced %s, flows %s; forward spans %.1f ms "
+        "vs packed compute %.1f ms; norm spans %.1f ms = %.1f%% of forward)\n",
+        trace_ok ? "PASS" : "FAIL", trace_check.balanced ? "yes" : "NO",
+        trace_check.flows_ok ? "yes" : "NO", trace_check.forward_span_us / 1e3,
+        trace_check.compute_total_us / 1e3, trace_check.norm_span_us / 1e3,
+        trace_check.forward_span_us > 0.0
+            ? 100.0 * trace_check.norm_span_us / trace_check.forward_span_us
+            : 0.0);
+    obs::tracer().reset();
+  }
 
   bool verified = true;
   const bool verify = cli.get_bool("verify");
@@ -289,6 +461,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Tracing overhead gate ---------------------------------------------
+  const double max_trace_overhead = cli.get_double("max-trace-overhead");
+  bool overhead_ok = true;
+  double overhead_ratio = 0.0;
+  double wall_disabled_us = 0.0, wall_enabled_us = 0.0;
+  if (max_trace_overhead > 0.0) {
+    // Closed-loop wall clock, best of 2 each, disabled first as warm-up so
+    // both sides run on warm caches. Enabled runs record into real rings.
+    obs::tracer().set_ring_capacity(1 << 18);
+    obs::tracer().reset();
+    obs::tracer().set_enabled(false);
+    wall_disabled_us = min_closed_loop_wall_us(config, workload, server.plan(), 2);
+    obs::tracer().set_enabled(true);
+    wall_enabled_us = min_closed_loop_wall_us(config, workload, server.plan(), 2);
+    obs::tracer().set_enabled(false);
+    obs::tracer().reset();
+    overhead_ratio =
+        wall_disabled_us > 0.0 ? wall_enabled_us / wall_disabled_us : 0.0;
+    overhead_ok = overhead_ratio <= max_trace_overhead;
+    std::printf(
+        "trace overhead   : %s (enabled %.1f ms / disabled %.1f ms = %.3fx, "
+        "<= %.2fx required)\n",
+        overhead_ok ? "PASS" : "FAIL", wall_enabled_us / 1e3,
+        wall_disabled_us / 1e3, overhead_ratio, max_trace_overhead);
+  }
+
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
     common::Json::Object doc;
@@ -344,11 +542,33 @@ int main(int argc, char** argv) {
       cmp["gate_ok"] = mega_gate_ok;
       doc["mega_batch_compare"] = cmp;
     }
+    if (!trace_out.empty()) {
+      common::Json::Object trace;
+      trace["path"] = trace_out;
+      trace["events"] = trace_check.events;
+      trace["dropped"] = static_cast<std::size_t>(trace_check.dropped);
+      trace["balanced"] = trace_check.balanced;
+      trace["flows_ok"] = trace_check.flows_ok;
+      trace["forward_span_us"] = trace_check.forward_span_us;
+      trace["compute_total_us"] = trace_check.compute_total_us;
+      trace["norm_span_us"] = trace_check.norm_span_us;
+      trace["ok"] = trace_ok;
+      doc["trace"] = trace;
+    }
+    if (max_trace_overhead > 0.0) {
+      common::Json::Object overhead;
+      overhead["wall_disabled_us"] = wall_disabled_us;
+      overhead["wall_enabled_us"] = wall_enabled_us;
+      overhead["ratio"] = overhead_ratio;
+      overhead["max_ratio"] = max_trace_overhead;
+      overhead["ok"] = overhead_ok;
+      doc["trace_overhead"] = overhead;
+    }
     if (!common::write_file(json_path, common::Json(doc).dump_pretty() + "\n")) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
       return 1;
     }
     std::printf("json report      : %s\n", json_path.c_str());
   }
-  return verified && mega_gate_ok ? 0 : 1;
+  return verified && mega_gate_ok && trace_ok && overhead_ok ? 0 : 1;
 }

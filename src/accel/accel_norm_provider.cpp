@@ -3,6 +3,7 @@
 #include "common/assert.hpp"
 #include "kernels/kernels.hpp"
 #include "numerics/formats.hpp"
+#include "obs/trace.hpp"
 
 namespace haan::accel {
 
@@ -85,6 +86,10 @@ void AcceleratorNormProvider::normalize_rows(
     std::size_t rows, std::span<const float> x, std::span<const float> alpha,
     std::span<const float> beta, std::span<float> out) {
   const std::size_t d = check_row_block(rows, x.size(), alpha, beta, out.size());
+  // Wall-clock of the bit-accurate simulation, NOT the modeled hardware time
+  // (that lives in cost_.cycles); nests under the block's norm/accel span.
+  HAAN_TRACE_SPAN("datapath", "accel", static_cast<std::uint32_t>(layer_index),
+                  static_cast<std::uint32_t>(rows));
 
   // Skip is resolved per layer, so one batched work item describes every row.
   bool skipped = false;

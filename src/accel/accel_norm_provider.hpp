@@ -33,6 +33,8 @@ class AcceleratorNormProvider final : public model::NormProvider {
 
   void begin_sequence() override;
 
+  const char* trace_label() const override { return "norm/accel"; }
+
   void normalize(std::size_t layer_index, std::size_t position, model::NormKind kind,
                  std::span<const float> z, std::span<const float> alpha,
                  std::span<const float> beta, std::span<float> out) override;

@@ -1,0 +1,27 @@
+// Monotonic nanosecond clock shared by the tracing and metrics layers. One
+// definition so every span, histogram sample and snapshot timestamp is taken
+// from the same timebase (steady_clock) and trace durations are directly
+// comparable to the serve runtime's latency accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace haan::common {
+
+/// Nanoseconds on the process-wide monotonic clock. Only differences are
+/// meaningful; the epoch is the steady_clock epoch (usually boot).
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Microseconds between two monotonic_ns() stamps as a double (trace export
+/// and human-readable reporting both speak microseconds).
+inline double ns_to_us(std::uint64_t ns) {
+  return static_cast<double>(ns) / 1000.0;
+}
+
+}  // namespace haan::common

@@ -1,0 +1,100 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace haan::common {
+
+LogHistogram::LogHistogram(const Config& config) : config_(config) {
+  HAAN_EXPECTS(config.min_value > 0.0);
+  HAAN_EXPECTS(config.max_value > config.min_value);
+  HAAN_EXPECTS(config.buckets_per_decade > 0);
+  scale_ = static_cast<double>(config.buckets_per_decade);
+  ratio_ = std::pow(10.0, 1.0 / scale_);
+  log10_min_ = std::log10(config.min_value);
+  const double decades = std::log10(config.max_value) - log10_min_;
+  const auto regular =
+      static_cast<std::size_t>(std::ceil(decades * scale_));
+  // +1: a top overflow bucket for values >= max_value.
+  buckets_.assign(regular + 1, 0);
+}
+
+std::size_t LogHistogram::bucket_index(double value) const {
+  if (!(value > config_.min_value)) return 0;  // also catches NaN, <= 0
+  const double position = (std::log10(value) - log10_min_) * scale_;
+  const auto index = static_cast<std::size_t>(position);
+  return std::min(index, buckets_.size() - 1);
+}
+
+double LogHistogram::bucket_lower(std::size_t index) const {
+  return config_.min_value *
+         std::pow(10.0, static_cast<double>(index) / scale_);
+}
+
+void LogHistogram::record(double value) {
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0) {
+    max_seen_ = value;
+    min_seen_ = value;
+  } else {
+    max_seen_ = std::max(max_seen_, value);
+    min_seen_ = std::min(min_seen_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest value with at least ceil(q*n) samples <= it.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  // The top rank is the exact maximum — tracked outside the buckets.
+  if (rank >= count_) return max_seen_;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= rank) {
+      // The top rank lives in this bucket. Clamp the representative into the
+      // exact sample range so q=1 returns max() and degenerate single-bucket
+      // distributions stay tight.
+      const double mid =
+          bucket_lower(b) * std::sqrt(ratio_);  // geometric midpoint
+      return std::clamp(mid, min_seen_, max_seen_);
+    }
+  }
+  return max_seen_;  // unreachable: cumulative == count_ by the last bucket
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  HAAN_EXPECTS(other.buckets_.size() == buckets_.size());
+  HAAN_EXPECTS(other.config_.min_value == config_.min_value);
+  HAAN_EXPECTS(other.config_.buckets_per_decade == config_.buckets_per_decade);
+  if (other.count_ == 0) return;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  if (count_ == 0) {
+    max_seen_ = other.max_seen_;
+    min_seen_ = other.min_seen_;
+  } else {
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_seen_ = 0.0;
+  min_seen_ = 0.0;
+}
+
+}  // namespace haan::common

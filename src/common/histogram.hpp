@@ -1,0 +1,89 @@
+// Log-bucketed streaming histogram (HDR-histogram style): fixed memory
+// regardless of sample count, with a guaranteed relative-accuracy bound on
+// quantiles. Bucket boundaries form a geometric progression, so every
+// recorded value lands in a bucket whose bounds are within one bucket ratio
+// (10^(1/buckets_per_decade), ~4.9% at the default 48/decade) of the value.
+// Quantiles are nearest-rank over bucket counts and return the bucket's
+// geometric midpoint — within one bucket width of the exact nearest-rank
+// sample, which is the accuracy contract the serving metrics rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace haan::common {
+
+/// Streaming histogram over positive values with log-spaced buckets.
+/// count/sum/mean/max/min are exact; quantiles are bucket-resolution.
+class LogHistogram {
+ public:
+  struct Config {
+    /// Lower edge of the first regular bucket. Values below (including 0 and
+    /// negatives) clamp into bucket 0, so min doubles as the resolution floor.
+    double min_value = 1.0;
+    /// Values >= max_value clamp into the last bucket.
+    double max_value = 1e9;
+    /// Buckets per decade; the per-bucket ratio is 10^(1/buckets_per_decade).
+    std::size_t buckets_per_decade = 48;
+  };
+
+  LogHistogram() : LogHistogram(Config{}) {}
+  explicit LogHistogram(const Config& config);
+
+  /// Records one observation. O(1), no allocation.
+  void record(double value);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Exact extremes of the recorded samples (not bucket-quantized).
+  double max() const { return count_ == 0 ? 0.0 : max_seen_; }
+  double min() const { return count_ == 0 ? 0.0 : min_seen_; }
+
+  /// Nearest-rank quantile (q in [0, 1]) at bucket resolution: the geometric
+  /// midpoint of the bucket holding the rank-ceil(q*count) sample. Guaranteed
+  /// within one bucket_ratio() of the exact nearest-rank value for samples
+  /// inside [min_value, max_value); 0 when empty. q=1 returns the exact max.
+  double quantile(double q) const;
+
+  /// The geometric ratio between adjacent bucket bounds — the relative
+  /// accuracy bound of quantile().
+  double bucket_ratio() const { return ratio_; }
+
+  /// Number of buckets (fixed at construction; the memory bound).
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Bytes held by the bucket array — constant for the histogram's lifetime,
+  /// independent of how many samples were recorded.
+  std::size_t memory_bytes() const {
+    return buckets_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Folds `other` (same config) into this histogram.
+  void merge(const LogHistogram& other);
+
+  /// Drops all samples; keeps the bucket layout.
+  void reset();
+
+  const Config& config() const { return config_; }
+
+ private:
+  std::size_t bucket_index(double value) const;
+  /// [lower, upper) bounds of bucket `index`.
+  double bucket_lower(std::size_t index) const;
+
+  Config config_;
+  double ratio_ = 0.0;       ///< 10^(1/buckets_per_decade)
+  double log10_min_ = 0.0;   ///< log10(min_value), hoisted
+  double scale_ = 0.0;       ///< buckets_per_decade as double
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_seen_ = 0.0;
+  double min_seen_ = 0.0;
+};
+
+}  // namespace haan::common

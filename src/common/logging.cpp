@@ -1,15 +1,21 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <utility>
+
+#include "common/json_lite.hpp"
 
 namespace haan::common {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogFormat> g_format{LogFormat::kHuman};
 std::mutex g_sink_mutex;
+std::function<void(std::string_view)> g_sink;  // guarded by g_sink_mutex
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -25,16 +31,70 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string format_line(LogLevel level, std::string_view component,
+                        const std::string& message) {
+  if (g_format.load(std::memory_order_relaxed) == LogFormat::kJson) {
+    const auto ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+    Json::Object line;
+    line["ts_us"] = static_cast<double>(ts_us);
+    line["level"] = level_name(level);
+    if (!component.empty()) line["component"] = std::string(component);
+    line["msg"] = message;
+    return Json(std::move(line)).dump();
+  }
+  std::string out = "[haan ";
+  out += level_tag(level);
+  out += "] ";
+  if (!component.empty()) {
+    out += component;
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+void set_log_format(LogFormat format) {
+  g_format.store(format, std::memory_order_relaxed);
+}
+
+LogFormat log_format() { return g_format.load(std::memory_order_relaxed); }
+
+void set_log_sink(std::function<void(std::string_view)> sink) {
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[haan %s] %s\n", level_tag(level), message.c_str());
+  g_sink = std::move(sink);
+}
+
+void log(LogLevel level, std::string_view component, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  const std::string line = format_line(level, component, message);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace haan::common

@@ -1,15 +1,27 @@
-// Minimal leveled logger. Single global sink (stderr) with a runtime-settable
-// threshold; printf-style formatting is deliberately avoided in favour of
-// pre-formatted strings so call sites stay type-safe.
+// Minimal leveled logger. Single global sink (stderr by default) with a
+// runtime-settable threshold; printf-style formatting is deliberately avoided
+// in favour of pre-formatted strings so call sites stay type-safe. Two output
+// formats: the default human-readable "[haan LEVEL] message" lines, and an
+// opt-in JSON-lines format ({"ts_us", "level", "component", "msg"} per line)
+// so serve logs are machine-parseable. The sink itself can be redirected
+// (tests capture lines; services can forward them).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace haan::common {
 
 /// Severity levels in increasing order of importance.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Output format of the global sink.
+enum class LogFormat {
+  kHuman,  ///< "[haan LEVEL] message" (default)
+  kJson,   ///< one JSON object per line: ts_us, level, component, msg
+};
 
 /// Sets the global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
@@ -17,18 +29,36 @@ void set_log_level(LogLevel level);
 /// Returns the current global threshold.
 LogLevel log_level();
 
+/// Sets the global output format (thread-safe; applies to subsequent lines).
+void set_log_format(LogFormat format);
+
+/// Returns the current output format.
+LogFormat log_format();
+
+/// Redirects formatted log lines to `sink` instead of stderr; pass nullptr to
+/// restore stderr. The sink receives one fully formatted line (no trailing
+/// newline) per log call and must be callable from any thread.
+void set_log_sink(std::function<void(std::string_view)> sink);
+
 /// Emits `message` at `level` if it passes the threshold. Thread-safe.
-void log(LogLevel level, const std::string& message);
+/// `component` tags the originating subsystem ("serve", "obs", ...) — shown
+/// as a field in JSON format, as a "component:" prefix in human format when
+/// nonempty.
+void log(LogLevel level, std::string_view component, const std::string& message);
+inline void log(LogLevel level, const std::string& message) {
+  log(level, {}, message);
+}
 
 namespace detail {
 
 /// Stream-style builder: collects one log line and emits it on destruction.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level, std::string_view component = {})
+      : level_(level), component_(component) {}
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
-  ~LogLine() { log(level_, stream_.str()); }
+  ~LogLine() { log(level_, component_, stream_.str()); }
 
   template <typename T>
   LogLine& operator<<(const T& value) {
@@ -38,6 +68,7 @@ class LogLine {
 
  private:
   LogLevel level_;
+  std::string_view component_;
   std::ostringstream stream_;
 };
 
@@ -49,3 +80,13 @@ class LogLine {
 #define HAAN_LOG_INFO ::haan::common::detail::LogLine(::haan::common::LogLevel::kInfo)
 #define HAAN_LOG_WARN ::haan::common::detail::LogLine(::haan::common::LogLevel::kWarn)
 #define HAAN_LOG_ERROR ::haan::common::detail::LogLine(::haan::common::LogLevel::kError)
+
+/// Component-tagged variants: HAAN_LOG_INFO_C("serve") << "...";
+#define HAAN_LOG_DEBUG_C(component) \
+  ::haan::common::detail::LogLine(::haan::common::LogLevel::kDebug, component)
+#define HAAN_LOG_INFO_C(component) \
+  ::haan::common::detail::LogLine(::haan::common::LogLevel::kInfo, component)
+#define HAAN_LOG_WARN_C(component) \
+  ::haan::common::detail::LogLine(::haan::common::LogLevel::kWarn, component)
+#define HAAN_LOG_ERROR_C(component) \
+  ::haan::common::detail::LogLine(::haan::common::LogLevel::kError, component)

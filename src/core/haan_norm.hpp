@@ -27,6 +27,8 @@ class HaanNormProvider final : public model::NormProvider {
 
   void begin_sequence() override;
 
+  const char* trace_label() const override { return "norm/haan"; }
+
   void normalize(std::size_t layer_index, std::size_t position, model::NormKind kind,
                  std::span<const float> z, std::span<const float> alpha,
                  std::span<const float> beta, std::span<float> out) override;

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "kernels/kernels.hpp"
 #include "model/attention.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace haan::model {
@@ -21,6 +22,11 @@ tensor::Tensor apply_norm_layer(const tensor::Tensor& x, std::size_t layer_index
     // the single batched provider call.
     for (std::size_t r = 0; r < rows; ++r) observer(layer_index, r, x.row(r));
   }
+  // Span name is the provider's label ("norm/exact", "norm/haan", ...), so a
+  // trace shows which normalization path served each layer.
+  HAAN_TRACE_SPAN(norm.trace_label(), "model",
+                  static_cast<std::uint32_t>(layer_index),
+                  static_cast<std::uint32_t>(rows));
   norm.normalize_rows(layer_index, /*start_position=*/0, kind, rows, x.data(),
                       alpha, beta, out.data());
   return out;
@@ -48,6 +54,9 @@ tensor::Tensor apply_residual_norm_layer(tensor::Tensor& x,
   }
   tensor::Tensor out(x.shape());
   const std::size_t rows = x.shape().dim(0);
+  HAAN_TRACE_SPAN(norm.trace_label(), "model",
+                  static_cast<std::uint32_t>(layer_index),
+                  static_cast<std::uint32_t>(rows));
   norm.residual_add_normalize_rows(layer_index, /*start_position=*/0, kind,
                                    rows, x.data(), residual.data(), alpha, beta,
                                    out.data());
@@ -115,6 +124,8 @@ tensor::Tensor map_spans(const tensor::Tensor& x, const BatchLayout& layout,
 tensor::Tensor run_attention(const tensor::Tensor& x, const BatchLayout& layout,
                              const BlockWeights& block, const ModelConfig& config,
                              RowPartitionPool* span_pool) {
+  HAAN_TRACE_SPAN("attn", "model", static_cast<std::uint32_t>(x.shape().dim(0)),
+                  static_cast<std::uint32_t>(layout.sequences()));
   if (layout.sequences() == 1) {
     return multi_head_attention(x, block, config.n_heads);
   }
@@ -130,6 +141,8 @@ tensor::Tensor run_attention(const tensor::Tensor& x, const BatchLayout& layout,
 tensor::Tensor run_mlp_packed(const tensor::Tensor& x, const BatchLayout& layout,
                               const BlockWeights& block, const ModelConfig& config,
                               RowPartitionPool* span_pool) {
+  HAAN_TRACE_SPAN("mlp", "model", static_cast<std::uint32_t>(x.shape().dim(0)),
+                  static_cast<std::uint32_t>(layout.sequences()));
   if (span_pool == nullptr || span_pool->threads() <= 1 ||
       layout.sequences() == 1) {
     return run_mlp(x, block, config);

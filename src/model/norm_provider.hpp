@@ -27,6 +27,11 @@ class NormProvider {
   /// extrapolation on this sequence's early layers) reset per-sequence state.
   virtual void begin_sequence() {}
 
+  /// Static-string label used as the span name for this provider's norm
+  /// layers in exported traces ("norm/exact", "norm/haan", ...). Must point
+  /// at storage that outlives the tracer (a string literal).
+  virtual const char* trace_label() const { return "norm"; }
+
   /// Normalizes `z` into `out` (same length) with affine parameters
   /// alpha/beta (may be empty for identity). `position` is the token index the
   /// vector belongs to; the HAAN ISD predictor anchors per position.
@@ -94,6 +99,8 @@ class ExactNormProvider final : public NormProvider {
   /// 1 = fully serial); results are bit-identical for any value.
   explicit ExactNormProvider(double eps = 1e-5, std::size_t norm_threads = 0)
       : eps_(eps), pool_(norm_threads) {}
+
+  const char* trace_label() const override { return "norm/exact"; }
 
   void normalize(std::size_t layer_index, std::size_t position, NormKind kind,
                  std::span<const float> z, std::span<const float> alpha,

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace haan::model {
 
@@ -78,7 +80,12 @@ void RowPartitionPool::for_rows(std::size_t rows, std::size_t min_rows,
   work_cv_.notify_all();
 
   const auto [begin, count] = chunk_bounds(rows, chunks, 0);
-  fn(0, begin, count);
+  {
+    // Chunk 0 always runs inline on the calling thread; its span nests inside
+    // whatever provider span is open there.
+    HAAN_TRACE_SPAN("shard", "model", 0u, static_cast<std::uint32_t>(count));
+    fn(0, begin, count);
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
@@ -87,6 +94,9 @@ void RowPartitionPool::for_rows(std::size_t rows, std::size_t min_rows,
 
 void RowPartitionPool::worker_main(std::size_t worker_index) {
   std::uint64_t seen = 0;
+  // Track naming is deferred until tracing is actually on: pool threads start
+  // lazily and usually before any tracer session begins.
+  bool track_named = false;
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);
     work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
@@ -99,7 +109,15 @@ void RowPartitionPool::worker_main(std::size_t worker_index) {
     const ChunkFn* fn = job_;
     const auto [begin, count] = chunk_bounds(job_rows_, job_chunks_, chunk);
     lock.unlock();
-    (*fn)(chunk, begin, count);
+    if (obs::tracing_enabled() && !track_named) {
+      obs::set_thread_name("rowpool-" + std::to_string(worker_index));
+      track_named = true;
+    }
+    {
+      HAAN_TRACE_SPAN("shard", "model", static_cast<std::uint32_t>(chunk),
+                      static_cast<std::uint32_t>(count));
+      (*fn)(chunk, begin, count);
+    }
     lock.lock();
     if (--pending_ == 0) done_cv_.notify_one();
   }

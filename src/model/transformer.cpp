@@ -1,6 +1,7 @@
 #include "model/transformer.hpp"
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace haan::model {
@@ -31,20 +32,25 @@ tensor::Tensor Transformer::forward_hidden_batch(
   // Embedding fill: each sequence's rows land in its span of the packed
   // block; positions restart at the span's start_position per sequence.
   tensor::Tensor h(tensor::Shape{layout.total_rows(), d});
-  for (std::size_t s = 0; s < sequences.size(); ++s) {
-    const std::span<const int> tokens = sequences[s];
-    const SequenceSpan& span = layout.span(s);
-    HAAN_EXPECTS(!tokens.empty());
-    HAAN_EXPECTS(tokens.size() == span.rows);
-    HAAN_EXPECTS(span.start_position + tokens.size() <= config_.max_seq_len);
-    for (std::size_t t = 0; t < tokens.size(); ++t) {
-      const int token = tokens[t];
-      HAAN_EXPECTS(token >= 0 &&
-                   static_cast<std::size_t>(token) < config_.vocab_size);
-      const auto emb = weights_.embedding.row(static_cast<std::size_t>(token));
-      const auto pos = weights_.pos_embedding.row(span.start_position + t);
-      const auto row = h.row(span.row_begin + t);
-      for (std::size_t c = 0; c < d; ++c) row[c] = emb[c] + pos[c];
+  {
+    HAAN_TRACE_SPAN("embed", "model",
+                    static_cast<std::uint32_t>(layout.total_rows()),
+                    static_cast<std::uint32_t>(layout.sequences()));
+    for (std::size_t s = 0; s < sequences.size(); ++s) {
+      const std::span<const int> tokens = sequences[s];
+      const SequenceSpan& span = layout.span(s);
+      HAAN_EXPECTS(!tokens.empty());
+      HAAN_EXPECTS(tokens.size() == span.rows);
+      HAAN_EXPECTS(span.start_position + tokens.size() <= config_.max_seq_len);
+      for (std::size_t t = 0; t < tokens.size(); ++t) {
+        const int token = tokens[t];
+        HAAN_EXPECTS(token >= 0 &&
+                     static_cast<std::size_t>(token) < config_.vocab_size);
+        const auto emb = weights_.embedding.row(static_cast<std::size_t>(token));
+        const auto pos = weights_.pos_embedding.row(span.start_position + t);
+        const auto row = h.row(span.row_begin + t);
+        for (std::size_t c = 0; c < d; ++c) row[c] = emb[c] + pos[c];
+      }
     }
   }
 

@@ -1,0 +1,80 @@
+#include "obs/snapshot.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace haan::obs {
+
+SnapshotEmitter::SnapshotEmitter(Sampler sampler, Options options)
+    : sampler_(std::move(sampler)), options_(std::move(options)) {
+  HAAN_EXPECTS(static_cast<bool>(sampler_));
+  HAAN_EXPECTS(options_.interval.count() > 0);
+  if (!options_.json_path.empty()) {
+    json_out_.open(options_.json_path, std::ios::out | std::ios::app);
+    if (!json_out_) {
+      HAAN_LOG_WARN_C("stats") << "cannot open snapshot sink "
+                               << options_.json_path;
+    }
+  }
+}
+
+SnapshotEmitter::~SnapshotEmitter() { stop(); }
+
+void SnapshotEmitter::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void SnapshotEmitter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  // Final snapshot so a run shorter than one interval still reports.
+  emit_once();
+}
+
+std::size_t SnapshotEmitter::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+void SnapshotEmitter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; })) {
+      return;
+    }
+    lock.unlock();
+    emit_once();
+    lock.lock();
+  }
+}
+
+void SnapshotEmitter::emit_once() {
+  const Snapshot snapshot = sampler_();
+  if (options_.log_human && !snapshot.human.empty()) {
+    common::log(common::LogLevel::kInfo, "stats", snapshot.human);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (json_out_.is_open() && !snapshot.json.is_null()) {
+    json_out_ << snapshot.json.dump() << "\n";
+    json_out_.flush();
+  }
+  ++emitted_;
+}
+
+}  // namespace haan::obs

@@ -1,0 +1,74 @@
+// Periodic live-metrics snapshot emitter: a small timer thread that invokes a
+// caller-supplied sampler on a fixed interval and publishes the result as a
+// human-readable log line (component "stats") and/or an appended JSON line.
+// The serving runtime wires this to MetricsCollector so long runs report
+// throughput, queue depth, pack occupancy and latency percentiles while still
+// in flight instead of only at the end.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/json_lite.hpp"
+
+namespace haan::obs {
+
+/// One emitted snapshot: `human` goes to the log, `json` to the JSON-lines
+/// file (when configured). Either may be empty to skip that sink.
+struct Snapshot {
+  std::string human;
+  common::Json json;
+};
+
+/// Timer thread invoking a sampler every interval. start()/stop() bracket the
+/// emitting window; stop() (or destruction) joins the thread and emits one
+/// final snapshot so short runs always produce at least one line.
+class SnapshotEmitter {
+ public:
+  using Sampler = std::function<Snapshot()>;
+
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+    /// Append one JSON object per snapshot to this file (empty = no file).
+    std::string json_path;
+    /// Emit the human line through common::log (component "stats").
+    bool log_human = true;
+  };
+
+  SnapshotEmitter(Sampler sampler, Options options);
+  ~SnapshotEmitter();
+
+  SnapshotEmitter(const SnapshotEmitter&) = delete;
+  SnapshotEmitter& operator=(const SnapshotEmitter&) = delete;
+
+  /// Launches the timer thread (idempotent).
+  void start();
+
+  /// Stops the timer, emits a final snapshot, joins. Idempotent.
+  void stop();
+
+  /// Snapshots emitted so far (including the final one).
+  std::size_t emitted() const;
+
+ private:
+  void run();
+  void emit_once();
+
+  Sampler sampler_;
+  Options options_;
+  std::ofstream json_out_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::size_t emitted_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace haan::obs

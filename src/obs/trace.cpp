@@ -1,0 +1,297 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/json_lite.hpp"
+
+namespace haan::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (names are static identifiers, but thread
+/// names are caller-provided).
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_ts_us(std::string& out, std::uint64_t ts_ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", common::ns_to_us(ts_ns));
+  out += buf;
+}
+
+void append_event_prefix(std::string& out, const char* phase, std::size_t tid,
+                         std::uint64_t ts_ns) {
+  out += "{\"ph\":\"";
+  out += phase;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  append_ts_us(out, ts_ns);
+}
+
+void append_name_cat(std::string& out, const TraceEvent& event) {
+  out += ",\"name\":\"";
+  append_escaped(out, event.name != nullptr ? event.name : "?");
+  out += "\",\"cat\":\"";
+  append_escaped(out, event.category != nullptr ? event.category : "haan");
+  out += "\"";
+}
+
+void append_args(std::string& out, const TraceEvent& event) {
+  if (event.arg_a == 0 && event.arg_b == 0) return;
+  out += ",\"args\":{\"a\":";
+  out += std::to_string(event.arg_a);
+  out += ",\"b\":";
+  out += std::to_string(event.arg_b);
+  out += "}";
+}
+
+}  // namespace
+
+ThreadLog::ThreadLog(std::size_t capacity, std::size_t tid) : tid_(tid) {
+  ring_.resize(std::max<std::size_t>(capacity, 2));
+}
+
+void ThreadLog::push(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[pushed_ % ring_.size()] = event;
+  ++pushed_;
+}
+
+std::vector<TraceEvent> ThreadLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t capacity = ring_.size();
+  const std::size_t held = static_cast<std::size_t>(
+      std::min<std::uint64_t>(pushed_, capacity));
+  std::vector<TraceEvent> out;
+  out.reserve(held);
+  const std::uint64_t first = pushed_ - held;
+  for (std::uint64_t i = first; i < pushed_; ++i) {
+    out.push_back(ring_[i % capacity]);
+  }
+  return out;
+}
+
+std::uint64_t ThreadLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_ > ring_.size() ? pushed_ - ring_.size() : 0;
+}
+
+std::uint64_t ThreadLog::pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+void ThreadLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pushed_ = 0;
+}
+
+void ThreadLog::set_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  name_ = std::move(name);
+}
+
+std::string ThreadLog::name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return name_;
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<std::size_t>(capacity, 2);
+}
+
+std::size_t Tracer::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::shared_ptr<ThreadLog> Tracer::register_thread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto log = std::make_shared<ThreadLog>(capacity_, next_tid_++);
+  logs_.push_back(log);
+  return log;
+}
+
+ThreadLog& Tracer::thread_log() {
+  // One ring per thread for the life of the thread; the registry holds a
+  // second reference so events outlive the thread (worker churn).
+  thread_local std::shared_ptr<ThreadLog> tls_log = register_thread();
+  return *tls_log;
+}
+
+void Tracer::set_thread_name(std::string name) {
+  // Deliberately gated: naming registers the thread (allocating its ring),
+  // which disabled runs must not pay for.
+  if (!enabled()) return;
+  thread_log().set_name(std::move(name));
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drop rings whose owning thread has exited (registry holds the only
+  // reference); clear the rest in place so live threads keep recording.
+  logs_.erase(std::remove_if(logs_.begin(), logs_.end(),
+                             [](const std::shared_ptr<ThreadLog>& log) {
+                               return log.use_count() == 1;
+                             }),
+              logs_.end());
+  for (const auto& log : logs_) log->clear();
+}
+
+Tracer::Stats Tracer::stats() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    logs = logs_;
+  }
+  Stats stats;
+  stats.threads = logs.size();
+  for (const auto& log : logs) {
+    const std::uint64_t pushed = log->pushed();
+    const std::uint64_t dropped = log->dropped();
+    stats.events += pushed - dropped;
+    stats.dropped += dropped;
+  }
+  return stats;
+}
+
+std::string Tracer::export_chrome_json() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    logs = logs_;
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first_event = true;
+  const auto emit = [&](const std::string& event_json) {
+    if (!first_event) out += ",";
+    first_event = false;
+    out += "\n";
+    out += event_json;
+  };
+
+  for (const auto& log : logs) {
+    const std::string name = log->name();
+    if (!name.empty()) {
+      std::string meta =
+          "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(log->tid()) +
+          ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      append_escaped(meta, name);
+      meta += "\"}}";
+      emit(meta);
+    }
+
+    const std::vector<TraceEvent> events = log->snapshot();
+    // Balance begin/end within the thread: ends whose begin was overwritten
+    // by ring wrap-around are dropped, and spans still open at export are
+    // closed at the thread's last timestamp so every "B" has an "E".
+    std::vector<const TraceEvent*> open;
+    const std::uint64_t last_ts = events.empty() ? 0 : events.back().ts_ns;
+    for (const TraceEvent& event : events) {
+      std::string line;
+      switch (event.type) {
+        case EventType::kBegin:
+          open.push_back(&event);
+          append_event_prefix(line, "B", log->tid(), event.ts_ns);
+          append_name_cat(line, event);
+          append_args(line, event);
+          break;
+        case EventType::kEnd:
+          if (open.empty()) continue;  // begin lost to wrap-around
+          open.pop_back();
+          append_event_prefix(line, "E", log->tid(), event.ts_ns);
+          break;
+        case EventType::kInstant:
+          append_event_prefix(line, "i", log->tid(), event.ts_ns);
+          append_name_cat(line, event);
+          line += ",\"s\":\"t\"";  // thread-scoped instant
+          append_args(line, event);
+          break;
+        case EventType::kFlowBegin:
+          append_event_prefix(line, "s", log->tid(), event.ts_ns);
+          append_name_cat(line, event);
+          line += ",\"id\":" + std::to_string(event.flow_id);
+          break;
+        case EventType::kFlowEnd:
+          append_event_prefix(line, "f", log->tid(), event.ts_ns);
+          append_name_cat(line, event);
+          // Bind to the enclosing slice rather than the next one.
+          line += ",\"bp\":\"e\",\"id\":" + std::to_string(event.flow_id);
+          break;
+      }
+      line += "}";
+      emit(line);
+    }
+    for (auto it = open.rbegin(); it != open.rend(); ++it) {
+      std::string line;
+      append_event_prefix(line, "E", log->tid(), last_ts);
+      line += "}";
+      emit(line);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  return common::write_file(path, export_chrome_json());
+}
+
+void instant(const char* name, const char* category, std::uint32_t arg_a,
+             std::uint32_t arg_b) {
+  if (!tracing_enabled()) return;
+  tracer().thread_log().push({common::monotonic_ns(), name, category, 0, arg_a,
+                              arg_b, EventType::kInstant});
+}
+
+void flow_begin(const char* name, const char* category, std::uint64_t id) {
+  if (!tracing_enabled()) return;
+  tracer().thread_log().push({common::monotonic_ns(), name, category, id, 0, 0,
+                              EventType::kFlowBegin});
+}
+
+void flow_end(const char* name, const char* category, std::uint64_t id) {
+  if (!tracing_enabled()) return;
+  tracer().thread_log().push({common::monotonic_ns(), name, category, id, 0, 0,
+                              EventType::kFlowEnd});
+}
+
+void set_thread_name(std::string name) {
+  tracer().set_thread_name(std::move(name));
+}
+
+}  // namespace haan::obs

@@ -1,0 +1,191 @@
+// Low-overhead span tracer for the serving stack. Threads record begin/end
+// span events (nanosecond monotonic timestamps, static-string names) into
+// per-thread ring buffers registered with a process-wide Tracer; a request's
+// journey across threads is stitched with flow events keyed by request id.
+// The tracer is compiled in unconditionally but runtime-gated: when disabled
+// (the default) every instrumentation site reduces to one relaxed atomic load
+// and a branch, so production paths pay nothing measurable. Recorded traces
+// export as Chrome Trace Event JSON — loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing — with one track per thread.
+//
+// Ring semantics: each thread's buffer keeps the most recent `capacity`
+// events; older events are overwritten and counted as dropped. Buffers are
+// owned by shared_ptr so a thread's events survive its exit (worker churn)
+// until the next reset(). Export is safe at any time (each buffer is mutex
+// guarded); for a loss-free nested trace export after the traced threads
+// have quiesced.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace haan::obs {
+
+/// Event kinds recorded in thread rings (mapped to Chrome trace phases).
+enum class EventType : std::uint8_t {
+  kBegin,      ///< span open ("B")
+  kEnd,        ///< span close ("E")
+  kInstant,    ///< point event ("i")
+  kFlowBegin,  ///< flow start ("s") — binds to the enclosing span
+  kFlowEnd,    ///< flow finish ("f") — binds to the enclosing span
+};
+
+/// One recorded event. `name`/`category` must be static strings (string
+/// literals or other pointers that outlive the tracer) — events store the
+/// pointer, never a copy, to keep recording allocation-free.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint64_t flow_id = 0;  ///< flow events: the request id
+  std::uint32_t arg_a = 0;    ///< small payload (layer index, rows, ...)
+  std::uint32_t arg_b = 0;
+  EventType type = EventType::kInstant;
+};
+
+/// Per-thread event ring. Written only by the owning thread; the mutex exists
+/// so export/reset from other threads is race-free (uncontended in steady
+/// state, so a push is a lock, two stores and an unlock).
+class ThreadLog {
+ public:
+  ThreadLog(std::size_t capacity, std::size_t tid);
+
+  void push(const TraceEvent& event);
+
+  /// Copies the surviving window in record order (oldest first).
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Events overwritten by ring wrap-around since the last clear.
+  std::uint64_t dropped() const;
+
+  /// Total events ever pushed since the last clear.
+  std::uint64_t pushed() const;
+
+  void clear();
+
+  std::size_t tid() const { return tid_; }
+  void set_name(std::string name);
+  std::string name() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t pushed_ = 0;  ///< ring_[pushed_ % capacity] is the next slot
+  std::size_t tid_;
+  std::string name_;
+};
+
+/// Process-wide trace registry. All instrumentation goes through the
+/// singleton (tracer()); tests reset() between cases.
+class Tracer {
+ public:
+  /// Recording gate. Reads are relaxed atomic loads — the entire cost of a
+  /// disabled instrumentation site.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Ring capacity (events per thread) for buffers created AFTER this call.
+  void set_ring_capacity(std::size_t capacity);
+  std::size_t ring_capacity() const;
+
+  /// This thread's ring, registering it on first use.
+  ThreadLog& thread_log();
+
+  /// Names this thread's track in exported traces ("feeder", "worker-0", ...).
+  void set_thread_name(std::string name);
+
+  /// Clears every registered ring and forgets rings whose threads have
+  /// exited. Does not change the enabled gate.
+  void reset();
+
+  struct Stats {
+    std::size_t threads = 0;
+    std::uint64_t events = 0;   ///< events currently held across all rings
+    std::uint64_t dropped = 0;  ///< events lost to ring wrap-around
+  };
+  Stats stats() const;
+
+  /// Serializes all recorded events as Chrome Trace Event JSON (an object
+  /// with a "traceEvents" array, one pid, one tid per registered thread).
+  /// Balanced within each thread: end events whose begin was lost to ring
+  /// wrap-around are dropped, and spans still open at export are closed at
+  /// the thread's last timestamp.
+  std::string export_chrome_json() const;
+
+  /// export_chrome_json() to a file; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  std::shared_ptr<ThreadLog> register_thread();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
+  std::size_t next_tid_ = 0;
+  std::size_t capacity_ = 1 << 16;
+  std::atomic<bool> enabled_{false};
+};
+
+/// The process-wide tracer.
+Tracer& tracer();
+
+/// Convenience gate used by every instrumentation macro/site.
+inline bool tracing_enabled() { return tracer().enabled(); }
+
+/// RAII span: records kBegin at construction and kEnd at destruction on the
+/// calling thread's ring. When tracing is disabled construction is a single
+/// branch. `name` and `category` must be static strings.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category, std::uint32_t arg_a = 0,
+             std::uint32_t arg_b = 0) {
+    if (!tracing_enabled()) return;
+    log_ = &tracer().thread_log();
+    name_ = name;
+    category_ = category;
+    log_->push({common::monotonic_ns(), name, category, 0, arg_a, arg_b,
+                EventType::kBegin});
+  }
+  ~ScopedSpan() {
+    if (log_ == nullptr) return;
+    log_->push({common::monotonic_ns(), name_, category_, 0, 0, 0,
+                EventType::kEnd});
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  ThreadLog* log_ = nullptr;  ///< nullptr = tracing was off at construction
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+};
+
+/// Point event on this thread's track.
+void instant(const char* name, const char* category, std::uint32_t arg_a = 0,
+             std::uint32_t arg_b = 0);
+
+/// Flow events stitch one logical operation (a request) across threads: emit
+/// flow_begin(name, id) inside a span on the producing thread and
+/// flow_end(name, id) inside a span on the consuming thread; Perfetto draws
+/// the arrow. `id` must match and be unique per live flow (the request id).
+void flow_begin(const char* name, const char* category, std::uint64_t id);
+void flow_end(const char* name, const char* category, std::uint64_t id);
+
+/// Names this thread's track in exported traces.
+void set_thread_name(std::string name);
+
+}  // namespace haan::obs
+
+// Block-scoped span: HAAN_TRACE_SPAN("forward", "serve", rows, seqs);
+#define HAAN_OBS_CONCAT2(a, b) a##b
+#define HAAN_OBS_CONCAT(a, b) HAAN_OBS_CONCAT2(a, b)
+#define HAAN_TRACE_SPAN(...) \
+  ::haan::obs::ScopedSpan HAAN_OBS_CONCAT(haan_trace_span_, __LINE__)(__VA_ARGS__)

@@ -8,6 +8,14 @@
 
 namespace haan::serve {
 
+common::LogHistogram::Config latency_histogram_config() {
+  common::LogHistogram::Config config;
+  config.min_value = 1.0;    // 1 us resolution floor
+  config.max_value = 1e9;    // 1000 s overflow cap
+  config.buckets_per_decade = 48;
+  return config;
+}
+
 LatencySummary summarize_latency(std::vector<double> samples) {
   LatencySummary summary;
   // Empty sample sets (a drained-empty run with zero completed requests) must
@@ -29,6 +37,17 @@ LatencySummary summarize_latency(std::vector<double> samples) {
   summary.p50_us = nearest_rank(0.50);
   summary.p95_us = nearest_rank(0.95);
   summary.p99_us = nearest_rank(0.99);
+  return summary;
+}
+
+LatencySummary summarize_histogram(const common::LogHistogram& histogram) {
+  LatencySummary summary;
+  summary.count = histogram.count();
+  summary.mean_us = histogram.mean();
+  summary.max_us = histogram.max();
+  summary.p50_us = histogram.quantile(0.50);
+  summary.p95_us = histogram.quantile(0.95);
+  summary.p99_us = histogram.quantile(0.99);
   return summary;
 }
 
@@ -113,16 +132,23 @@ std::string ServeMetrics::to_string() const {
   return out.str();
 }
 
+MetricsCollector::MetricsCollector()
+    : total_us_(latency_histogram_config()),
+      queue_us_(latency_histogram_config()),
+      compute_us_(latency_histogram_config()) {}
+
 void MetricsCollector::record(const RequestResult& result) {
   std::lock_guard<std::mutex> lock(mu_);
-  total_us_.push_back(result.total_us);
-  queue_us_.push_back(result.queue_us);
-  compute_us_.push_back(result.compute_us);
+  total_us_.record(result.total_us);
+  queue_us_.record(result.queue_us);
+  compute_us_.record(result.compute_us);
 }
 
 void MetricsCollector::record_batch(std::size_t batch_size) {
   std::lock_guard<std::mutex> lock(mu_);
-  batch_sizes_.push_back(batch_size);
+  ++batch_count_;
+  batch_requests_ += batch_size;
+  max_batch_size_ = std::max(max_batch_size_, batch_size);
 }
 
 void MetricsCollector::record_packed(std::size_t rows, std::size_t sequences) {
@@ -130,11 +156,6 @@ void MetricsCollector::record_packed(std::size_t rows, std::size_t sequences) {
   ++packed_forwards_;
   packed_rows_ += rows;
   packed_sequences_ += sequences;
-}
-
-void MetricsCollector::sample_queue_depth(std::size_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
-  depth_samples_.push_back(depth);
 }
 
 void MetricsCollector::add_norm_counters(const NormCounters& counters) {
@@ -150,48 +171,39 @@ void MetricsCollector::add_norm_counters(const NormCounters& counters) {
 
 std::size_t MetricsCollector::completed() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return total_us_.size();
+  return total_us_.count();
 }
 
 ServeMetrics MetricsCollector::finalize(double wall_us) const {
   std::lock_guard<std::mutex> lock(mu_);
   ServeMetrics metrics;
-  metrics.completed = total_us_.size();
+  metrics.completed = total_us_.count();
   metrics.wall_us = wall_us;
   metrics.throughput_rps =
       wall_us > 0.0 ? static_cast<double>(metrics.completed) / (wall_us / 1e6)
                     : 0.0;
-  metrics.total = summarize_latency(total_us_);
-  metrics.queued = summarize_latency(queue_us_);
-  metrics.compute = summarize_latency(compute_us_);
+  metrics.total = summarize_histogram(total_us_);
+  metrics.queued = summarize_histogram(queue_us_);
+  metrics.compute = summarize_histogram(compute_us_);
 
-  metrics.batches = batch_sizes_.size();
-  std::size_t batched_requests = 0, max_batch = 0;
-  for (const std::size_t b : batch_sizes_) {
-    batched_requests += b;
-    if (b > max_batch) max_batch = b;
-  }
+  metrics.batches = batch_count_;
   metrics.mean_batch_size =
-      batch_sizes_.empty() ? 0.0
-                           : static_cast<double>(batched_requests) /
-                                 static_cast<double>(batch_sizes_.size());
-  metrics.max_batch_size = max_batch;
+      batch_count_ == 0 ? 0.0
+                        : static_cast<double>(batch_requests_) /
+                              static_cast<double>(batch_count_);
+  metrics.max_batch_size = max_batch_size_;
 
-  std::size_t depth_sum = 0, max_depth = 0;
-  for (const std::size_t d : depth_samples_) {
-    depth_sum += d;
-    if (d > max_depth) max_depth = d;
-  }
-  metrics.max_queue_depth = max_depth;
-  metrics.mean_queue_depth =
-      depth_samples_.empty() ? 0.0
-                             : static_cast<double>(depth_sum) /
-                                   static_cast<double>(depth_samples_.size());
   metrics.packed_forwards = packed_forwards_;
   metrics.packed_rows = packed_rows_;
   metrics.packed_sequences = packed_sequences_;
   metrics.norm = norm_;
   return metrics;
+}
+
+std::size_t MetricsCollector::approx_memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sizeof(*this) + total_us_.memory_bytes() + queue_us_.memory_bytes() +
+         compute_us_.memory_bytes();
 }
 
 }  // namespace haan::serve

@@ -1,7 +1,12 @@
 // Serving metrics: per-request latency percentiles (p50/p95/p99), throughput,
 // batch and queue-depth statistics, and HAAN norm-execution counters
-// aggregated across workers. The collector is thread-safe; finalize() renders
-// an immutable summary that serializes to JSON for trajectory anchoring.
+// aggregated across workers. The collector is thread-safe and STREAMING: all
+// latency distributions live in fixed-size log-bucketed histograms
+// (common::LogHistogram) and every other statistic is a running
+// count/sum/max, so collector memory is constant no matter how many requests
+// complete — finalize() may be called mid-run (live snapshots) as well as at
+// drain time, rendering an immutable summary that serializes to JSON for
+// trajectory anchoring.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "common/json_lite.hpp"
 #include "core/haan_norm.hpp"
 #include "serve/request.hpp"
@@ -30,11 +36,22 @@ struct LatencySummary {
   common::Json to_json() const;
 };
 
-/// Builds the full summary (mean/max + nearest-rank p50/p95/p99) from an
-/// unsorted sample set; all zeros when empty.
+/// Bucket layout for latency histograms: 1 us resolution floor, 1000 s cap,
+/// 48 buckets per decade — every quantile is within ~4.9%
+/// (one bucket ratio) of the exact nearest-rank sample.
+common::LogHistogram::Config latency_histogram_config();
+
+/// EXACT nearest-rank reference summary from an unsorted sample set (all
+/// zeros when empty). The serving runtime itself summarizes from histograms
+/// (summarize_histogram); this stays as the oracle the histogram path is
+/// tolerance-tested against, and for small offline sample sets.
 LatencySummary summarize_latency(std::vector<double> samples);
 
-/// Immutable end-of-run metrics.
+/// Histogram-backed summary: count/mean/max are exact, p50/p95/p99 are
+/// bucket-resolution (within one bucket ratio of the exact nearest-rank).
+LatencySummary summarize_histogram(const common::LogHistogram& histogram);
+
+/// Immutable end-of-run (or mid-run snapshot) metrics.
 struct ServeMetrics {
   std::size_t completed = 0;
   double wall_us = 0.0;
@@ -48,6 +65,9 @@ struct ServeMetrics {
   double mean_batch_size = 0.0;
   std::size_t max_batch_size = 0;
 
+  /// Queue depth statistics, stamped by the server from the RequestQueue's
+  /// own event-sampled accounting (every push AND pop, so drain-phase decay
+  /// is represented; see RequestQueue::mean_depth).
   std::size_t max_queue_depth = 0;
   double mean_queue_depth = 0.0;
 
@@ -94,9 +114,13 @@ struct ServeMetrics {
   std::string to_string() const;  ///< multi-line human-readable report
 };
 
-/// Thread-safe metrics sink shared by the feeder and all workers.
+/// Thread-safe streaming metrics sink shared by the feeder and all workers.
+/// Memory is constant in the number of completed requests (three fixed-size
+/// histograms plus counters).
 class MetricsCollector {
  public:
+  MetricsCollector();
+
   /// Records one completed request (called by workers).
   void record(const RequestResult& result);
 
@@ -107,25 +131,30 @@ class MetricsCollector {
   /// mega-batch mode): `rows` = Σ seq_len, `sequences` = requests packed.
   void record_packed(std::size_t rows, std::size_t sequences);
 
-  /// Samples the queue depth (called by the feeder on every push).
-  void sample_queue_depth(std::size_t depth);
-
   /// Accumulates one worker's provider counters at drain time.
   void add_norm_counters(const NormCounters& counters);
 
   /// Number of results recorded so far.
   std::size_t completed() const;
 
-  /// Renders the summary; `wall_us` is the workload wall-clock span.
+  /// Renders the summary; `wall_us` is the workload wall-clock span so far.
+  /// Cheap and safe to call while workers are still recording (the live
+  /// snapshot path); queue-depth fields are left zero for the server/caller
+  /// to stamp from the RequestQueue.
   ServeMetrics finalize(double wall_us) const;
+
+  /// Bytes retained by the collector — constant for its lifetime (histogram
+  /// buckets + counters), asserted by tests to stay flat under load.
+  std::size_t approx_memory_bytes() const;
 
  private:
   mutable std::mutex mu_;
-  std::vector<double> total_us_;
-  std::vector<double> queue_us_;
-  std::vector<double> compute_us_;
-  std::vector<std::size_t> batch_sizes_;
-  std::vector<std::size_t> depth_samples_;
+  common::LogHistogram total_us_;
+  common::LogHistogram queue_us_;
+  common::LogHistogram compute_us_;
+  std::uint64_t batch_count_ = 0;
+  std::size_t batch_requests_ = 0;
+  std::size_t max_batch_size_ = 0;
   std::uint64_t packed_forwards_ = 0;
   std::size_t packed_rows_ = 0;
   std::size_t packed_sequences_ = 0;

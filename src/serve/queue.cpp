@@ -8,12 +8,18 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
   HAAN_EXPECTS(capacity > 0);
 }
 
+void RequestQueue::sample_depth_locked() {
+  if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+  depth_sum_ += items_.size();
+  ++depth_samples_;
+}
+
 bool RequestQueue::push(Request request) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
   if (closed_) return false;
   items_.push_back(std::move(request));
-  if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+  sample_depth_locked();
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -23,7 +29,7 @@ bool RequestQueue::try_push(Request request) {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_ || items_.size() >= capacity_) return false;
   items_.push_back(std::move(request));
-  if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+  sample_depth_locked();
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -35,6 +41,7 @@ std::optional<Request> RequestQueue::pop() {
   if (items_.empty()) return std::nullopt;  // closed and drained
   Request request = std::move(items_.front());
   items_.pop_front();
+  sample_depth_locked();
   lock.unlock();
   not_full_.notify_one();
   return request;
@@ -53,6 +60,7 @@ TryPopResult RequestQueue::try_pop(Request& out) {
   }
   out = std::move(items_.front());
   items_.pop_front();
+  sample_depth_locked();
   lock.unlock();
   not_full_.notify_one();
   return TryPopResult::kItem;
@@ -67,6 +75,7 @@ std::optional<Request> RequestQueue::pop_for(std::chrono::microseconds timeout) 
   if (items_.empty()) return std::nullopt;  // closed and drained
   Request request = std::move(items_.front());
   items_.pop_front();
+  sample_depth_locked();
   lock.unlock();
   not_full_.notify_one();
   return request;
@@ -94,6 +103,18 @@ std::size_t RequestQueue::size() const {
 std::size_t RequestQueue::high_watermark() const {
   std::lock_guard<std::mutex> lock(mu_);
   return high_watermark_;
+}
+
+double RequestQueue::mean_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_samples_ == 0 ? 0.0
+                             : static_cast<double>(depth_sum_) /
+                                   static_cast<double>(depth_samples_);
+}
+
+std::size_t RequestQueue::depth_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_samples_;
 }
 
 }  // namespace haan::serve

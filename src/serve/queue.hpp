@@ -1,7 +1,10 @@
 // Bounded MPMC request queue: the admission point of the serving runtime.
 // Producers block when the queue is full (backpressure), consumers block when
 // it is empty. close() wakes everyone; consumers drain remaining items and
-// then observe end-of-stream.
+// then observe end-of-stream. The queue keeps its own depth statistics,
+// sampled after every successful push AND pop — a push-only sample stream
+// (the old feeder-side sampling) never sees drain-phase decay and biases the
+// mean depth upward.
 #pragma once
 
 #include <chrono>
@@ -63,13 +66,26 @@ class RequestQueue {
   /// Deepest occupancy observed since construction (metrics).
   std::size_t high_watermark() const;
 
+  /// Mean depth over all push/pop event samples (0 before any traffic).
+  /// Unbiased across fill and drain phases: each successful push and pop
+  /// contributes one sample of the post-operation depth.
+  double mean_depth() const;
+
+  /// Number of depth samples taken (pushes + pops).
+  std::size_t depth_samples() const;
+
  private:
+  /// Records the current depth after a successful push or pop; mu_ held.
+  void sample_depth_locked();
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Request> items_;
   std::size_t high_watermark_ = 0;
+  std::uint64_t depth_sum_ = 0;
+  std::uint64_t depth_samples_ = 0;
   bool closed_ = false;
 };
 

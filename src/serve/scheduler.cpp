@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace haan::serve {
 
@@ -20,6 +21,10 @@ std::optional<Batch> BatchScheduler::next_batch() {
 
   Batch batch;
   batch.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  // Covers only the gather window (first pop already happened): the span
+  // length is exactly the batching delay this batch added on top of queueing.
+  HAAN_TRACE_SPAN("batch-form", "serve",
+                  static_cast<std::uint32_t>(batch.sequence));
   const Clock::time_point opened = Clock::now();
   first->dequeued_at = opened;
   batch.requests.push_back(std::move(*first));

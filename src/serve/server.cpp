@@ -1,13 +1,64 @@
 #include "serve/server.hpp"
 
+#include <memory>
+#include <sstream>
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/table.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "serve/queue.hpp"
 #include "serve/worker_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace haan::serve {
+
+namespace {
+
+/// Builds one live snapshot from the in-flight collectors. `last_completed`
+/// carries state between snapshots so per-interval throughput is reported
+/// alongside the cumulative rate.
+obs::Snapshot live_snapshot(const MetricsCollector& metrics,
+                            const RequestQueue& queue,
+                            std::size_t pack_capacity,
+                            Clock::time_point started,
+                            std::size_t& last_completed) {
+  const double elapsed = elapsed_us(started, Clock::now());
+  ServeMetrics live = metrics.finalize(elapsed);
+  live.pack_capacity = pack_capacity;  // occupancy needs the scheduler bound
+  const std::size_t depth = queue.size();
+  const std::size_t delta = live.completed - last_completed;
+  last_completed = live.completed;
+
+  obs::Snapshot snapshot;
+  std::ostringstream human;
+  human << "t=" << common::format_double(elapsed / 1e6, 2) << "s completed="
+        << live.completed << " (+" << delta << ") rate="
+        << common::format_double(live.throughput_rps, 1) << " rps queue="
+        << depth << " occupancy="
+        << common::format_double(live.pack_occupancy(), 2) << " p50="
+        << common::format_double(live.total.p50_us / 1000.0, 2) << "ms p95="
+        << common::format_double(live.total.p95_us / 1000.0, 2) << "ms p99="
+        << common::format_double(live.total.p99_us / 1000.0, 2) << "ms";
+  snapshot.human = human.str();
+
+  common::Json::Object json;
+  json["t_us"] = elapsed;
+  json["completed"] = live.completed;
+  json["interval_completed"] = delta;
+  json["throughput_rps"] = live.throughput_rps;
+  json["queue_depth"] = depth;
+  json["pack_occupancy"] = live.pack_occupancy();
+  json["rows_per_pack"] = live.rows_per_pack();
+  json["p50_us"] = live.total.p50_us;
+  json["p95_us"] = live.total.p95_us;
+  json["p99_us"] = live.total.p99_us;
+  snapshot.json = json;
+  return snapshot;
+}
+
+}  // namespace
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)), model_(config_.model) {
@@ -45,6 +96,24 @@ ServeReport Server::run(const std::vector<Request>& workload) {
   pool.start();
 
   const Clock::time_point start = Clock::now();
+
+  std::unique_ptr<obs::SnapshotEmitter> emitter;
+  if (config_.stats_interval_ms > 0) {
+    obs::SnapshotEmitter::Options options;
+    options.interval = std::chrono::milliseconds(config_.stats_interval_ms);
+    options.json_path = config_.stats_json_path;
+    // Sampling is safe mid-run: the collector and queue are mutex-guarded and
+    // finalize() is a constant-cost histogram walk.
+    emitter = std::make_unique<obs::SnapshotEmitter>(
+        [&metrics, &queue, start, capacity = config_.scheduler.max_batch,
+         last = std::size_t{0}]() mutable {
+          return live_snapshot(metrics, queue, capacity, start, last);
+        },
+        options);
+    emitter->start();
+  }
+
+  obs::set_thread_name("feeder");
   for (const Request& request : workload) {
     if (config_.paced) {
       const auto arrival =
@@ -53,22 +122,31 @@ ServeReport Server::run(const std::vector<Request>& workload) {
       std::this_thread::sleep_until(arrival);
     }
     Request admitted = request;
-    admitted.enqueued_at = Clock::now();
-    const bool accepted = queue.push(std::move(admitted));
-    HAAN_ASSERT(accepted);  // the server closes the queue only after feeding
-    metrics.sample_queue_depth(queue.size());
+    {
+      HAAN_TRACE_SPAN("enqueue", "serve",
+                      static_cast<std::uint32_t>(request.id));
+      // The flow starts here and finishes on whichever worker completes the
+      // request — the exported trace draws the cross-thread arrow.
+      obs::flow_begin("req", "serve", request.id);
+      admitted.enqueued_at = Clock::now();
+      const bool accepted = queue.push(std::move(admitted));
+      HAAN_ASSERT(accepted);  // the server closes the queue only after feeding
+    }
   }
   queue.close();
   pool.join();
+  if (emitter != nullptr) emitter->stop();
   const double wall_us = elapsed_us(start, Clock::now());
 
   ServeReport report;
   report.results = pool.take_results();
   report.metrics = metrics.finalize(wall_us);
-  // The queue tracks its peak occupancy under its own lock; the feeder's
-  // post-push size() samples can miss the true maximum (a worker may pop in
-  // between), so they only feed the mean.
+  // The queue owns depth accounting under its own lock: the high watermark
+  // (a feeder-side post-push sample can miss the true peak) and the
+  // event-sampled mean, which covers pops as well so drain-phase decay is
+  // represented.
   report.metrics.max_queue_depth = queue.high_watermark();
+  report.metrics.mean_queue_depth = queue.mean_depth();
   report.metrics.pack_capacity = config_.scheduler.max_batch;
   return report;
 }

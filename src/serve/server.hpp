@@ -51,6 +51,13 @@ struct ServerConfig {
   /// fast as queue backpressure admits.
   bool paced = true;
 
+  /// Emit a live metrics snapshot every this many milliseconds while the run
+  /// is in flight (throughput, queue depth, pack occupancy, latency
+  /// percentiles): a log line (component "stats") and, when stats_json_path
+  /// is set, one appended JSON object per snapshot. 0 disables.
+  std::size_t stats_interval_ms = 0;
+  std::string stats_json_path;
+
   /// Keep full hidden states in results (verification; memory-heavy).
   bool keep_hidden = false;
 

@@ -1,10 +1,12 @@
 #include "serve/worker_pool.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "core/provider_factory.hpp"
 #include "model/batch_layout.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace haan::serve {
@@ -74,6 +76,7 @@ RequestResult WorkerPool::make_result(std::size_t worker_index,
 }
 
 void WorkerPool::worker_main(std::size_t worker_index) {
+  obs::set_thread_name("worker-" + std::to_string(worker_index));
   const std::unique_ptr<model::NormProvider> provider = provider_factory_();
   HAAN_ASSERT(provider != nullptr);
   // Worker-local span parallelism for packed forwards (threads start lazily,
@@ -100,14 +103,25 @@ void WorkerPool::execute_packed(std::size_t worker_index, Batch& batch,
                                 model::RowPartitionPool& span_pool) {
   std::vector<std::span<const int>> sequences;
   sequences.reserve(batch.requests.size());
-  for (const Request& request : batch.requests) {
-    sequences.emplace_back(request.tokens);
+  std::optional<model::BatchLayout> layout_storage;
+  {
+    HAAN_TRACE_SPAN("pack", "serve",
+                    static_cast<std::uint32_t>(batch.requests.size()));
+    for (const Request& request : batch.requests) {
+      sequences.emplace_back(request.tokens);
+    }
+    layout_storage = model::BatchLayout::from_sequences(sequences);
   }
-  const model::BatchLayout layout = model::BatchLayout::from_sequences(sequences);
+  const model::BatchLayout& layout = *layout_storage;
 
   const Clock::time_point compute_start = Clock::now();
-  const tensor::Tensor hidden =
-      model_.forward_hidden_batch(sequences, layout, provider, &span_pool);
+  tensor::Tensor hidden;
+  {
+    HAAN_TRACE_SPAN("forward", "serve",
+                    static_cast<std::uint32_t>(layout.total_rows()),
+                    static_cast<std::uint32_t>(layout.sequences()));
+    hidden = model_.forward_hidden_batch(sequences, layout, provider, &span_pool);
+  }
   const Clock::time_point done = Clock::now();
   metrics_.record_packed(layout.total_rows(), layout.sequences());
 
@@ -117,6 +131,9 @@ void WorkerPool::execute_packed(std::size_t worker_index, Batch& batch,
   const std::size_t d = model_.config().d_model;
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     const model::SequenceSpan& span = layout.span(i);
+    HAAN_TRACE_SPAN("complete", "serve",
+                    static_cast<std::uint32_t>(batch.requests[i].id));
+    obs::flow_end("req", "serve", batch.requests[i].id);
     push_result(make_result(
         worker_index, batch, batch.requests[i],
         hidden.data().subspan(span.row_begin * d, span.rows * d), compute_us,
@@ -128,8 +145,15 @@ void WorkerPool::execute_per_request(std::size_t worker_index, Batch& batch,
                                      model::NormProvider& provider) {
   for (const Request& request : batch.requests) {
     const Clock::time_point compute_start = Clock::now();
-    const tensor::Tensor hidden = model_.forward_hidden(request.tokens, provider);
+    tensor::Tensor hidden;
+    {
+      HAAN_TRACE_SPAN("forward", "serve",
+                      static_cast<std::uint32_t>(request.tokens.size()), 1u);
+      hidden = model_.forward_hidden(request.tokens, provider);
+    }
     const Clock::time_point done = Clock::now();
+    HAAN_TRACE_SPAN("complete", "serve", static_cast<std::uint32_t>(request.id));
+    obs::flow_end("req", "serve", request.id);
     push_result(make_result(worker_index, batch, request, hidden.data(),
                             elapsed_us(compute_start, done), done));
   }

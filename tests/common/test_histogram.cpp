@@ -1,0 +1,143 @@
+// LogHistogram contract: exact count/sum/mean/extremes, quantiles within one
+// bucket ratio of the exact nearest-rank sample (the accuracy bound the
+// serving metrics advertise), constant memory, merge additivity, and sane
+// clamping at the range edges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace haan::common {
+namespace {
+
+/// Exact nearest-rank quantile over retained samples: the oracle the
+/// histogram is measured against.
+double nearest_rank(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  if (rank > 0) --rank;
+  return samples[rank];
+}
+
+TEST(LogHistogram, EmptyReportsZeros) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, CountSumExtremesAreExact) {
+  LogHistogram h;
+  double sum = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    h.record(static_cast<double>(i));
+    sum += i;
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+TEST(LogHistogram, QuantilesWithinOneBucketRatioOfNearestRank) {
+  // Deterministic multiplicative stream spanning ~6 decades — the regime the
+  // latency histograms see (1us .. seconds).
+  LogHistogram h;
+  std::vector<double> samples;
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double unit = static_cast<double>(state >> 11) / 9007199254740992.0;
+    const double value = std::pow(10.0, 6.0 * unit);  // 1 .. 1e6
+    h.record(value);
+    samples.push_back(value);
+  }
+  const double ratio = h.bucket_ratio();
+  for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
+    const double exact = nearest_rank(samples, q);
+    const double approx = h.quantile(q);
+    EXPECT_LE(approx, exact * ratio) << "q=" << q;
+    EXPECT_GE(approx, exact / ratio) << "q=" << q;
+  }
+  // q=1 is the exact maximum, not a bucket midpoint.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(LogHistogram, SingleSampleIsEveryQuantile) {
+  LogHistogram h;
+  h.record(1234.5);
+  // All quantiles clamp to the exact extremes of a single sample.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1234.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1234.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1234.5);
+}
+
+TEST(LogHistogram, OutOfRangeValuesClampIntoEdgeBuckets) {
+  LogHistogram::Config config;
+  config.min_value = 1.0;
+  config.max_value = 1e3;
+  config.buckets_per_decade = 10;
+  LogHistogram h(config);
+  h.record(0.0);      // below range -> bucket 0
+  h.record(-5.0);     // negative -> bucket 0
+  h.record(1e9);      // above range -> overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);   // extremes stay exact even when clamped
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  // Quantiles clamp to the exact extremes, never invent values outside them.
+  EXPECT_GE(h.quantile(0.01), -5.0);
+  EXPECT_LE(h.quantile(0.999), 1e9);
+}
+
+TEST(LogHistogram, MemoryIsConstantInSampleCount) {
+  LogHistogram a;
+  const std::size_t before = a.memory_bytes();
+  for (int i = 0; i < 500000; ++i) a.record(1.0 + (i % 100000));
+  EXPECT_EQ(a.memory_bytes(), before);
+  // ~48/decade over 9 decades: a few hundred buckets, well under 8 KiB.
+  EXPECT_LT(a.memory_bytes(), 8u * 1024u);
+}
+
+TEST(LogHistogram, MergeIsAdditive) {
+  LogHistogram a, b, both;
+  for (int i = 1; i <= 100; ++i) {
+    a.record(i);
+    both.record(i);
+  }
+  for (int i = 1000; i <= 2000; i += 10) {
+    b.record(i);
+    both.record(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), both.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, ResetDropsSamplesKeepsLayout) {
+  LogHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  const std::size_t buckets = h.bucket_count();
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.bucket_count(), buckets);
+  h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+}
+
+}  // namespace
+}  // namespace haan::common

@@ -1,0 +1,101 @@
+// Logging format/sink contract: the JSON-lines format emits one parseable
+// object per line with ts_us/level/component/msg fields (round-tripping
+// through json_lite), the human format keeps its "[haan LEVEL]" shape with an
+// optional component prefix, and set_log_sink captures lines from any format.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json_lite.hpp"
+#include "common/logging.hpp"
+
+namespace haan::common {
+namespace {
+
+/// Restores global logger state (threshold, format, sink) after each test so
+/// cases can't leak configuration into each other.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_level(LogLevel::kDebug);
+    set_log_sink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_format(LogFormat::kHuman);
+    set_log_level(LogLevel::kInfo);
+  }
+
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LoggingTest, HumanFormatKeepsLegacyShape) {
+  set_log_format(LogFormat::kHuman);
+  log(LogLevel::kInfo, "plain message");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[haan INFO ] plain message");  // tag padded to width 5
+}
+
+TEST_F(LoggingTest, HumanFormatPrefixesComponent) {
+  set_log_format(LogFormat::kHuman);
+  log(LogLevel::kWarn, "serve", "queue nearly full");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[haan WARN ] serve: queue nearly full");
+}
+
+TEST_F(LoggingTest, JsonFormatEmitsParseableObjects) {
+  set_log_format(LogFormat::kJson);
+  log(LogLevel::kInfo, "stats", "t=1.0s completed=10");
+  log(LogLevel::kError, "", "bare error");
+  ASSERT_EQ(lines_.size(), 2u);
+
+  const auto first = Json::parse(lines_[0]);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(first->is_object());
+  EXPECT_EQ(first->find("level")->as_string(), "info");
+  EXPECT_EQ(first->find("component")->as_string(), "stats");
+  EXPECT_EQ(first->find("msg")->as_string(), "t=1.0s completed=10");
+  EXPECT_GT(first->find("ts_us")->as_number(), 0.0);
+
+  const auto second = Json::parse(lines_[1]);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->find("level")->as_string(), "error");
+  EXPECT_EQ(second->find("component"), nullptr);  // empty component omitted
+}
+
+TEST_F(LoggingTest, JsonFormatEscapesMessageContent) {
+  set_log_format(LogFormat::kJson);
+  log(LogLevel::kInfo, "test", "quote \" backslash \\ newline \n done");
+  ASSERT_EQ(lines_.size(), 1u);
+  const auto parsed = Json::parse(lines_[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("msg")->as_string(),
+            "quote \" backslash \\ newline \n done");
+}
+
+TEST_F(LoggingTest, ThresholdAppliesInBothFormats) {
+  set_log_level(LogLevel::kWarn);
+  set_log_format(LogFormat::kJson);
+  log(LogLevel::kInfo, "serve", "dropped");
+  set_log_format(LogFormat::kHuman);
+  log(LogLevel::kDebug, "dropped too");
+  log(LogLevel::kError, "kept");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[haan ERROR] kept");
+}
+
+TEST_F(LoggingTest, StreamMacroCarriesComponent) {
+  set_log_format(LogFormat::kJson);
+  HAAN_LOG_INFO_C("obs") << "events=" << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  const auto parsed = Json::parse(lines_[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("component")->as_string(), "obs");
+  EXPECT_EQ(parsed->find("msg")->as_string(), "events=42");
+}
+
+}  // namespace
+}  // namespace haan::common

@@ -1,0 +1,114 @@
+// SnapshotEmitter contract: the timer emits periodically while started, stop
+// (and destruction) always emits one final snapshot so short runs report,
+// human lines go through the logger under component "stats", and the JSON
+// file holds one parseable object per line.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_lite.hpp"
+#include "common/logging.hpp"
+#include "obs/snapshot.hpp"
+
+namespace haan::obs {
+namespace {
+
+Snapshot make_snapshot(int n) {
+  Snapshot snapshot;
+  snapshot.human = "sample " + std::to_string(n);
+  common::Json::Object json;
+  json["n"] = n;
+  snapshot.json = json;
+  return snapshot;
+}
+
+TEST(SnapshotEmitter, StopEmitsFinalSnapshotEvenOnShortRuns) {
+  std::atomic<int> samples{0};
+  SnapshotEmitter::Options options;
+  options.interval = std::chrono::milliseconds(60000);  // never fires on timer
+  options.log_human = false;
+  SnapshotEmitter emitter([&] { return make_snapshot(samples.fetch_add(1)); },
+                          options);
+  emitter.start();
+  emitter.stop();
+  EXPECT_EQ(emitter.emitted(), 1u);  // the final flush
+  EXPECT_EQ(samples.load(), 1);
+  emitter.stop();  // idempotent
+  EXPECT_EQ(emitter.emitted(), 1u);
+}
+
+TEST(SnapshotEmitter, EmitsPeriodicallyWhileRunning) {
+  std::atomic<int> samples{0};
+  SnapshotEmitter::Options options;
+  options.interval = std::chrono::milliseconds(5);
+  options.log_human = false;
+  SnapshotEmitter emitter([&] { return make_snapshot(samples.fetch_add(1)); },
+                          options);
+  emitter.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  emitter.stop();
+  // 60ms at a 5ms interval: at least a handful of timer firings + the final.
+  EXPECT_GE(emitter.emitted(), 3u);
+}
+
+TEST(SnapshotEmitter, HumanLinesGoThroughLoggerAsStatsComponent) {
+  std::vector<std::string> lines;
+  common::set_log_sink([&](std::string_view line) { lines.emplace_back(line); });
+  common::set_log_format(common::LogFormat::kJson);
+  {
+    SnapshotEmitter::Options options;
+    options.interval = std::chrono::milliseconds(60000);
+    SnapshotEmitter emitter([] { return make_snapshot(0); }, options);
+    emitter.start();
+    emitter.stop();
+  }
+  common::set_log_sink(nullptr);
+  common::set_log_format(common::LogFormat::kHuman);
+  ASSERT_EQ(lines.size(), 1u);
+  const auto parsed = common::Json::parse(lines[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("component")->as_string(), "stats");
+  EXPECT_EQ(parsed->find("msg")->as_string(), "sample 0");
+}
+
+TEST(SnapshotEmitter, JsonFileHoldsOneParseableObjectPerLine) {
+  const std::string path = ::testing::TempDir() + "haan_snapshot_test.jsonl";
+  std::remove(path.c_str());
+  std::atomic<int> samples{0};
+  {
+    SnapshotEmitter::Options options;
+    options.interval = std::chrono::milliseconds(5);
+    options.json_path = path;
+    options.log_human = false;
+    SnapshotEmitter emitter([&] { return make_snapshot(samples.fetch_add(1)); },
+                            options);
+    emitter.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    emitter.stop();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int parsed_lines = 0;
+  int last_n = -1;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto parsed = common::Json::parse(line);
+    ASSERT_TRUE(parsed.has_value()) << "unparseable line: " << line;
+    const int n = static_cast<int>(parsed->find("n")->as_number());
+    EXPECT_EQ(n, last_n + 1);  // snapshots appear in emission order
+    last_n = n;
+    ++parsed_lines;
+  }
+  EXPECT_GE(parsed_lines, 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace haan::obs

@@ -1,0 +1,225 @@
+// Tracer contract: disabled sites record nothing, spans nest per thread in
+// the exported Chrome trace, begin/end stay balanced under worker churn
+// (buffers outlive their threads) and under ring wrap-around (orphan ends
+// dropped, open begins closed), flows keep their ids, and the export parses
+// with the in-repo JSON parser.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_lite.hpp"
+#include "obs/trace.hpp"
+
+namespace haan::obs {
+namespace {
+
+/// Fresh tracer state per test: clear buffers, default capacity, disabled.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().set_enabled(false);
+    tracer().reset();
+    tracer().set_ring_capacity(1 << 16);
+  }
+  void TearDown() override {
+    tracer().set_enabled(false);
+    tracer().reset();
+  }
+};
+
+/// Parses an exported trace and checks per-thread begin/end balance: depth
+/// never goes negative and ends at zero for every tid. Returns the parsed
+/// events array.
+common::Json::Array parse_balanced(const std::string& json) {
+  const auto parsed = common::Json::parse(json);
+  EXPECT_TRUE(parsed.has_value()) << "trace is not valid JSON";
+  if (!parsed.has_value()) return {};
+  const common::Json* events = parsed->find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+
+  std::map<int, int> depth;
+  for (const common::Json& event : events->as_array()) {
+    const std::string& ph = event.find("ph")->as_string();
+    const int tid = static_cast<int>(event.find("tid")->as_number());
+    if (ph == "B") ++depth[tid];
+    if (ph == "E") {
+      --depth[tid];
+      EXPECT_GE(depth[tid], 0) << "unbalanced E on tid " << tid;
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unclosed spans on tid " << tid;
+  }
+  return events->as_array();
+}
+
+TEST_F(TraceTest, DisabledSitesRecordNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  {
+    HAAN_TRACE_SPAN("should-not-appear", "test");
+    instant("nor-this", "test");
+    flow_begin("flow", "test", 1);
+    flow_end("flow", "test", 1);
+  }
+  EXPECT_EQ(tracer().stats().events, 0u);
+}
+
+TEST_F(TraceTest, SpansNestPerThreadInExport) {
+  tracer().set_enabled(true);
+  set_thread_name("test-main");
+  {
+    HAAN_TRACE_SPAN("outer", "test", 7, 0);
+    {
+      HAAN_TRACE_SPAN("inner", "test");
+      instant("tick", "test");
+    }
+    { HAAN_TRACE_SPAN("inner2", "test"); }
+  }
+  const common::Json::Array events = parse_balanced(tracer().export_chrome_json());
+
+  // Expected order on the single thread: outer-B, inner-B, tick-i, inner-E,
+  // inner2-B, inner2-E, outer-E (plus the thread_name metadata record).
+  std::vector<std::string> phases;
+  std::vector<std::string> begin_names;
+  bool saw_thread_name = false;
+  for (const common::Json& event : events) {
+    const std::string& ph = event.find("ph")->as_string();
+    if (ph == "M") {
+      saw_thread_name = true;
+      EXPECT_EQ(event.find("args")->find("name")->as_string(), "test-main");
+      continue;
+    }
+    phases.push_back(ph);
+    if (ph == "B") begin_names.push_back(event.find("name")->as_string());
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_EQ(phases, (std::vector<std::string>{"B", "B", "i", "E", "B", "E", "E"}));
+  EXPECT_EQ(begin_names, (std::vector<std::string>{"outer", "inner", "inner2"}));
+}
+
+TEST_F(TraceTest, SpanArgsSurviveExport) {
+  tracer().set_enabled(true);
+  { HAAN_TRACE_SPAN("with-args", "test", 3, 9); }
+  const common::Json::Array events = parse_balanced(tracer().export_chrome_json());
+  bool found = false;
+  for (const common::Json& event : events) {
+    if (event.find("ph")->as_string() != "B") continue;
+    found = true;
+    EXPECT_EQ(event.find("args")->find("a")->as_number(), 3.0);
+    EXPECT_EQ(event.find("args")->find("b")->as_number(), 9.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, BuffersSurviveWorkerChurnBalanced) {
+  tracer().set_enabled(true);
+  // Several generations of short-lived workers, all gone before export.
+  for (int generation = 0; generation < 3; ++generation) {
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([w] {
+        set_thread_name("churn-worker-" + std::to_string(w));
+        for (int i = 0; i < 20; ++i) {
+          HAAN_TRACE_SPAN("work", "test", static_cast<std::uint32_t>(i));
+          HAAN_TRACE_SPAN("sub", "test");
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const Tracer::Stats stats = tracer().stats();
+  EXPECT_GE(stats.threads, 12u);  // 3 generations x 4 workers (+ this thread)
+  EXPECT_EQ(stats.dropped, 0u);
+  // 12 threads x 20 iterations x 2 spans x 2 events.
+  const common::Json::Array events = parse_balanced(tracer().export_chrome_json());
+  std::size_t begins = 0;
+  for (const common::Json& event : events) {
+    if (event.find("ph")->as_string() == "B") ++begins;
+  }
+  EXPECT_EQ(begins, 12u * 20u * 2u);
+}
+
+TEST_F(TraceTest, RingWrapDropsOldestButExportStaysBalanced) {
+  tracer().set_ring_capacity(64);
+  tracer().set_enabled(true);
+  // A fresh thread (ring allocated at the small capacity) records far more
+  // events than fit.
+  std::thread worker([] {
+    for (int i = 0; i < 1000; ++i) {
+      HAAN_TRACE_SPAN("wrapped", "test", static_cast<std::uint32_t>(i));
+    }
+  });
+  worker.join();
+  const Tracer::Stats stats = tracer().stats();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_LE(stats.events, 64u);
+  parse_balanced(tracer().export_chrome_json());
+}
+
+TEST_F(TraceTest, OpenSpanAtExportIsClosedAtLastTimestamp) {
+  tracer().set_enabled(true);
+  ScopedSpan* leaked = new ScopedSpan("still-open", "test");
+  instant("later", "test");
+  const common::Json::Array events = parse_balanced(tracer().export_chrome_json());
+  double begin_ts = -1.0, end_ts = -1.0, instant_ts = -1.0;
+  for (const common::Json& event : events) {
+    const std::string& ph = event.find("ph")->as_string();
+    if (ph == "B") begin_ts = event.find("ts")->as_number();
+    if (ph == "E") end_ts = event.find("ts")->as_number();
+    if (ph == "i") instant_ts = event.find("ts")->as_number();
+  }
+  EXPECT_GE(begin_ts, 0.0);
+  // The synthesized close lands at the thread's last recorded timestamp.
+  EXPECT_EQ(end_ts, instant_ts);
+  delete leaked;  // records a real E afterwards; harmless
+}
+
+TEST_F(TraceTest, FlowEventsKeepTheirIds) {
+  tracer().set_enabled(true);
+  {
+    HAAN_TRACE_SPAN("produce", "test");
+    flow_begin("req", "test", 42);
+  }
+  std::thread consumer([] {
+    HAAN_TRACE_SPAN("consume", "test");
+    flow_end("req", "test", 42);
+  });
+  consumer.join();
+  const common::Json::Array events = parse_balanced(tracer().export_chrome_json());
+  int start_tid = -1, finish_tid = -1;
+  for (const common::Json& event : events) {
+    const std::string& ph = event.find("ph")->as_string();
+    if (ph == "s") {
+      EXPECT_EQ(event.find("id")->as_number(), 42.0);
+      start_tid = static_cast<int>(event.find("tid")->as_number());
+    }
+    if (ph == "f") {
+      EXPECT_EQ(event.find("id")->as_number(), 42.0);
+      EXPECT_EQ(event.find("bp")->as_string(), "e");
+      finish_tid = static_cast<int>(event.find("tid")->as_number());
+    }
+  }
+  ASSERT_NE(start_tid, -1);
+  ASSERT_NE(finish_tid, -1);
+  EXPECT_NE(start_tid, finish_tid);  // the flow crossed threads
+}
+
+TEST_F(TraceTest, ResetForgetsEventsAndDeadThreads) {
+  tracer().set_enabled(true);
+  std::thread worker([] { HAAN_TRACE_SPAN("gone", "test"); });
+  worker.join();
+  { HAAN_TRACE_SPAN("live", "test"); }
+  EXPECT_GT(tracer().stats().events, 0u);
+  tracer().reset();
+  EXPECT_EQ(tracer().stats().events, 0u);
+  // The live thread keeps recording into its cleared ring.
+  { HAAN_TRACE_SPAN("after-reset", "test"); }
+  EXPECT_EQ(tracer().stats().events, 2u);
+}
+
+}  // namespace
+}  // namespace haan::obs

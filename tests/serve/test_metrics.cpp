@@ -1,13 +1,18 @@
 // ServeMetrics / MetricsCollector unit coverage: empty sample sets (a
 // drained-empty run with zero completed requests) must finalize to all-zero
 // summaries without touching an empty vector, percentiles must follow the
-// nearest-rank definition, and the aggregated HAAN norm counters (including
-// the row-block batching counters) must sum across workers.
+// nearest-rank definition (exact for the vector oracle, within one log-bucket
+// ratio for the streaming histogram collector), the collector's memory must
+// stay constant in the completed-request count, and the aggregated HAAN norm
+// counters (including the row-block batching counters) must sum across
+// workers.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "serve/metrics.hpp"
 
 namespace haan::serve {
@@ -117,16 +122,71 @@ TEST(MetricsCollector, RecordedLatenciesSummarize) {
   }
   collector.record_batch(2);
   collector.record_batch(1);
-  collector.sample_queue_depth(3);
   const ServeMetrics metrics = collector.finalize(1e6);
   EXPECT_EQ(metrics.completed, 3u);
   EXPECT_EQ(metrics.throughput_rps, 3.0);
-  EXPECT_EQ(metrics.total.mean_us, 200.0);
-  EXPECT_EQ(metrics.total.p50_us, 200.0);
+  // Percentiles come from the streaming log-bucket histogram: accurate to one
+  // bucket ratio (~4.9% at 48 buckets/decade), not exact like the vector
+  // oracle above.
+  const double ratio = common::LogHistogram(latency_histogram_config()).bucket_ratio();
+  EXPECT_NEAR(metrics.total.mean_us, 200.0, 1e-9);  // mean/max are exact
+  EXPECT_EQ(metrics.total.max_us, 300.0);
+  EXPECT_NEAR(metrics.total.p50_us, 200.0, 200.0 * (ratio - 1.0));
   EXPECT_EQ(metrics.batches, 2u);
   EXPECT_EQ(metrics.mean_batch_size, 1.5);
   EXPECT_EQ(metrics.max_batch_size, 2u);
-  EXPECT_EQ(metrics.max_queue_depth, 3u);
+  // Queue depth is owned by the RequestQueue now; the collector leaves it for
+  // the server to stamp.
+  EXPECT_EQ(metrics.max_queue_depth, 0u);
+}
+
+TEST(MetricsCollector, HistogramPercentilesTrackNearestRankWithinOneBucket) {
+  // The acceptance bound of the streaming collector: every reported
+  // percentile lies within one log-bucket ratio of the exact nearest-rank
+  // value computed by the retained-samples oracle.
+  MetricsCollector collector;
+  std::vector<double> totals;
+  double value = 3.0;
+  for (int i = 0; i < 5000; ++i) {
+    // Deterministic heavy-ish tail spanning several decades.
+    value = 3.0 + std::fmod(value * 1.37 + 11.7, 90000.0);
+    RequestResult result;
+    result.total_us = value;
+    result.queue_us = value * 0.25;
+    result.compute_us = value * 0.75;
+    collector.record(result);
+    totals.push_back(value);
+  }
+  const LatencySummary exact = summarize_latency(totals);
+  const ServeMetrics metrics = collector.finalize(1e6);
+  const double ratio = common::LogHistogram(latency_histogram_config()).bucket_ratio();
+  EXPECT_LE(metrics.total.p50_us, exact.p50_us * ratio);
+  EXPECT_GE(metrics.total.p50_us, exact.p50_us / ratio);
+  EXPECT_LE(metrics.total.p95_us, exact.p95_us * ratio);
+  EXPECT_GE(metrics.total.p95_us, exact.p95_us / ratio);
+  EXPECT_LE(metrics.total.p99_us, exact.p99_us * ratio);
+  EXPECT_GE(metrics.total.p99_us, exact.p99_us / ratio);
+  EXPECT_EQ(metrics.total.max_us, exact.max_us);  // extremes are exact
+  EXPECT_NEAR(metrics.total.mean_us, exact.mean_us, exact.mean_us * 1e-9);
+}
+
+TEST(MetricsCollector, MemoryConstantInCompletedRequestCount) {
+  // The old collector kept every latency sample in vectors (O(completed));
+  // the histogram collector's footprint must not grow with traffic.
+  MetricsCollector small;
+  MetricsCollector large;
+  RequestResult result;
+  result.total_us = 123.0;
+  result.queue_us = 23.0;
+  result.compute_us = 100.0;
+  for (int i = 0; i < 100; ++i) small.record(result);
+  for (int i = 0; i < 100000; ++i) {
+    result.total_us = 1.0 + (i % 100000);  // spread across buckets
+    large.record(result);
+  }
+  EXPECT_EQ(small.approx_memory_bytes(), large.approx_memory_bytes());
+  EXPECT_LT(large.approx_memory_bytes(), 64u * 1024u);
+  EXPECT_EQ(large.completed(), 100000u);
 }
 
 }  // namespace

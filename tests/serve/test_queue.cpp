@@ -154,6 +154,35 @@ TEST(RequestQueue, HighWatermarkTracksDeepestOccupancy) {
   EXPECT_EQ(queue.size(), 2u);
 }
 
+TEST(RequestQueue, MeanDepthSamplesPopsAsWellAsPushes) {
+  // Fill to 4 then drain to 0. Post-push depths are 1,2,3,4 and post-pop
+  // depths are 3,2,1,0: the unbiased event-sampled mean is 2.0. A push-only
+  // sample stream (the old feeder-side sampling) would report 2.5 — it never
+  // sees the drain phase.
+  RequestQueue queue(8);
+  for (std::uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(queue.push(make_request(i)));
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_EQ(queue.depth_samples(), 8u);
+  EXPECT_DOUBLE_EQ(queue.mean_depth(), 2.0);
+}
+
+TEST(RequestQueue, MeanDepthCoversEveryPopVariant) {
+  RequestQueue queue(8);
+  EXPECT_EQ(queue.depth_samples(), 0u);
+  EXPECT_EQ(queue.mean_depth(), 0.0);
+  ASSERT_TRUE(queue.try_push(make_request(0)));           // depth 1
+  ASSERT_TRUE(queue.push(make_request(1)));               // depth 2
+  ASSERT_TRUE(queue.try_pop().has_value());               // depth 1
+  Request out;
+  ASSERT_EQ(queue.try_pop(out), TryPopResult::kItem);     // depth 0
+  ASSERT_TRUE(queue.push(make_request(2)));               // depth 1
+  ASSERT_TRUE(queue.pop_for(std::chrono::microseconds(1000)).has_value());  // 0
+  // Samples: 1,2,1,0,1,0 -> mean 5/6. Failed pops must not add samples.
+  EXPECT_EQ(queue.try_pop(out), TryPopResult::kEmpty);
+  EXPECT_EQ(queue.depth_samples(), 6u);
+  EXPECT_DOUBLE_EQ(queue.mean_depth(), 5.0 / 6.0);
+}
+
 TEST(RequestQueue, ManyProducersManyConsumersLoseNothing) {
   RequestQueue queue(4);
   constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 50;
