@@ -1,13 +1,22 @@
 // Serving throughput/latency bench: drives the haan::serve runtime with a
 // synthetic workload and reports p50/p95/p99 latency, throughput, batch and
-// queue statistics, and aggregated norm counters. With --verify=true (the
-// default) the multi-worker run is checked bit-for-bit against a
-// single-threaded reference execution of the same workload.
+// queue statistics, phase latencies (TTFT / inter-token under decode), and
+// aggregated norm counters. With --verify=true (the default) the multi-worker
+// run is checked bit-for-bit against a single-threaded reference execution of
+// the same workload (the re-forward oracle when decode traffic is present).
+//
+// Execution model: --mode picks auto | mega-batch | per-request | chunked;
+// --prefill-chunk bounds prompt rows per chunked step; --decode /
+// --decode-tokens add per-request decode budgets to the workload (which
+// force chunked execution under auto).
 //
 // With --compare=true it additionally sweeps mega-batch (packed cross-request
 // forwards + row-partitioned norms) against the per-request execution model
 // over batch size × prompt length × workers, closed-loop, and can gate on the
-// batch >= 8 speedup (--min-mega-speedup).
+// batch >= 8 speedup (--min-mega-speedup). With --decode-sweep=true it sweeps
+// decode mixes (decode budget × prefill chunk) closed-loop, reporting TTFT
+// p50/p99, inter-token p99 and the prefill:decode row split, verifying every
+// cell bit-for-bit against the reference oracle (the CI decode gate).
 //
 // Observability: --trace-out exports the run as Chrome Trace Event JSON
 // (Perfetto-loadable) and cross-checks it against the report (per-thread
@@ -18,8 +27,8 @@
 //
 //   ./build/bench/serve_throughput --norm=haan --workers=4 --scenario=steady
 //       --seed=1 --compare=true --json=bench/serve_baseline.json
-//   ./build/bench/serve_throughput --trace-out=/tmp/trace.json \
-//       --stats-interval=250 --max-trace-overhead=1.10
+//   ./build/bench/serve_throughput --decode=geometric --decode-tokens=8
+//       --decode-sweep=true --trace-out=/tmp/decode_trace.json
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -64,6 +73,60 @@ serve::ServeMetrics closed_loop_metrics(serve::ServerConfig config,
   return server.run(workload).metrics;
 }
 
+/// One cell of the decode-mix sweep: a decode budget (0 = prefill-only) per
+/// request, served chunked with the given prefill chunk.
+struct DecodeCell {
+  std::size_t decode_tokens = 0;
+  std::size_t prefill_chunk = 0;
+  double rps = 0.0;
+  double ttft_p50_us = 0.0;
+  double ttft_p99_us = 0.0;
+  double intertoken_p99_us = 0.0;
+  std::size_t prefill_rows = 0;
+  std::size_t decode_rows = 0;
+  bool verified = false;  ///< checksums + token streams match the oracle
+};
+
+/// Runs one decode cell closed-loop and verifies it against the re-forward
+/// reference oracle (checksums over fed rows AND greedy token streams).
+DecodeCell run_decode_cell(serve::ServerConfig config,
+                           serve::WorkloadConfig workload_config,
+                           std::size_t decode_tokens, std::size_t prefill_chunk) {
+  DecodeCell cell;
+  cell.decode_tokens = decode_tokens;
+  cell.prefill_chunk = prefill_chunk;
+
+  workload_config.decode_model = decode_tokens == 0
+                                     ? serve::DecodeModel::kNone
+                                     : serve::DecodeModel::kFixed;
+  workload_config.decode_tokens = decode_tokens;
+  workload_config.max_decode = decode_tokens == 0 ? 1 : decode_tokens;
+  const auto workload = serve::generate_workload(workload_config);
+
+  config.mode = serve::ExecMode::kChunked;
+  config.prefill_chunk = prefill_chunk;
+  config.paced = false;
+  config.keep_hidden = false;
+  serve::Server server(config);
+  const serve::ServeReport report = server.run(workload);
+  const serve::ServeReport reference = server.run_reference(workload);
+
+  cell.rps = report.metrics.throughput_rps;
+  cell.ttft_p50_us = report.metrics.ttft.p50_us;
+  cell.ttft_p99_us = report.metrics.ttft.p99_us;
+  cell.intertoken_p99_us = report.metrics.intertoken.p99_us;
+  cell.prefill_rows = report.metrics.prefill_rows;
+  cell.decode_rows = report.metrics.decode_rows;
+  cell.verified = report.results.size() == reference.results.size();
+  for (std::size_t i = 0; cell.verified && i < report.results.size(); ++i) {
+    cell.verified =
+        report.results[i].hidden_checksum ==
+            reference.results[i].hidden_checksum &&
+        report.results[i].generated == reference.results[i].generated;
+  }
+  return cell;
+}
+
 /// Self-check of the exported Chrome trace against the run's own metrics.
 struct TraceCheck {
   bool parsed = false;
@@ -85,9 +148,12 @@ struct TraceCheck {
 /// forward_hidden_batch calls with the same monotonic clock; packed requests
 /// share their batch's compute_us, so dedupe by batch sequence). Ring
 /// wrap-around (dropped > 0) voids the duration sums, so the 5% gate only
-/// applies to loss-free traces.
+/// applies to loss-free traces. In chunked mode sessions accumulate every
+/// pack they rode across the run (a shared pack's duration lands in several
+/// sessions), so no per-result dedup can reconstruct the forward total and
+/// the 5% gate is skipped — balance and flow checks still apply.
 TraceCheck check_trace(const std::string& json, const serve::ServeReport& report,
-                       bool mega_batch, std::uint64_t dropped) {
+                       serve::ExecMode mode, std::uint64_t dropped) {
   TraceCheck check;
   check.dropped = dropped;
   const auto parsed = common::Json::parse(json);
@@ -129,7 +195,11 @@ TraceCheck check_trace(const std::string& json, const serve::ServeReport& report
   check.flows_ok = flow_starts == report.results.size() &&
                    flow_finishes == report.results.size();
 
-  if (mega_batch) {
+  if (mode == serve::ExecMode::kChunked) {
+    check.compute_match = true;
+    return check;
+  }
+  if (mode == serve::ExecMode::kMegaBatch) {
     // Every request in a pack carries the pack's compute_us: count each batch
     // sequence once.
     std::map<std::uint64_t, double> by_batch;
@@ -193,6 +263,22 @@ int main(int argc, char** argv) {
   cli.add_flag("calibrate", "true", "calibrate a skip plan at startup");
   cli.add_flag("mega-batch", "true",
                "pack whole scheduler batches into one cross-request forward");
+  cli.add_flag("mode", "auto",
+               "execution model: auto | mega-batch | per-request | chunked "
+               "(auto resolves by decode demand, HAAN_PREFILL_CHUNK and "
+               "--mega-batch)");
+  cli.add_flag("prefill-chunk", "0",
+               "prompt rows per chunked prefill step (0 = whole remainder)");
+  cli.add_flag("decode", "none",
+               "per-request decode budget: none | fixed | geometric "
+               "(forces chunked execution under --mode=auto)");
+  cli.add_flag("decode-tokens", "8", "fixed decode length / geometric mean");
+  cli.add_flag("max-decode", "64", "cap on sampled decode lengths");
+  cli.add_flag("decode-sweep", "false",
+               "sweep decode budget x prefill chunk closed-loop: TTFT p50/p99, "
+               "inter-token p99, prefill:decode rows; every cell verified "
+               "bit-for-bit against the reference oracle (gates the exit "
+               "code)");
   cli.add_flag("norm-threads", "0",
                "row-partition threads per worker (0 = auto, 1 = serial)");
   cli.add_flag("verify", "true",
@@ -247,6 +333,24 @@ int main(int argc, char** argv) {
   config.paced = cli.get_bool("paced");
   config.calibrate = cli.get_bool("calibrate");
   config.mega_batch = cli.get_bool("mega-batch");
+  const std::string mode_name = cli.get("mode");
+  if (mode_name == "auto") {
+    config.mode = serve::ExecMode::kAuto;
+  } else if (mode_name == "mega-batch") {
+    config.mode = serve::ExecMode::kMegaBatch;
+  } else if (mode_name == "per-request") {
+    config.mode = serve::ExecMode::kPerRequest;
+  } else if (mode_name == "chunked") {
+    config.mode = serve::ExecMode::kChunked;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --mode '%s' (expected auto | mega-batch | "
+                 "per-request | chunked)\n",
+                 mode_name.c_str());
+    return 1;
+  }
+  config.prefill_chunk =
+      static_cast<std::size_t>(cli.get_int("prefill-chunk"));
   config.norm_threads = static_cast<std::size_t>(cli.get_int("norm-threads"));
   config.stats_interval_ms =
       static_cast<std::size_t>(cli.get_int("stats-interval"));
@@ -269,6 +373,13 @@ int main(int argc, char** argv) {
                  cli.get("length").c_str());
     return 1;
   }
+  const auto decode_model = serve::try_decode_model_from_string(cli.get("decode"));
+  if (!decode_model) {
+    std::fprintf(stderr,
+                 "unknown --decode '%s' (expected none | fixed | geometric)\n",
+                 cli.get("decode").c_str());
+    return 1;
+  }
 
   serve::WorkloadConfig workload_config;
   workload_config.n_requests = static_cast<std::size_t>(cli.get_int("requests"));
@@ -280,12 +391,18 @@ int main(int argc, char** argv) {
   workload_config.max_prompt = static_cast<std::size_t>(cli.get_int("max-prompt"));
   workload_config.vocab_size = config.model.vocab_size;
   workload_config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  workload_config.decode_model = *decode_model;
+  workload_config.decode_tokens =
+      static_cast<std::size_t>(cli.get_int("decode-tokens"));
+  workload_config.max_decode =
+      static_cast<std::size_t>(cli.get_int("max-decode"));
 
   std::printf(
       "=== serve_throughput — %s, norm=%s, %zu workers, %s traffic, "
-      "%s kernels ===\n",
+      "decode=%s, %s kernels ===\n",
       config.model.name.c_str(), config.norm.c_str(), config.workers,
       serve::to_string(workload_config.scenario).c_str(),
+      serve::to_string(workload_config.decode_model).c_str(),
       kernels::active_name());
 
   serve::Server server(config);
@@ -316,7 +433,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
       return 1;
     }
-    trace_check = check_trace(trace_json, report, config.mega_batch, stats.dropped);
+    trace_check =
+        check_trace(trace_json, report, server.resolve_mode(workload),
+                    stats.dropped);
     trace_ok = trace_check.ok();
     std::printf(
         "trace            : %s -> %zu events on %zu threads (%llu dropped)\n",
@@ -336,31 +455,40 @@ int main(int argc, char** argv) {
 
   bool verified = true;
   const bool verify = cli.get_bool("verify");
+  const bool has_decode =
+      workload_config.decode_model != serve::DecodeModel::kNone;
   if (verify) {
     const auto reference = server.run_reference(workload);
     std::size_t mismatches = 0;
     for (std::size_t i = 0; i < report.results.size(); ++i) {
       if (report.results[i].hidden_checksum !=
-          reference.results[i].hidden_checksum) {
+              reference.results[i].hidden_checksum ||
+          report.results[i].generated != reference.results[i].generated) {
         ++mismatches;
       }
     }
+    // Per-row counter parity only holds for prefill-only workloads: the
+    // re-forward oracle feeds each prompt row once per generated token, while
+    // incremental execution feeds every row exactly once.
     const bool counters_match =
-        report.metrics.norm.norm_calls == reference.metrics.norm.norm_calls &&
-        report.metrics.norm.isd_computed == reference.metrics.norm.isd_computed &&
-        report.metrics.norm.isd_predicted ==
-            reference.metrics.norm.isd_predicted &&
-        report.metrics.norm.elements_read ==
-            reference.metrics.norm.elements_read &&
-        report.metrics.norm.fused_residual_norms ==
-            reference.metrics.norm.fused_residual_norms;
+        has_decode ||
+        (report.metrics.norm.norm_calls == reference.metrics.norm.norm_calls &&
+         report.metrics.norm.isd_computed ==
+             reference.metrics.norm.isd_computed &&
+         report.metrics.norm.isd_predicted ==
+             reference.metrics.norm.isd_predicted &&
+         report.metrics.norm.elements_read ==
+             reference.metrics.norm.elements_read &&
+         report.metrics.norm.fused_residual_norms ==
+             reference.metrics.norm.fused_residual_norms);
     verified = mismatches == 0 && counters_match;
     std::printf(
-        "verify           : %s (%zu/%zu hidden-state checksums match, "
-        "counters %s)\n",
+        "verify           : %s (%zu/%zu hidden-state checksums + token "
+        "streams match, counters %s)\n",
         verified ? "bit-identical to single-threaded reference" : "MISMATCH",
         report.results.size() - mismatches, report.results.size(),
-        counters_match ? "identical" : "DIFFER");
+        has_decode ? "n/a under decode"
+                   : (counters_match ? "identical" : "DIFFER"));
   }
 
   // --- Mega-batch vs per-request sweep -----------------------------------
@@ -461,6 +589,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Decode-mix sweep ---------------------------------------------------
+  const bool decode_sweep = cli.get_bool("decode-sweep");
+  std::vector<DecodeCell> decode_cells;
+  bool decode_gate_ok = true;
+  if (decode_sweep) {
+    const std::size_t sweep_requests = std::min<std::size_t>(
+        static_cast<std::size_t>(cli.get_int("compare-requests")), 240);
+    const std::size_t decode_budgets[] = {0, 4, 16};
+    const std::size_t prefill_chunks[] = {0, 4};
+    serve::WorkloadConfig sweep_workload = workload_config;
+    sweep_workload.n_requests = sweep_requests;
+
+    serve::ServerConfig sweep_config = config;
+    // Reuse the main server's calibration (plan depends only on model +
+    // calibration knobs) and keep hidden states off — the cell verifies via
+    // checksums and token streams.
+    sweep_config.calibrate = false;
+    sweep_config.preset_plan = server.plan();
+
+    std::printf(
+        "\n=== decode mix sweep (chunked, closed loop, %zu requests/cell) "
+        "===\n", sweep_requests);
+    std::printf("%7s %6s %9s %10s %10s %12s %14s %9s\n", "decode", "chunk",
+                "req/s", "ttft p50", "ttft p99", "intertok p99",
+                "prefill:decode", "verified");
+    for (const std::size_t budget : decode_budgets) {
+      for (const std::size_t chunk : prefill_chunks) {
+        const DecodeCell cell =
+            run_decode_cell(sweep_config, sweep_workload, budget, chunk);
+        decode_cells.push_back(cell);
+        decode_gate_ok = decode_gate_ok && cell.verified;
+        std::printf("%7zu %6zu %9.1f %8.1fus %8.1fus %10.1fus %7zu:%-6zu %9s\n",
+                    cell.decode_tokens, cell.prefill_chunk, cell.rps,
+                    cell.ttft_p50_us, cell.ttft_p99_us, cell.intertoken_p99_us,
+                    cell.prefill_rows, cell.decode_rows,
+                    cell.verified ? "yes" : "MISMATCH");
+      }
+    }
+    std::printf("decode gate      : %s (every cell bit-identical to the "
+                "reference oracle)\n",
+                decode_gate_ok ? "PASS" : "FAIL");
+  }
+
   // --- Tracing overhead gate ---------------------------------------------
   const double max_trace_overhead = cli.get_double("max-trace-overhead");
   bool overhead_ok = true;
@@ -508,6 +679,12 @@ int main(int argc, char** argv) {
     cfg["queue_capacity"] = config.queue_capacity;
     cfg["paced"] = config.paced;
     cfg["mega_batch"] = config.mega_batch;
+    cfg["mode"] = mode_name;
+    cfg["resolved_mode"] = serve::to_string(server.resolve_mode(workload));
+    cfg["prefill_chunk"] = config.prefill_chunk;
+    cfg["decode_model"] = serve::to_string(workload_config.decode_model);
+    cfg["decode_tokens"] = workload_config.decode_tokens;
+    cfg["max_decode"] = workload_config.max_decode;
     cfg["norm_threads"] = config.norm_threads;
     cfg["seed"] = static_cast<std::size_t>(workload_config.seed);
     cfg["skip_plan"] = server.plan().to_string();
@@ -542,6 +719,26 @@ int main(int argc, char** argv) {
       cmp["gate_ok"] = mega_gate_ok;
       doc["mega_batch_compare"] = cmp;
     }
+    if (decode_sweep) {
+      common::Json::Array sweep;
+      for (const DecodeCell& cell : decode_cells) {
+        common::Json::Object entry;
+        entry["decode_tokens"] = cell.decode_tokens;
+        entry["prefill_chunk"] = cell.prefill_chunk;
+        entry["rps"] = cell.rps;
+        entry["ttft_p50_us"] = cell.ttft_p50_us;
+        entry["ttft_p99_us"] = cell.ttft_p99_us;
+        entry["intertoken_p99_us"] = cell.intertoken_p99_us;
+        entry["prefill_rows"] = cell.prefill_rows;
+        entry["decode_rows"] = cell.decode_rows;
+        entry["verified"] = cell.verified;
+        sweep.push_back(entry);
+      }
+      common::Json::Object mix;
+      mix["cells"] = sweep;
+      mix["gate_ok"] = decode_gate_ok;
+      doc["decode_sweep"] = mix;
+    }
     if (!trace_out.empty()) {
       common::Json::Object trace;
       trace["path"] = trace_out;
@@ -570,5 +767,7 @@ int main(int argc, char** argv) {
     }
     std::printf("json report      : %s\n", json_path.c_str());
   }
-  return verified && mega_gate_ok && trace_ok && overhead_ok ? 0 : 1;
+  return verified && mega_gate_ok && decode_gate_ok && trace_ok && overhead_ok
+             ? 0
+             : 1;
 }

@@ -1,6 +1,8 @@
 #include "model/attention.hpp"
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "tensor/ops.hpp"
@@ -40,6 +42,69 @@ tensor::Tensor multi_head_attention(const tensor::Tensor& x, const BlockWeights&
         const float p = scores.at(i, j);
         if (p == 0.0f) continue;
         const auto vj = v.row(j).subspan(off, d_head);
+        for (std::size_t c = 0; c < d_head; ++c) out_row[c] += p * vj[c];
+      }
+    }
+  }
+  return tensor::linear(context, block.wo, {});
+}
+
+tensor::Tensor multi_head_attention_cached(const tensor::Tensor& x_new,
+                                           const BlockWeights& block,
+                                           std::size_t n_heads, KvCache& cache,
+                                           std::size_t block_index,
+                                           std::size_t start_position) {
+  HAAN_EXPECTS(x_new.shape().rank() == 2);
+  const std::size_t rows = x_new.shape().dim(0);
+  const std::size_t d_model = x_new.shape().dim(1);
+  HAAN_EXPECTS(d_model % n_heads == 0);
+  HAAN_EXPECTS(cache.valid() && cache.d_model() == d_model);
+  HAAN_EXPECTS(block_index < cache.blocks());
+  HAAN_EXPECTS(cache.rows(block_index) == start_position);
+  const std::size_t d_head = d_model / n_heads;
+
+  const tensor::Tensor q = tensor::linear(x_new, block.wq, {});
+  {
+    const tensor::Tensor k_new = tensor::linear(x_new, block.wk, {});
+    const tensor::Tensor v_new = tensor::linear(x_new, block.wv, {});
+    cache.append(block_index, k_new.data(), v_new.data());
+  }
+  const std::span<const float> k_all = cache.k(block_index);
+  const std::span<const float> v_all = cache.v(block_index);
+
+  tensor::Tensor context(tensor::Shape{rows, d_model});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+  std::vector<float> scores;
+
+  for (std::size_t h = 0; h < n_heads; ++h) {
+    const std::size_t off = h * d_head;
+    for (std::size_t i = 0; i < rows; ++i) {
+      // New row i is absolute token start_position + i: it attends over the
+      // causal prefix [0, ctx) of the cached K/V rows.
+      const std::size_t ctx = start_position + i + 1;
+      const auto qi = q.row(i).subspan(off, d_head);
+      scores.resize(ctx);
+      for (std::size_t j = 0; j < ctx; ++j) {
+        const auto kj = k_all.subspan(j * d_model + off, d_head);
+        scores[j] = scale * static_cast<float>(tensor::dot(qi, kj));
+      }
+      // Stable softmax over the prefix, in causal_softmax's arithmetic order.
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (std::size_t j = 0; j < ctx; ++j) max_v = std::max(max_v, scores[j]);
+      double sum = 0.0;
+      for (std::size_t j = 0; j < ctx; ++j) {
+        scores[j] = std::exp(scores[j] - max_v);
+        sum += scores[j];
+      }
+      HAAN_ASSERT(sum > 0.0);
+      for (std::size_t j = 0; j < ctx; ++j) {
+        scores[j] = static_cast<float>(scores[j] / sum);
+      }
+      const auto out_row = context.row(i).subspan(off, d_head);
+      for (std::size_t j = 0; j < ctx; ++j) {
+        const float p = scores[j];
+        if (p == 0.0f) continue;
+        const auto vj = v_all.subspan(j * d_model + off, d_head);
         for (std::size_t c = 0; c < d_head; ++c) out_row[c] += p * vj[c];
       }
     }

@@ -20,6 +20,22 @@ BatchLayout BatchLayout::from_lengths(std::span<const std::size_t> lengths) {
   return layout;
 }
 
+BatchLayout BatchLayout::from_spans(std::span<const std::size_t> lengths,
+                                    std::span<const std::size_t> start_positions) {
+  HAAN_EXPECTS(!lengths.empty());
+  HAAN_EXPECTS(lengths.size() == start_positions.size());
+  BatchLayout layout;
+  layout.spans_.reserve(lengths.size());
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    HAAN_EXPECTS(lengths[i] > 0);
+    layout.spans_.push_back({row, lengths[i], start_positions[i]});
+    row += lengths[i];
+  }
+  layout.total_rows_ = row;
+  return layout;
+}
+
 BatchLayout BatchLayout::from_sequences(
     std::span<const std::span<const int>> sequences) {
   HAAN_EXPECTS(!sequences.empty());
@@ -29,9 +45,10 @@ BatchLayout BatchLayout::from_sequences(
   return from_lengths(lengths);
 }
 
-BatchLayout BatchLayout::single(std::size_t rows) {
+BatchLayout BatchLayout::single(std::size_t rows, std::size_t start_position) {
   const std::size_t lengths[] = {rows};
-  return from_lengths(lengths);
+  const std::size_t starts[] = {start_position};
+  return from_spans(lengths, starts);
 }
 
 const SequenceSpan& BatchLayout::span(std::size_t i) const {

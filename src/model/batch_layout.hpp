@@ -30,14 +30,25 @@ class BatchLayout {
  public:
   BatchLayout() = default;
 
-  /// Packs sequences of the given lengths back to back (every length > 0).
+  /// Packs sequences of the given lengths back to back (every length > 0),
+  /// all starting at position 0 (full-prompt forwards).
   static BatchLayout from_lengths(std::span<const std::size_t> lengths);
+
+  /// Packs partial sequences: span i holds `lengths[i]` new rows whose first
+  /// row sits at token position `start_positions[i]` within its own sequence.
+  /// This is the chunked-prefill / incremental-decode packing entry point —
+  /// a prefill chunk continues at the rows already cached, a decode step is a
+  /// single row at the sequence's current length. Sizes must match and every
+  /// length must be > 0.
+  static BatchLayout from_spans(std::span<const std::size_t> lengths,
+                                std::span<const std::size_t> start_positions);
 
   /// Convenience: layout for the given token sequences, in order.
   static BatchLayout from_sequences(std::span<const std::span<const int>> sequences);
 
-  /// Degenerate single-sequence layout (the per-request forward path).
-  static BatchLayout single(std::size_t rows);
+  /// Degenerate single-sequence layout: `rows` new rows starting at token
+  /// position `start_position` (0 = the per-request full-forward path).
+  static BatchLayout single(std::size_t rows, std::size_t start_position = 0);
 
   std::size_t sequences() const { return spans_.size(); }
   std::size_t total_rows() const { return total_rows_; }

@@ -78,15 +78,18 @@ tensor::Tensor run_mlp(const tensor::Tensor& x, const BlockWeights& block,
   return tensor::linear(up, block.w_down, {});
 }
 
-/// Copies span rows out of the packed block, applies `fn` (sub-block in, same
-/// shape out), and writes the result back into the span's rows of `out`.
+/// Copies span rows out of the packed block, applies `fn` (sub-block + span
+/// index in, same shape out), and writes the result back into the span's rows
+/// of `out`.
 template <typename Fn>
-void apply_to_span(const tensor::Tensor& x, const SequenceSpan& span,
-                   std::size_t d, tensor::Tensor& out, const Fn& fn) {
+void apply_to_span(const tensor::Tensor& x, const BatchLayout& layout,
+                   std::size_t s, std::size_t d, tensor::Tensor& out,
+                   const Fn& fn) {
+  const SequenceSpan& span = layout.span(s);
   tensor::Tensor sub(tensor::Shape{span.rows, d});
   std::copy_n(x.data().data() + span.row_begin * d, span.rows * d,
               sub.data().data());
-  const tensor::Tensor result = fn(sub);
+  const tensor::Tensor result = fn(sub, s);
   std::copy_n(result.data().data(), span.rows * d,
               out.data().data() + span.row_begin * d);
 }
@@ -104,12 +107,12 @@ tensor::Tensor map_spans(const tensor::Tensor& x, const BatchLayout& layout,
     pool->for_rows(layout.sequences(), /*min_rows=*/1,
                    [&](std::size_t, std::size_t s0, std::size_t ns) {
       for (std::size_t s = s0; s < s0 + ns; ++s) {
-        apply_to_span(x, layout.span(s), d, out, fn);
+        apply_to_span(x, layout, s, d, out, fn);
       }
     });
   } else {
-    for (const SequenceSpan& span : layout.spans()) {
-      apply_to_span(x, span, d, out, fn);
+    for (std::size_t s = 0; s < layout.sequences(); ++s) {
+      apply_to_span(x, layout, s, d, out, fn);
     }
   }
   return out;
@@ -121,15 +124,39 @@ tensor::Tensor map_spans(const tensor::Tensor& x, const BatchLayout& layout,
 /// each span once for the attention call — attention itself is a pure per-
 /// sequence function, so the packed result is bit-identical to running every
 /// sequence through multi_head_attention on its own.
+///
+/// With `caches`, span s runs the incremental path: its rows continue at
+/// span(s).start_position and attend over caches[s]'s prefix plus themselves
+/// (appending this block's K/V rows as a side effect). Spans run serially in
+/// that case even with a pool — concurrent cached attention would be safe
+/// (each span owns its cache) but the serial loop keeps the append order per
+/// cache trivially deterministic; decode packs are single-row spans where
+/// span-parallel attention buys nothing.
 tensor::Tensor run_attention(const tensor::Tensor& x, const BatchLayout& layout,
                              const BlockWeights& block, const ModelConfig& config,
+                             std::size_t block_index,
+                             std::span<KvCache* const> caches,
                              RowPartitionPool* span_pool) {
   HAAN_TRACE_SPAN("attn", "model", static_cast<std::uint32_t>(x.shape().dim(0)),
                   static_cast<std::uint32_t>(layout.sequences()));
+  if (!caches.empty()) {
+    HAAN_EXPECTS(caches.size() == layout.sequences());
+    return map_spans(x, layout, /*pool=*/nullptr,
+                     [&](const tensor::Tensor& sub, std::size_t s) {
+      if (caches[s] == nullptr) {
+        HAAN_EXPECTS(layout.span(s).start_position == 0);
+        return multi_head_attention(sub, block, config.n_heads);
+      }
+      return multi_head_attention_cached(sub, block, config.n_heads, *caches[s],
+                                         block_index,
+                                         layout.span(s).start_position);
+    });
+  }
   if (layout.sequences() == 1) {
     return multi_head_attention(x, block, config.n_heads);
   }
-  return map_spans(x, layout, span_pool, [&](const tensor::Tensor& sub) {
+  return map_spans(x, layout, span_pool,
+                   [&](const tensor::Tensor& sub, std::size_t) {
     return multi_head_attention(sub, block, config.n_heads);
   });
 }
@@ -147,7 +174,8 @@ tensor::Tensor run_mlp_packed(const tensor::Tensor& x, const BatchLayout& layout
       layout.sequences() == 1) {
     return run_mlp(x, block, config);
   }
-  return map_spans(x, layout, span_pool, [&](const tensor::Tensor& sub) {
+  return map_spans(x, layout, span_pool,
+                   [&](const tensor::Tensor& sub, std::size_t) {
     return run_mlp(sub, block, config);
   });
 }
@@ -158,7 +186,7 @@ void run_block(tensor::Tensor& h, tensor::Tensor& pending,
                const BatchLayout& layout, const BlockWeights& block,
                const ModelConfig& config, std::size_t block_index,
                NormProvider& norm, const NormInputObserver& observer,
-               RowPartitionPool* span_pool) {
+               RowPartitionPool* span_pool, std::span<KvCache* const> caches) {
   const std::size_t norm1 = 2 * block_index;
   const std::size_t norm2 = 2 * block_index + 1;
 
@@ -169,7 +197,8 @@ void run_block(tensor::Tensor& h, tensor::Tensor& pending,
         apply_residual_norm_layer(h, pending, norm1, config.norm_kind,
                                   block.norm1_alpha, block.norm1_beta, norm,
                                   observer);
-    tensor::Tensor attn = run_attention(normed, layout, block, config, span_pool);
+    tensor::Tensor attn = run_attention(normed, layout, block, config,
+                                        block_index, caches, span_pool);
 
     normed = apply_residual_norm_layer(h, attn, norm2, config.norm_kind,
                                        block.norm2_alpha, block.norm2_beta,
@@ -183,7 +212,8 @@ void run_block(tensor::Tensor& h, tensor::Tensor& pending,
       tensor::add_inplace(h, pending);
       pending = tensor::Tensor();
     }
-    tensor::Tensor attn = run_attention(h, layout, block, config, span_pool);
+    tensor::Tensor attn =
+        run_attention(h, layout, block, config, block_index, caches, span_pool);
     h = apply_residual_norm_layer(attn, h, norm1, config.norm_kind,
                                   block.norm1_alpha, block.norm1_beta, norm,
                                   observer);

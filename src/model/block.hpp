@@ -14,6 +14,7 @@
 #include <span>
 
 #include "model/batch_layout.hpp"
+#include "model/kv_cache.hpp"
 #include "model/norm_provider.hpp"
 #include "model/row_partition.hpp"
 #include "model/weights.hpp"
@@ -72,10 +73,24 @@ tensor::Tensor apply_residual_norm_layer(tensor::Tensor& x,
 /// block's trailing MLP output (pre-norm placement) or is empty (post-norm,
 /// which normalizes inside the block). The caller must fold a non-empty
 /// `pending` into `h` after the last block (the final norm does it fused).
+///
+/// `caches` (optional; empty, or one entry per span) switches attention to the
+/// incremental path: span s's rows are NEW rows continuing at
+/// span.start_position, attending over caches[s]'s prefix. A null entry keeps
+/// the plain one-shot attention for that span (its start_position must be 0).
+///
+/// Norm providers still see start_position = 0, i.e. HAAN predictor positions
+/// are PACKED ROW indices, exactly as in one-shot packed forwards. This is
+/// deliberate: anchors live and die within a single forward call (the
+/// predictor resets per forward), so any unique per-row numbering preserves
+/// bit-identity — whereas absolute token positions would collide between
+/// different sessions decoding at the same depth in one mixed pack,
+/// overwriting each other's anchors and breaking the guarantee.
 void run_block(tensor::Tensor& h, tensor::Tensor& pending,
                const BatchLayout& layout, const BlockWeights& block,
                const ModelConfig& config, std::size_t block_index,
                NormProvider& norm, const NormInputObserver& observer,
-               RowPartitionPool* span_pool = nullptr);
+               RowPartitionPool* span_pool = nullptr,
+               std::span<KvCache* const> caches = {});
 
 }  // namespace haan::model

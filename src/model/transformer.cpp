@@ -22,10 +22,30 @@ tensor::Tensor Transformer::forward_hidden(std::span<const int> tokens,
 
 tensor::Tensor Transformer::forward_hidden_batch(
     std::span<const std::span<const int>> sequences, const BatchLayout& layout,
-    NormProvider& norm, RowPartitionPool* span_pool) const {
+    NormProvider& norm, RowPartitionPool* span_pool,
+    std::span<KvCache* const> caches) const {
   HAAN_EXPECTS(!sequences.empty());
   HAAN_EXPECTS(layout.sequences() == sequences.size());
   const std::size_t d = config_.d_model;
+
+  if (caches.empty()) {
+    // One-shot forwards must start every sequence at position 0 — a nonzero
+    // start without a cache would silently attend only within the chunk.
+    for (std::size_t s = 0; s < layout.sequences(); ++s) {
+      HAAN_EXPECTS(layout.span(s).start_position == 0);
+    }
+  } else {
+    HAAN_EXPECTS(caches.size() == sequences.size());
+    for (std::size_t s = 0; s < layout.sequences(); ++s) {
+      if (caches[s] == nullptr) {
+        HAAN_EXPECTS(layout.span(s).start_position == 0);
+        continue;
+      }
+      HAAN_EXPECTS(caches[s]->valid() && caches[s]->d_model() == d);
+      HAAN_EXPECTS(caches[s]->blocks() == config_.n_blocks);
+      HAAN_EXPECTS(caches[s]->position() == layout.span(s).start_position);
+    }
+  }
 
   norm.begin_sequence();
 
@@ -63,7 +83,7 @@ tensor::Tensor Transformer::forward_hidden_batch(
   tensor::Tensor pending;
   for (std::size_t b = 0; b < config_.n_blocks; ++b) {
     run_block(h, pending, layout, weights_.blocks[b], config_, b, norm,
-              observer_, span_pool);
+              observer_, span_pool, caches);
   }
 
   if (config_.final_norm) {
@@ -73,7 +93,16 @@ tensor::Tensor Transformer::forward_hidden_batch(
   } else if (pending.numel() != 0) {
     tensor::add_inplace(h, pending);
   }
+
+  // Commit this step: every block appended exactly span.rows K/V rows.
+  for (std::size_t s = 0; s < caches.size(); ++s) {
+    if (caches[s] != nullptr) caches[s]->commit(layout.span(s).rows);
+  }
   return h;
+}
+
+KvCache Transformer::make_kv_cache() const {
+  return KvCache(config_.n_blocks, config_.d_model);
 }
 
 std::vector<float> Transformer::pooled_features(std::span<const int> tokens,
@@ -85,10 +114,15 @@ std::vector<float> Transformer::pooled_features(std::span<const int> tokens,
 std::vector<float> Transformer::last_logits(std::span<const int> tokens,
                                             NormProvider& norm) const {
   const tensor::Tensor h = forward_hidden(tokens, norm);
-  const auto last = h.row(h.shape().dim(0) - 1);
+  return logits_for_hidden_row(h.row(h.shape().dim(0) - 1));
+}
+
+std::vector<float> Transformer::logits_for_hidden_row(
+    std::span<const float> row) const {
+  HAAN_EXPECTS(row.size() == config_.d_model);
   std::vector<float> logits(config_.vocab_size);
   for (std::size_t v = 0; v < config_.vocab_size; ++v) {
-    logits[v] = static_cast<float>(tensor::dot(last, weights_.embedding.row(v)));
+    logits[v] = static_cast<float>(tensor::dot(row, weights_.embedding.row(v)));
   }
   return logits;
 }

@@ -49,10 +49,25 @@ class Transformer {
   ///
   /// `span_pool` (optional, worker-local) runs attention/MLP sub-layers
   /// span-parallel across the packed sequences; see run_block.
+  ///
+  /// `caches` (optional; empty, or exactly one entry per sequence) switches
+  /// the forward into INCREMENTAL mode: sequences[s] holds only the NEW
+  /// tokens of a live session, layout.span(s).start_position must equal
+  /// caches[s]->position() (the rows already fed), and attention runs over
+  /// the cached K/V prefix plus the new rows. All caches are committed by
+  /// start_position + rows on return. A null entry runs that span one-shot
+  /// (its start_position must be 0). The bit-identity guarantee extends to
+  /// incremental execution: feeding a sequence in ANY chunking across any
+  /// sequence of (mixed) packs yields, row for row, the same hidden states as
+  /// the one-shot forward.
   tensor::Tensor forward_hidden_batch(std::span<const std::span<const int>> sequences,
                                       const BatchLayout& layout,
                                       NormProvider& norm,
-                                      RowPartitionPool* span_pool = nullptr) const;
+                                      RowPartitionPool* span_pool = nullptr,
+                                      std::span<KvCache* const> caches = {}) const;
+
+  /// Fresh, correctly-sized KV cache for one sequence of this model.
+  KvCache make_kv_cache() const;
 
   /// Mean-pooled final hidden state (length d_model) — the feature vector the
   /// evaluation harness scores answer choices against.
@@ -61,6 +76,12 @@ class Transformer {
 
   /// Next-token logits at the last position (length vocab); tied embeddings.
   std::vector<float> last_logits(std::span<const int> tokens, NormProvider& norm) const;
+
+  /// Logits for one final-hidden row (length d_model → vocab); tied
+  /// embeddings. `last_logits` == logits_for_hidden_row over the last row of
+  /// forward_hidden; incremental decode uses this on the newest row of each
+  /// step's output without re-running the forward.
+  std::vector<float> logits_for_hidden_row(std::span<const float> row) const;
 
  private:
   ModelConfig config_;

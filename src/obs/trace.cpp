@@ -64,11 +64,21 @@ void append_name_cat(std::string& out, const TraceEvent& event) {
 }
 
 void append_args(std::string& out, const TraceEvent& event) {
-  if (event.arg_a == 0 && event.arg_b == 0) return;
-  out += ",\"args\":{\"a\":";
-  out += std::to_string(event.arg_a);
-  out += ",\"b\":";
-  out += std::to_string(event.arg_b);
+  const bool has_counts = event.arg_a != 0 || event.arg_b != 0;
+  if (!has_counts && event.phase == nullptr) return;
+  out += ",\"args\":{";
+  if (event.phase != nullptr) {
+    out += "\"phase\":\"";
+    append_escaped(out, event.phase);
+    out += "\"";
+    if (has_counts) out += ",";
+  }
+  if (has_counts) {
+    out += "\"a\":";
+    out += std::to_string(event.arg_a);
+    out += ",\"b\":";
+    out += std::to_string(event.arg_b);
+  }
   out += "}";
 }
 

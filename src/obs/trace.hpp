@@ -48,6 +48,10 @@ struct TraceEvent {
   std::uint32_t arg_a = 0;    ///< small payload (layer index, rows, ...)
   std::uint32_t arg_b = 0;
   EventType type = EventType::kInstant;
+
+  /// Optional execution-phase tag ("prefill"/"decode"/"mixed") exported as an
+  /// args entry. Static string like name/category; nullptr = untagged.
+  const char* phase = nullptr;
 };
 
 /// Per-thread event ring. Written only by the owning thread; the mutex exists
@@ -153,6 +157,21 @@ class ScopedSpan {
     category_ = category;
     log_->push({common::monotonic_ns(), name, category, 0, arg_a, arg_b,
                 EventType::kBegin});
+  }
+
+  /// Phase-tagged span: `phase` ("prefill"/"decode"/"mixed", static string)
+  /// is exported as an args entry so Perfetto can filter serving spans by
+  /// execution phase.
+  ScopedSpan(const char* name, const char* category, const char* phase,
+             std::uint32_t arg_a = 0, std::uint32_t arg_b = 0) {
+    if (!tracing_enabled()) return;
+    log_ = &tracer().thread_log();
+    name_ = name;
+    category_ = category;
+    TraceEvent event{common::monotonic_ns(), name, category, 0, arg_a, arg_b,
+                     EventType::kBegin};
+    event.phase = phase;
+    log_->push(event);
   }
   ~ScopedSpan() {
     if (log_ == nullptr) return;

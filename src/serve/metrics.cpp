@@ -70,6 +70,8 @@ common::Json ServeMetrics::to_json() const {
   out["latency_total"] = total.to_json();
   out["latency_queue"] = queued.to_json();
   out["latency_compute"] = compute.to_json();
+  out["latency_ttft"] = ttft.to_json();
+  out["latency_intertoken"] = intertoken.to_json();
   out["batches"] = static_cast<std::size_t>(batches);
   out["mean_batch_size"] = mean_batch_size;
   out["max_batch_size"] = max_batch_size;
@@ -80,6 +82,15 @@ common::Json ServeMetrics::to_json() const {
   out["packed_sequences"] = packed_sequences;
   out["rows_per_pack"] = rows_per_pack();
   out["pack_occupancy"] = pack_occupancy();
+  out["prefill_rows"] = prefill_rows;
+  out["decode_rows"] = decode_rows;
+  out["prefill_packs"] = static_cast<std::size_t>(prefill_packs);
+  out["decode_packs"] = static_cast<std::size_t>(decode_packs);
+  out["mixed_packs"] = static_cast<std::size_t>(mixed_packs);
+  out["prefill_rows_per_pack"] = prefill_rows_per_pack();
+  out["decode_rows_per_pack"] = decode_rows_per_pack();
+  out["kv_bytes_resident"] = kv_bytes_resident;
+  out["max_kv_bytes"] = max_kv_bytes;
   common::Json::Object counters;
   counters["norm_calls"] = norm.norm_calls;
   counters["isd_computed"] = norm.isd_computed;
@@ -107,6 +118,10 @@ std::string ServeMetrics::to_string() const {
   table.add_row(row("total latency (ms)", total));
   table.add_row(row("queue latency (ms)", queued));
   table.add_row(row("compute latency (ms)", compute));
+  if (ttft.count > 0) table.add_row(row("ttft (ms)", ttft));
+  if (intertoken.count > 0) {
+    table.add_row(row("inter-token (ms)", intertoken));
+  }
 
   std::ostringstream out;
   out << table.render();
@@ -123,6 +138,15 @@ std::string ServeMetrics::to_string() const {
         << common::format_double(rows_per_pack(), 1) << " rows/pack, occupancy "
         << common::format_double(pack_occupancy(), 2) << ")\n";
   }
+  if (prefill_rows + decode_rows > 0) {
+    out << "phase rows       : prefill " << prefill_rows << " ("
+        << common::format_double(prefill_rows_per_pack(), 1)
+        << " rows/pack), decode " << decode_rows << " ("
+        << common::format_double(decode_rows_per_pack(), 1) << " rows/pack)\n";
+    out << "pack phases      : prefill " << prefill_packs << ", decode "
+        << decode_packs << ", mixed " << mixed_packs << "\n";
+    out << "kv cache         : max " << max_kv_bytes << " bytes resident\n";
+  }
   out << "norm counters    : calls " << norm.norm_calls << ", isd computed "
       << norm.isd_computed << ", isd predicted " << norm.isd_predicted
       << ", elements read " << norm.elements_read << ", fused residual+norm "
@@ -135,7 +159,9 @@ std::string ServeMetrics::to_string() const {
 MetricsCollector::MetricsCollector()
     : total_us_(latency_histogram_config()),
       queue_us_(latency_histogram_config()),
-      compute_us_(latency_histogram_config()) {}
+      compute_us_(latency_histogram_config()),
+      ttft_us_(latency_histogram_config()),
+      intertoken_us_(latency_histogram_config()) {}
 
 void MetricsCollector::record(const RequestResult& result) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -156,6 +182,36 @@ void MetricsCollector::record_packed(std::size_t rows, std::size_t sequences) {
   ++packed_forwards_;
   packed_rows_ += rows;
   packed_sequences_ += sequences;
+}
+
+void MetricsCollector::record_step_pack(std::size_t prefill_rows,
+                                        std::size_t decode_rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  prefill_rows_ += prefill_rows;
+  decode_rows_ += decode_rows;
+  if (prefill_rows > 0 && decode_rows > 0) {
+    ++mixed_packs_;
+  } else if (decode_rows > 0) {
+    ++decode_packs_;
+  } else {
+    ++prefill_packs_;
+  }
+}
+
+void MetricsCollector::record_ttft(double us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ttft_us_.record(us);
+}
+
+void MetricsCollector::record_intertoken(double us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  intertoken_us_.record(us);
+}
+
+void MetricsCollector::record_kv_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kv_bytes_resident_ = bytes;
+  max_kv_bytes_ = std::max(max_kv_bytes_, bytes);
 }
 
 void MetricsCollector::add_norm_counters(const NormCounters& counters) {
@@ -185,6 +241,8 @@ ServeMetrics MetricsCollector::finalize(double wall_us) const {
   metrics.total = summarize_histogram(total_us_);
   metrics.queued = summarize_histogram(queue_us_);
   metrics.compute = summarize_histogram(compute_us_);
+  metrics.ttft = summarize_histogram(ttft_us_);
+  metrics.intertoken = summarize_histogram(intertoken_us_);
 
   metrics.batches = batch_count_;
   metrics.mean_batch_size =
@@ -196,6 +254,13 @@ ServeMetrics MetricsCollector::finalize(double wall_us) const {
   metrics.packed_forwards = packed_forwards_;
   metrics.packed_rows = packed_rows_;
   metrics.packed_sequences = packed_sequences_;
+  metrics.prefill_rows = prefill_rows_;
+  metrics.decode_rows = decode_rows_;
+  metrics.prefill_packs = prefill_packs_;
+  metrics.decode_packs = decode_packs_;
+  metrics.mixed_packs = mixed_packs_;
+  metrics.kv_bytes_resident = kv_bytes_resident_;
+  metrics.max_kv_bytes = max_kv_bytes_;
   metrics.norm = norm_;
   return metrics;
 }
@@ -203,7 +268,8 @@ ServeMetrics MetricsCollector::finalize(double wall_us) const {
 std::size_t MetricsCollector::approx_memory_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sizeof(*this) + total_us_.memory_bytes() + queue_us_.memory_bytes() +
-         compute_us_.memory_bytes();
+         compute_us_.memory_bytes() + ttft_us_.memory_bytes() +
+         intertoken_us_.memory_bytes();
 }
 
 }  // namespace haan::serve

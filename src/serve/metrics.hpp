@@ -61,6 +61,14 @@ struct ServeMetrics {
   LatencySummary queued;   ///< enqueue -> dequeue
   LatencySummary compute;  ///< forward pass
 
+  /// Phase latencies, reported SEPARATELY from totals: TTFT is enqueue ->
+  /// first-token step (recorded per request, including prefill-only ones,
+  /// where it is the prompt-completion step); inter-token is the gap between
+  /// consecutive decoded-token completions of one session (count = Σ
+  /// max(generated - 1, 0)). Both empty outside chunked/session execution.
+  LatencySummary ttft;
+  LatencySummary intertoken;
+
   std::uint64_t batches = 0;
   double mean_batch_size = 0.0;
   std::size_t max_batch_size = 0;
@@ -79,7 +87,38 @@ struct ServeMetrics {
   /// Scheduler max_batch, stamped by the server so occupancy is computable.
   std::size_t pack_capacity = 0;
 
+  /// Phase row accounting under chunked/session execution: every packed row
+  /// is either a prefill row (prompt chunk) or a decode row (one generated
+  /// token fed back). Pack phase counts classify whole packs: pure-prefill,
+  /// pure-decode, or mixed. All zero outside session mode.
+  std::size_t prefill_rows = 0;
+  std::size_t decode_rows = 0;
+  std::uint64_t prefill_packs = 0;
+  std::uint64_t decode_packs = 0;
+  std::uint64_t mixed_packs = 0;
+
+  /// KV cache residency: bytes at the last sample (final = 0 after drain) and
+  /// the high watermark across the run. Zero outside session mode.
+  std::size_t kv_bytes_resident = 0;
+  std::size_t max_kv_bytes = 0;
+
   NormCounters norm;
+
+  /// Mean prefill rows per pack that carried any prefill (0 when none did).
+  double prefill_rows_per_pack() const {
+    const std::uint64_t packs = prefill_packs + mixed_packs;
+    return packs == 0 ? 0.0
+                      : static_cast<double>(prefill_rows) /
+                            static_cast<double>(packs);
+  }
+
+  /// Mean decode rows per pack that carried any decode (0 when none did).
+  double decode_rows_per_pack() const {
+    const std::uint64_t packs = decode_packs + mixed_packs;
+    return packs == 0 ? 0.0
+                      : static_cast<double>(decode_rows) /
+                            static_cast<double>(packs);
+  }
 
   /// Mean rows per batched norm call (0 when the batch path never ran) — the
   /// row-block execution model's utilization: Σ seq_len of a whole mega-batch
@@ -131,6 +170,20 @@ class MetricsCollector {
   /// mega-batch mode): `rows` = Σ seq_len, `sequences` = requests packed.
   void record_packed(std::size_t rows, std::size_t sequences);
 
+  /// Records one step pack's phase mix (session mode): prefill vs decode rows
+  /// it carried. Classifies the pack as prefill/decode/mixed internally.
+  void record_step_pack(std::size_t prefill_rows, std::size_t decode_rows);
+
+  /// Records one request's time-to-first-token (microseconds).
+  void record_ttft(double us);
+
+  /// Records one inter-token gap (microseconds) between consecutive decoded
+  /// tokens of a session.
+  void record_intertoken(double us);
+
+  /// Samples the KV-bytes-resident gauge (session mode, after each step).
+  void record_kv_bytes(std::size_t bytes);
+
   /// Accumulates one worker's provider counters at drain time.
   void add_norm_counters(const NormCounters& counters);
 
@@ -152,12 +205,21 @@ class MetricsCollector {
   common::LogHistogram total_us_;
   common::LogHistogram queue_us_;
   common::LogHistogram compute_us_;
+  common::LogHistogram ttft_us_;
+  common::LogHistogram intertoken_us_;
   std::uint64_t batch_count_ = 0;
   std::size_t batch_requests_ = 0;
   std::size_t max_batch_size_ = 0;
   std::uint64_t packed_forwards_ = 0;
   std::size_t packed_rows_ = 0;
   std::size_t packed_sequences_ = 0;
+  std::size_t prefill_rows_ = 0;
+  std::size_t decode_rows_ = 0;
+  std::uint64_t prefill_packs_ = 0;
+  std::uint64_t decode_packs_ = 0;
+  std::uint64_t mixed_packs_ = 0;
+  std::size_t kv_bytes_resident_ = 0;
+  std::size_t max_kv_bytes_ = 0;
   NormCounters norm_;
 };
 

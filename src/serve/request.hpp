@@ -20,6 +20,13 @@ struct Request {
   std::uint64_t id = 0;
   std::vector<int> tokens;
 
+  /// Tokens to greedily decode after the prompt (0 = prefill-only request,
+  /// the pre-decode behavior). Served incrementally: the prompt prefills the
+  /// session's KV cache (possibly in chunks), then each generated token feeds
+  /// back as a single-row decode step. The runtime clamps this so the fed
+  /// sequence never exceeds the model's max_seq_len.
+  std::size_t max_new_tokens = 0;
+
   /// Arrival offset from workload start, microseconds (open-loop pacing).
   double arrival_us = 0.0;
 
@@ -38,22 +45,43 @@ struct RequestResult {
   std::size_t batch_size = 0;   ///< size of that batch
   std::size_t prompt_len = 0;
 
-  /// FNV-1a over the raw bits of the final hidden states (L x d_model).
+  /// FNV-1a over the raw bits of the final hidden states of every FED row, in
+  /// position order. For prefill-only requests that is the prompt's (L x
+  /// d_model) hidden block, exactly as before; for decode requests the fed
+  /// rows are prompt + generated[0..n-2] (the last generated token is
+  /// returned but never fed), and incremental execution accumulates the hash
+  /// step by step — bit-identical to hashing a one-shot forward over the same
+  /// fed tokens.
   std::uint64_t hidden_checksum = 0;
 
-  /// Full final hidden states, kept only when the server's keep_hidden flag
-  /// is set (tests); empty otherwise to bound memory.
+  /// Greedily decoded tokens (argmax over tied-embedding logits), length
+  /// max_new_tokens after clamping; empty for prefill-only requests.
+  std::vector<int> generated;
+
+  /// Time to first token: enqueue -> completion of the step that consumed the
+  /// last prompt token (the first decoded token's step, or the final prefill
+  /// chunk for prefill-only requests). Zero in reference mode.
+  double ttft_us = 0.0;
+
+  /// Full final hidden states of the fed rows, kept only when the server's
+  /// keep_hidden flag is set (tests); empty otherwise to bound memory.
   std::vector<float> hidden;
 
   double queue_us = 0.0;    ///< enqueue -> dequeue (batch formation)
-  double compute_us = 0.0;  ///< forward pass
+  double compute_us = 0.0;  ///< forward pass (summed over steps for sessions)
   double total_us = 0.0;    ///< enqueue -> completion
 };
 
+/// FNV-1a seed for checksum_floats (the offset basis); pass a previous
+/// checksum as `seed` to continue hashing across row chunks.
+inline constexpr std::uint64_t kChecksumSeed = 0xCBF29CE484222325ULL;
+
 /// FNV-1a over the bit patterns of a float span. Bit-exact: two runs agree
-/// iff every float is binary-identical.
-inline std::uint64_t checksum_floats(std::span<const float> values) {
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
+/// iff every float is binary-identical. Chaining invariant:
+/// checksum_floats(ab) == checksum_floats(b, checksum_floats(a)).
+inline std::uint64_t checksum_floats(std::span<const float> values,
+                                     std::uint64_t seed = kChecksumSeed) {
+  std::uint64_t hash = seed;
   for (const float v : values) {
     std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
     for (int byte = 0; byte < 4; ++byte) {

@@ -1,6 +1,9 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -9,7 +12,10 @@
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "serve/queue.hpp"
+#include "serve/session.hpp"
+#include "serve/step_scheduler.hpp"
 #include "serve/worker_pool.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
 namespace haan::serve {
@@ -58,6 +64,24 @@ obs::Snapshot live_snapshot(const MetricsCollector& metrics,
   return snapshot;
 }
 
+/// HAAN_PREFILL_CHUNK in the environment (any parseable value, including 0 =
+/// whole-prompt steps) flips kAuto configs into chunked execution — the CI
+/// matrix lever for running whole suites in both execution models.
+std::optional<std::size_t> env_prefill_chunk() {
+  const char* raw = std::getenv("HAAN_PREFILL_CHUNK");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return static_cast<std::size_t>(value);
+}
+
+bool workload_has_decode(const std::vector<Request>& workload) {
+  return std::any_of(
+      workload.begin(), workload.end(),
+      [](const Request& request) { return request.max_new_tokens > 0; });
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config)
@@ -86,14 +110,58 @@ std::unique_ptr<model::NormProvider> Server::make_provider() const {
   return provider;
 }
 
+std::string to_string(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kAuto: return "auto";
+    case ExecMode::kMegaBatch: return "mega-batch";
+    case ExecMode::kPerRequest: return "per-request";
+    case ExecMode::kChunked: return "chunked";
+  }
+  return "?";
+}
+
+ExecMode Server::resolve_mode(const std::vector<Request>& workload) const {
+  if (config_.mode != ExecMode::kAuto) return config_.mode;
+  if (env_prefill_chunk().has_value()) return ExecMode::kChunked;
+  if (workload_has_decode(workload)) return ExecMode::kChunked;
+  return config_.mega_batch ? ExecMode::kMegaBatch : ExecMode::kPerRequest;
+}
+
 ServeReport Server::run(const std::vector<Request>& workload) {
+  const ExecMode mode = resolve_mode(workload);
+  // Whole-request modes would silently drop decode demand.
+  HAAN_EXPECTS(mode == ExecMode::kChunked || !workload_has_decode(workload));
+
   RequestQueue queue(config_.queue_capacity);
-  BatchScheduler scheduler(queue, config_.scheduler);
   MetricsCollector metrics;
-  WorkerPool pool(model_, scheduler, [this] { return make_provider(); }, metrics,
-                  {config_.workers, config_.keep_hidden, config_.mega_batch,
-                   config_.norm_threads});
-  pool.start();
+  const WorkerPool::Options pool_options{
+      config_.workers, config_.keep_hidden, mode == ExecMode::kMegaBatch,
+      config_.norm_threads};
+
+  std::unique_ptr<SessionTable> sessions;
+  std::unique_ptr<StepScheduler> step_scheduler;
+  std::unique_ptr<BatchScheduler> scheduler;
+  std::unique_ptr<WorkerPool> pool;
+  if (mode == ExecMode::kChunked) {
+    StepSchedulerConfig step_config;
+    step_config.batching = config_.scheduler;
+    step_config.prefill_chunk =
+        config_.mode == ExecMode::kAuto
+            ? env_prefill_chunk().value_or(config_.prefill_chunk)
+            : config_.prefill_chunk;
+    sessions = std::make_unique<SessionTable>(config_.model);
+    step_scheduler =
+        std::make_unique<StepScheduler>(queue, *sessions, step_config);
+    pool = std::make_unique<WorkerPool>(
+        model_, *step_scheduler, *sessions, [this] { return make_provider(); },
+        metrics, pool_options);
+  } else {
+    scheduler = std::make_unique<BatchScheduler>(queue, config_.scheduler);
+    pool = std::make_unique<WorkerPool>(
+        model_, *scheduler, [this] { return make_provider(); }, metrics,
+        pool_options);
+  }
+  pool->start();
 
   const Clock::time_point start = Clock::now();
 
@@ -134,12 +202,12 @@ ServeReport Server::run(const std::vector<Request>& workload) {
     }
   }
   queue.close();
-  pool.join();
+  pool->join();
   if (emitter != nullptr) emitter->stop();
   const double wall_us = elapsed_us(start, Clock::now());
 
   ServeReport report;
-  report.results = pool.take_results();
+  report.results = pool->take_results();
   report.metrics = metrics.finalize(wall_us);
   // The queue owns depth accounting under its own lock: the high watermark
   // (a feeder-side post-push sample can miss the true peak) and the
@@ -160,7 +228,24 @@ ServeReport Server::run_reference(const std::vector<Request>& workload) {
   results.reserve(workload.size());
   for (const Request& request : workload) {
     const Clock::time_point begin = Clock::now();
-    const tensor::Tensor hidden = model_.forward_hidden(request.tokens, *provider);
+    // Re-forward oracle: greedy-decode by running a FULL forward over prompt
+    // + tokens-so-far for every generated token. The final `hidden` covers
+    // exactly the fed rows (the last generated token is returned, never fed),
+    // matching incremental execution row for row.
+    const std::size_t decode_cap =
+        config_.model.max_seq_len - request.tokens.size() + 1;
+    const std::size_t max_new = std::min(request.max_new_tokens, decode_cap);
+    std::vector<int> tokens = request.tokens;
+    std::vector<int> generated;
+    tensor::Tensor hidden = model_.forward_hidden(tokens, *provider);
+    while (generated.size() < max_new) {
+      const auto logits =
+          model_.logits_for_hidden_row(hidden.row(hidden.shape().dim(0) - 1));
+      generated.push_back(static_cast<int>(tensor::argmax(logits)));
+      if (generated.size() == max_new) break;
+      tokens.push_back(generated.back());
+      hidden = model_.forward_hidden(tokens, *provider);
+    }
     const Clock::time_point done = Clock::now();
 
     RequestResult result;
@@ -168,6 +253,7 @@ ServeReport Server::run_reference(const std::vector<Request>& workload) {
     result.batch_size = 1;
     result.prompt_len = request.tokens.size();
     result.hidden_checksum = checksum_floats(hidden.data());
+    result.generated = std::move(generated);
     if (config_.keep_hidden) {
       result.hidden.assign(hidden.data().begin(), hidden.data().end());
     }

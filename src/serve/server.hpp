@@ -28,6 +28,30 @@
 
 namespace haan::serve {
 
+/// How the worker pool executes requests.
+enum class ExecMode {
+  /// Resolve at run() time: HAAN_PREFILL_CHUNK in the environment or decode
+  /// traffic in the workload selects kChunked; otherwise the legacy
+  /// mega_batch flag picks kMegaBatch/kPerRequest. The default — existing
+  /// configs keep their behavior, and the CI matrix can flip whole test
+  /// suites into chunked execution via the environment.
+  kAuto,
+
+  /// One whole-request scheduler batch = one packed forward (the PR 4 model).
+  kMegaBatch,
+
+  /// One forward per request (the PR 3 model, kept for A/B benchmarking).
+  kPerRequest,
+
+  /// Chunked prefill + incremental decode over live sessions: the step
+  /// scheduler mixes prefill chunks and single-row decode steps of different
+  /// requests into each pack; per-session KV caches carry attention state
+  /// across steps. The only mode that serves max_new_tokens > 0.
+  kChunked,
+};
+
+std::string to_string(ExecMode mode);
+
 /// Full serving configuration.
 struct ServerConfig {
   model::ModelConfig model = model::tiny_test_model();
@@ -39,8 +63,15 @@ struct ServerConfig {
   std::size_t queue_capacity = 64;
   SchedulerConfig scheduler;
 
-  /// Pack whole scheduler batches into one cross-request forward (default).
-  /// False restores the per-request execution model for A/B comparison.
+  ExecMode mode = ExecMode::kAuto;
+
+  /// Prompt rows per prefill step in chunked mode (0 = whole remaining
+  /// prompt in one step). Overridden by HAAN_PREFILL_CHUNK when mode=kAuto
+  /// resolves to chunked via the environment.
+  std::size_t prefill_chunk = 0;
+
+  /// Legacy packing flag, honored only when mode == kAuto resolves to a
+  /// whole-request mode: true = mega-batch, false = per-request.
   bool mega_batch = true;
 
   /// Row-partition threads per worker provider (0 = HAAN_NORM_THREADS /
@@ -96,15 +127,28 @@ class Server {
   std::unique_ptr<model::NormProvider> make_provider() const;
 
   /// Serves the workload to completion through the concurrent runtime.
+  /// Requests with max_new_tokens > 0 require chunked execution (explicit
+  /// kChunked, or kAuto which resolves to it when decode traffic is present).
   ServeReport run(const std::vector<Request>& workload);
+
+  /// The execution mode run() will use for `workload` (resolves kAuto
+  /// against HAAN_PREFILL_CHUNK and the workload's decode demand).
+  ExecMode resolve_mode(const std::vector<Request>& workload) const;
 
   /// Single-threaded in-order execution with one provider; no queue, no
   /// batching, no cross-request packing — one forward_hidden per request.
+  /// Decode requests are served by the re-forward oracle: each generated
+  /// token triggers a full forward over prompt + tokens-so-far (no KV cache),
+  /// so the final hidden states/checksum cover exactly the fed rows (prompt +
+  /// all generated tokens but the last) — the same rows incremental execution
+  /// feeds.
   /// Produces bit-identical per-request hidden states (and identical per-row
-  /// norm counters: norm_calls / isd_* / elements_read / fused sums) to
-  /// run() under any worker count, batch packing and norm-thread count.
-  /// Only the batching-shape counters (batched_norm_calls, packed_*) differ:
-  /// packed execution makes fewer row-block calls covering more rows.
+  /// norm counters for prefill-only workloads: norm_calls / isd_* /
+  /// elements_read / fused sums) to run() under any worker count, batch
+  /// packing, prefill chunking, pack mix and norm-thread count. Only the
+  /// batching-shape counters (batched_norm_calls, packed_*) differ — and,
+  /// under decode, the per-row counters too (the oracle re-feeds prompt rows
+  /// every step; incremental execution feeds each row once).
   ServeReport run_reference(const std::vector<Request>& workload);
 
  private:

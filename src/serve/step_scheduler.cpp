@@ -1,0 +1,119 @@
+#include "serve/step_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "obs/trace.hpp"
+
+namespace haan::serve {
+
+StepScheduler::StepScheduler(RequestQueue& queue, SessionTable& sessions,
+                             StepSchedulerConfig config)
+    : queue_(queue), sessions_(sessions), config_(config) {
+  HAAN_EXPECTS(config_.batching.max_batch > 0);
+  HAAN_EXPECTS(config_.poll.count() > 0);
+}
+
+StepEntry StepScheduler::make_entry(Session* session) const {
+  return {session, session->next_rows(config_.prefill_chunk),
+          session->prompt_done()};
+}
+
+void StepScheduler::take_ready(std::vector<StepEntry>& entries,
+                               std::size_t slots) {
+  while (slots > 0 && !ready_.empty()) {
+    entries.push_back(make_entry(ready_.front()));
+    ready_.pop_front();
+    --slots;
+  }
+}
+
+std::optional<StepPack> StepScheduler::next_pack() {
+  std::unique_lock<std::mutex> form(form_mu_);
+  StepPack pack;
+  std::optional<Clock::time_point> deadline;
+
+  for (;;) {
+    const std::size_t max_batch = config_.batching.max_batch;
+    {
+      std::lock_guard<std::mutex> state(state_mu_);
+      take_ready(pack.entries, max_batch - pack.entries.size());
+    }
+    bool queue_drained = false;
+    bool queue_empty = false;
+    while (pack.entries.size() < max_batch) {
+      Request request;
+      const TryPopResult result = queue_.try_pop(request);
+      if (result == TryPopResult::kItem) {
+        request.dequeued_at = Clock::now();
+        pack.entries.push_back(make_entry(sessions_.create(std::move(request))));
+        continue;
+      }
+      queue_drained = result == TryPopResult::kDrained;
+      queue_empty = true;
+      break;
+    }
+
+    if (pack.entries.size() >= max_batch) break;
+    if (!pack.entries.empty()) {
+      if (!deadline) {
+        deadline = Clock::now() + config_.batching.max_wait;
+      }
+      const Clock::time_point now = Clock::now();
+      if (now >= *deadline) break;
+      {
+        // Close early when no other candidate work exists: nothing ready,
+        // nothing queued, and every live session is already in this pack.
+        // Waiting out max_wait could only pack future arrivals, and would
+        // charge every token of a lone decode stream the full batching delay.
+        std::lock_guard<std::mutex> state(state_mu_);
+        if (queue_empty && ready_.empty() &&
+            sessions_.live() == pack.entries.size()) {
+          break;
+        }
+      }
+      std::unique_lock<std::mutex> state(state_mu_);
+      work_cv_.wait_for(
+          state, std::min<Clock::duration>(config_.poll, *deadline - now));
+      continue;
+    }
+
+    // Empty-handed: end-of-stream only once the queue is drained AND every
+    // session has finished — a closed queue still owes its live decodes.
+    if (queue_drained) {
+      std::lock_guard<std::mutex> state(state_mu_);
+      if (ready_.empty() && sessions_.live() == 0) return std::nullopt;
+    }
+    std::unique_lock<std::mutex> state(state_mu_);
+    work_cv_.wait_for(state, config_.poll);
+  }
+
+  pack.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  HAAN_TRACE_SPAN("pack-form", "serve",
+                  static_cast<std::uint32_t>(pack.sequence),
+                  static_cast<std::uint32_t>(pack.entries.size()));
+  return pack;
+}
+
+void StepScheduler::requeue(Session* session) {
+  HAAN_EXPECTS(session != nullptr && !session->finished());
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    ready_.push_back(session);
+  }
+  work_cv_.notify_all();
+}
+
+void StepScheduler::finish(Session* session) {
+  // No finished() assert: the worker moves result fields (generated, hidden)
+  // out of the session before retiring it.
+  HAAN_EXPECTS(session != nullptr);
+  sessions_.release(session->request.id);
+  work_cv_.notify_all();
+}
+
+std::uint64_t StepScheduler::packs_formed() const {
+  return next_sequence_.load(std::memory_order_relaxed);
+}
+
+}  // namespace haan::serve

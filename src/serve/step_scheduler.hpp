@@ -1,0 +1,104 @@
+// Step scheduler: continuous batching over LIVE SESSIONS instead of whole
+// requests. Where BatchScheduler hands a worker a batch of complete prompts,
+// the StepScheduler hands it a PACK of per-session steps — prefill chunks of
+// some sessions mixed with single-row decode steps of others — so decode
+// traffic keeps riding the mega-batch norm amortization instead of degrading
+// to one-row forwards. Sessions needing more steps are requeued by the worker
+// after each pack; end-of-stream drains them to completion (a closed queue
+// never drops a live decode).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session.hpp"
+
+namespace haan::serve {
+
+/// Pack formation knobs.
+struct StepSchedulerConfig {
+  /// Batching knobs: max sessions per pack, max hold on an open pack.
+  SchedulerConfig batching;
+
+  /// Prompt rows a prefill step feeds (0 = the whole remaining prompt in one
+  /// step). Smaller chunks interleave long prompts with live decodes at the
+  /// cost of more steps per prompt.
+  std::size_t prefill_chunk = 0;
+
+  /// Poll quantum while waiting for work that cannot signal the scheduler
+  /// directly (new queue arrivals); bounds idle wake-up latency.
+  std::chrono::microseconds poll{200};
+};
+
+/// One session's contribution to a pack.
+struct StepEntry {
+  Session* session = nullptr;
+  std::size_t rows = 0;  ///< rows this step feeds (1 for decode)
+  bool decode = false;   ///< true: single generated-token row; false: prefill
+};
+
+/// One formed pack: the unit a worker executes as a single packed forward.
+struct StepPack {
+  std::uint64_t sequence = 0;  ///< monotone formation order
+  std::vector<StepEntry> entries;
+};
+
+/// Pulls step packs from ready sessions + the request queue. Thread-safe:
+/// workers call next_pack() concurrently (formation serialized, FIFO runs);
+/// requeue()/finish() are called by workers after executing a pack.
+///
+/// Scheduling policy: ready sessions (decode steps, continuing prefills) are
+/// taken before new arrivals — finishing live sessions bounds KV residency
+/// and inter-token latency; admission only uses leftover pack slots. An open
+/// pack closes early when no other candidate work exists anywhere (empty
+/// ready queue, empty request queue, every live session already aboard), so
+/// a lone decode stream is not taxed max_wait per token.
+class StepScheduler {
+ public:
+  StepScheduler(RequestQueue& queue, SessionTable& sessions,
+                StepSchedulerConfig config);
+
+  /// Blocks for the next pack. Returns nullopt only at end-of-stream: queue
+  /// closed AND drained AND no live session remains (drain semantics — close()
+  /// with live decodes keeps packing until they finish).
+  std::optional<StepPack> next_pack();
+
+  /// Returns an unfinished session to the ready queue (worker, post-step).
+  void requeue(Session* session);
+
+  /// Retires a finished session: releases it from the table and wakes
+  /// waiters (possibly onto end-of-stream).
+  void finish(Session* session);
+
+  std::uint64_t packs_formed() const;
+
+  const StepSchedulerConfig& config() const { return config_; }
+
+ private:
+  /// Claims up to `slots` ready sessions into `entries` (state lock held by
+  /// caller).
+  void take_ready(std::vector<StepEntry>& entries, std::size_t slots);
+
+  StepEntry make_entry(Session* session) const;
+
+  RequestQueue& queue_;
+  SessionTable& sessions_;
+  StepSchedulerConfig config_;
+
+  std::mutex form_mu_;  ///< serializes pack formation (FIFO fairness)
+  std::mutex state_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Session*> ready_;
+
+  std::atomic<std::uint64_t> next_sequence_{0};
+};
+
+}  // namespace haan::serve

@@ -7,6 +7,7 @@
 #include "core/provider_factory.hpp"
 #include "model/batch_layout.hpp"
 #include "obs/trace.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
 namespace haan::serve {
@@ -15,7 +16,20 @@ WorkerPool::WorkerPool(const model::Transformer& model, BatchScheduler& schedule
                        ProviderFactory provider_factory, MetricsCollector& metrics,
                        Options options)
     : model_(model),
-      scheduler_(scheduler),
+      scheduler_(&scheduler),
+      provider_factory_(std::move(provider_factory)),
+      metrics_(metrics),
+      options_(options) {
+  HAAN_EXPECTS(options_.n_workers > 0);
+  HAAN_EXPECTS(static_cast<bool>(provider_factory_));
+}
+
+WorkerPool::WorkerPool(const model::Transformer& model, StepScheduler& scheduler,
+                       SessionTable& sessions, ProviderFactory provider_factory,
+                       MetricsCollector& metrics, Options options)
+    : model_(model),
+      step_scheduler_(&scheduler),
+      sessions_(&sessions),
       provider_factory_(std::move(provider_factory)),
       metrics_(metrics),
       options_(options) {
@@ -83,12 +97,19 @@ void WorkerPool::worker_main(std::size_t worker_index) {
   // so per-request mode never pays for the pool).
   model::RowPartitionPool span_pool(options_.norm_threads);
 
-  while (auto batch = scheduler_.next_batch()) {
-    metrics_.record_batch(batch->requests.size());
-    if (options_.mega_batch) {
-      execute_packed(worker_index, *batch, *provider, span_pool);
-    } else {
-      execute_per_request(worker_index, *batch, *provider);
+  if (step_scheduler_ != nullptr) {
+    while (auto pack = step_scheduler_->next_pack()) {
+      metrics_.record_batch(pack->entries.size());
+      execute_step_pack(worker_index, *pack, *provider, span_pool);
+    }
+  } else {
+    while (auto batch = scheduler_->next_batch()) {
+      metrics_.record_batch(batch->requests.size());
+      if (options_.mega_batch) {
+        execute_packed(worker_index, *batch, *provider, span_pool);
+      } else {
+        execute_per_request(worker_index, *batch, *provider);
+      }
     }
   }
 
@@ -139,6 +160,131 @@ void WorkerPool::execute_packed(std::size_t worker_index, Batch& batch,
         hidden.data().subspan(span.row_begin * d, span.rows * d), compute_us,
         done));
   }
+}
+
+void WorkerPool::execute_step_pack(std::size_t worker_index, StepPack& pack,
+                                   model::NormProvider& provider,
+                                   model::RowPartitionPool& span_pool) {
+  const std::size_t n = pack.entries.size();
+  std::vector<std::span<const int>> sequences;
+  std::vector<std::size_t> lengths;
+  std::vector<std::size_t> starts;
+  std::vector<model::KvCache*> caches;
+  sequences.reserve(n);
+  lengths.reserve(n);
+  starts.reserve(n);
+  caches.reserve(n);
+  std::size_t prefill_rows = 0;
+  std::size_t decode_rows = 0;
+  {
+    HAAN_TRACE_SPAN("pack", "serve", static_cast<std::uint32_t>(n));
+    for (const StepEntry& entry : pack.entries) {
+      Session& session = *entry.session;
+      std::span<const int> tokens;
+      if (entry.decode) {
+        // Feed the last generated token as one row. pending_token is the
+        // session's stable storage — `generated` may reallocate.
+        session.pending_token = session.generated.back();
+        tokens = std::span<const int>(&session.pending_token, 1);
+        decode_rows += 1;
+      } else {
+        tokens = std::span<const int>(session.request.tokens)
+                     .subspan(session.fed, entry.rows);
+        prefill_rows += entry.rows;
+      }
+      sequences.push_back(tokens);
+      lengths.push_back(tokens.size());
+      starts.push_back(session.fed);
+      caches.push_back(&session.cache);
+    }
+  }
+  const model::BatchLayout layout = model::BatchLayout::from_spans(lengths, starts);
+  const char* phase = decode_rows == 0   ? "prefill"
+                      : prefill_rows == 0 ? "decode"
+                                          : "mixed";
+
+  const Clock::time_point compute_start = Clock::now();
+  tensor::Tensor hidden;
+  {
+    HAAN_TRACE_SPAN("forward", "serve", phase,
+                    static_cast<std::uint32_t>(layout.total_rows()),
+                    static_cast<std::uint32_t>(layout.sequences()));
+    hidden = model_.forward_hidden_batch(sequences, layout, provider,
+                                         &span_pool, caches);
+  }
+  const Clock::time_point done = Clock::now();
+  const double compute_us = elapsed_us(compute_start, done);
+  metrics_.record_packed(layout.total_rows(), layout.sequences());
+  metrics_.record_step_pack(prefill_rows, decode_rows);
+
+  const std::size_t d = model_.config().d_model;
+  for (std::size_t i = 0; i < n; ++i) {
+    Session& session = *pack.entries[i].session;
+    const model::SequenceSpan& span = layout.span(i);
+    const std::span<const float> rows =
+        hidden.data().subspan(span.row_begin * d, span.rows * d);
+
+    // Advance the session: the checksum chains over fed rows in position
+    // order, so the final value is bit-identical to hashing a one-shot
+    // forward over the same fed tokens.
+    session.hidden_hash = checksum_floats(rows, session.hidden_hash);
+    if (options_.keep_hidden) {
+      session.hidden.insert(session.hidden.end(), rows.begin(), rows.end());
+    }
+    session.fed += span.rows;
+    session.compute_us += compute_us;
+    session.steps += 1;
+
+    if (session.prompt_done() &&
+        session.generated.size() < session.max_new_tokens) {
+      // The step's newest row predicts the next token (greedy argmax over
+      // tied-embedding logits).
+      const auto logits =
+          model_.logits_for_hidden_row(rows.subspan((span.rows - 1) * d, d));
+      session.generated.push_back(static_cast<int>(tensor::argmax(logits)));
+      if (!session.first_token_done) {
+        session.first_token_done = true;
+        session.ttft_us = elapsed_us(session.request.enqueued_at, done);
+        metrics_.record_ttft(session.ttft_us);
+      } else {
+        metrics_.record_intertoken(elapsed_us(session.last_token_at, done));
+      }
+      session.last_token_at = done;
+    } else if (session.prompt_done() && !session.first_token_done) {
+      // Prefill-only request: TTFT is the prompt-completion step (the moment
+      // its "response" is ready).
+      session.first_token_done = true;
+      session.ttft_us = elapsed_us(session.request.enqueued_at, done);
+      metrics_.record_ttft(session.ttft_us);
+    }
+
+    sessions_->account_kv(session);
+
+    if (session.finished()) {
+      HAAN_TRACE_SPAN("complete", "serve",
+                      static_cast<std::uint32_t>(session.request.id));
+      obs::flow_end("req", "serve", session.request.id);
+      RequestResult result;
+      result.id = session.request.id;
+      result.worker = worker_index;
+      result.batch = pack.sequence;
+      result.batch_size = n;
+      result.prompt_len = session.prompt_len();
+      result.hidden_checksum = session.hidden_hash;
+      result.generated = std::move(session.generated);
+      result.ttft_us = session.ttft_us;
+      result.hidden = std::move(session.hidden);
+      result.queue_us =
+          elapsed_us(session.request.enqueued_at, session.request.dequeued_at);
+      result.compute_us = session.compute_us;
+      result.total_us = elapsed_us(session.request.enqueued_at, done);
+      push_result(std::move(result));
+      step_scheduler_->finish(&session);
+    } else {
+      step_scheduler_->requeue(&session);
+    }
+  }
+  metrics_.record_kv_bytes(sessions_->kv_bytes_resident());
 }
 
 void WorkerPool::execute_per_request(std::size_t worker_index, Batch& batch,

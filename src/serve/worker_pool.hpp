@@ -22,10 +22,14 @@
 #include "model/transformer.hpp"
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/step_scheduler.hpp"
 
 namespace haan::serve {
 
-/// Pool of inference workers draining a BatchScheduler.
+/// Pool of inference workers draining a BatchScheduler (whole-request modes)
+/// or a StepScheduler (chunked/session mode, where each pack mixes prefill
+/// chunks and decode steps of different live sessions into one packed
+/// forward; see step_scheduler.hpp).
 class WorkerPool {
  public:
   using ProviderFactory =
@@ -50,6 +54,15 @@ class WorkerPool {
   WorkerPool(const model::Transformer& model, BatchScheduler& scheduler,
              ProviderFactory provider_factory, MetricsCollector& metrics,
              Options options);
+
+  /// Session-mode pool: workers pull step packs, execute them as one packed
+  /// incremental forward, then requeue or retire each session. `sessions`
+  /// must be the table `scheduler` admits into; both must outlive the pool.
+  /// `options.mega_batch` is ignored (session packs are always packed).
+  WorkerPool(const model::Transformer& model, StepScheduler& scheduler,
+             SessionTable& sessions, ProviderFactory provider_factory,
+             MetricsCollector& metrics, Options options);
+
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -71,6 +84,13 @@ class WorkerPool {
 
  private:
   void worker_main(std::size_t worker_index);
+
+  /// Executes one step pack as a single packed incremental forward, advances
+  /// every session aboard (checksum, greedy token, TTFT/inter-token stamps),
+  /// then requeues unfinished sessions and retires finished ones.
+  void execute_step_pack(std::size_t worker_index, StepPack& pack,
+                         model::NormProvider& provider,
+                         model::RowPartitionPool& span_pool);
 
   /// One packed cross-request forward over the whole batch; per-request
   /// results are unpacked from the batch's row spans. compute_us is the
@@ -94,7 +114,9 @@ class WorkerPool {
                             Clock::time_point done) const;
 
   const model::Transformer& model_;
-  BatchScheduler& scheduler_;
+  BatchScheduler* scheduler_ = nullptr;        ///< whole-request modes
+  StepScheduler* step_scheduler_ = nullptr;    ///< session mode
+  SessionTable* sessions_ = nullptr;           ///< session mode
   ProviderFactory provider_factory_;
   MetricsCollector& metrics_;
   Options options_;

@@ -1,5 +1,6 @@
 #include "serve/workload.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -53,6 +54,29 @@ std::string to_string(LengthModel model) {
   return "?";
 }
 
+std::optional<DecodeModel> try_decode_model_from_string(const std::string& name) {
+  if (name == "none") return DecodeModel::kNone;
+  if (name == "fixed") return DecodeModel::kFixed;
+  if (name == "geometric") return DecodeModel::kGeometric;
+  return std::nullopt;
+}
+
+DecodeModel decode_model_from_string(const std::string& name) {
+  const auto model = try_decode_model_from_string(name);
+  HAAN_EXPECTS(model.has_value() &&
+               "unknown decode model (expected none | fixed | geometric)");
+  return *model;
+}
+
+std::string to_string(DecodeModel model) {
+  switch (model) {
+    case DecodeModel::kNone: return "none";
+    case DecodeModel::kFixed: return "fixed";
+    case DecodeModel::kGeometric: return "geometric";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Instantaneous Poisson rate for request `i` of `n` under the scenario.
@@ -99,6 +123,25 @@ std::size_t draw_length(const WorkloadConfig& config, common::Rng& rng) {
   return config.min_prompt;
 }
 
+std::size_t draw_decode(const WorkloadConfig& config, common::Rng& rng) {
+  switch (config.decode_model) {
+    case DecodeModel::kNone:
+      return 0;
+    case DecodeModel::kFixed:
+      return std::min(config.decode_tokens, config.max_decode);
+    case DecodeModel::kGeometric: {
+      // Geometric on {1, 2, ...} with mean decode_tokens via inversion:
+      // n = 1 + floor(log(1-u) / log(1-p)), p = 1/mean.
+      const double p = 1.0 / static_cast<double>(config.decode_tokens);
+      const double u = rng.uniform();
+      const double n = 1.0 + std::floor(std::log1p(-u) / std::log1p(-p));
+      return std::min(static_cast<std::size_t>(std::max(n, 1.0)),
+                      config.max_decode);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::vector<Request> generate_workload(const WorkloadConfig& config) {
@@ -109,11 +152,17 @@ std::vector<Request> generate_workload(const WorkloadConfig& config) {
   // A non-positive ramp endpoint would yield an infinite or negative
   // inter-arrival time at some point of the run.
   HAAN_EXPECTS(config.ramp_start > 0.0 && config.ramp_end > 0.0);
+  if (config.decode_model != DecodeModel::kNone) {
+    HAAN_EXPECTS(config.decode_tokens >= 1 && config.max_decode >= 1);
+  }
 
   common::Rng root(config.seed);
   common::Rng arrival_rng = root.fork();
   common::Rng length_rng = root.fork();
   common::Rng token_rng = root.fork();
+  // Forked LAST so the streams above keep their pre-decode sequences: a seed
+  // produces the exact same arrivals/prompts whether or not decode is on.
+  common::Rng decode_rng = root.fork();
 
   std::vector<Request> requests;
   requests.reserve(config.n_requests);
@@ -132,6 +181,7 @@ std::vector<Request> generate_workload(const WorkloadConfig& config) {
     for (auto& token : request.tokens) {
       token = static_cast<int>(token_rng.uniform_index(config.vocab_size));
     }
+    request.max_new_tokens = draw_decode(config, decode_rng);
     requests.push_back(std::move(request));
   }
   return requests;

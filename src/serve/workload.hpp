@@ -28,16 +28,26 @@ enum class LengthModel {
   kBimodal,  ///< min_prompt, with probability long_fraction -> max_prompt
 };
 
+/// Decode-length (max_new_tokens) distribution.
+enum class DecodeModel {
+  kNone,       ///< prefill-only: every request has max_new_tokens = 0
+  kFixed,      ///< every request decodes decode_tokens tokens
+  kGeometric,  ///< geometric on {1, 2, ...} with mean decode_tokens
+};
+
 /// Nullopt-returning parsers for CLI validation...
 std::optional<Scenario> try_scenario_from_string(const std::string& name);
 std::optional<LengthModel> try_length_model_from_string(const std::string& name);
+std::optional<DecodeModel> try_decode_model_from_string(const std::string& name);
 
 /// ...and aborting ones for call sites where the name is already trusted.
 Scenario scenario_from_string(const std::string& name);
 LengthModel length_model_from_string(const std::string& name);
+DecodeModel decode_model_from_string(const std::string& name);
 
 std::string to_string(Scenario scenario);
 std::string to_string(LengthModel model);
+std::string to_string(DecodeModel model);
 
 /// Generator knobs.
 struct WorkloadConfig {
@@ -63,6 +73,14 @@ struct WorkloadConfig {
   std::size_t min_prompt = 8;
   std::size_t max_prompt = 32;
   double long_fraction = 0.1;  ///< bimodal: probability of a max_prompt prompt
+
+  /// Decode demand. Lengths draw from a fourth forked Rng stream appended
+  /// after the existing three, so enabling decode leaves arrivals, prompt
+  /// lengths and token contents of a given seed bit-identical to a
+  /// prefill-only workload.
+  DecodeModel decode_model = DecodeModel::kNone;
+  std::size_t decode_tokens = 8;  ///< fixed length / geometric mean (>= 1)
+  std::size_t max_decode = 64;    ///< hard per-request cap on sampled lengths
 
   /// Token ids are uniform in [0, vocab_size).
   std::size_t vocab_size = 512;

@@ -1,0 +1,65 @@
+// BatchLayout construction: from_lengths / from_sequences (position-0 packs),
+// the from_spans chunked entry point (per-span start positions), the single()
+// degenerate, and validation deaths for mismatched or empty inputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/batch_layout.hpp"
+
+namespace haan::model {
+namespace {
+
+TEST(BatchLayout, FromLengthsPacksBackToBackAtPositionZero) {
+  const BatchLayout layout =
+      BatchLayout::from_lengths(std::vector<std::size_t>{3, 1, 5});
+  EXPECT_EQ(layout.sequences(), 3u);
+  EXPECT_EQ(layout.total_rows(), 9u);
+  EXPECT_EQ(layout.span(0).row_begin, 0u);
+  EXPECT_EQ(layout.span(1).row_begin, 3u);
+  EXPECT_EQ(layout.span(2).row_begin, 4u);
+  for (const SequenceSpan& span : layout.spans()) {
+    EXPECT_EQ(span.start_position, 0u);
+  }
+}
+
+TEST(BatchLayout, FromSpansCarriesNonzeroStartPositions) {
+  // A serve-style mixed pack: a mid-prompt prefill chunk (4 rows continuing
+  // at position 6), a decode step (1 row at position 11) and a fresh whole
+  // prompt (3 rows at 0).
+  const std::vector<std::size_t> lengths = {4, 1, 3};
+  const std::vector<std::size_t> starts = {6, 11, 0};
+  const BatchLayout layout = BatchLayout::from_spans(lengths, starts);
+  EXPECT_EQ(layout.sequences(), 3u);
+  EXPECT_EQ(layout.total_rows(), 8u);
+  EXPECT_EQ(layout.span(0).row_begin, 0u);
+  EXPECT_EQ(layout.span(0).rows, 4u);
+  EXPECT_EQ(layout.span(0).start_position, 6u);
+  EXPECT_EQ(layout.span(1).row_begin, 4u);
+  EXPECT_EQ(layout.span(1).start_position, 11u);
+  EXPECT_EQ(layout.span(2).row_begin, 5u);
+  EXPECT_EQ(layout.span(2).start_position, 0u);
+}
+
+TEST(BatchLayout, SingleSupportsOffsetContinuation) {
+  const BatchLayout fresh = BatchLayout::single(7);
+  EXPECT_EQ(fresh.sequences(), 1u);
+  EXPECT_EQ(fresh.total_rows(), 7u);
+  EXPECT_EQ(fresh.span(0).start_position, 0u);
+
+  const BatchLayout resumed = BatchLayout::single(2, /*start_position=*/9);
+  EXPECT_EQ(resumed.total_rows(), 2u);
+  EXPECT_EQ(resumed.span(0).start_position, 9u);
+}
+
+TEST(BatchLayout, FromSpansValidatesInputs) {
+  const std::vector<std::size_t> lengths = {4, 1};
+  const std::vector<std::size_t> starts_short = {6};
+  EXPECT_DEATH(BatchLayout::from_spans(lengths, starts_short), "");
+  const std::vector<std::size_t> zero_len = {4, 0};
+  const std::vector<std::size_t> starts = {6, 11};
+  EXPECT_DEATH(BatchLayout::from_spans(zero_len, starts), "");
+}
+
+}  // namespace
+}  // namespace haan::model

@@ -25,7 +25,9 @@ ServerConfig mega_server(const std::string& norm, std::size_t workers,
   config.scheduler.max_wait = std::chrono::microseconds(200);
   config.paced = false;
   config.keep_hidden = true;
-  config.mega_batch = true;
+  // Explicit mode: these tests assert mode-specific counter shapes, so they
+  // must not flip to chunked execution under the HAAN_PREFILL_CHUNK CI matrix.
+  config.mode = ExecMode::kMegaBatch;
   config.calibration.n_samples = 8;
   config.calibration.seq_len = 16;
   config.calibration.position_stride = 4;
@@ -82,7 +84,7 @@ TEST(MegaBatchServe, PackedModeMatchesPerRequestModeBitForBit) {
   const auto workload = ragged_workload(24, config.model.vocab_size);
 
   Server packed_server(config);
-  config.mega_batch = false;
+  config.mode = ExecMode::kPerRequest;
   Server per_request_server(config);
 
   const auto packed = packed_server.run(workload);

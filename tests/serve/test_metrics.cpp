@@ -170,6 +170,61 @@ TEST(MetricsCollector, HistogramPercentilesTrackNearestRankWithinOneBucket) {
   EXPECT_NEAR(metrics.total.mean_us, exact.mean_us, exact.mean_us * 1e-9);
 }
 
+TEST(MetricsCollector, PhaseMetricsClassifyPacksAndSummarizeLatencies) {
+  MetricsCollector collector;
+  collector.record_step_pack(/*prefill_rows=*/8, /*decode_rows=*/0);
+  collector.record_step_pack(/*prefill_rows=*/0, /*decode_rows=*/3);
+  collector.record_step_pack(/*prefill_rows=*/4, /*decode_rows=*/2);
+  collector.record_ttft(500.0);
+  collector.record_ttft(700.0);
+  collector.record_intertoken(50.0);
+  collector.record_intertoken(70.0);
+  collector.record_intertoken(90.0);
+  collector.record_kv_bytes(4096);
+  collector.record_kv_bytes(1024);
+
+  const ServeMetrics metrics = collector.finalize(1e6);
+  EXPECT_EQ(metrics.prefill_rows, 12u);
+  EXPECT_EQ(metrics.decode_rows, 5u);
+  EXPECT_EQ(metrics.prefill_packs, 1u);
+  EXPECT_EQ(metrics.decode_packs, 1u);
+  EXPECT_EQ(metrics.mixed_packs, 1u);
+  // Rows divide over the packs that carried the phase (pure + mixed).
+  EXPECT_DOUBLE_EQ(metrics.prefill_rows_per_pack(), 6.0);
+  EXPECT_DOUBLE_EQ(metrics.decode_rows_per_pack(), 2.5);
+
+  EXPECT_EQ(metrics.ttft.count, 2u);
+  EXPECT_EQ(metrics.ttft.max_us, 700.0);
+  EXPECT_NEAR(metrics.ttft.mean_us, 600.0, 1e-9);
+  EXPECT_EQ(metrics.intertoken.count, 3u);
+  EXPECT_EQ(metrics.intertoken.max_us, 90.0);
+
+  // The gauge keeps the latest sample; the watermark keeps the peak.
+  EXPECT_EQ(metrics.kv_bytes_resident, 1024u);
+  EXPECT_EQ(metrics.max_kv_bytes, 4096u);
+
+  const std::string rendered = metrics.to_string();
+  EXPECT_NE(rendered.find("ttft"), std::string::npos);
+  EXPECT_NE(rendered.find("inter-token"), std::string::npos);
+  EXPECT_NE(rendered.find("kv cache"), std::string::npos);
+  const std::string json = metrics.to_json().dump();
+  EXPECT_NE(json.find("latency_ttft"), std::string::npos);
+  EXPECT_NE(json.find("latency_intertoken"), std::string::npos);
+  EXPECT_NE(json.find("prefill_rows_per_pack"), std::string::npos);
+}
+
+TEST(MetricsCollector, PhaseMetricsZeroOutsideSessionMode) {
+  const MetricsCollector collector;
+  const ServeMetrics metrics = collector.finalize(1.0);
+  EXPECT_EQ(metrics.ttft.count, 0u);
+  EXPECT_EQ(metrics.intertoken.count, 0u);
+  EXPECT_EQ(metrics.prefill_rows, 0u);
+  EXPECT_EQ(metrics.decode_rows, 0u);
+  EXPECT_EQ(metrics.prefill_rows_per_pack(), 0.0);
+  EXPECT_EQ(metrics.decode_rows_per_pack(), 0.0);
+  EXPECT_EQ(metrics.max_kv_bytes, 0u);
+}
+
 TEST(MetricsCollector, MemoryConstantInCompletedRequestCount) {
   // The old collector kept every latency sample in vectors (O(completed));
   // the histogram collector's footprint must not grow with traffic.

@@ -31,7 +31,10 @@ ServerConfig traced_server(const std::string& norm) {
   config.scheduler.max_batch = 4;
   config.scheduler.max_wait = std::chrono::microseconds(200);
   config.paced = false;
-  config.mega_batch = true;
+  // Pinned: these tests assert mega-batch lifecycle spans (batch-form); the
+  // chunked span shapes (pack-form, phase args) are covered by the decode
+  // trace assertions in test_decode_serve.cpp.
+  config.mode = ExecMode::kMegaBatch;
   config.calibration.n_samples = 8;
   config.calibration.seq_len = 16;
   config.calibration.position_stride = 4;

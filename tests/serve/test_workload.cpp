@@ -176,6 +176,72 @@ TEST(Workload, ScenarioAndLengthModelStringsRoundTrip) {
        {LengthModel::kFixed, LengthModel::kUniform, LengthModel::kBimodal}) {
     EXPECT_EQ(length_model_from_string(to_string(model)), model);
   }
+  for (const auto model : {DecodeModel::kNone, DecodeModel::kFixed,
+                           DecodeModel::kGeometric}) {
+    EXPECT_EQ(decode_model_from_string(to_string(model)), model);
+  }
+  EXPECT_FALSE(try_decode_model_from_string("bogus").has_value());
+}
+
+TEST(Workload, DefaultDecodeModelLeavesRequestsPrefillOnly) {
+  for (const auto& request : generate_workload(base_config())) {
+    EXPECT_EQ(request.max_new_tokens, 0u);
+  }
+}
+
+TEST(Workload, EnablingDecodeDoesNotReshuffleOtherStreams) {
+  // The decode Rng forks AFTER arrival/length/token, so a seed's arrivals,
+  // prompts and token contents are bit-identical with decode on or off.
+  const auto prefill_only = generate_workload(base_config());
+  auto config = base_config();
+  config.decode_model = DecodeModel::kGeometric;
+  config.decode_tokens = 6;
+  const auto with_decode = generate_workload(config);
+  ASSERT_EQ(prefill_only.size(), with_decode.size());
+  for (std::size_t i = 0; i < prefill_only.size(); ++i) {
+    EXPECT_EQ(prefill_only[i].tokens, with_decode[i].tokens);
+    EXPECT_DOUBLE_EQ(prefill_only[i].arrival_us, with_decode[i].arrival_us);
+    EXPECT_EQ(prefill_only[i].max_new_tokens, 0u);
+  }
+}
+
+TEST(Workload, FixedDecodeModelAssignsConstantBudget) {
+  auto config = base_config();
+  config.decode_model = DecodeModel::kFixed;
+  config.decode_tokens = 5;
+  for (const auto& request : generate_workload(config)) {
+    EXPECT_EQ(request.max_new_tokens, 5u);
+  }
+}
+
+TEST(Workload, GeometricDecodeLengthsHaveConfiguredMeanAndCap) {
+  auto config = base_config();
+  config.n_requests = 4000;
+  config.decode_model = DecodeModel::kGeometric;
+  config.decode_tokens = 8;
+  config.max_decode = 64;
+  double sum = 0.0;
+  std::size_t at_least_two = 0;
+  for (const auto& request : generate_workload(config)) {
+    EXPECT_GE(request.max_new_tokens, 1u);
+    EXPECT_LE(request.max_new_tokens, config.max_decode);
+    sum += static_cast<double>(request.max_new_tokens);
+    if (request.max_new_tokens >= 2) ++at_least_two;
+  }
+  const double mean = sum / static_cast<double>(config.n_requests);
+  EXPECT_NEAR(mean, 8.0, 1.0);  // generous band for the cap's truncation
+  EXPECT_GT(at_least_two, config.n_requests / 2);  // genuinely dispersed
+}
+
+TEST(Workload, GeometricDecodeRespectsTightCap) {
+  auto config = base_config();
+  config.decode_model = DecodeModel::kGeometric;
+  config.decode_tokens = 16;
+  config.max_decode = 4;
+  for (const auto& request : generate_workload(config)) {
+    EXPECT_GE(request.max_new_tokens, 1u);
+    EXPECT_LE(request.max_new_tokens, 4u);
+  }
 }
 
 }  // namespace
