@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "common/json_lite.hpp"
 #include "common/rng.hpp"
 #include "core/haan_norm.hpp"
+#include "kernels/autotune.hpp"
 #include "kernels/kernels.hpp"
 #include "model/norm_provider.hpp"
 #include "numerics/formats.hpp"
@@ -24,6 +26,23 @@
 using namespace haan;
 
 namespace {
+
+/// Nominal bytes moved per element by each measured op (float = 4 B per
+/// touched stream), so ns/element converts to an effective bandwidth:
+/// GB/s = bytes_per_element / ns_per_element. "Nominal" counts the streams
+/// the op's contract touches, not cache-line traffic.
+constexpr double kStatsBytes = 4.0;              // read z
+constexpr double kResidualAddStatsBytes = 12.0;  // read h + r, write h
+constexpr double kNormalizeAffineBytes = 16.0;   // read z + alpha + beta, write out
+constexpr double kQuantizeBytes = 8.0;           // read + write in place
+/// Fused residual+RMSNorm: add pass (12) + normalize pass (16).
+constexpr double kFusedRmsBytes = 28.0;
+/// LayerNorm adds the centered second-moment re-read of h.
+constexpr double kFusedLayerBytes = 32.0;
+
+double gbps(double bytes_per_element, double ns_per_element) {
+  return ns_per_element > 0.0 ? bytes_per_element / ns_per_element : 0.0;
+}
 
 double g_sink = 0.0;  // defeats dead-code elimination across measurements
 
@@ -183,7 +202,21 @@ int main(int argc, char** argv) {
                "rows=64 beats the per-row provider path by this factor "
                "(0 disables)");
   cli.add_flag("json", "", "write the report as JSON to this path");
+  cli.add_flag("tune", "0",
+               "run the autotune sweep: per (d, rows) cell compare the static "
+               "dispatch table against kernels::tuned_for(d) with the tuner's "
+               "own measurement harness");
+  cli.add_flag("min-tune-ratio", "0",
+               "with --tune, fail unless static_ns/tuned_ns >= this ratio in "
+               "every swept cell (0 disables; use <1, e.g. 0.9, for noise "
+               "headroom)");
+  cli.add_flag("autotune-cache", "",
+               "autotune decision cache path (overrides HAAN_AUTOTUNE_CACHE)");
   if (!cli.parse(argc, argv)) return cli.error() ? 1 : 0;
+
+  if (!cli.get("autotune-cache").empty()) {
+    kernels::set_autotune_cache_path(cli.get("autotune-cache"));
+  }
 
   const double target_ms = cli.get_double("target-ms");
   const double min_speedup = cli.get_double("min-speedup");
@@ -220,51 +253,71 @@ int main(int argc, char** argv) {
     double active_fused_rmsnorm = 0.0;
     for (const kernels::KernelTable* table : kernels::supported_kernels()) {
       common::Json::Object ops;
-      ops["stats"] = time_ns_per_element(
-          [&] { sink(table->stats(ws.h.data(), d).sum_sq); }, d, target_ms);
-      ops["residual_add_stats"] = time_ns_per_element(
-          [&] {
-            sink(table->residual_add_stats(ws.h.data(), ws.residual.data(), d)
-                     .sum_sq);
-          },
-          d, target_ms);
-      ops["normalize_affine"] = time_ns_per_element(
-          [&] {
-            table->normalize_affine(ws.h.data(), d, 0.01, 0.66,
-                                    ws.alpha.data(), ws.beta.data(),
-                                    ws.out.data());
-            sink(ws.out[0]);
-          },
-          d, target_ms);
-      ops["quantize_int8"] = time_ns_per_element(
-          [&] {
-            table->quantize_dequantize(ws.quant.data(), d,
-                                       numerics::NumericFormat::kINT8, 0.05f);
-            sink(ws.quant[0]);
-          },
-          d, target_ms);
-      ops["quantize_fp16"] = time_ns_per_element(
-          [&] {
-            table->quantize_dequantize(ws.quant.data(), d,
-                                       numerics::NumericFormat::kFP16, 1.0f);
-            sink(ws.quant[0]);
-          },
-          d, target_ms);
-      const double fused_rms = time_ns_per_element(
-          [&] {
-            kernels::residual_add_rmsnorm(*table, ws.h, ws.residual, ws.alpha,
-                                          ws.beta, ws.out, kEps);
-            sink(ws.out[0]);
-          },
-          d, target_ms);
-      ops["residual_add_rmsnorm"] = fused_rms;
-      ops["residual_add_layernorm"] = time_ns_per_element(
-          [&] {
-            kernels::residual_add_layernorm(*table, ws.h, ws.residual, ws.alpha,
-                                            ws.beta, ws.out, kEps);
-            sink(ws.out[0]);
-          },
-          d, target_ms);
+      const auto record = [&ops](const char* name, double bytes_per_element,
+                                 double ns) {
+        ops[name] = ns;
+        ops[std::string(name) + "_gbps"] = gbps(bytes_per_element, ns);
+        return ns;
+      };
+      record("stats", kStatsBytes,
+             time_ns_per_element(
+                 [&] { sink(table->stats(ws.h.data(), d).sum_sq); }, d,
+                 target_ms));
+      record("residual_add_stats", kResidualAddStatsBytes,
+             time_ns_per_element(
+                 [&] {
+                   sink(table
+                            ->residual_add_stats(ws.h.data(),
+                                                 ws.residual.data(), d)
+                            .sum_sq);
+                 },
+                 d, target_ms));
+      record("normalize_affine", kNormalizeAffineBytes,
+             time_ns_per_element(
+                 [&] {
+                   table->normalize_affine(ws.h.data(), d, 0.01, 0.66,
+                                           ws.alpha.data(), ws.beta.data(),
+                                           ws.out.data());
+                   sink(ws.out[0]);
+                 },
+                 d, target_ms));
+      record("quantize_int8", kQuantizeBytes,
+             time_ns_per_element(
+                 [&] {
+                   table->quantize_dequantize(ws.quant.data(), d,
+                                              numerics::NumericFormat::kINT8,
+                                              0.05f);
+                   sink(ws.quant[0]);
+                 },
+                 d, target_ms));
+      record("quantize_fp16", kQuantizeBytes,
+             time_ns_per_element(
+                 [&] {
+                   table->quantize_dequantize(ws.quant.data(), d,
+                                              numerics::NumericFormat::kFP16,
+                                              1.0f);
+                   sink(ws.quant[0]);
+                 },
+                 d, target_ms));
+      const double fused_rms =
+          record("residual_add_rmsnorm", kFusedRmsBytes,
+                 time_ns_per_element(
+                     [&] {
+                       kernels::residual_add_rmsnorm(*table, ws.h, ws.residual,
+                                                     ws.alpha, ws.beta, ws.out,
+                                                     kEps);
+                       sink(ws.out[0]);
+                     },
+                     d, target_ms));
+      record("residual_add_layernorm", kFusedLayerBytes,
+             time_ns_per_element(
+                 [&] {
+                   kernels::residual_add_layernorm(*table, ws.h, ws.residual,
+                                                   ws.alpha, ws.beta, ws.out,
+                                                   kEps);
+                   sink(ws.out[0]);
+                 },
+                 d, target_ms));
       per_backend[table->name] = ops;
       if (std::string(table->name) == kernels::active_name()) {
         active_fused_rmsnorm = fused_rms;
@@ -284,8 +337,10 @@ int main(int argc, char** argv) {
     results.push_back(row);
 
     std::printf(
-        "d=%5zu  seed %6.3f ns/el  fused(%s) %6.3f ns/el  speedup %5.2fx\n", d,
-        seed_rms, kernels::active_name(), active_fused_rmsnorm, speedup);
+        "d=%5zu  seed %6.3f ns/el  fused(%s) %6.3f ns/el (%6.2f GB/s)  "
+        "speedup %5.2fx\n",
+        d, seed_rms, kernels::active_name(), active_fused_rmsnorm,
+        gbps(kFusedRmsBytes, active_fused_rmsnorm), speedup);
   }
 
   // --- Row-block sweep: batched provider calls vs the per-row seam --------
@@ -314,6 +369,8 @@ int main(int argc, char** argv) {
       entry["exact_per_row_ns"] = exact_t.per_row_ns;
       entry["exact_rowblock_ns"] = exact_t.rowblock_ns;
       entry["exact_speedup"] = exact_t.speedup();
+      entry["haan_rowblock_gbps"] = gbps(kFusedRmsBytes, haan_t.rowblock_ns);
+      entry["exact_rowblock_gbps"] = gbps(kFusedRmsBytes, exact_t.rowblock_ns);
       rowblock_results.push_back(entry);
       if (d == 4096 && rows == 64) {
         rowblock_speedup_4096x64 = haan_t.speedup();
@@ -323,6 +380,98 @@ int main(int argc, char** argv) {
           "-> %6.3f ns/el (%5.2fx)\n",
           d, rows, haan_t.per_row_ns, haan_t.rowblock_ns, haan_t.speedup(),
           exact_t.per_row_ns, exact_t.rowblock_ns, exact_t.speedup());
+    }
+  }
+
+  // --- Autotune sweep: static dispatch table vs tuned_for(d), measured with
+  // the tuner's own harness so the gate checks exactly what the tuner
+  // optimizes (the fused residual+RMSNorm row-block bandwidth pass). ---------
+  const bool tune = cli.get_bool("tune");
+  const double min_tune_ratio = cli.get_double("min-tune-ratio");
+  common::Json::Object tune_doc;
+  bool tune_ok = true;
+  if (tune) {
+    std::printf("--- autotune sweep: static dispatch vs tuned_for(d) ---\n");
+    common::Json::Array tune_entries;
+    double worst_ratio = std::numeric_limits<double>::infinity();
+    for (const std::size_t d : dims) {
+      const kernels::AutotuneChoice& choice = kernels::tuned_for(d);
+      for (const std::size_t rows : row_counts) {
+        const double static_ns =
+            kernels::measure_rows_ns_per_row(kernels::active(), d, rows);
+        const double tuned_ns =
+            kernels::measure_rows_ns_per_row(*choice.table, d, rows);
+        const double ratio = tuned_ns > 0.0 ? static_ns / tuned_ns : 0.0;
+        worst_ratio = std::min(worst_ratio, ratio);
+        common::Json::Object entry;
+        entry["d"] = d;
+        entry["rows"] = rows;
+        entry["static_table"] = kernels::active_name();
+        entry["tuned_table"] = choice.table->name;
+        entry["source"] = kernels::to_string(choice.source);
+        entry["static_ns_per_row"] = static_ns;
+        entry["tuned_ns_per_row"] = tuned_ns;
+        entry["static_gbps"] =
+            gbps(kFusedRmsBytes, static_ns / static_cast<double>(d));
+        entry["tuned_gbps"] =
+            gbps(kFusedRmsBytes, tuned_ns / static_cast<double>(d));
+        entry["ratio"] = ratio;
+        tune_entries.push_back(entry);
+        std::printf(
+            "d=%5zu rows=%4zu  static(%s) %9.1f ns/row  tuned(%s) %9.1f "
+            "ns/row  ratio %5.2fx\n",
+            d, rows, kernels::active_name(), static_ns, choice.table->name,
+            tuned_ns, ratio);
+      }
+    }
+    tune_doc["entries"] = tune_entries;
+    tune_doc["worst_ratio"] = worst_ratio;
+    if (min_tune_ratio > 0.0 && worst_ratio < min_tune_ratio) {
+      std::fprintf(stderr,
+                   "FAIL: autotuned table is %.3fx the static dispatch in the "
+                   "worst cell (< required %.3fx)\n",
+                   worst_ratio, min_tune_ratio);
+      tune_ok = false;
+    }
+
+    // AVX-512 vs AVX2 anchor: the tentpole claim — fused RMSNorm d=4096 on
+    // large row blocks improves over the AVX2 family when both are runnable.
+    // rows=64 (the same cell as the rowblock anchor) keeps the loop
+    // compute-bound; past ~128 rows the pass saturates memory bandwidth and
+    // the two families converge into noise.
+    const kernels::KernelTable* avx512 = kernels::find_kernel_table("avx512");
+    const kernels::KernelTable* avx2 = kernels::find_kernel_table("avx2");
+    const bool avx512_runnable = [&] {
+      if (avx512 == nullptr || avx2 == nullptr) return false;
+      for (const kernels::KernelTable* t : kernels::supported_kernels()) {
+        if (t == avx512) return true;
+      }
+      return false;
+    }();
+    if (avx512_runnable) {
+      const std::size_t d = 4096, rows = 64;
+      const double avx2_ns = kernels::measure_rows_ns_per_row(*avx2, d, rows);
+      const double avx512_ns =
+          kernels::measure_rows_ns_per_row(*avx512, d, rows);
+      const double ratio = avx512_ns > 0.0 ? avx2_ns / avx512_ns : 0.0;
+      common::Json::Object cmp;
+      cmp["d"] = d;
+      cmp["rows"] = rows;
+      cmp["avx2_ns_per_row"] = avx2_ns;
+      cmp["avx512_ns_per_row"] = avx512_ns;
+      cmp["avx512_speedup_vs_avx2"] = ratio;
+      tune_doc["avx512_vs_avx2"] = cmp;
+      std::printf(
+          "d=%5zu rows=%4zu  avx2 %9.1f ns/row  avx512 %9.1f ns/row  "
+          "avx512 speedup %5.2fx\n",
+          d, rows, avx2_ns, avx512_ns, ratio);
+      if (min_tune_ratio > 0.0 && ratio < min_tune_ratio) {
+        std::fprintf(stderr,
+                     "FAIL: avx512 fused RMSNorm d=4096 rows=256 is %.3fx "
+                     "avx2 (< required %.3fx)\n",
+                     ratio, min_tune_ratio);
+        tune_ok = false;
+      }
     }
   }
 
@@ -338,6 +487,7 @@ int main(int argc, char** argv) {
   doc["rowblock_rows"] = rows_json;
   doc["rowblock_results"] = rowblock_results;
   doc["rowblock_speedup_d4096_rows64"] = rowblock_speedup_4096x64;
+  if (tune) doc["tune"] = tune_doc;
 
   const std::string json_path = cli.get("json");
   if (!json_path.empty()) {
@@ -363,5 +513,6 @@ int main(int argc, char** argv) {
                  rowblock_speedup_4096x64, min_rowblock_speedup);
     return 1;
   }
+  if (!tune_ok) return 1;
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "core/subsample.hpp"
+#include "kernels/autotune.hpp"
 #include "kernels/kernels.hpp"
 #include "numerics/fast_math.hpp"
 #include "tensor/norm_ref.hpp"
@@ -18,6 +19,14 @@ HaanNormProvider::HaanNormProvider(HaanConfig config, std::size_t norm_threads)
       pool_(norm_threads) {}
 
 void HaanNormProvider::begin_sequence() { predictor_.begin_sequence(); }
+
+const kernels::KernelTable& HaanNormProvider::tuned(std::size_t d) {
+  if (tuned_table_ == nullptr || tuned_d_ != d) {
+    tuned_table_ = kernels::tuned_for(d).table;
+    tuned_d_ = d;
+  }
+  return *tuned_table_;
+}
 
 double HaanNormProvider::compute_isd(double second_moment) const {
   const double x = second_moment + config_.eps;
@@ -51,8 +60,8 @@ void HaanNormProvider::residual_add_normalize(
   HAAN_EXPECTS(residual.size() == h.size());
   // One pass updates the residual stream and fills the operand buffer.
   buffer_.resize(h.size());
-  kernels::active().residual_add_copy(h.data(), residual.data(), buffer_.data(),
-                                      h.size());
+  tuned(h.size()).residual_add_copy(h.data(), residual.data(), buffer_.data(),
+                                    h.size());
   ++counters_.fused_residual_norms;
   normalize_prepared(layer_index, position, kind, alpha, beta, out);
 }
@@ -93,7 +102,7 @@ void HaanNormProvider::residual_add_normalize_rows(
   ++counters_.batched_norm_calls;
   counters_.batched_rows += rows;
 
-  const kernels::KernelTable& k = kernels::active();
+  const kernels::KernelTable& k = tuned(d);
   const std::size_t min_rows = model::min_partition_rows(d);
   const float* src;
   bool stats_done = false;
@@ -137,7 +146,7 @@ void HaanNormProvider::residual_add_normalize_rows(
 void HaanNormProvider::quantize_rows(float* block, std::size_t rows,
                                      std::size_t d) {
   row_scale_.resize(rows);
-  const kernels::KernelTable& k = kernels::active();
+  const kernels::KernelTable& k = tuned(d);
   // Scale selection and quantization are per-row; chunks write disjoint
   // row_scale_ slots and block rows.
   pool_.for_rows(rows, model::min_partition_rows(d),
@@ -160,7 +169,7 @@ void HaanNormProvider::finish_rows(std::size_t layer_index,
                                    bool stats_done, std::span<const float> alpha,
                                    std::span<const float> beta,
                                    std::span<float> out) {
-  const kernels::KernelTable& k = kernels::active();
+  const kernels::KernelTable& k = tuned(d);
   // Per-layer resolution, hoisted out of the row loop: one skip-plan lookup,
   // one anchor check, one statistics width.
   const bool skip = predictor_.should_skip(layer_index);
@@ -228,6 +237,7 @@ void HaanNormProvider::normalize_prepared(std::size_t layer_index,
                                           std::span<const float> beta,
                                           std::span<float> out) {
   ++counters_.norm_calls;
+  const kernels::KernelTable& k = tuned(buffer_.size());
 
   // Operand quantization: the datapath sees the quantized input both in the
   // statistics path and the normalization path (paper §III-C / §IV-A).
@@ -235,7 +245,7 @@ void HaanNormProvider::normalize_prepared(std::size_t layer_index,
     const float scale = config_.format == numerics::NumericFormat::kINT8
                             ? numerics::choose_int8_scale(buffer_)
                             : 1.0f;
-    kernels::quantize_dequantize_span(buffer_, config_.format, scale);
+    kernels::quantize_dequantize_span(k, buffer_, config_.format, scale);
   }
 
   double mean = 0.0;
@@ -247,13 +257,13 @@ void HaanNormProvider::normalize_prepared(std::size_t layer_index,
     ++counters_.isd_predicted;
     if (kind == model::NormKind::kLayerNorm) {
       const SubsampledStats stats =
-          subsampled_stats(buffer_, config_.nsub, kind, config_.eps);
+          subsampled_stats(k, buffer_, config_.nsub, kind, config_.eps);
       mean = stats.mean;
       counters_.elements_read += stats.used;
     }
   } else {
     const SubsampledStats stats =
-        subsampled_stats(buffer_, config_.nsub, kind, config_.eps);
+        subsampled_stats(k, buffer_, config_.nsub, kind, config_.eps);
     counters_.elements_read += stats.used;
     mean = stats.mean;
     isd = compute_isd(stats.second_moment);
@@ -263,9 +273,9 @@ void HaanNormProvider::normalize_prepared(std::size_t layer_index,
   last_isd_ = isd;
 
   if (kind == model::NormKind::kLayerNorm) {
-    tensor::layernorm_with_isd(buffer_, mean, isd, alpha, beta, out);
+    tensor::layernorm_with_isd(k, buffer_, mean, isd, alpha, beta, out);
   } else {
-    tensor::rmsnorm_with_isd(buffer_, isd, alpha, beta, out);
+    tensor::rmsnorm_with_isd(k, buffer_, isd, alpha, beta, out);
   }
   // The hardware datapath saturates instead of producing inf/NaN; clamp the
   // output so badly misconfigured plans (paper Table II's failing rows)

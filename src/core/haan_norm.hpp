@@ -81,6 +81,13 @@ class HaanNormProvider final : public model::NormProvider {
   double last_isd_used() const { return last_isd_; }
 
  private:
+  /// The autotuned kernel table for width d, memoized per provider (one
+  /// registry lookup, then a pointer compare per call). Every datapath pass —
+  /// operand copy, statistics, quantization, normalize — goes through this
+  /// ONE table so per-row and row-block execution stay bit-identical under
+  /// autotuning.
+  const kernels::KernelTable& tuned(std::size_t d);
+
   double compute_isd(double second_moment) const;
 
   /// Statistics + normalization over the already-filled (pre-quantization)
@@ -102,6 +109,8 @@ class HaanNormProvider final : public model::NormProvider {
                    std::span<float> out);
 
   HaanConfig config_;
+  const kernels::KernelTable* tuned_table_ = nullptr;
+  std::size_t tuned_d_ = 0;
   IsdPredictor predictor_;
   model::RowPartitionPool pool_;  ///< worker-local row parallelism
   Counters counters_;

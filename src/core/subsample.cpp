@@ -11,13 +11,19 @@ namespace haan::core {
 
 SubsampledStats subsampled_stats(std::span<const float> z, std::size_t nsub,
                                  model::NormKind kind, double eps) {
+  return subsampled_stats(kernels::active(), z, nsub, kind, eps);
+}
+
+SubsampledStats subsampled_stats(const kernels::KernelTable& k,
+                                 std::span<const float> z, std::size_t nsub,
+                                 model::NormKind kind, double eps) {
   HAAN_EXPECTS(!z.empty());
   const std::size_t n = (nsub == 0) ? z.size() : std::min(nsub, z.size());
   SubsampledStats stats;
   stats.used = n;
 
   // Vectorized adder-tree pass over the subsampled prefix.
-  const kernels::SumStats sums = kernels::active().stats(z.data(), n);
+  const kernels::SumStats sums = k.stats(z.data(), n);
   const double inv_n = 1.0 / static_cast<double>(n);
   stats.mean = sums.sum * inv_n;
 

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <span>
 
+#include "kernels/kernels.hpp"
 #include "model/config.hpp"
 
 namespace haan::model {}  // forward-include convenience
@@ -26,6 +27,12 @@ struct SubsampledStats {
 /// moment is the prefix variance; for RMSNorm it is the prefix mean square
 /// (paper eq. 4).
 SubsampledStats subsampled_stats(std::span<const float> z, std::size_t nsub,
+                                 model::NormKind kind, double eps = 1e-5);
+
+/// Same, over an explicit kernel table — providers pass the autotuned backend
+/// so the subsampled reduction matches their row-block paths bit for bit.
+SubsampledStats subsampled_stats(const kernels::KernelTable& k,
+                                 std::span<const float> z, std::size_t nsub,
                                  model::NormKind kind, double eps = 1e-5);
 
 /// Relative ISD estimation error of the subsampled estimate vs. the full

@@ -1,0 +1,414 @@
+// Autotuner implementation. Compiled with baseline flags: candidate tables
+// come from the dispatcher's runnable set, so no ISA-specific code executes
+// here beyond indirect calls through already-vetted function pointers.
+#include "kernels/autotune.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iterator>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/clock.hpp"
+#include "common/json_lite.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace haan::kernels {
+namespace {
+
+/// Row-block sizes the tuner scores each candidate on: a decode-sized block,
+/// a mid prefill chunk, and a large prefill/packed batch. The winner must not
+/// regress the static dispatch on ANY tile (max-min rule below), so the one
+/// table chosen per d is safe across the serve stack's block sizes.
+constexpr std::size_t kTileRows[] = {8, 64, 256};
+
+/// A candidate must beat static dispatch by this factor on its WORST tile to
+/// displace it — guards against single-core timer noise flipping the choice.
+constexpr double kWinMargin = 1.02;
+
+constexpr int kCacheVersion = 1;
+
+std::mutex& mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::size_t, AutotuneChoice>& choices() {
+  static std::map<std::size_t, AutotuneChoice> c;
+  return c;
+}
+
+std::string& cache_path_override() {
+  static std::string path;
+  return path;
+}
+
+/// The CPU identity the cache is keyed on: the runnable backend families.
+/// A cache produced on an AVX-512 machine is invalid on an AVX2-only one
+/// (the tuned table may not exist there) and vice versa (a wider machine
+/// should re-tune with the extra candidates).
+std::string cpu_key() {
+  std::string key;
+  for (const KernelTable* table : supported_kernels()) {
+    if (!key.empty()) key += '+';
+    key += table->name;
+  }
+  return key;
+}
+
+const char* mode_name(AutotuneMode mode) {
+  switch (mode) {
+    case AutotuneMode::kOff: return "off";
+    case AutotuneMode::kFull: return "full";
+    case AutotuneMode::kSafe: break;
+  }
+  return "safe";
+}
+
+AutotuneChoice static_choice(std::size_t d) {
+  AutotuneChoice choice;
+  // Re-check the scalar override here rather than relying on active():
+  // active() caches its first answer, so a HAAN_FORCE_SCALAR set after some
+  // earlier dispatch (tests, embedding hosts) would otherwise be ignored by
+  // the tuner even though the contract says it wins over everything.
+  choice.table = force_scalar_requested() ? &scalar_kernels() : &active();
+  choice.d = d;
+  choice.source = AutotuneChoice::Source::kStatic;
+  return choice;
+}
+
+/// True when `name` is `family` itself or a variant of it ("avx2-pf" is a
+/// variant of "avx2" but not of "avx512").
+bool in_family(std::string_view name, std::string_view family) {
+  if (name == family) return true;
+  return name.size() > family.size() + 1 &&
+         name.substr(0, family.size()) == family &&
+         name[family.size()] == '-';
+}
+
+// ---------------------------------------------------------------------------
+// Cache file I/O. The cache is one JSON object:
+//   {"version": 1, "cpu": "scalar+avx2+avx512", "mode": "safe",
+//    "entries": [{"d": 4096, "table": "avx512-pf", "rows_tile": 256,
+//                 "ns_per_row": 118.2}, ...]}
+// Any mismatch (version, cpu, mode, unknown table name, parse failure) makes
+// the affected entry — or the whole file — silently unusable: the tuner
+// re-measures and rewrites. A stale or corrupt cache can cost a re-tune but
+// never an error or a wrong-ISA table.
+// ---------------------------------------------------------------------------
+
+/// Parses the cache file if it matches this process (version/cpu/mode).
+std::optional<common::Json> load_matching_cache(const std::string& path,
+                                                AutotuneMode mode) {
+  const std::optional<std::string> text = common::read_file(path);
+  if (!text) return std::nullopt;
+  std::optional<common::Json> doc = common::Json::parse(*text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const common::Json* version = doc->find("version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<int>(version->as_number()) != kCacheVersion) {
+    return std::nullopt;
+  }
+  const common::Json* cpu = doc->find("cpu");
+  if (cpu == nullptr || !cpu->is_string() || cpu->as_string() != cpu_key()) {
+    return std::nullopt;
+  }
+  const common::Json* cache_mode = doc->find("mode");
+  if (cache_mode == nullptr || !cache_mode->is_string() ||
+      cache_mode->as_string() != mode_name(mode)) {
+    return std::nullopt;
+  }
+  if (const common::Json* entries = doc->find("entries");
+      entries == nullptr || !entries->is_array()) {
+    return std::nullopt;
+  }
+  return doc;
+}
+
+/// Looks up the entry for width d; returns a usable choice or nullopt. The
+/// table name must resolve among the candidates the current mode would have
+/// considered — a "full"-mode table never leaks into a "safe"-mode run.
+std::optional<AutotuneChoice> choice_from_cache(const common::Json& doc,
+                                                std::size_t d) {
+  for (const common::Json& entry : doc.find("entries")->as_array()) {
+    const common::Json* entry_d = entry.find("d");
+    if (entry_d == nullptr || !entry_d->is_number() ||
+        static_cast<std::size_t>(entry_d->as_number()) != d) {
+      continue;
+    }
+    const common::Json* name = entry.find("table");
+    if (name == nullptr || !name->is_string()) return std::nullopt;
+    const std::vector<const KernelTable*> candidates = autotune_candidates();
+    const auto it = std::find_if(
+        candidates.begin(), candidates.end(),
+        [&](const KernelTable* t) { return name->as_string() == t->name; });
+    if (it == candidates.end()) return std::nullopt;
+    AutotuneChoice choice;
+    choice.table = *it;
+    choice.d = d;
+    choice.source = AutotuneChoice::Source::kCache;
+    choice.cache_hit = true;
+    if (const common::Json* rows = entry.find("rows_tile");
+        rows != nullptr && rows->is_number()) {
+      choice.rows_tile = static_cast<std::size_t>(rows->as_number());
+    }
+    if (const common::Json* ns = entry.find("ns_per_row");
+        ns != nullptr && ns->is_number()) {
+      choice.ns_per_row = ns->as_number();
+    }
+    return choice;
+  }
+  return std::nullopt;
+}
+
+/// Merges `choice` into the cache file (read-modify-write; creates the file
+/// when absent or unusable). Write failures are logged and otherwise ignored.
+void persist_choice(const std::string& path, AutotuneMode mode,
+                    const AutotuneChoice& choice) {
+  common::Json::Array entries;
+  if (std::optional<common::Json> doc = load_matching_cache(path, mode)) {
+    for (const common::Json& entry : doc->find("entries")->as_array()) {
+      const common::Json* entry_d = entry.find("d");
+      if (entry_d != nullptr && entry_d->is_number() &&
+          static_cast<std::size_t>(entry_d->as_number()) == choice.d) {
+        continue;  // replaced below
+      }
+      entries.push_back(entry);
+    }
+  }
+  common::Json::Object entry;
+  entry["d"] = choice.d;
+  entry["table"] = std::string(choice.table->name);
+  entry["rows_tile"] = choice.rows_tile;
+  entry["ns_per_row"] = choice.ns_per_row;
+  entries.push_back(common::Json(std::move(entry)));
+
+  common::Json::Object doc;
+  doc["version"] = kCacheVersion;
+  doc["cpu"] = cpu_key();
+  doc["mode"] = std::string(mode_name(mode));
+  doc["entries"] = common::Json(std::move(entries));
+  if (!common::write_file(path, common::Json(std::move(doc)).dump_pretty())) {
+    HAAN_LOG_WARN_C("kernels")
+        << "autotune: failed to write cache " << path;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement + selection.
+// ---------------------------------------------------------------------------
+
+/// Measures every candidate over every tile and applies the max-min rule:
+/// score(candidate) = min over tiles of static_ns / candidate_ns, winner =
+/// argmax score, and the winner must clear kWinMargin — so the chosen table
+/// is at least as fast as static dispatch on EVERY tile (the bench --tune
+/// gate relies on this invariant).
+AutotuneChoice measure_choice(std::size_t d) {
+  const std::vector<const KernelTable*> candidates = autotune_candidates();
+  HAAN_EXPECTS(!candidates.empty() && candidates.front() == &active());
+
+  std::vector<std::vector<double>> ns(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    for (const std::size_t rows : kTileRows) {
+      ns[c].push_back(measure_rows_ns_per_row(*candidates[c], d, rows));
+    }
+  }
+
+  std::size_t best = 0;  // index 0 is static dispatch (score 1.0)
+  double best_score = 1.0;
+  for (std::size_t c = 1; c < candidates.size(); ++c) {
+    double score = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < std::size(kTileRows); ++t) {
+      score = std::min(score, ns[0][t] / ns[c][t]);
+    }
+    if (score > best_score && score > kWinMargin) {
+      best_score = score;
+      best = c;
+    }
+  }
+
+  AutotuneChoice choice;
+  choice.table = candidates[best];
+  choice.d = d;
+  choice.source = AutotuneChoice::Source::kMeasured;
+  double best_ratio = 0.0;
+  for (std::size_t t = 0; t < std::size(kTileRows); ++t) {
+    AutotuneTile tile;
+    tile.rows = kTileRows[t];
+    tile.static_ns_per_row = ns[0][t];
+    tile.tuned_ns_per_row = ns[best][t];
+    choice.tiles.push_back(tile);
+    const double ratio = ns[0][t] / ns[best][t];
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      choice.rows_tile = kTileRows[t];
+      choice.ns_per_row = ns[best][t];
+    }
+  }
+  return choice;
+}
+
+AutotuneChoice decide(std::size_t d) {
+  if (!autotune_enabled()) return static_choice(d);
+  const AutotuneMode mode = autotune_mode();
+  const std::string path = autotune_cache_path();
+  if (!path.empty()) {
+    if (std::optional<common::Json> doc = load_matching_cache(path, mode)) {
+      if (std::optional<AutotuneChoice> cached = choice_from_cache(*doc, d)) {
+        return *std::move(cached);
+      }
+    }
+  }
+  AutotuneChoice choice = measure_choice(d);
+  if (!path.empty()) persist_choice(path, mode, choice);
+  return choice;
+}
+
+}  // namespace
+
+const char* to_string(AutotuneChoice::Source source) {
+  switch (source) {
+    case AutotuneChoice::Source::kMeasured: return "measured";
+    case AutotuneChoice::Source::kCache: return "cache";
+    case AutotuneChoice::Source::kStatic: break;
+  }
+  return "static";
+}
+
+AutotuneMode autotune_mode() {
+  const char* env = std::getenv("HAAN_AUTOTUNE");
+  if (env == nullptr || env[0] == '\0') return AutotuneMode::kSafe;
+  if (env[0] == '0' && env[1] == '\0') return AutotuneMode::kOff;
+  if (env[0] == '1' && env[1] == '\0') return AutotuneMode::kFull;
+  return AutotuneMode::kSafe;
+}
+
+bool autotune_enabled() {
+  return autotune_mode() != AutotuneMode::kOff && !force_scalar_requested();
+}
+
+std::vector<const KernelTable*> autotune_candidates() {
+  std::vector<const KernelTable*> candidates{&active()};
+  if (!autotune_enabled()) return candidates;
+  const AutotuneMode mode = autotune_mode();
+  for (const KernelTable* table : supported_kernel_variants()) {
+    if (table == &active()) continue;
+    if (std::string_view(table->name) == "scalar") continue;
+    if (mode == AutotuneMode::kSafe &&
+        !in_family(table->name, active().name)) {
+      continue;
+    }
+    candidates.push_back(table);
+  }
+  return candidates;
+}
+
+double measure_rows_ns_per_row(const KernelTable& table, std::size_t d,
+                               std::size_t rows, int reps) {
+  HAAN_EXPECTS(d > 0 && rows > 0 && reps > 0);
+  const std::size_t n = rows * d;
+  std::vector<float> h(n), residual(n), out(n);
+  std::vector<float> alpha(d), beta(d);
+  common::Rng rng(0x7a11e5);
+  rng.fill_gaussian(h, 0.0, 1.0);
+  rng.fill_gaussian(residual, 0.0, 1.0);
+  rng.fill_gaussian(alpha, 1.0, 0.05);
+  rng.fill_gaussian(beta, 0.0, 0.05);
+  RowNormWorkspace ws;
+  std::vector<SumStats> consume(rows);
+
+  // Scale iterations so each repetition covers ~2M elements: long enough to
+  // swamp clock granularity, short enough that startup tuning of a handful of
+  // candidates stays in the low milliseconds per (d, rows) cell.
+  const int iters = static_cast<int>(
+      std::clamp<std::size_t>(2'000'000 / n, std::size_t{1}, std::size_t{64}));
+
+  auto one_pass = [&] {
+    residual_add_rmsnorm_rows(table, rows, std::span<float>(h),
+                              std::span<const float>(residual),
+                              std::span<const float>(alpha),
+                              std::span<const float>(beta),
+                              std::span<float>(out), 1e-5, ws);
+    // Read the output back through the static backend (identical work for
+    // every candidate): nontemporal stores bypass the cache, so a variant
+    // only wins if its writeback saving beats the cost of re-reading from
+    // memory — the serve pipeline always consumes what it normalizes.
+    active().stats_rows(out.data(), rows, d, d, consume.data());
+  };
+
+  one_pass();  // warm-up: page faults, table init, branch history
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::uint64_t start = common::monotonic_ns();
+    for (int i = 0; i < iters; ++i) one_pass();
+    const std::uint64_t stop = common::monotonic_ns();
+    best_ns = std::min(best_ns, static_cast<double>(stop - start) /
+                                    (static_cast<double>(iters) *
+                                     static_cast<double>(rows)));
+  }
+  return best_ns;
+}
+
+void set_autotune_cache_path(std::string path) {
+  const std::lock_guard<std::mutex> lock(mutex());
+  cache_path_override() = std::move(path);
+}
+
+std::string autotune_cache_path() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex());
+    if (!cache_path_override().empty()) return cache_path_override();
+  }
+  const char* env = std::getenv("HAAN_AUTOTUNE_CACHE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+const AutotuneChoice& tuned_for(std::size_t d) {
+  HAAN_EXPECTS(d > 0);
+  {
+    const std::lock_guard<std::mutex> lock(mutex());
+    if (const auto it = choices().find(d); it != choices().end()) {
+      return it->second;
+    }
+  }
+  // Decide outside the lock: measurement takes milliseconds and decide() never
+  // touches choices(). Concurrent first calls for the same d race benignly —
+  // the first insert wins and both measured the same candidates. The cache
+  // path is resolved out here too: autotune_cache_path() takes the registry
+  // mutex itself.
+  AutotuneChoice choice = decide(d);
+  const bool has_cache = !autotune_cache_path().empty();
+  const std::lock_guard<std::mutex> lock(mutex());
+  const auto [it, inserted] = choices().emplace(d, std::move(choice));
+  if (inserted) {
+    HAAN_LOG_INFO_C("kernels")
+        << "autotune: d=" << d << " -> " << it->second.table->name
+        << " (mode=" << mode_name(autotune_mode())
+        << ", source=" << to_string(it->second.source)
+        << (!has_cache ? ""
+                       : (it->second.cache_hit ? ", cache hit" : ", cache miss"))
+        << (it->second.rows_tile != 0
+                ? ", rows_tile=" + std::to_string(it->second.rows_tile)
+                : std::string())
+        << ")";
+  }
+  return it->second;
+}
+
+const KernelTable& tuned_table(std::size_t d) { return *tuned_for(d).table; }
+
+void reset_autotune_for_testing() {
+  const std::lock_guard<std::mutex> lock(mutex());
+  choices().clear();
+  cache_path_override().clear();
+}
+
+}  // namespace haan::kernels

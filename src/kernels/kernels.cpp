@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "common/assert.hpp"
+#include "common/logging.hpp"
 #include "kernels/backends.hpp"
 
 namespace haan::kernels {
@@ -21,15 +22,47 @@ bool cpu_supports_avx2() {
 #endif
 }
 
+bool cpu_supports_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+/// The AVX-512 table when both the build and the CPU can run it (the TU
+/// compiles to a null stub when the compiler lacks the ISA flags).
+const KernelTable* runnable_avx512_table() {
+  const KernelTable* table = detail::avx512_table();
+  return table != nullptr && cpu_supports_avx512() ? table : nullptr;
+}
+
+const KernelTable* runnable_avx2_table() {
+  return cpu_supports_avx2() ? detail::avx2_table() : nullptr;
+}
+
 const KernelTable* best_simd_table() {
-  if (cpu_supports_avx2()) return detail::avx2_table();
+  if (const KernelTable* avx512 = runnable_avx512_table()) return avx512;
+  if (const KernelTable* avx2 = runnable_avx2_table()) return avx2;
   return detail::neon_table();  // null off-aarch64
 }
 
 const KernelTable& dispatch_once() {
-  if (force_scalar_requested()) return scalar_kernels();
-  if (const KernelTable* simd = best_simd_table()) return *simd;
-  return scalar_kernels();
+  const KernelTable* chosen = nullptr;
+  if (force_scalar_requested()) {
+    chosen = &scalar_kernels();
+  } else if (const KernelTable* simd = best_simd_table()) {
+    chosen = simd;
+  } else {
+    chosen = &scalar_kernels();
+  }
+  HAAN_LOG_INFO_C("kernels")
+      << "dispatch: " << chosen->name << " backend selected"
+      << (force_scalar_requested() ? " (HAAN_FORCE_SCALAR)" : "");
+  return *chosen;
 }
 
 /// Shared by both fused entry points: shape checks + the pass-1 residual
@@ -64,8 +97,37 @@ const char* active_name() { return active().name; }
 
 std::vector<const KernelTable*> supported_kernels() {
   std::vector<const KernelTable*> tables{&scalar_kernels()};
-  if (const KernelTable* simd = best_simd_table()) tables.push_back(simd);
+  // Both x86 families when runnable (not just the widest): parity tests keep
+  // covering AVX2 on AVX-512 machines, and the autotuner may legitimately
+  // prefer the narrower family on downclock-prone parts.
+  if (const KernelTable* avx2 = runnable_avx2_table()) tables.push_back(avx2);
+  if (const KernelTable* avx512 = runnable_avx512_table()) {
+    tables.push_back(avx512);
+  }
+  if (const KernelTable* neon = detail::neon_table()) tables.push_back(neon);
   return tables;
+}
+
+std::vector<const KernelTable*> supported_kernel_variants() {
+  std::vector<const KernelTable*> tables = supported_kernels();
+  if (runnable_avx2_table() != nullptr) {
+    for (const KernelTable* t : detail::avx2_variant_tables()) {
+      tables.push_back(t);
+    }
+  }
+  if (runnable_avx512_table() != nullptr) {
+    for (const KernelTable* t : detail::avx512_variant_tables()) {
+      tables.push_back(t);
+    }
+  }
+  return tables;
+}
+
+const KernelTable* find_kernel_table(std::string_view name) {
+  for (const KernelTable* table : supported_kernel_variants()) {
+    if (name == table->name) return table;
+  }
+  return nullptr;
 }
 
 void residual_add_rmsnorm(const KernelTable& kernels, std::span<float> h,
@@ -222,9 +284,15 @@ void residual_add(std::span<float> h, std::span<const float> residual) {
 
 void quantize_dequantize_span(std::span<float> values,
                               numerics::NumericFormat format, float scale) {
+  quantize_dequantize_span(active(), values, format, scale);
+}
+
+void quantize_dequantize_span(const KernelTable& kernels,
+                              std::span<float> values,
+                              numerics::NumericFormat format, float scale) {
   if (values.empty() || format == numerics::NumericFormat::kFP32) return;
   if (format == numerics::NumericFormat::kINT8) HAAN_EXPECTS(scale > 0.0f);
-  active().quantize_dequantize(values.data(), values.size(), format, scale);
+  kernels.quantize_dequantize(values.data(), values.size(), format, scale);
 }
 
 }  // namespace haan::kernels

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "numerics/formats.hpp"
@@ -46,7 +47,10 @@ struct SumStats {
 ///     bit-identical for all non-NaN inputs; NaN stays NaN but the payload
 ///     bits may differ (both backends produce a quiet NaN).
 struct KernelTable {
-  const char* name;  ///< "scalar", "avx2", "neon"
+  /// Backend family ("scalar", "avx2", "avx512", "neon") or a row-block
+  /// variant of one ("avx512-nt", "avx2-pf", ...; see
+  /// supported_kernel_variants()).
+  const char* name;
 
   /// Sum and sum of squares of z[0..n).
   SumStats (*stats)(const float* z, std::size_t n);
@@ -136,9 +140,23 @@ const KernelTable& active();
 /// active().name — for logs, bench reports and serve configs.
 const char* active_name();
 
-/// Every backend this build + CPU can run (scalar first). Parity tests and
-/// benches iterate this list; it ignores HAAN_FORCE_SCALAR.
+/// Every backend *family* this build + CPU can run (scalar first, then
+/// ascending SIMD width). Parity tests and benches iterate this list; it
+/// ignores HAAN_FORCE_SCALAR.
 std::vector<const KernelTable*> supported_kernels();
+
+/// Every runnable kernel table including the row-block variants
+/// ("avx2-pf", "avx512-nt", ...): the families of supported_kernels() plus
+/// each family's streaming-store / prefetch variants. Variants are
+/// value-identical to their base family (cache placement and latency hints
+/// only); they are the autotuner's candidate set and the variant parity
+/// tests' iteration list.
+std::vector<const KernelTable*> supported_kernel_variants();
+
+/// Looks a table up by exact name among supported_kernel_variants(); null
+/// when the name is unknown or not runnable on this CPU. Used to resolve
+/// autotune cache entries.
+const KernelTable* find_kernel_table(std::string_view name);
 
 /// True when the HAAN_FORCE_SCALAR environment variable requests the scalar
 /// backend (set, non-empty, and not "0"). Read afresh on every call; note
@@ -230,8 +248,13 @@ SumStats stats(std::span<const float> z);
 /// h += residual over the active backend.
 void residual_add(std::span<float> h, std::span<const float> residual);
 
-/// Elementwise quantize-dequantize over the active backend.
+/// Elementwise quantize-dequantize over the active backend (or an explicit
+/// table, for providers threading an autotuned backend).
 void quantize_dequantize_span(std::span<float> values,
+                              numerics::NumericFormat format,
+                              float scale = 1.0f);
+void quantize_dequantize_span(const KernelTable& kernels,
+                              std::span<float> values,
                               numerics::NumericFormat format,
                               float scale = 1.0f);
 

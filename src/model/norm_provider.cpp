@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "kernels/autotune.hpp"
 #include "kernels/kernels.hpp"
 #include "tensor/norm_ref.hpp"
 
@@ -67,14 +68,23 @@ void NormProvider::residual_add_normalize_rows(
   }
 }
 
+const kernels::KernelTable& ExactNormProvider::tuned(std::size_t d) {
+  if (tuned_table_ == nullptr || tuned_d_ != d) {
+    tuned_table_ = kernels::tuned_for(d).table;
+    tuned_d_ = d;
+  }
+  return *tuned_table_;
+}
+
 void ExactNormProvider::normalize(std::size_t /*layer_index*/, std::size_t /*position*/,
                                   NormKind kind, std::span<const float> z,
                                   std::span<const float> alpha,
                                   std::span<const float> beta, std::span<float> out) {
+  const kernels::KernelTable& k = tuned(z.size());
   if (kind == NormKind::kLayerNorm) {
-    tensor::layernorm(z, alpha, beta, out, eps_);
+    tensor::layernorm(k, z, alpha, beta, out, eps_);
   } else {
-    tensor::rmsnorm(z, alpha, beta, out, eps_);
+    tensor::rmsnorm(k, z, alpha, beta, out, eps_);
   }
 }
 
@@ -83,10 +93,11 @@ void ExactNormProvider::residual_add_normalize(
     std::span<float> h, std::span<const float> residual,
     std::span<const float> alpha, std::span<const float> beta,
     std::span<float> out) {
+  const kernels::KernelTable& k = tuned(h.size());
   if (kind == NormKind::kLayerNorm) {
-    kernels::residual_add_layernorm(h, residual, alpha, beta, out, eps_);
+    kernels::residual_add_layernorm(k, h, residual, alpha, beta, out, eps_);
   } else {
-    kernels::residual_add_rmsnorm(h, residual, alpha, beta, out, eps_);
+    kernels::residual_add_rmsnorm(k, h, residual, alpha, beta, out, eps_);
   }
 }
 
@@ -98,7 +109,7 @@ void ExactNormProvider::normalize_rows(std::size_t /*layer_index*/,
                                        std::span<const float> beta,
                                        std::span<float> out) {
   const std::size_t d = check_row_block(rows, x.size(), alpha, beta, out.size());
-  const kernels::KernelTable& k = kernels::active();
+  const kernels::KernelTable& k = tuned(d);
   const double n = static_cast<double>(d);
   workspace_.stats.resize(rows);
   workspace_.mean.resize(rows);
@@ -143,6 +154,7 @@ void ExactNormProvider::residual_add_normalize_rows(
     std::span<float> out) {
   const std::size_t d = check_row_block(rows, h.size(), alpha, beta, out.size());
   HAAN_EXPECTS(residual.size() == h.size());
+  const kernels::KernelTable& k = tuned(d);
   if (chunk_workspaces_.size() + 1 < pool_.threads()) {
     chunk_workspaces_.resize(pool_.threads() - 1);
   }
@@ -157,9 +169,11 @@ void ExactNormProvider::residual_add_normalize_rows(
     const std::span<const float> rs = residual.subspan(r0 * d, nr * d);
     const std::span<float> os = out.subspan(r0 * d, nr * d);
     if (kind == NormKind::kLayerNorm) {
-      kernels::residual_add_layernorm_rows(nr, hs, rs, alpha, beta, os, eps_, ws);
+      kernels::residual_add_layernorm_rows(k, nr, hs, rs, alpha, beta, os,
+                                           eps_, ws);
     } else {
-      kernels::residual_add_rmsnorm_rows(nr, hs, rs, alpha, beta, os, eps_, ws);
+      kernels::residual_add_rmsnorm_rows(k, nr, hs, rs, alpha, beta, os, eps_,
+                                         ws);
     }
   });
 }

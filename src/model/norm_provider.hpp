@@ -130,7 +130,16 @@ class ExactNormProvider final : public NormProvider {
                                    std::span<float> out) override;
 
  private:
+  /// The autotuned kernel table for width d, memoized per provider so the hot
+  /// path pays one pointer compare instead of the tuner's registry lock. ONE
+  /// table serves every path (per-row, fused, row-block) — that single
+  /// consistent backend is what keeps chunked-vs-one-shot comparisons
+  /// bit-identical under autotuning.
+  const kernels::KernelTable& tuned(std::size_t d);
+
   double eps_;
+  const kernels::KernelTable* tuned_table_ = nullptr;
+  std::size_t tuned_d_ = 0;
   RowPartitionPool pool_;  ///< worker-local row parallelism (lazy threads)
   kernels::RowNormWorkspace workspace_;  ///< chunk-0 scratch, reused
   /// One workspace per extra pool chunk so concurrent chunks never share

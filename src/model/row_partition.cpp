@@ -4,10 +4,43 @@
 #include <cstdlib>
 #include <string>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
 #include "common/assert.hpp"
+#include "common/logging.hpp"
 #include "obs/trace.hpp"
 
 namespace haan::model {
+namespace {
+
+/// Pins the calling worker thread per HAAN_NORM_AFFINITY (see affinity_base()).
+/// Failures are logged once per worker and otherwise ignored — affinity is a
+/// locality hint, not a correctness requirement.
+void pin_worker(std::size_t worker_index, int base) {
+#ifdef __linux__
+  const long online = sysconf(_SC_NPROCESSORS_ONLN);
+  if (online <= 0) return;
+  const std::size_t cpu =
+      (static_cast<std::size_t>(base) + 1 + worker_index) %
+      static_cast<std::size_t>(online);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    HAAN_LOG_WARN_C("model") << "rowpool: failed to pin worker " << worker_index
+                             << " to cpu " << cpu;
+  }
+#else
+  (void)worker_index;
+  (void)base;
+#endif
+}
+
+}  // namespace
 
 RowPartitionPool::RowPartitionPool(std::size_t threads)
     : threads_(threads == 0 ? default_threads() : threads) {
@@ -33,6 +66,19 @@ std::size_t RowPartitionPool::default_threads() {
   }
   const std::size_t hw = std::thread::hardware_concurrency();
   return std::min<std::size_t>(4, std::max<std::size_t>(1, hw));
+}
+
+int RowPartitionPool::affinity_base() {
+#ifdef __linux__
+  const char* env = std::getenv("HAAN_NORM_AFFINITY");
+  if (env == nullptr || env[0] == '\0') return -1;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value < 0) return -1;
+  return static_cast<int>(value);
+#else
+  return -1;
+#endif
 }
 
 std::size_t RowPartitionPool::plan_chunks(std::size_t rows, std::size_t min_rows,
@@ -93,6 +139,9 @@ void RowPartitionPool::for_rows(std::size_t rows, std::size_t min_rows,
 }
 
 void RowPartitionPool::worker_main(std::size_t worker_index) {
+  if (const int base = affinity_base(); base >= 0) {
+    pin_worker(worker_index, base);
+  }
   std::uint64_t seen = 0;
   // Track naming is deferred until tracing is actually on: pool threads start
   // lazily and usually before any tracer session begins.

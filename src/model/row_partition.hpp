@@ -45,6 +45,15 @@ class RowPartitionPool {
   /// (1 forces fully serial execution); otherwise min(4, hardware threads).
   static std::size_t default_threads();
 
+  /// HAAN_NORM_AFFINITY from the environment: when set to a non-negative
+  /// integer, pool WORKER threads are pinned round-robin to CPUs starting at
+  /// that index (worker w -> CPU (base + 1 + w) mod online CPUs; the calling
+  /// thread — which runs chunk 0 — is never touched, its placement belongs to
+  /// the serving runtime). Returns -1 when unset/invalid or on non-Linux
+  /// builds, where pinning is a no-op. Pinning changes scheduling only, never
+  /// results.
+  static int affinity_base();
+
   std::size_t threads() const { return threads_; }
 
   /// Invokes `fn` over a partition of [0, rows) into at most threads()

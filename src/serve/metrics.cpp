@@ -62,6 +62,18 @@ common::Json LatencySummary::to_json() const {
   return out;
 }
 
+common::Json KernelTuningInfo::to_json() const {
+  common::Json::Object out;
+  out["backend"] = backend;
+  out["dispatch"] = dispatch;
+  out["source"] = source;
+  out["cache_hit"] = cache_hit;
+  out["d"] = d;
+  out["rows_tile"] = rows_tile;
+  out["norm_layers"] = norm_layers;
+  return out;
+}
+
 common::Json ServeMetrics::to_json() const {
   common::Json::Object out;
   out["completed"] = completed;
@@ -101,6 +113,7 @@ common::Json ServeMetrics::to_json() const {
   counters["batched_rows"] = norm.batched_rows;
   counters["rows_per_batched_call"] = rows_per_batched_call();
   out["norm_counters"] = counters;
+  if (!kernel.backend.empty()) out["kernel"] = kernel.to_json();
   return out;
 }
 
@@ -153,6 +166,12 @@ std::string ServeMetrics::to_string() const {
       << norm.fused_residual_norms << "\n";
   out << "batched norms    : " << norm.batched_norm_calls << " calls ("
       << common::format_double(rows_per_batched_call(), 2) << " rows/call)\n";
+  if (!kernel.backend.empty()) {
+    out << "kernel backend   : " << kernel.backend << " (dispatch "
+        << kernel.dispatch << ", autotune " << kernel.source;
+    if (kernel.rows_tile != 0) out << ", rows_tile " << kernel.rows_tile;
+    out << ") over " << kernel.norm_layers << " norm layers\n";
+  }
   return out.str();
 }
 

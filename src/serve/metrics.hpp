@@ -51,6 +51,22 @@ LatencySummary summarize_latency(std::vector<double> samples);
 /// bucket-resolution (within one bucket ratio of the exact nearest-rank).
 LatencySummary summarize_histogram(const common::LogHistogram& histogram);
 
+/// The kernel backend + autotune decision behind this run's norm layers,
+/// stamped by the server from kernels::tuned_for(d_model). One decision
+/// covers every norm layer (the tuner picks per row width, and all of a
+/// model's norm layers share d_model).
+struct KernelTuningInfo {
+  std::string backend;   ///< tuned table name ("avx512-pf", "avx2", ...)
+  std::string dispatch;  ///< static dispatch family (kernels::active_name())
+  std::string source;    ///< "static" | "measured" | "cache"
+  bool cache_hit = false;
+  std::size_t d = 0;          ///< row width the choice was tuned for
+  std::size_t rows_tile = 0;  ///< tile where the winner's advantage peaks
+  std::size_t norm_layers = 0;  ///< norm layers the decision applies to
+
+  common::Json to_json() const;
+};
+
 /// Immutable end-of-run (or mid-run snapshot) metrics.
 struct ServeMetrics {
   std::size_t completed = 0;
@@ -103,6 +119,8 @@ struct ServeMetrics {
   std::size_t max_kv_bytes = 0;
 
   NormCounters norm;
+
+  KernelTuningInfo kernel;
 
   /// Mean prefill rows per pack that carried any prefill (0 when none did).
   double prefill_rows_per_pack() const {

@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "common/table.hpp"
+#include "kernels/autotune.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "serve/queue.hpp"
@@ -28,6 +29,7 @@ namespace {
 obs::Snapshot live_snapshot(const MetricsCollector& metrics,
                             const RequestQueue& queue,
                             std::size_t pack_capacity,
+                            const KernelTuningInfo& kernel,
                             Clock::time_point started,
                             std::size_t& last_completed) {
   const double elapsed = elapsed_us(started, Clock::now());
@@ -60,6 +62,9 @@ obs::Snapshot live_snapshot(const MetricsCollector& metrics,
   json["p50_us"] = live.total.p50_us;
   json["p95_us"] = live.total.p95_us;
   json["p99_us"] = live.total.p99_us;
+  json["kernel_backend"] = kernel.backend;
+  json["autotune_source"] = kernel.source;
+  json["autotune_rows_tile"] = kernel.rows_tile;
   snapshot.json = json;
   return snapshot;
 }
@@ -82,6 +87,36 @@ bool workload_has_decode(const std::vector<Request>& workload) {
       [](const Request& request) { return request.max_new_tokens > 0; });
 }
 
+/// The kernel decision behind this model's norm layers, rendered for metrics.
+/// tuned_for() is memoized, so this is a registry lookup after the server
+/// constructor warmed it.
+KernelTuningInfo kernel_tuning_info(const model::ModelConfig& model) {
+  const kernels::AutotuneChoice& choice = kernels::tuned_for(model.d_model);
+  KernelTuningInfo info;
+  info.backend = choice.table->name;
+  info.dispatch = kernels::active_name();
+  info.source = kernels::to_string(choice.source);
+  info.cache_hit = choice.cache_hit;
+  info.d = choice.d;
+  info.rows_tile = choice.rows_tile;
+  info.norm_layers = 2 * model.n_blocks + (model.final_norm ? 1 : 0);
+  return info;
+}
+
+/// One trace instant per norm layer naming the tuned kernel table, so
+/// exported traces show which backend served each layer. Table names are
+/// string literals in the backend TUs — static storage, as the tracer
+/// requires.
+void trace_kernel_choice(const KernelTuningInfo& info,
+                         const kernels::AutotuneChoice& choice) {
+  if (!obs::tracing_enabled()) return;
+  for (std::size_t layer = 0; layer < info.norm_layers; ++layer) {
+    obs::instant(choice.table->name, "autotune",
+                 static_cast<std::uint32_t>(layer),
+                 static_cast<std::uint32_t>(choice.rows_tile));
+  }
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config)
@@ -92,6 +127,11 @@ Server::Server(ServerConfig config)
   provider_options_.width = config_.model.d_model;
   provider_options_.model_name = config_.model.name;
   provider_options_.norm_threads = config_.norm_threads;
+
+  // Warm the kernel autotuner for this model's row width at construction —
+  // the measurement (and its startup log line) happens once here instead of
+  // inside the first worker's first norm layer.
+  kernels::tuned_for(config_.model.d_model);
 
   if (config_.norm != "exact") {
     if (config_.calibrate) {
@@ -174,8 +214,9 @@ ServeReport Server::run(const std::vector<Request>& workload) {
     // finalize() is a constant-cost histogram walk.
     emitter = std::make_unique<obs::SnapshotEmitter>(
         [&metrics, &queue, start, capacity = config_.scheduler.max_batch,
+         kernel = kernel_tuning_info(config_.model),
          last = std::size_t{0}]() mutable {
-          return live_snapshot(metrics, queue, capacity, start, last);
+          return live_snapshot(metrics, queue, capacity, kernel, start, last);
         },
         options);
     emitter->start();
@@ -216,6 +257,9 @@ ServeReport Server::run(const std::vector<Request>& workload) {
   report.metrics.max_queue_depth = queue.high_watermark();
   report.metrics.mean_queue_depth = queue.mean_depth();
   report.metrics.pack_capacity = config_.scheduler.max_batch;
+  report.metrics.kernel = kernel_tuning_info(config_.model);
+  trace_kernel_choice(report.metrics.kernel,
+                      kernels::tuned_for(config_.model.d_model));
   return report;
 }
 
@@ -271,6 +315,7 @@ ServeReport Server::run_reference(const std::vector<Request>& workload) {
   ServeReport report;
   report.results = std::move(results);
   report.metrics = metrics.finalize(wall_us);
+  report.metrics.kernel = kernel_tuning_info(config_.model);
   return report;
 }
 

@@ -8,8 +8,12 @@
 namespace haan::tensor {
 
 VectorStats exact_stats(std::span<const float> z) {
+  return exact_stats(kernels::active(), z);
+}
+
+VectorStats exact_stats(const kernels::KernelTable& k,
+                        std::span<const float> z) {
   HAAN_EXPECTS(!z.empty());
-  const kernels::KernelTable& k = kernels::active();
   const double n = static_cast<double>(z.size());
   const kernels::SumStats sums = k.stats(z.data(), z.size());
   VectorStats stats;
@@ -36,35 +40,57 @@ void check_affine_shapes(std::span<const float> z, std::span<const float> alpha,
 
 void layernorm(std::span<const float> z, std::span<const float> alpha,
                std::span<const float> beta, std::span<float> out, double eps) {
-  const VectorStats stats = exact_stats(z);
+  layernorm(kernels::active(), z, alpha, beta, out, eps);
+}
+
+void layernorm(const kernels::KernelTable& k, std::span<const float> z,
+               std::span<const float> alpha, std::span<const float> beta,
+               std::span<float> out, double eps) {
+  const VectorStats stats = exact_stats(k, z);
   const double isd = 1.0 / std::sqrt(stats.variance + eps);
-  layernorm_with_isd(z, stats.mean, isd, alpha, beta, out);
+  layernorm_with_isd(k, z, stats.mean, isd, alpha, beta, out);
 }
 
 void rmsnorm(std::span<const float> z, std::span<const float> alpha,
              std::span<const float> beta, std::span<float> out, double eps) {
-  const VectorStats stats = exact_stats(z);
+  rmsnorm(kernels::active(), z, alpha, beta, out, eps);
+}
+
+void rmsnorm(const kernels::KernelTable& k, std::span<const float> z,
+             std::span<const float> alpha, std::span<const float> beta,
+             std::span<float> out, double eps) {
+  const VectorStats stats = exact_stats(k, z);
   const double isd = 1.0 / std::sqrt(stats.rms * stats.rms + eps);
-  rmsnorm_with_isd(z, isd, alpha, beta, out);
+  rmsnorm_with_isd(k, z, isd, alpha, beta, out);
 }
 
 void layernorm_with_isd(std::span<const float> z, double mean, double isd,
                         std::span<const float> alpha, std::span<const float> beta,
                         std::span<float> out) {
+  layernorm_with_isd(kernels::active(), z, mean, isd, alpha, beta, out);
+}
+
+void layernorm_with_isd(const kernels::KernelTable& k, std::span<const float> z,
+                        double mean, double isd, std::span<const float> alpha,
+                        std::span<const float> beta, std::span<float> out) {
   check_affine_shapes(z, alpha, beta, out);
-  kernels::active().normalize_affine(z.data(), z.size(), mean, isd,
-                                     data_or_null(alpha), data_or_null(beta),
-                                     out.data());
+  k.normalize_affine(z.data(), z.size(), mean, isd, data_or_null(alpha),
+                     data_or_null(beta), out.data());
 }
 
 void rmsnorm_with_isd(std::span<const float> z, double isd,
                       std::span<const float> alpha, std::span<const float> beta,
                       std::span<float> out) {
+  rmsnorm_with_isd(kernels::active(), z, isd, alpha, beta, out);
+}
+
+void rmsnorm_with_isd(const kernels::KernelTable& k, std::span<const float> z,
+                      double isd, std::span<const float> alpha,
+                      std::span<const float> beta, std::span<float> out) {
   check_affine_shapes(z, alpha, beta, out);
   // mean = 0.0: (z - 0.0) * isd rounds identically to z * isd.
-  kernels::active().normalize_affine(z.data(), z.size(), 0.0, isd,
-                                     data_or_null(alpha), data_or_null(beta),
-                                     out.data());
+  k.normalize_affine(z.data(), z.size(), 0.0, isd, data_or_null(alpha),
+                     data_or_null(beta), out.data());
 }
 
 void layernorm_rows(std::size_t rows, std::span<const float> x,

@@ -182,7 +182,7 @@ TEST(IncrementalDecodeParity, StaggeredMixedPacksMatchOneShot) {
   const Transformer model(config);
   const auto sequences = make_sequences(config, {8, 6, 4});
   const std::vector<std::size_t> chunks = {3, 1, 0};
-  for (const std::string& name : {"haan", "haan-int8", "exact"}) {
+  for (const std::string name : {"haan", "haan-int8", "exact"}) {
     auto provider = core::make_norm_provider(name, provider_options(config, 2));
     RowPartitionPool span_pool(2);
     const auto incremental =

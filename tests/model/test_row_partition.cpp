@@ -104,6 +104,49 @@ TEST(RowPartitionPool, DefaultThreadsHonorsEnvironment) {
   EXPECT_LE(RowPartitionPool::default_threads(), 4u);
 }
 
+TEST(RowPartitionPool, AffinityBaseParsesEnvironment) {
+  ::setenv("HAAN_NORM_AFFINITY", "0", 1);
+#ifdef __linux__
+  EXPECT_EQ(RowPartitionPool::affinity_base(), 0);
+  ::setenv("HAAN_NORM_AFFINITY", "2", 1);
+  EXPECT_EQ(RowPartitionPool::affinity_base(), 2);
+#else
+  EXPECT_EQ(RowPartitionPool::affinity_base(), -1);
+#endif
+  ::setenv("HAAN_NORM_AFFINITY", "garbage", 1);
+  EXPECT_EQ(RowPartitionPool::affinity_base(), -1);
+  ::setenv("HAAN_NORM_AFFINITY", "-3", 1);
+  EXPECT_EQ(RowPartitionPool::affinity_base(), -1);
+  ::unsetenv("HAAN_NORM_AFFINITY");
+  EXPECT_EQ(RowPartitionPool::affinity_base(), -1);
+}
+
+TEST(RowPartitionPool, PinnedWorkersProduceIdenticalResults) {
+  // Pinning is a placement hint only: a pool built with affinity enabled must
+  // partition and execute exactly like an unpinned one (and must not crash on
+  // machines with fewer CPUs than workers — pins wrap modulo the online
+  // count, and pin failures are logged and ignored).
+  const std::size_t rows = 61;
+  std::vector<int> unpinned(rows, 0);
+  {
+    RowPartitionPool pool(3);
+    pool.for_rows(rows, 1, [&](std::size_t, std::size_t r0, std::size_t nr) {
+      for (std::size_t r = r0; r < r0 + nr; ++r) unpinned[r] = static_cast<int>(r);
+    });
+  }
+
+  ::setenv("HAAN_NORM_AFFINITY", "0", 1);
+  std::vector<int> pinned(rows, -1);
+  {
+    RowPartitionPool pool(3);  // workers pin at spawn from the env
+    pool.for_rows(rows, 1, [&](std::size_t, std::size_t r0, std::size_t nr) {
+      for (std::size_t r = r0; r < r0 + nr; ++r) pinned[r] = static_cast<int>(r);
+    });
+  }
+  ::unsetenv("HAAN_NORM_AFFINITY");
+  EXPECT_EQ(pinned, unpinned);
+}
+
 TEST(RowPartitionPool, MinPartitionRowsScalesInverselyWithWidth) {
   EXPECT_EQ(min_partition_rows(8192), 1u);
   EXPECT_EQ(min_partition_rows(4096), 2u);
