@@ -18,6 +18,22 @@
 // p50/p99, inter-token p99 and the prefill:decode row split, verifying every
 // cell bit-for-bit against the reference oracle (the CI decode gate).
 //
+// Scheduling: --policy picks the batch-formation order (auto | fifo | binned
+// | edf) with --bin-width / --max-rows / --aging-us; --deadline-us /
+// --priority-levels / --tenants / --tenant-rate put an SLA mix on the
+// workload; --overload=shed|degrade|both arms admission control with
+// --shed-slack-us / --degrade-slack-us thresholds (--degrade-norm picks the
+// cheap lane's provider). --max-p99-us gates the run's total p99 latency.
+// With --policy-sweep=true the bench calibrates closed-loop FIFO capacity on
+// a ragged bimodal mix, then replays the same offered load (--load-factor x
+// capacity) paced under FIFO, binned and EDF — equal arrivals, only the
+// formation order differs — gating the binned/EDF pack-occupancy gain
+// (--min-occupancy-gain) and p99 ratio (--max-p99-ratio) against FIFO, plus
+// a saturating-overload cell (EDF + shedding at the calibrated capacity)
+// that must shed low-priority traffic while keeping the high-priority class
+// served (--overload-max-p99-us bounds its p99). Every sweep cell is
+// verified bit-for-bit against the reference oracle.
+//
 // Observability: --trace-out exports the run as Chrome Trace Event JSON
 // (Perfetto-loadable) and cross-checks it against the report (per-thread
 // begin/end balance, one flow start+finish per request, sum of forward spans
@@ -33,6 +49,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -72,6 +89,74 @@ serve::ServeMetrics closed_loop_metrics(serve::ServerConfig config,
   config.keep_hidden = false;
   serve::Server server(config);
   return server.run(workload).metrics;
+}
+
+/// One cell of the scheduling-policy sweep (equal offered load, paced).
+struct PolicyCell {
+  std::string policy;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double occupancy = 0.0;  ///< packed sequences / (packs x max_batch)
+  std::size_t shed = 0;
+  std::size_t degraded = 0;
+  bool verified = false;  ///< served results bit-identical to the oracle
+
+  /// Full metrics of the cell's run (per-priority slices for overload cells).
+  serve::ServeMetrics metrics;
+
+  /// p99 of the HIGHEST priority class (total p99 when single-class). Total
+  /// p99 is nearly reorder-invariant in a backlogged work-conserving system
+  /// (reordering only changes which request gets which completion slot), so
+  /// the class EDF exists to protect is where its latency cut shows.
+  double high_priority_p99_us() const {
+    return metrics.per_priority.empty()
+               ? p99_us
+               : metrics.per_priority.rbegin()->second.total.p99_us;
+  }
+
+  common::Json to_json() const {
+    common::Json::Object entry;
+    entry["policy"] = policy;
+    entry["rps"] = rps;
+    entry["p50_us"] = p50_us;
+    entry["p99_us"] = p99_us;
+    entry["high_priority_p99_us"] = high_priority_p99_us();
+    entry["pack_occupancy"] = occupancy;
+    entry["shed"] = shed;
+    entry["degraded"] = degraded;
+    entry["verified"] = verified;
+    return common::Json(entry);
+  }
+};
+
+/// Runs one paced policy cell and verifies every SERVED (non-shed,
+/// non-degraded) result bit-for-bit against `oracle` (indexed by request id).
+PolicyCell run_policy_cell(serve::ServerConfig config,
+                           const std::vector<serve::Request>& workload,
+                           const serve::ServeReport& oracle) {
+  config.paced = true;
+  config.keep_hidden = false;
+  config.stats_interval_ms = 0;
+  serve::Server server(config);
+  const serve::ServeReport report = server.run(workload);
+
+  PolicyCell cell;
+  cell.policy = serve::to_string(server.config().scheduler.policy.policy);
+  cell.rps = report.metrics.throughput_rps;
+  cell.p50_us = report.metrics.total.p50_us;
+  cell.p99_us = report.metrics.total.p99_us;
+  cell.occupancy = report.metrics.pack_occupancy();
+  cell.shed = report.metrics.shed_requests;
+  cell.degraded = report.metrics.degraded_requests;
+  cell.metrics = report.metrics;
+  cell.verified = report.results.size() == oracle.results.size();
+  for (std::size_t i = 0; cell.verified && i < report.results.size(); ++i) {
+    const serve::RequestResult& result = report.results[i];
+    if (result.shed || result.degraded) continue;  // no primary-lane oracle
+    cell.verified = result.hidden_checksum == oracle.results[i].hidden_checksum;
+  }
+  return cell;
 }
 
 /// One cell of the decode-mix sweep: a decode budget (0 = prefill-only) per
@@ -250,15 +335,64 @@ int main(int argc, char** argv) {
   cli.add_flag("norm", "haan", core::norm_provider_help());
   cli.add_flag("workers", "4", "worker threads");
   cli.add_flag("requests", "1000", "requests to serve");
-  cli.add_flag("scenario", "steady", "steady | bursty | ramp");
+  cli.add_flag("scenario", "steady",
+               "steady | bursty | ramp | diurnal | overload");
   cli.add_flag("rate", "2000", "mean Poisson arrival rate, req/s");
   cli.add_flag("burst-factor", "4", "bursty peak/trough factor");
+  cli.add_flag("overload-factor", "4",
+               "overload scenario: spike rate multiplier over the middle of "
+               "the stream");
   cli.add_flag("length", "uniform", "fixed | uniform | bimodal prompt lengths");
   cli.add_flag("min-prompt", "8", "min prompt tokens");
   cli.add_flag("max-prompt", "32", "max prompt tokens");
   cli.add_flag("max-batch", "8", "scheduler max batch size");
   cli.add_flag("max-wait-us", "1000", "scheduler max batching wait (us)");
   cli.add_flag("queue-cap", "128", "request queue capacity");
+  cli.add_flag("policy", "auto",
+               "batch formation order: auto | fifo | binned | edf (auto "
+               "resolves HAAN_SCHED_POLICY, default fifo)");
+  cli.add_flag("bin-width", "16", "prompt-length bin width (binned/edf)");
+  cli.add_flag("max-rows", "0",
+               "row budget per batch (sum of prompt rows; 0 = unlimited)");
+  cli.add_flag("aging-us", "0",
+               "EDF anti-starvation: +1 effective priority per this many "
+               "microseconds waited (0 = off)");
+  cli.add_flag("overload", "none",
+               "admission control under overload: none | shed | degrade | "
+               "both (only deadline-bearing requests are ever shed/degraded)");
+  cli.add_flag("shed-slack-us", "0",
+               "shed when remaining deadline slack drops below this (us)");
+  cli.add_flag("degrade-slack-us", "0",
+               "degrade to --degrade-norm when slack drops below this (us)");
+  cli.add_flag("degrade-norm", "haan-full",
+               "provider for degraded requests (the cheap lane)");
+  cli.add_flag("deadline-us", "0",
+               "flat per-request latency budget (0 = no deadlines)");
+  cli.add_flag("priority-levels", "1", "scheduling classes in the workload");
+  cli.add_flag("tenants", "1", "workload tenants (uniform mix)");
+  cli.add_flag("tenant-rate", "0",
+               "per-tenant arrival-rate cap, req/s (0 = uncapped)");
+  cli.add_flag("max-p99-us", "0",
+               "fail unless the run's total p99 latency is <= this (us; 0 "
+               "disables)");
+  cli.add_flag("policy-sweep", "false",
+               "sweep fifo | binned | edf paced at equal offered load on a "
+               "ragged bimodal mix (+ an EDF overload-shedding cell), every "
+               "cell verified bit-for-bit against the reference oracle");
+  cli.add_flag("load-factor", "0.8",
+               "policy sweep offered load as a fraction of the calibrated "
+               "closed-loop FIFO capacity");
+  cli.add_flag("min-occupancy-gain", "0",
+               "fail unless the best binned/edf pack occupancy reaches this "
+               "multiple of FIFO's at equal offered load (0 disables; "
+               "implies --policy-sweep)");
+  cli.add_flag("max-p99-ratio", "0",
+               "fail unless the best binned/edf HIGH-PRIORITY-class p99 stays "
+               "within this multiple of FIFO's at equal offered load (0 "
+               "disables; implies --policy-sweep)");
+  cli.add_flag("overload-max-p99-us", "0",
+               "fail unless the overload cell's HIGH-priority p99 is <= this "
+               "(us; 0 disables)");
   cli.add_flag("seed", "1", "workload seed");
   cli.add_flag("paced", "true", "honor Poisson arrival times (open-loop)");
   cli.add_flag("calibrate", "true", "calibrate a skip plan at startup");
@@ -338,6 +472,41 @@ int main(int argc, char** argv) {
   config.scheduler.max_batch = static_cast<std::size_t>(cli.get_int("max-batch"));
   config.scheduler.max_wait =
       std::chrono::microseconds(cli.get_int("max-wait-us"));
+  const auto sched_policy = serve::try_policy_from_string(cli.get("policy"));
+  if (!sched_policy) {
+    std::fprintf(stderr,
+                 "unknown --policy '%s' (expected auto | fifo | binned | "
+                 "edf)\n",
+                 cli.get("policy").c_str());
+    return 1;
+  }
+  config.scheduler.policy.policy = *sched_policy;
+  config.scheduler.policy.bin_width =
+      static_cast<std::size_t>(cli.get_int("bin-width"));
+  config.scheduler.max_rows = static_cast<std::size_t>(cli.get_int("max-rows"));
+  config.scheduler.policy.aging_us = cli.get_double("aging-us");
+  const std::string overload_name = cli.get("overload");
+  if (overload_name != "none" && overload_name != "shed" &&
+      overload_name != "degrade" && overload_name != "both") {
+    std::fprintf(stderr,
+                 "unknown --overload '%s' (expected none | shed | degrade | "
+                 "both)\n",
+                 overload_name.c_str());
+    return 1;
+  }
+  config.scheduler.policy.allow_shed =
+      overload_name == "shed" || overload_name == "both";
+  config.scheduler.policy.allow_degrade =
+      overload_name == "degrade" || overload_name == "both";
+  config.scheduler.policy.shed_slack_us = cli.get_double("shed-slack-us");
+  config.scheduler.policy.degrade_slack_us = cli.get_double("degrade-slack-us");
+  config.degrade_norm = cli.get("degrade-norm");
+  if (!core::is_norm_provider_name(config.degrade_norm)) {
+    std::fprintf(stderr, "unknown --degrade-norm '%s' (expected %s)\n",
+                 config.degrade_norm.c_str(),
+                 core::norm_provider_help().c_str());
+    return 1;
+  }
   config.paced = cli.get_bool("paced");
   config.calibrate = cli.get_bool("calibrate");
   config.mega_batch = cli.get_bool("mega-batch");
@@ -371,7 +540,9 @@ int main(int argc, char** argv) {
 
   const auto scenario = serve::try_scenario_from_string(cli.get("scenario"));
   if (!scenario) {
-    std::fprintf(stderr, "unknown --scenario '%s' (expected steady | bursty | ramp)\n",
+    std::fprintf(stderr,
+                 "unknown --scenario '%s' (expected steady | bursty | ramp | "
+                 "diurnal | overload)\n",
                  cli.get("scenario").c_str());
     return 1;
   }
@@ -394,6 +565,7 @@ int main(int argc, char** argv) {
   workload_config.rate_rps = cli.get_double("rate");
   workload_config.scenario = *scenario;
   workload_config.burst_factor = cli.get_double("burst-factor");
+  workload_config.overload_factor = cli.get_double("overload-factor");
   workload_config.length_model = *length_model;
   workload_config.min_prompt = static_cast<std::size_t>(cli.get_int("min-prompt"));
   workload_config.max_prompt = static_cast<std::size_t>(cli.get_int("max-prompt"));
@@ -404,6 +576,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("decode-tokens"));
   workload_config.max_decode =
       static_cast<std::size_t>(cli.get_int("max-decode"));
+  workload_config.priority_levels =
+      static_cast<std::size_t>(cli.get_int("priority-levels"));
+  workload_config.tenants = static_cast<std::size_t>(cli.get_int("tenants"));
+  workload_config.tenant_rate_rps = cli.get_double("tenant-rate");
+  workload_config.deadline_us = cli.get_double("deadline-us");
 
   std::printf(
       "=== serve_throughput — %s, norm=%s, %zu workers, %s traffic, "
@@ -467,19 +644,44 @@ int main(int argc, char** argv) {
       workload_config.decode_model != serve::DecodeModel::kNone;
   if (verify) {
     const auto reference = server.run_reference(workload);
-    std::size_t mismatches = 0;
+    // Shed requests never ran a forward (checksum 0, no oracle); degraded
+    // ones ran on the degrade provider, so they get their own reference,
+    // built lazily on first use (same model, same preset skip plan).
+    std::optional<serve::ServeReport> degrade_reference;
+    std::size_t mismatches = 0, shed_skipped = 0, degraded_checked = 0;
     for (std::size_t i = 0; i < report.results.size(); ++i) {
-      if (report.results[i].hidden_checksum !=
-              reference.results[i].hidden_checksum ||
-          report.results[i].generated != reference.results[i].generated) {
+      const serve::RequestResult& result = report.results[i];
+      if (result.shed) {
+        ++shed_skipped;
+        continue;
+      }
+      const serve::ServeReport* oracle = &reference;
+      if (result.degraded) {
+        if (!degrade_reference) {
+          serve::ServerConfig degrade_config = config;
+          degrade_config.norm = config.degrade_norm;
+          degrade_config.calibrate = false;
+          degrade_config.preset_plan = server.plan();
+          degrade_config.stats_interval_ms = 0;
+          serve::Server degrade_server(degrade_config);
+          degrade_reference = degrade_server.run_reference(workload);
+        }
+        oracle = &*degrade_reference;
+        ++degraded_checked;
+      }
+      if (result.hidden_checksum != oracle->results[i].hidden_checksum ||
+          result.generated != oracle->results[i].generated) {
         ++mismatches;
       }
     }
-    // Per-row counter parity only holds for prefill-only workloads: the
-    // re-forward oracle feeds each prompt row once per generated token, while
-    // incremental execution feeds every row exactly once.
+    // Per-row counter parity only holds for prefill-only workloads where
+    // every request ran on the primary provider: the re-forward oracle feeds
+    // each prompt row once per generated token (incremental execution feeds
+    // every row exactly once), and shed/degraded traffic never reaches the
+    // reference's provider at all.
+    const bool sla_outcomes = shed_skipped > 0 || degraded_checked > 0;
     const bool counters_match =
-        has_decode ||
+        has_decode || sla_outcomes ||
         (report.metrics.norm.norm_calls == reference.metrics.norm.norm_calls &&
          report.metrics.norm.isd_computed ==
              reference.metrics.norm.isd_computed &&
@@ -492,11 +694,25 @@ int main(int argc, char** argv) {
     verified = mismatches == 0 && counters_match;
     std::printf(
         "verify           : %s (%zu/%zu hidden-state checksums + token "
-        "streams match, counters %s)\n",
+        "streams match, %zu shed skipped, %zu degraded vs %s reference, "
+        "counters %s)\n",
         verified ? "bit-identical to single-threaded reference" : "MISMATCH",
-        report.results.size() - mismatches, report.results.size(),
-        has_decode ? "n/a under decode"
-                   : (counters_match ? "identical" : "DIFFER"));
+        report.results.size() - shed_skipped - mismatches,
+        report.results.size() - shed_skipped, shed_skipped, degraded_checked,
+        config.degrade_norm.c_str(),
+        has_decode || sla_outcomes
+            ? "n/a"
+            : (counters_match ? "identical" : "DIFFER"));
+  }
+
+  // --- p99 latency gate ---------------------------------------------------
+  const double max_p99_us = cli.get_double("max-p99-us");
+  bool p99_ok = true;
+  if (max_p99_us > 0.0) {
+    p99_ok = report.metrics.total.p99_us <= max_p99_us;
+    std::printf(
+        "p99 gate         : %s (total p99 %.1f us, <= %.1f us required)\n",
+        p99_ok ? "PASS" : "FAIL", report.metrics.total.p99_us, max_p99_us);
   }
 
   // --- Mega-batch vs per-request sweep -----------------------------------
@@ -640,6 +856,185 @@ int main(int argc, char** argv) {
                 decode_gate_ok ? "PASS" : "FAIL");
   }
 
+  // --- Scheduling-policy sweep -------------------------------------------
+  const double load_factor = cli.get_double("load-factor");
+  const double min_occupancy_gain = cli.get_double("min-occupancy-gain");
+  const double max_p99_ratio = cli.get_double("max-p99-ratio");
+  const double overload_max_p99_us = cli.get_double("overload-max-p99-us");
+  const bool policy_sweep = cli.get_bool("policy-sweep") ||
+                            min_occupancy_gain > 0.0 || max_p99_ratio > 0.0 ||
+                            overload_max_p99_us > 0.0;
+  std::vector<PolicyCell> policy_cells;
+  PolicyCell overload_cell;
+  PolicyCell fifo_overload_cell;
+  bool policy_gate_ok = true;
+  double capacity_rps = 0.0, offered_rps = 0.0;
+  double occupancy_gain = 0.0, p99_ratio = 0.0;
+  if (policy_sweep) {
+    const std::size_t sweep_requests =
+        static_cast<std::size_t>(cli.get_int("compare-requests"));
+    // Ragged bimodal mix under a row budget: the shape where formation order
+    // matters. FIFO closes a batch at the first arrival that overflows the
+    // remaining row budget (ragged-tail waste); binned/EDF anchor on the
+    // oldest pending request and fill whole batches from its length bin.
+    // Short and long prompts land in different bins (bin_width between them),
+    // and the budget divides both lengths exactly so bin-pure batches carry
+    // zero tail waste.
+    serve::WorkloadConfig sweep_workload;
+    sweep_workload.n_requests = sweep_requests;
+    sweep_workload.length_model = serve::LengthModel::kBimodal;
+    sweep_workload.min_prompt = 4;
+    sweep_workload.max_prompt = 16;
+    sweep_workload.long_fraction = 0.5;
+    sweep_workload.priority_levels = 2;
+    sweep_workload.vocab_size = config.model.vocab_size;
+    sweep_workload.seed = workload_config.seed;
+
+    serve::ServerConfig sweep_config = config;
+    // One calibration for every cell (the plan depends only on the model),
+    // packed whole-request execution, and a row budget both prompt lengths
+    // divide exactly.
+    sweep_config.calibrate = false;
+    sweep_config.preset_plan = server.plan();
+    sweep_config.mode = serve::ExecMode::kMegaBatch;
+    sweep_config.prefill_chunk = 0;
+    sweep_config.stats_interval_ms = 0;
+    sweep_config.scheduler.max_batch = 16;
+    sweep_config.scheduler.max_rows = 32;
+    sweep_config.scheduler.policy = serve::PolicyConfig{};
+    sweep_config.scheduler.policy.policy = serve::SchedPolicy::kFifo;
+    sweep_config.scheduler.policy.bin_width = 16;
+
+    // Calibrate the offered load off closed-loop FIFO capacity, then replay
+    // the SAME arrivals paced at load_factor x capacity under each policy —
+    // equal offered load, only the formation order differs.
+    capacity_rps =
+        closed_loop_metrics(sweep_config, serve::generate_workload(sweep_workload))
+            .throughput_rps;
+    offered_rps = load_factor * capacity_rps;
+    sweep_workload.rate_rps = offered_rps > 0.0 ? offered_rps : 1.0;
+    const auto sweep_requests_paced = serve::generate_workload(sweep_workload);
+
+    // One oracle serves every cell: checksums depend only on token contents,
+    // which the forked workload streams keep identical across rates and
+    // scenarios of a seed.
+    serve::Server sweep_server(sweep_config);
+    const serve::ServeReport sweep_oracle =
+        sweep_server.run_reference(sweep_requests_paced);
+
+    std::printf(
+        "\n=== scheduling-policy sweep (paced, %zu requests, offered %.1f "
+        "req/s = %.2f x %.1f req/s FIFO capacity) ===\n",
+        sweep_requests, offered_rps, load_factor, capacity_rps);
+    std::printf("%8s %9s %10s %10s %12s %10s %6s %9s\n", "policy", "req/s",
+                "p50", "p99", "high-pri p99", "occupancy", "shed", "verified");
+    const serve::SchedPolicy policies[] = {serve::SchedPolicy::kFifo,
+                                           serve::SchedPolicy::kBinned,
+                                           serve::SchedPolicy::kEdf};
+    for (const serve::SchedPolicy policy : policies) {
+      serve::ServerConfig cell_config = sweep_config;
+      cell_config.scheduler.policy.policy = policy;
+      const PolicyCell cell =
+          run_policy_cell(cell_config, sweep_requests_paced, sweep_oracle);
+      policy_cells.push_back(cell);
+      policy_gate_ok = policy_gate_ok && cell.verified;
+      std::printf("%8s %9.1f %8.1fus %8.1fus %10.1fus %10.3f %6zu %9s\n",
+                  cell.policy.c_str(), cell.rps, cell.p50_us, cell.p99_us,
+                  cell.high_priority_p99_us(), cell.occupancy, cell.shed,
+                  cell.verified ? "yes" : "MISMATCH");
+    }
+    const PolicyCell& fifo = policy_cells[0];
+    const PolicyCell& binned = policy_cells[1];
+    const PolicyCell& edf = policy_cells[2];
+    occupancy_gain =
+        fifo.occupancy > 0.0
+            ? std::max(binned.occupancy, edf.occupancy) / fifo.occupancy
+            : 0.0;
+    std::printf("binned/edf vs fifo: occupancy gain %.3fx\n", occupancy_gain);
+    if (min_occupancy_gain > 0.0) {
+      const bool ok = occupancy_gain >= min_occupancy_gain;
+      policy_gate_ok = policy_gate_ok && ok;
+      std::printf("occupancy gate   : %s (%.3fx, >= %.3fx required)\n",
+                  ok ? "PASS" : "FAIL", occupancy_gain, min_occupancy_gain);
+    }
+
+    // Saturating-overload pair: the spike arrives at overload_factor x the
+    // calibrated capacity and every request carries a deadline. FIFO (no
+    // admission control) rides the full backlog; EDF + shedding must keep
+    // the high-priority class served (low-priority traffic absorbs the
+    // shedding). Both see IDENTICAL arrivals, so the high-priority p99 ratio
+    // is the SLA scheduler's latency cut at equal offered load — and unlike
+    // the trickle-load cells above it is structural (the spike backlog is
+    // deep by construction), so it is stable enough to gate on.
+    serve::WorkloadConfig overload_workload = sweep_workload;
+    overload_workload.scenario = serve::Scenario::kOverload;
+    overload_workload.overload_factor = cli.get_double("overload-factor");
+    overload_workload.rate_rps = capacity_rps > 0.0 ? capacity_rps : 1.0;
+    const double sweep_deadline_us = cli.get_double("deadline-us") > 0.0
+                                         ? cli.get_double("deadline-us")
+                                         : 20000.0;
+    overload_workload.deadline_us = sweep_deadline_us;
+    const auto overload_requests = serve::generate_workload(overload_workload);
+
+    serve::ServerConfig fifo_overload_config = sweep_config;
+    fifo_overload_config.scheduler.policy.policy = serve::SchedPolicy::kFifo;
+    fifo_overload_cell =
+        run_policy_cell(fifo_overload_config, overload_requests, sweep_oracle);
+    const PolicyCell& fifo_overload = fifo_overload_cell;
+    policy_gate_ok = policy_gate_ok && fifo_overload.verified;
+
+    serve::ServerConfig overload_config = sweep_config;
+    overload_config.scheduler.policy.policy = serve::SchedPolicy::kEdf;
+    overload_config.scheduler.policy.allow_shed = true;
+    overload_config.scheduler.policy.shed_slack_us = 0.0;
+    overload_cell =
+        run_policy_cell(overload_config, overload_requests, sweep_oracle);
+
+    const auto high = overload_cell.metrics.per_priority.find(1);
+    const auto low = overload_cell.metrics.per_priority.find(0);
+    const std::size_t shed_high =
+        high != overload_cell.metrics.per_priority.end() ? high->second.shed : 0;
+    const std::size_t shed_low =
+        low != overload_cell.metrics.per_priority.end() ? low->second.shed : 0;
+    const double high_p99_us = overload_cell.high_priority_p99_us();
+    p99_ratio = fifo_overload.high_priority_p99_us() > 0.0
+                    ? high_p99_us / fifo_overload.high_priority_p99_us()
+                    : 0.0;
+    // Structural gates: the spike must actually force shedding, EDF must not
+    // shed MORE high-priority than low-priority traffic, and every served
+    // result must still match the oracle bit-for-bit.
+    const bool overload_ok =
+        overload_cell.verified && overload_cell.shed > 0 && shed_high <= shed_low;
+    policy_gate_ok = policy_gate_ok && overload_ok;
+    std::printf(
+        "overload pair    : %s (spike %.1fx over %.1f req/s, deadline %.0fus; "
+        "fifo high-pri p99 %.1fus -> edf+shed %.1fus, ratio %.3fx; %zu shed "
+        "[high %zu / low %zu], %zu served, %s)\n",
+        overload_ok ? "PASS" : "FAIL", overload_workload.overload_factor,
+        overload_workload.rate_rps, sweep_deadline_us,
+        fifo_overload.high_priority_p99_us(), high_p99_us, p99_ratio,
+        overload_cell.shed, shed_high, shed_low,
+        overload_cell.metrics.completed,
+        overload_cell.verified && fifo_overload.verified ? "verified"
+                                                         : "MISMATCH");
+    if (max_p99_ratio > 0.0) {
+      const bool ok = p99_ratio > 0.0 && p99_ratio <= max_p99_ratio;
+      policy_gate_ok = policy_gate_ok && ok;
+      std::printf(
+          "p99-ratio gate   : %s (edf+shed / fifo high-priority p99 %.3fx, "
+          "<= %.3fx required)\n",
+          ok ? "PASS" : "FAIL", p99_ratio, max_p99_ratio);
+    }
+    if (overload_max_p99_us > 0.0) {
+      const bool ok = high_p99_us > 0.0 && high_p99_us <= overload_max_p99_us;
+      policy_gate_ok = policy_gate_ok && ok;
+      std::printf(
+          "overload p99 gate: %s (high-priority p99 %.1f us, <= %.1f us "
+          "required)\n",
+          ok ? "PASS" : "FAIL", high_p99_us, overload_max_p99_us);
+    }
+  }
+
   // --- Tracing overhead gate ---------------------------------------------
   const double max_trace_overhead = cli.get_double("max-trace-overhead");
   bool overhead_ok = true;
@@ -684,6 +1079,19 @@ int main(int argc, char** argv) {
     cfg["max_batch"] = config.scheduler.max_batch;
     cfg["max_wait_us"] =
         static_cast<std::size_t>(config.scheduler.max_wait.count());
+    cfg["max_rows"] = config.scheduler.max_rows;
+    cfg["policy"] = serve::to_string(
+        serve::resolve_policy(config.scheduler.policy.policy));
+    cfg["bin_width"] = config.scheduler.policy.bin_width;
+    cfg["aging_us"] = config.scheduler.policy.aging_us;
+    cfg["overload"] = overload_name;
+    cfg["shed_slack_us"] = config.scheduler.policy.shed_slack_us;
+    cfg["degrade_slack_us"] = config.scheduler.policy.degrade_slack_us;
+    cfg["degrade_norm"] = config.degrade_norm;
+    cfg["deadline_us"] = workload_config.deadline_us;
+    cfg["priority_levels"] = workload_config.priority_levels;
+    cfg["tenants"] = workload_config.tenants;
+    cfg["tenant_rate_rps"] = workload_config.tenant_rate_rps;
     cfg["queue_capacity"] = config.queue_capacity;
     cfg["paced"] = config.paced;
     cfg["mega_batch"] = config.mega_batch;
@@ -703,6 +1111,38 @@ int main(int argc, char** argv) {
     ver["checked"] = verify;
     ver["bit_identical"] = verified;
     doc["verify"] = ver;
+    if (max_p99_us > 0.0) {
+      common::Json::Object gate;
+      gate["p99_us"] = report.metrics.total.p99_us;
+      gate["max_p99_us"] = max_p99_us;
+      gate["ok"] = p99_ok;
+      doc["p99_gate"] = gate;
+    }
+    if (policy_sweep) {
+      common::Json::Array sweep;
+      for (const PolicyCell& cell : policy_cells) sweep.push_back(cell.to_json());
+      common::Json::Object pol;
+      pol["cells"] = sweep;
+      pol["capacity_rps"] = capacity_rps;
+      pol["offered_rps"] = offered_rps;
+      pol["load_factor"] = load_factor;
+      pol["occupancy_gain"] = occupancy_gain;
+      pol["p99_ratio"] = p99_ratio;
+      pol["min_occupancy_gain"] = min_occupancy_gain;
+      pol["max_p99_ratio"] = max_p99_ratio;
+      common::Json::Object over = overload_cell.to_json().as_object();
+      over["completed"] = overload_cell.metrics.completed;
+      common::Json::Object classes;
+      for (const auto& [priority, slice] : overload_cell.metrics.per_priority) {
+        classes[std::to_string(priority)] = slice.to_json();
+      }
+      over["per_priority"] = classes;
+      over["fifo_baseline"] = fifo_overload_cell.to_json();
+      over["max_high_priority_p99_us"] = overload_max_p99_us;
+      pol["overload"] = over;
+      pol["gate_ok"] = policy_gate_ok;
+      doc["policy_sweep"] = pol;
+    }
     if (compare) {
       common::Json::Array sweep;
       for (const CompareCell& cell : cells) {
@@ -775,7 +1215,8 @@ int main(int argc, char** argv) {
     }
     std::printf("json report      : %s\n", json_path.c_str());
   }
-  return verified && mega_gate_ok && decode_gate_ok && trace_ok && overhead_ok
+  return verified && mega_gate_ok && decode_gate_ok && policy_gate_ok &&
+                 p99_ok && trace_ok && overhead_ok
              ? 0
              : 1;
 }

@@ -62,6 +62,15 @@ common::Json LatencySummary::to_json() const {
   return out;
 }
 
+common::Json PrioritySummary::to_json() const {
+  common::Json::Object out;
+  out["latency_total"] = total.to_json();
+  out["shed"] = shed;
+  out["degraded"] = degraded;
+  out["deadline_missed"] = deadline_missed;
+  return out;
+}
+
 common::Json KernelTuningInfo::to_json() const {
   common::Json::Object out;
   out["backend"] = backend;
@@ -103,6 +112,16 @@ common::Json ServeMetrics::to_json() const {
   out["decode_rows_per_pack"] = decode_rows_per_pack();
   out["kv_bytes_resident"] = kv_bytes_resident;
   out["max_kv_bytes"] = max_kv_bytes;
+  out["shed_requests"] = shed_requests;
+  out["degraded_requests"] = degraded_requests;
+  out["deadline_missed_requests"] = deadline_missed_requests;
+  if (!per_priority.empty()) {
+    common::Json::Object priorities;
+    for (const auto& [priority, summary] : per_priority) {
+      priorities[std::to_string(priority)] = summary.to_json();
+    }
+    out["per_priority"] = priorities;
+  }
   common::Json::Object counters;
   counters["norm_calls"] = norm.norm_calls;
   counters["isd_computed"] = norm.isd_computed;
@@ -135,6 +154,13 @@ std::string ServeMetrics::to_string() const {
   if (intertoken.count > 0) {
     table.add_row(row("inter-token (ms)", intertoken));
   }
+  if (per_priority.size() > 1) {
+    for (const auto& [priority, summary] : per_priority) {
+      table.add_row(
+          row(("p" + std::to_string(priority) + " total (ms)").c_str(),
+              summary.total));
+    }
+  }
 
   std::ostringstream out;
   out << table.render();
@@ -160,6 +186,11 @@ std::string ServeMetrics::to_string() const {
         << decode_packs << ", mixed " << mixed_packs << "\n";
     out << "kv cache         : max " << max_kv_bytes << " bytes resident\n";
   }
+  if (shed_requests + degraded_requests + deadline_missed_requests > 0) {
+    out << "sla outcomes     : shed " << shed_requests << ", degraded "
+        << degraded_requests << ", deadline-missed " << deadline_missed_requests
+        << "\n";
+  }
   out << "norm counters    : calls " << norm.norm_calls << ", isd computed "
       << norm.isd_computed << ", isd predicted " << norm.isd_predicted
       << ", elements read " << norm.elements_read << ", fused residual+norm "
@@ -182,11 +213,35 @@ MetricsCollector::MetricsCollector()
       ttft_us_(latency_histogram_config()),
       intertoken_us_(latency_histogram_config()) {}
 
+MetricsCollector::PriorityBucket& MetricsCollector::priority_bucket(
+    int priority) {
+  return per_priority_[priority];  // default-constructs the slice lazily
+}
+
 void MetricsCollector::record(const RequestResult& result) {
   std::lock_guard<std::mutex> lock(mu_);
+  PriorityBucket& bucket = priority_bucket(result.priority);
+  if (result.shed) {
+    // Shed requests never ran: they count as SLA outcomes, not latencies
+    // (their totals would poison the served-latency percentiles).
+    ++shed_;
+    ++bucket.shed;
+    ++deadline_missed_;
+    ++bucket.deadline_missed;
+    return;
+  }
   total_us_.record(result.total_us);
   queue_us_.record(result.queue_us);
   compute_us_.record(result.compute_us);
+  bucket.total_us.record(result.total_us);
+  if (result.degraded) {
+    ++degraded_;
+    ++bucket.degraded;
+  }
+  if (result.deadline_missed) {
+    ++deadline_missed_;
+    ++bucket.deadline_missed;
+  }
 }
 
 void MetricsCollector::record_batch(std::size_t batch_size) {
@@ -280,15 +335,32 @@ ServeMetrics MetricsCollector::finalize(double wall_us) const {
   metrics.mixed_packs = mixed_packs_;
   metrics.kv_bytes_resident = kv_bytes_resident_;
   metrics.max_kv_bytes = max_kv_bytes_;
+  metrics.shed_requests = shed_;
+  metrics.degraded_requests = degraded_;
+  metrics.deadline_missed_requests = deadline_missed_;
+  for (const auto& [priority, bucket] : per_priority_) {
+    PrioritySummary summary;
+    summary.total = summarize_histogram(bucket.total_us);
+    summary.shed = bucket.shed;
+    summary.degraded = bucket.degraded;
+    summary.deadline_missed = bucket.deadline_missed;
+    metrics.per_priority.emplace(priority, std::move(summary));
+  }
   metrics.norm = norm_;
   return metrics;
 }
 
 std::size_t MetricsCollector::approx_memory_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return sizeof(*this) + total_us_.memory_bytes() + queue_us_.memory_bytes() +
-         compute_us_.memory_bytes() + ttft_us_.memory_bytes() +
-         intertoken_us_.memory_bytes();
+  std::size_t bytes = sizeof(*this) + total_us_.memory_bytes() +
+                      queue_us_.memory_bytes() + compute_us_.memory_bytes() +
+                      ttft_us_.memory_bytes() + intertoken_us_.memory_bytes();
+  // One fixed-size slice per distinct priority class — constant for a fixed
+  // class set, independent of completed-request count.
+  for (const auto& [priority, bucket] : per_priority_) {
+    bytes += sizeof(bucket) + bucket.total_us.memory_bytes();
+  }
+  return bytes;
 }
 
 }  // namespace haan::serve

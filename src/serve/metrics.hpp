@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -67,9 +68,21 @@ struct KernelTuningInfo {
   common::Json to_json() const;
 };
 
+/// Per-priority-class slice of the run: served-latency summary plus the SLA
+/// outcome counters, so overload runs are debuggable per class from the
+/// metrics artifact alone.
+struct PrioritySummary {
+  LatencySummary total;  ///< enqueue -> completion of SERVED requests
+  std::size_t shed = 0;
+  std::size_t degraded = 0;
+  std::size_t deadline_missed = 0;
+
+  common::Json to_json() const;
+};
+
 /// Immutable end-of-run (or mid-run snapshot) metrics.
 struct ServeMetrics {
-  std::size_t completed = 0;
+  std::size_t completed = 0;  ///< requests SERVED (excludes shed)
   double wall_us = 0.0;
   double throughput_rps = 0.0;
 
@@ -117,6 +130,17 @@ struct ServeMetrics {
   /// the high watermark across the run. Zero outside session mode.
   std::size_t kv_bytes_resident = 0;
   std::size_t max_kv_bytes = 0;
+
+  /// SLA outcomes: requests shed (completed unserved), served on the degrade
+  /// provider, or served past their deadline. A shed request is counted here
+  /// and NOT in `completed`/latency histograms — it is distinguishable from
+  /// one that never arrived.
+  std::size_t shed_requests = 0;
+  std::size_t degraded_requests = 0;
+  std::size_t deadline_missed_requests = 0;
+
+  /// Per-priority-class latency + SLA breakdown (key = Request.priority).
+  std::map<int, PrioritySummary> per_priority;
 
   NormCounters norm;
 
@@ -219,12 +243,29 @@ class MetricsCollector {
   std::size_t approx_memory_bytes() const;
 
  private:
+  /// Per-priority streaming slice (lazy: one per distinct priority class, so
+  /// memory stays constant for a fixed class set).
+  struct PriorityBucket {
+    common::LogHistogram total_us;
+    std::size_t shed = 0;
+    std::size_t degraded = 0;
+    std::size_t deadline_missed = 0;
+
+    PriorityBucket() : total_us(latency_histogram_config()) {}
+  };
+
+  PriorityBucket& priority_bucket(int priority);  ///< mu_ held by caller
+
   mutable std::mutex mu_;
   common::LogHistogram total_us_;
   common::LogHistogram queue_us_;
   common::LogHistogram compute_us_;
   common::LogHistogram ttft_us_;
   common::LogHistogram intertoken_us_;
+  std::map<int, PriorityBucket> per_priority_;
+  std::size_t shed_ = 0;
+  std::size_t degraded_ = 0;
+  std::size_t deadline_missed_ = 0;
   std::uint64_t batch_count_ = 0;
   std::size_t batch_requests_ = 0;
   std::size_t max_batch_size_ = 0;

@@ -30,6 +30,24 @@ struct Request {
   /// Arrival offset from workload start, microseconds (open-loop pacing).
   double arrival_us = 0.0;
 
+  /// Scheduling class, higher = more urgent. EDF formation orders by
+  /// effective priority (priority plus a time-based aging credit, so lower
+  /// classes cannot starve) before deadline slack.
+  int priority = 0;
+
+  /// Latency budget from enqueue, microseconds (0 = no deadline). Admission
+  /// control may shed or degrade a request whose remaining slack crosses the
+  /// policy thresholds; requests without a deadline are never shed/degraded.
+  double deadline_us = 0.0;
+
+  /// Workload tenant id (multi-tenant mixes; 0 when single-tenant).
+  std::uint32_t tenant = 0;
+
+  /// Stamped sticky by admission control: serve on the cheaper degrade
+  /// provider. Degraded and normal requests never share a pack (one pack
+  /// runs exactly one provider).
+  bool degraded = false;
+
   /// Stamped by the server when the request enters the queue.
   Clock::time_point enqueued_at{};
 
@@ -70,6 +88,13 @@ struct RequestResult {
   double queue_us = 0.0;    ///< enqueue -> dequeue (batch formation)
   double compute_us = 0.0;  ///< forward pass (summed over steps for sessions)
   double total_us = 0.0;    ///< enqueue -> completion
+
+  int priority = 0;           ///< scheduling class (copied from the request)
+  std::uint32_t tenant = 0;   ///< workload tenant (copied from the request)
+  bool degraded = false;      ///< served on the cheap degrade provider
+  bool shed = false;          ///< completed UNSERVED by admission control
+                              ///< (no forward ran; checksum/hidden empty)
+  bool deadline_missed = false;  ///< had a deadline and finished past it
 };
 
 /// FNV-1a seed for checksum_floats (the offset basis); pass a previous

@@ -5,14 +5,28 @@
 
 namespace haan::serve {
 
+namespace {
+
+PolicyConfig resolved_policy_config(const SchedulerConfig& config,
+                                    SchedPolicy resolved) {
+  PolicyConfig out = config.policy;
+  out.policy = resolved;
+  return out;
+}
+
+}  // namespace
+
 BatchScheduler::BatchScheduler(RequestQueue& queue, SchedulerConfig config)
-    : queue_(queue), config_(config) {
+    : queue_(queue),
+      config_(config),
+      policy_(resolve_policy(config.policy.policy)),
+      legacy_fifo_(policy_ == SchedPolicy::kFifo && config.max_rows == 0 &&
+                   !config.policy.allow_shed && !config.policy.allow_degrade),
+      pool_(resolved_policy_config(config, policy_)) {
   HAAN_EXPECTS(config_.max_batch > 0);
 }
 
-std::optional<Batch> BatchScheduler::next_batch() {
-  std::unique_lock<std::mutex> lock(mu_);
-
+std::optional<Batch> BatchScheduler::next_batch_fifo() {
   // The batch opens on the first request; this blocks until one arrives or
   // the stream ends. Holding mu_ here is intentional: another worker waiting
   // in next_batch() would otherwise interleave pops and break FIFO runs.
@@ -47,6 +61,101 @@ std::optional<Batch> BatchScheduler::next_batch() {
     }
     next.dequeued_at = Clock::now();
     batch.requests.push_back(std::move(next));
+  }
+  return batch;
+}
+
+TryPopResult BatchScheduler::drain_queue_into_pool() {
+  for (;;) {
+    Request request;
+    const TryPopResult result = queue_.try_pop(request);
+    if (result != TryPopResult::kItem) return result;
+    pool_.push(std::move(request));
+  }
+}
+
+std::optional<Batch> BatchScheduler::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (legacy_fifo_) return next_batch_fifo();
+
+  Batch batch;
+
+  // Phase 1: get at least one serveable request into the reorder pool. Shed
+  // decisions made while waiting ride out immediately (a shed-only batch)
+  // rather than sitting on results while this worker blocks for arrivals.
+  for (;;) {
+    drain_queue_into_pool();
+    pool_.apply_admission(Clock::now(), batch.shed);
+    if (!pool_.empty()) break;
+    if (!batch.shed.empty()) {
+      batch.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+      return batch;
+    }
+    std::optional<Request> first = queue_.pop();  // blocks; nullopt = drained
+    if (!first) return std::nullopt;  // end-of-stream: pool empty too
+    pool_.push(std::move(*first));
+  }
+
+  batch.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  HAAN_TRACE_SPAN("batch-form", "serve",
+                  static_cast<std::uint32_t>(batch.sequence));
+  const Clock::time_point opened = Clock::now();
+
+  // Anchor: the policy's most urgent request across all bins — under FIFO
+  // and binned the globally oldest (inherently starvation-free), under EDF
+  // the highest effective priority / tightest slack. The anchor fixes the
+  // batch's provider lane and (for binned/EDF) its length bin.
+  const std::size_t anchor_index =
+      *pool_.select(opened, std::nullopt, std::nullopt, true);
+  Request anchor = pool_.extract(anchor_index);
+  batch.degraded = anchor.degraded;
+  const bool binned =
+      policy_ == SchedPolicy::kBinned || policy_ == SchedPolicy::kEdf;
+  const std::optional<std::size_t> bin =
+      binned ? std::optional<std::size_t>(pool_.bin_of(anchor.tokens.size()))
+             : std::nullopt;
+  std::size_t rows = anchor.tokens.size();
+  anchor.dequeued_at = opened;
+  batch.requests.push_back(std::move(anchor));
+
+  // Fill: same lane, same bin while the gather window is open; once it
+  // expires (or the stream drains) top off from the nearest bins so the last
+  // batches of a run are not taxed for bin purity.
+  const Clock::time_point deadline = opened + config_.max_wait;
+  bool relax_bin = false;
+  while (batch.requests.size() < config_.max_batch) {
+    const TryPopResult queue_state = drain_queue_into_pool();
+    const Clock::time_point now = Clock::now();
+    pool_.apply_admission(now, batch.shed);
+    const std::optional<std::size_t> index =
+        pool_.select(now, batch.degraded, bin, relax_bin);
+    if (index.has_value()) {
+      if (config_.max_rows > 0 &&
+          rows + pool_.peek(*index).tokens.size() > config_.max_rows) {
+        break;  // row budget reached: the batch is as full as it can get
+      }
+      Request next = pool_.extract(*index);
+      next.dequeued_at = now;
+      rows += next.tokens.size();
+      batch.requests.push_back(std::move(next));
+      continue;
+    }
+    // No matching candidate right now. Wait for arrivals while the gather
+    // window is open; at expiry or end-of-stream, relax the bin once and
+    // take whatever (same-lane) work remains.
+    if (queue_state == TryPopResult::kDrained || now >= deadline) {
+      if (!relax_bin && bin.has_value()) {
+        relax_bin = true;
+        continue;
+      }
+      break;
+    }
+    std::optional<Request> waited = queue_.pop_for(
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
+    if (waited.has_value()) {
+      pool_.push(std::move(*waited));
+    }
+    // On timeout/drain the loop re-checks the deadline and relaxes the bin.
   }
   return batch;
 }

@@ -122,6 +122,7 @@ void trace_kernel_choice(const KernelTuningInfo& info,
 Server::Server(ServerConfig config)
     : config_(std::move(config)), model_(config_.model) {
   HAAN_EXPECTS(core::is_norm_provider_name(config_.norm));
+  HAAN_EXPECTS(core::is_norm_provider_name(config_.degrade_norm));
   HAAN_EXPECTS(config_.workers > 0);
 
   provider_options_.width = config_.model.d_model;
@@ -150,6 +151,13 @@ std::unique_ptr<model::NormProvider> Server::make_provider() const {
   return provider;
 }
 
+std::unique_ptr<model::NormProvider> Server::make_degrade_provider() const {
+  auto provider =
+      core::make_norm_provider(config_.degrade_norm, provider_options_);
+  HAAN_ASSERT(provider != nullptr);
+  return provider;
+}
+
 std::string to_string(ExecMode mode) {
   switch (mode) {
     case ExecMode::kAuto: return "auto";
@@ -174,9 +182,12 @@ ServeReport Server::run(const std::vector<Request>& workload) {
 
   RequestQueue queue(config_.queue_capacity);
   MetricsCollector metrics;
-  const WorkerPool::Options pool_options{
-      config_.workers, config_.keep_hidden, mode == ExecMode::kMegaBatch,
-      config_.norm_threads};
+  WorkerPool::Options pool_options;
+  pool_options.n_workers = config_.workers;
+  pool_options.keep_hidden = config_.keep_hidden;
+  pool_options.mega_batch = mode == ExecMode::kMegaBatch;
+  pool_options.norm_threads = config_.norm_threads;
+  pool_options.degrade_factory = [this] { return make_degrade_provider(); };
 
   std::unique_ptr<SessionTable> sessions;
   std::unique_ptr<StepScheduler> step_scheduler;

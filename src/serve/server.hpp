@@ -59,6 +59,11 @@ struct ServerConfig {
   /// Provider name (core::norm_provider_names()).
   std::string norm = "haan";
 
+  /// Provider for DEGRADED requests (admission control's cheap lane under
+  /// overload; see SchedulerConfig.policy). haan-full is the most aggressive
+  /// skip configuration — the natural latency/accuracy trade-down.
+  std::string degrade_norm = "haan-full";
+
   std::size_t workers = 4;
   std::size_t queue_capacity = 64;
   SchedulerConfig scheduler;
@@ -125,6 +130,11 @@ class Server {
   /// Builds one provider exactly as the workers do (shared with
   /// run_reference and external verification).
   std::unique_ptr<model::NormProvider> make_provider() const;
+
+  /// Builds the degrade-lane provider (config.degrade_norm, same options and
+  /// skip plan). Used by workers for degraded batches and by the bench's
+  /// verify oracle to re-forward degraded requests.
+  std::unique_ptr<model::NormProvider> make_degrade_provider() const;
 
   /// Serves the workload to completion through the concurrent runtime.
   /// Requests with max_new_tokens > 0 require chunked execution (explicit

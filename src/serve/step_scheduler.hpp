@@ -6,6 +6,14 @@
 // to one-row forwards. Sessions needing more steps are requeued by the worker
 // after each pack; end-of-stream drains them to completion (a closed queue
 // never drops a live decode).
+//
+// Admission order is a policy (serve/policy.hpp): FIFO admits in arrival
+// order (legacy); binned/EDF admit from the policy reorder pool, with the
+// first admission fixing the pack's prompt-length bin. Admission control may
+// shed deadline-missing arrivals (they ride out in StepPack.shed, never
+// becoming sessions) or degrade them onto the cheap-provider lane; a pack is
+// lane-uniform (one provider per pack) and formation alternates lanes so
+// neither starves.
 #pragma once
 
 #include <atomic>
@@ -17,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "serve/policy.hpp"
 #include "serve/queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
@@ -25,7 +34,8 @@ namespace haan::serve {
 
 /// Pack formation knobs.
 struct StepSchedulerConfig {
-  /// Batching knobs: max sessions per pack, max hold on an open pack.
+  /// Batching knobs: max sessions per pack, max hold on an open pack, row
+  /// budget, and the formation policy (SchedulerConfig.policy).
   SchedulerConfig batching;
 
   /// Prompt rows a prefill step feeds (0 = the whole remaining prompt in one
@@ -49,29 +59,42 @@ struct StepEntry {
 struct StepPack {
   std::uint64_t sequence = 0;  ///< monotone formation order
   std::vector<StepEntry> entries;
+
+  /// True: every session aboard is degraded; the worker runs its degrade
+  /// provider. Lanes never mix in one pack.
+  bool degraded = false;
+
+  /// Requests shed by admission control during this formation pass (never
+  /// admitted as sessions). The worker records them as unserved results. A
+  /// pack may carry shed requests and no entries.
+  std::vector<Request> shed;
 };
 
 /// Pulls step packs from ready sessions + the request queue. Thread-safe:
-/// workers call next_pack() concurrently (formation serialized, FIFO runs);
+/// workers call next_pack() concurrently (formation serialized);
 /// requeue()/finish() are called by workers after executing a pack.
 ///
 /// Scheduling policy: ready sessions (decode steps, continuing prefills) are
 /// taken before new arrivals — finishing live sessions bounds KV residency
 /// and inter-token latency; admission only uses leftover pack slots. An open
-/// pack closes early when no other candidate work exists anywhere (empty
-/// ready queue, empty request queue, every live session already aboard), so
-/// a lone decode stream is not taxed max_wait per token.
+/// pack closes early when no other candidate work could join it (empty
+/// same-lane ready queue and pool, empty request queue, every same-lane live
+/// session already aboard), so a lone decode stream is not taxed max_wait
+/// per token.
 class StepScheduler {
  public:
+  /// Resolves policy kAuto against HAAN_SCHED_POLICY at construction.
   StepScheduler(RequestQueue& queue, SessionTable& sessions,
                 StepSchedulerConfig config);
 
   /// Blocks for the next pack. Returns nullopt only at end-of-stream: queue
-  /// closed AND drained AND no live session remains (drain semantics — close()
-  /// with live decodes keeps packing until they finish).
+  /// closed AND drained AND reorder pool empty AND no live session remains
+  /// (drain semantics — close() with live decodes keeps packing until they
+  /// finish).
   std::optional<StepPack> next_pack();
 
-  /// Returns an unfinished session to the ready queue (worker, post-step).
+  /// Returns an unfinished session to its lane's ready queue (worker,
+  /// post-step).
   void requeue(Session* session);
 
   /// Retires a finished session: releases it from the table and wakes
@@ -82,21 +105,31 @@ class StepScheduler {
 
   const StepSchedulerConfig& config() const { return config_; }
 
- private:
-  /// Claims up to `slots` ready sessions into `entries` (state lock held by
-  /// caller).
-  void take_ready(std::vector<StepEntry>& entries, std::size_t slots);
+  /// The formation order in effect (config policy with kAuto resolved).
+  SchedPolicy policy() const { return policy_; }
 
+ private:
   StepEntry make_entry(Session* session) const;
+
+  /// Drains everything currently queued into the pool without blocking;
+  /// returns the queue state seen at the end (kEmpty or kDrained).
+  TryPopResult drain_queue_into_pool();
+
+  static std::size_t lane_index(bool degraded) { return degraded ? 1 : 0; }
 
   RequestQueue& queue_;
   SessionTable& sessions_;
   StepSchedulerConfig config_;
+  SchedPolicy policy_;  ///< resolved (never kAuto)
 
-  std::mutex form_mu_;  ///< serializes pack formation (FIFO fairness)
+  std::mutex form_mu_;  ///< serializes pack formation
+  PendingPool pool_;    ///< policy reorder buffer (guarded by form_mu_)
+  bool next_lane_ = false;  ///< lane alternation cursor (form_mu_)
+
   std::mutex state_mu_;
   std::condition_variable work_cv_;
-  std::deque<Session*> ready_;
+  std::deque<Session*> ready_[2];   ///< per-lane (normal / degraded)
+  std::size_t lane_live_[2] = {0, 0};  ///< live sessions per lane
 
   std::atomic<std::uint64_t> next_sequence_{0};
 };

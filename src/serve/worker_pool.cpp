@@ -86,35 +86,85 @@ RequestResult WorkerPool::make_result(std::size_t worker_index,
   result.queue_us = elapsed_us(request.enqueued_at, request.dequeued_at);
   result.compute_us = compute_us;
   result.total_us = elapsed_us(request.enqueued_at, done);
+  result.priority = request.priority;
+  result.tenant = request.tenant;
+  result.degraded = request.degraded;
+  result.deadline_missed =
+      request.deadline_us > 0.0 && result.total_us > request.deadline_us;
   return result;
+}
+
+void WorkerPool::record_shed(std::size_t worker_index, std::uint64_t sequence,
+                             std::vector<Request>& shed) {
+  for (Request& request : shed) {
+    const Clock::time_point done = Clock::now();
+    obs::flow_end("req", "serve", request.id);
+    RequestResult result;
+    result.id = request.id;
+    result.worker = worker_index;
+    result.batch = sequence;
+    result.prompt_len = request.tokens.size();
+    result.priority = request.priority;
+    result.tenant = request.tenant;
+    result.degraded = request.degraded;
+    result.shed = true;
+    result.deadline_missed = true;  // shed fires only past the slack bound
+    result.queue_us = elapsed_us(request.enqueued_at, request.dequeued_at);
+    result.total_us = elapsed_us(request.enqueued_at, done);
+    push_result(std::move(result));
+  }
+  shed.clear();
 }
 
 void WorkerPool::worker_main(std::size_t worker_index) {
   obs::set_thread_name("worker-" + std::to_string(worker_index));
   const std::unique_ptr<model::NormProvider> provider = provider_factory_();
   HAAN_ASSERT(provider != nullptr);
+  // The degrade lane's provider is built lazily: runs that never degrade
+  // never pay for it.
+  std::unique_ptr<model::NormProvider> degrade_provider;
+  const auto lane_provider = [&](bool degraded) -> model::NormProvider& {
+    if (!degraded) return *provider;
+    if (degrade_provider == nullptr) {
+      degrade_provider = options_.degrade_factory ? options_.degrade_factory()
+                                                  : provider_factory_();
+      HAAN_ASSERT(degrade_provider != nullptr);
+    }
+    return *degrade_provider;
+  };
   // Worker-local span parallelism for packed forwards (threads start lazily,
   // so per-request mode never pays for the pool).
   model::RowPartitionPool span_pool(options_.norm_threads);
 
   if (step_scheduler_ != nullptr) {
     while (auto pack = step_scheduler_->next_pack()) {
+      record_shed(worker_index, pack->sequence, pack->shed);
+      if (pack->entries.empty()) continue;  // shed-only pack
       metrics_.record_batch(pack->entries.size());
-      execute_step_pack(worker_index, *pack, *provider, span_pool);
+      execute_step_pack(worker_index, *pack, lane_provider(pack->degraded),
+                        span_pool);
     }
   } else {
     while (auto batch = scheduler_->next_batch()) {
+      record_shed(worker_index, batch->sequence, batch->shed);
+      if (batch->requests.empty()) continue;  // shed-only batch
       metrics_.record_batch(batch->requests.size());
+      model::NormProvider& lane = lane_provider(batch->degraded);
       if (options_.mega_batch) {
-        execute_packed(worker_index, *batch, *provider, span_pool);
+        execute_packed(worker_index, *batch, lane, span_pool);
       } else {
-        execute_per_request(worker_index, *batch, *provider);
+        execute_per_request(worker_index, *batch, lane);
       }
     }
   }
 
-  // End-of-stream: fold this worker's HAAN counters into the shared metrics.
+  // End-of-stream: fold this worker's HAAN counters (both lanes) into the
+  // shared metrics.
   if (const core::HaanNormProvider* haan = core::as_haan_provider(provider.get())) {
+    metrics_.add_norm_counters(haan->counters());
+  }
+  if (const core::HaanNormProvider* haan =
+          core::as_haan_provider(degrade_provider.get())) {
     metrics_.add_norm_counters(haan->counters());
   }
 }
@@ -278,6 +328,11 @@ void WorkerPool::execute_step_pack(std::size_t worker_index, StepPack& pack,
           elapsed_us(session.request.enqueued_at, session.request.dequeued_at);
       result.compute_us = session.compute_us;
       result.total_us = elapsed_us(session.request.enqueued_at, done);
+      result.priority = session.request.priority;
+      result.tenant = session.request.tenant;
+      result.degraded = session.request.degraded;
+      result.deadline_missed = session.request.deadline_us > 0.0 &&
+                               result.total_us > session.request.deadline_us;
       push_result(std::move(result));
       step_scheduler_->finish(&session);
     } else {

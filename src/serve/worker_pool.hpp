@@ -47,6 +47,10 @@ class WorkerPool {
     /// HAAN_NORM_THREADS / hardware default, 1 = serial). Bit-identical for
     /// any value.
     std::size_t norm_threads = 0;
+    /// Provider for degraded batches/packs (admission control's cheap lane).
+    /// Built lazily per worker on the first degraded batch. Empty = fall
+    /// back to the primary factory (degrade becomes a no-op reroute).
+    ProviderFactory degrade_factory;
   };
 
   /// Workers are created by start(); the pool must outlive its threads, and
@@ -104,6 +108,11 @@ class WorkerPool {
                            model::NormProvider& provider);
 
   void push_result(RequestResult result);
+
+  /// Records the requests a formation pass shed as unserved results (no
+  /// forward ran: checksum/hidden empty, shed=true, deadline_missed=true).
+  void record_shed(std::size_t worker_index, std::uint64_t sequence,
+                   std::vector<Request>& shed);
 
   /// Shared RequestResult population for both execution modes; `hidden` is
   /// the request's final hidden rows (a span of the packed block or the

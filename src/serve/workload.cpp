@@ -12,13 +12,16 @@ std::optional<Scenario> try_scenario_from_string(const std::string& name) {
   if (name == "steady") return Scenario::kSteady;
   if (name == "bursty") return Scenario::kBursty;
   if (name == "ramp") return Scenario::kRamp;
+  if (name == "diurnal") return Scenario::kDiurnal;
+  if (name == "overload") return Scenario::kOverload;
   return std::nullopt;
 }
 
 Scenario scenario_from_string(const std::string& name) {
   const auto scenario = try_scenario_from_string(name);
   HAAN_EXPECTS(scenario.has_value() &&
-               "unknown scenario (expected steady | bursty | ramp)");
+               "unknown scenario (expected steady | bursty | ramp | diurnal | "
+               "overload)");
   return *scenario;
 }
 
@@ -27,6 +30,8 @@ std::string to_string(Scenario scenario) {
     case Scenario::kSteady: return "steady";
     case Scenario::kBursty: return "bursty";
     case Scenario::kRamp: return "ramp";
+    case Scenario::kDiurnal: return "diurnal";
+    case Scenario::kOverload: return "overload";
   }
   return "?";
 }
@@ -105,6 +110,34 @@ double instant_rate(const WorkloadConfig& config, std::size_t i) {
       return config.rate_rps *
              (config.ramp_start + (config.ramp_end - config.ramp_start) * t);
     }
+    case Scenario::kDiurnal: {
+      // Sinusoidal day/night curve. The modulation is indexed by REQUEST, so
+      // the realized time-average rate is the harmonic mean of the curve —
+      // rate * sqrt(1 - a^2) over whole cycles — not rate itself (the same
+      // under-delivery the bursty phases correct for). Scale by the inverse
+      // so the empirical mean rate equals rate_rps while the peak:trough
+      // ratio stays (1+a):(1-a). Amplitude < 1 keeps the trough positive.
+      const double t = config.n_requests <= 1
+                           ? 0.0
+                           : static_cast<double>(i) /
+                                 static_cast<double>(config.n_requests - 1);
+      constexpr double kTwoPi = 6.283185307179586;
+      const double a = config.diurnal_amplitude;
+      const double balance = 1.0 / std::sqrt(1.0 - a * a);
+      return config.rate_rps * balance *
+             (1.0 + a * std::sin(kTwoPi * config.diurnal_cycles * t));
+    }
+    case Scenario::kOverload: {
+      // Square saturating spike over the middle of the stream: the serving
+      // side sees a sustained burst it cannot keep up with, bracketed by
+      // normal traffic that shows recovery.
+      const double t = config.n_requests <= 1
+                           ? 0.0
+                           : static_cast<double>(i) /
+                                 static_cast<double>(config.n_requests - 1);
+      const bool spike = t >= 0.3 && t < 0.7;
+      return spike ? config.rate_rps * config.overload_factor : config.rate_rps;
+    }
   }
   return config.rate_rps;
 }
@@ -155,6 +188,13 @@ std::vector<Request> generate_workload(const WorkloadConfig& config) {
   if (config.decode_model != DecodeModel::kNone) {
     HAAN_EXPECTS(config.decode_tokens >= 1 && config.max_decode >= 1);
   }
+  HAAN_EXPECTS(config.diurnal_amplitude >= 0.0 && config.diurnal_amplitude < 1.0);
+  HAAN_EXPECTS(config.diurnal_cycles > 0.0);
+  HAAN_EXPECTS(config.overload_factor >= 1.0);
+  HAAN_EXPECTS(config.tenants >= 1);
+  HAAN_EXPECTS(config.priority_levels >= 1);
+  HAAN_EXPECTS(config.tenant_rate_rps >= 0.0);
+  HAAN_EXPECTS(config.deadline_us >= 0.0);
 
   common::Rng root(config.seed);
   common::Rng arrival_rng = root.fork();
@@ -163,6 +203,13 @@ std::vector<Request> generate_workload(const WorkloadConfig& config) {
   // Forked LAST so the streams above keep their pre-decode sequences: a seed
   // produces the exact same arrivals/prompts whether or not decode is on.
   common::Rng decode_rng = root.fork();
+  // Same discipline, appended after decode: the SLA stream (tenants,
+  // priorities) never reshuffles arrivals/lengths/tokens/decode budgets.
+  common::Rng sla_rng = root.fork();
+
+  // Per-tenant token buckets: the next instant each tenant may emit.
+  std::vector<double> tenant_next_allowed(config.tenants, 0.0);
+  const bool rate_limited = config.tenants > 1 && config.tenant_rate_rps > 0.0;
 
   std::vector<Request> requests;
   requests.reserve(config.n_requests);
@@ -182,7 +229,39 @@ std::vector<Request> generate_workload(const WorkloadConfig& config) {
       token = static_cast<int>(token_rng.uniform_index(config.vocab_size));
     }
     request.max_new_tokens = draw_decode(config, decode_rng);
+
+    if (config.tenants > 1) {
+      request.tenant =
+          static_cast<std::uint32_t>(sla_rng.uniform_index(config.tenants));
+    }
+    if (config.priority_levels > 1) {
+      // Multi-tenant mixes give each tenant a stable class; single-tenant
+      // workloads draw a class per request.
+      request.priority =
+          config.tenants > 1
+              ? static_cast<int>(request.tenant % config.priority_levels)
+              : static_cast<int>(sla_rng.uniform_index(config.priority_levels));
+    }
+    request.deadline_us = config.deadline_us;
+    if (rate_limited) {
+      // Token bucket: a tenant over its cap has this arrival pushed to its
+      // next allowed instant (the Poisson process shapes within the cap).
+      double& next_allowed = tenant_next_allowed[request.tenant];
+      request.arrival_us = std::max(request.arrival_us, next_allowed);
+      next_allowed = request.arrival_us + 1e6 / config.tenant_rate_rps;
+    }
     requests.push_back(std::move(request));
+  }
+
+  if (rate_limited) {
+    // Pushed arrivals can land after later tenants' unpushed ones; restore
+    // the trace contract (nondecreasing arrivals, ids 0..n-1 in arrival
+    // order) with a deterministic stable sort + id reassignment.
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const Request& a, const Request& b) {
+                       return a.arrival_us < b.arrival_us;
+                     });
+    for (std::size_t i = 0; i < requests.size(); ++i) requests[i].id = i;
   }
   return requests;
 }

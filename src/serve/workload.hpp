@@ -16,9 +16,11 @@ namespace haan::serve {
 
 /// Traffic shape over the run.
 enum class Scenario {
-  kSteady,  ///< constant Poisson rate
-  kBursty,  ///< square wave, peak:trough = burst_factor^2, mean = rate_rps
-  kRamp,    ///< rate ramps linearly from ramp_start to ramp_end x rate
+  kSteady,    ///< constant Poisson rate
+  kBursty,    ///< square wave, peak:trough = burst_factor^2, mean = rate_rps
+  kRamp,      ///< rate ramps linearly from ramp_start to ramp_end x rate
+  kDiurnal,   ///< sinusoidal day/night curve around rate_rps
+  kOverload,  ///< saturating spike: overload_factor x rate mid-run
 };
 
 /// Prompt-length distribution.
@@ -69,6 +71,18 @@ struct WorkloadConfig {
   double ramp_start = 0.25;
   double ramp_end = 2.0;
 
+  /// Diurnal: rate * (1 + amplitude * sin(2*pi*cycles*t)) over the run, t in
+  /// [0, 1], normalized so the empirical mean arrival rate equals rate_rps
+  /// over whole cycles. Amplitude must be in [0, 1) (the trough rate stays
+  /// positive).
+  double diurnal_amplitude = 0.8;
+  double diurnal_cycles = 2.0;
+
+  /// Overload: the middle [0.3, 0.7) of the request stream arrives at
+  /// overload_factor * rate_rps (a saturating spike between normal phases);
+  /// must be >= 1.
+  double overload_factor = 4.0;
+
   LengthModel length_model = LengthModel::kUniform;
   std::size_t min_prompt = 8;
   std::size_t max_prompt = 32;
@@ -84,6 +98,29 @@ struct WorkloadConfig {
 
   /// Token ids are uniform in [0, vocab_size).
   std::size_t vocab_size = 512;
+
+  /// SLA mix. Tenants and (single-tenant) priorities draw from a FIFTH
+  /// forked Rng stream appended after the decode stream, so enabling any of
+  /// these knobs leaves arrivals, prompt lengths, token contents and decode
+  /// budgets of a given seed bit-identical to an SLA-free workload.
+  ///
+  /// tenants > 1 assigns each request a uniform tenant id; with
+  /// tenant_rate_rps > 0 each tenant's arrivals are additionally clamped to
+  /// that rate by a per-tenant token bucket (the stream is re-sorted by
+  /// arrival afterwards and ids reassigned in arrival order, so pacing
+  /// honors it like any other trace). The caps shape traffic; they do not
+  /// conserve the global mean rate.
+  std::size_t tenants = 1;
+  double tenant_rate_rps = 0.0;  ///< per-tenant arrival cap (0 = uncapped)
+
+  /// priority_levels > 1 assigns Request.priority in [0, levels): per-tenant
+  /// (tenant % levels, a stable class per tenant) under multi-tenancy, else
+  /// uniform per request.
+  std::size_t priority_levels = 1;
+
+  /// Flat per-request latency budget (0 = no deadlines). Admission control
+  /// only ever sheds/degrades requests with a deadline.
+  double deadline_us = 0.0;
 
   std::uint64_t seed = 1;
 };

@@ -225,6 +225,73 @@ TEST(MetricsCollector, PhaseMetricsZeroOutsideSessionMode) {
   EXPECT_EQ(metrics.max_kv_bytes, 0u);
 }
 
+TEST(MetricsCollector, SlaOutcomesAreCountedAndShedExcludedFromLatencies) {
+  MetricsCollector collector;
+  // Two served (one degraded, one a deadline miss), one shed.
+  RequestResult served;
+  served.total_us = 100.0;
+  served.priority = 1;
+  collector.record(served);
+
+  RequestResult degraded;
+  degraded.total_us = 200.0;
+  degraded.priority = 0;
+  degraded.degraded = true;
+  degraded.deadline_missed = true;
+  collector.record(degraded);
+
+  RequestResult shed;
+  shed.total_us = 1e9;  // must NOT appear in any latency summary
+  shed.priority = 0;
+  shed.shed = true;
+  shed.deadline_missed = true;
+  collector.record(shed);
+
+  const ServeMetrics metrics = collector.finalize(1e6);
+  EXPECT_EQ(metrics.completed, 2u);  // served only
+  EXPECT_EQ(metrics.shed_requests, 1u);
+  EXPECT_EQ(metrics.degraded_requests, 1u);
+  EXPECT_EQ(metrics.deadline_missed_requests, 2u);  // shed counts as a miss
+  EXPECT_EQ(metrics.total.count, 2u);
+  EXPECT_EQ(metrics.total.max_us, 200.0);  // the shed 1e9 never entered
+
+  // Per-priority slices partition the outcomes.
+  ASSERT_EQ(metrics.per_priority.size(), 2u);
+  const PrioritySummary& p0 = metrics.per_priority.at(0);
+  EXPECT_EQ(p0.total.count, 1u);
+  EXPECT_EQ(p0.shed, 1u);
+  EXPECT_EQ(p0.degraded, 1u);
+  EXPECT_EQ(p0.deadline_missed, 2u);
+  const PrioritySummary& p1 = metrics.per_priority.at(1);
+  EXPECT_EQ(p1.total.count, 1u);
+  EXPECT_EQ(p1.shed, 0u);
+  EXPECT_EQ(p1.degraded, 0u);
+  EXPECT_EQ(p1.deadline_missed, 0u);
+
+  // The JSON artifact carries the counters and the per-priority blocks.
+  const std::string json = metrics.to_json().dump();
+  EXPECT_NE(json.find("\"shed_requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"degraded_requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_missed_requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_priority\""), std::string::npos);
+  EXPECT_NE(json.find("\"1\""), std::string::npos);
+  // The human-readable report mentions the outcomes too.
+  EXPECT_NE(metrics.to_string().find("sla"), std::string::npos);
+}
+
+TEST(MetricsCollector, SingleClassTrafficKeepsOneImplicitBucket) {
+  MetricsCollector collector;
+  RequestResult result;
+  result.total_us = 50.0;
+  collector.record(result);
+  const ServeMetrics metrics = collector.finalize(1e6);
+  // Priority 0 traffic only: one implicit bucket, nothing shed or degraded.
+  EXPECT_EQ(metrics.shed_requests, 0u);
+  EXPECT_EQ(metrics.degraded_requests, 0u);
+  ASSERT_EQ(metrics.per_priority.size(), 1u);
+  EXPECT_EQ(metrics.per_priority.at(0).total.count, 1u);
+}
+
 TEST(MetricsCollector, MemoryConstantInCompletedRequestCount) {
   // The old collector kept every latency sample in vectors (O(completed));
   // the histogram collector's footprint must not grow with traffic.

@@ -1,0 +1,410 @@
+#include "serve/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace haan::serve {
+namespace {
+
+Request make_request(std::uint64_t id, std::size_t len,
+                     Clock::time_point enqueued_at = Clock::now()) {
+  Request request;
+  request.id = id;
+  request.tokens.assign(len, 0);
+  request.enqueued_at = enqueued_at;
+  return request;
+}
+
+PolicyConfig edf_config() {
+  PolicyConfig config;
+  config.policy = SchedPolicy::kEdf;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Policy names & environment resolution.
+
+TEST(SchedPolicyStrings, RoundTrip) {
+  for (const auto policy :
+       {SchedPolicy::kFifo, SchedPolicy::kBinned, SchedPolicy::kEdf}) {
+    const auto parsed = try_policy_from_string(to_string(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(try_policy_from_string("sjf").has_value());
+  EXPECT_FALSE(try_policy_from_string("").has_value());
+}
+
+TEST(SchedPolicyStrings, ResolveAgainstEnvironment) {
+  unsetenv("HAAN_SCHED_POLICY");
+  EXPECT_EQ(resolve_policy(SchedPolicy::kAuto), SchedPolicy::kFifo);
+
+  setenv("HAAN_SCHED_POLICY", "edf", 1);
+  EXPECT_EQ(resolve_policy(SchedPolicy::kAuto), SchedPolicy::kEdf);
+  // Explicit policies pass through untouched.
+  EXPECT_EQ(resolve_policy(SchedPolicy::kBinned), SchedPolicy::kBinned);
+
+  setenv("HAAN_SCHED_POLICY", "not-a-policy", 1);
+  EXPECT_EQ(resolve_policy(SchedPolicy::kAuto), SchedPolicy::kFifo);
+  unsetenv("HAAN_SCHED_POLICY");
+}
+
+// ---------------------------------------------------------------------------
+// Admission-control decision boundaries.
+
+TEST(DecideAdmission, NoDeadlineIsNeverShedOrDegraded) {
+  PolicyConfig config = edf_config();
+  config.allow_shed = true;
+  config.allow_degrade = true;
+  config.shed_slack_us = 1e9;
+  config.degrade_slack_us = 1e9;
+  EXPECT_EQ(decide_admission(-1e12, /*has_deadline=*/false, config),
+            OverloadAction::kServe);
+}
+
+TEST(DecideAdmission, ThresholdsAreStrictAndMonotone) {
+  PolicyConfig config = edf_config();
+  config.allow_shed = true;
+  config.allow_degrade = true;
+  config.shed_slack_us = 100.0;
+  config.degrade_slack_us = 200.0;
+
+  // serve -> degrade -> shed as slack shrinks; boundaries are strict <.
+  EXPECT_EQ(decide_admission(250.0, true, config), OverloadAction::kServe);
+  EXPECT_EQ(decide_admission(200.0, true, config), OverloadAction::kServe);
+  EXPECT_EQ(decide_admission(150.0, true, config), OverloadAction::kDegrade);
+  EXPECT_EQ(decide_admission(100.0, true, config), OverloadAction::kDegrade);
+  EXPECT_EQ(decide_admission(99.0, true, config), OverloadAction::kShed);
+  EXPECT_EQ(decide_admission(-1e6, true, config), OverloadAction::kShed);
+}
+
+TEST(DecideAdmission, ShedTakesPrecedenceOverDegrade) {
+  PolicyConfig config = edf_config();
+  config.allow_shed = true;
+  config.allow_degrade = true;
+  // Overlapping bands: shed wins below the shed threshold.
+  config.shed_slack_us = 500.0;
+  config.degrade_slack_us = 500.0;
+  EXPECT_EQ(decide_admission(100.0, true, config), OverloadAction::kShed);
+}
+
+TEST(DecideAdmission, DisabledActionsFallThrough) {
+  PolicyConfig config = edf_config();
+  config.shed_slack_us = 500.0;
+  config.degrade_slack_us = 500.0;
+
+  // Neither allowed: always serve.
+  EXPECT_EQ(decide_admission(-1.0, true, config), OverloadAction::kServe);
+
+  // Shed disabled: deep-negative slack degrades instead.
+  config.allow_degrade = true;
+  EXPECT_EQ(decide_admission(-1e6, true, config), OverloadAction::kDegrade);
+}
+
+// ---------------------------------------------------------------------------
+// PendingPool ordering.
+
+TEST(PendingPool, FifoSelectsInInsertionOrder) {
+  PolicyConfig config;
+  config.policy = SchedPolicy::kFifo;
+  PendingPool pool(config);
+  for (std::uint64_t id = 0; id < 4; ++id) pool.push(make_request(id, 8));
+
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    const auto index =
+        pool.select(Clock::now(), std::nullopt, std::nullopt, false);
+    ASSERT_TRUE(index.has_value());
+    EXPECT_EQ(pool.extract(*index).id, id);
+  }
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(PendingPool, EdfPriorityBeatsDeadlineSlack) {
+  PendingPool pool(edf_config());
+  const auto now = Clock::now();
+  Request urgent = make_request(0, 8, now);
+  urgent.priority = 0;
+  urgent.deadline_us = 100.0;  // tiny slack
+  Request important = make_request(1, 8, now);
+  important.priority = 1;
+  important.deadline_us = 1e9;  // huge slack
+  pool.push(urgent);
+  pool.push(important);
+
+  const auto index = pool.select(now, std::nullopt, std::nullopt, false);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(pool.peek(*index).id, 1u);  // higher class first, slack second
+}
+
+TEST(PendingPool, EdfOrdersBySlackWithinPriority) {
+  PendingPool pool(edf_config());
+  const auto now = Clock::now();
+  Request relaxed = make_request(0, 8, now);
+  relaxed.deadline_us = 1e6;
+  Request urgent = make_request(1, 8, now);
+  urgent.deadline_us = 1e3;
+  Request no_deadline = make_request(2, 8, now);  // infinite slack: last
+  pool.push(relaxed);
+  pool.push(urgent);
+  pool.push(no_deadline);
+
+  std::vector<std::uint64_t> order;
+  while (!pool.empty()) {
+    const auto index = pool.select(now, std::nullopt, std::nullopt, false);
+    ASSERT_TRUE(index.has_value());
+    order.push_back(pool.extract(*index).id);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 0, 2}));
+}
+
+TEST(PendingPool, AgingLiftsLongWaitersOverHigherClasses) {
+  PolicyConfig config = edf_config();
+  config.aging_us = 100.0;  // +1 effective priority per 100 us waited
+  PendingPool pool(config);
+  const auto now = Clock::now();
+
+  Request old_low = make_request(0, 8, now - std::chrono::milliseconds(1));
+  old_low.priority = 0;  // waited 1000 us -> +10 effective
+  Request fresh_high = make_request(1, 8, now);
+  fresh_high.priority = 5;
+  pool.push(old_low);
+  pool.push(fresh_high);
+
+  EXPECT_GE(pool.effective_priority(old_low, now), 10.0);
+  const auto index = pool.select(now, std::nullopt, std::nullopt, false);
+  ASSERT_TRUE(index.has_value());
+  EXPECT_EQ(pool.peek(*index).id, 0u);
+
+  // Aging off: the same mix serves the higher class first.
+  PendingPool no_aging(edf_config());
+  no_aging.push(old_low);
+  no_aging.push(fresh_high);
+  const auto index2 = no_aging.select(now, std::nullopt, std::nullopt, false);
+  ASSERT_TRUE(index2.has_value());
+  EXPECT_EQ(no_aging.peek(*index2).id, 1u);
+}
+
+TEST(PendingPool, BinFilterAndRelaxation) {
+  PolicyConfig config;
+  config.policy = SchedPolicy::kBinned;
+  config.bin_width = 16;
+  PendingPool pool(config);
+  const auto now = Clock::now();
+  pool.push(make_request(0, 8, now));   // bin 0
+  pool.push(make_request(1, 40, now));  // bin 2
+
+  EXPECT_EQ(pool.bin_of(8), 0u);
+  EXPECT_EQ(pool.bin_of(40), 2u);
+
+  // Hard bin filter.
+  const auto in_bin2 = pool.select(now, std::nullopt, 2, false);
+  ASSERT_TRUE(in_bin2.has_value());
+  EXPECT_EQ(pool.peek(*in_bin2).id, 1u);
+  EXPECT_FALSE(pool.select(now, std::nullopt, 1, false).has_value());
+
+  // Relaxed: nearest bin wins (both are distance 1 from bin 1; FIFO seq
+  // breaks the tie).
+  const auto relaxed = pool.select(now, std::nullopt, 1, true);
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_EQ(pool.peek(*relaxed).id, 0u);
+}
+
+TEST(PendingPool, LaneFilterSeparatesDegradedRequests) {
+  PolicyConfig config;
+  config.policy = SchedPolicy::kBinned;
+  PendingPool pool(config);
+  const auto now = Clock::now();
+  Request normal = make_request(0, 8, now);
+  Request degraded = make_request(1, 8, now);
+  degraded.degraded = true;
+  pool.push(normal);
+  pool.push(degraded);
+
+  EXPECT_TRUE(pool.has_lane(false));
+  EXPECT_TRUE(pool.has_lane(true));
+  const auto normal_index = pool.select(now, false, std::nullopt, false);
+  const auto degraded_index = pool.select(now, true, std::nullopt, false);
+  ASSERT_TRUE(normal_index.has_value());
+  ASSERT_TRUE(degraded_index.has_value());
+  EXPECT_EQ(pool.peek(*normal_index).id, 0u);
+  EXPECT_EQ(pool.peek(*degraded_index).id, 1u);
+}
+
+TEST(PendingPool, ApplyAdmissionShedsAndStampsDegrade) {
+  PolicyConfig config = edf_config();
+  config.allow_shed = true;
+  config.allow_degrade = true;
+  config.shed_slack_us = 0.0;      // shed only already-missed deadlines
+  config.degrade_slack_us = 1e12;  // everything else with a deadline degrades
+  PendingPool pool(config);
+  const auto now = Clock::now();
+
+  Request missed = make_request(0, 8, now - std::chrono::milliseconds(10));
+  missed.deadline_us = 100.0;  // long since blown
+  Request tight = make_request(1, 8, now);
+  tight.deadline_us = 1e6;
+  Request immune = make_request(2, 8, now - std::chrono::hours(1));
+  immune.deadline_us = 0.0;  // no deadline: untouchable
+  pool.push(missed);
+  pool.push(tight);
+  pool.push(immune);
+
+  std::vector<Request> shed;
+  pool.apply_admission(now, shed);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].id, 0u);
+  EXPECT_NE(shed[0].dequeued_at, Clock::time_point{});
+  EXPECT_EQ(pool.size(), 2u);
+
+  const auto degraded_index = pool.select(now, true, std::nullopt, false);
+  ASSERT_TRUE(degraded_index.has_value());
+  EXPECT_EQ(pool.peek(*degraded_index).id, 1u);
+  const auto normal_index = pool.select(now, false, std::nullopt, false);
+  ASSERT_TRUE(normal_index.has_value());
+  EXPECT_EQ(pool.peek(*normal_index).id, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// BatchScheduler under the policies.
+
+SchedulerConfig scheduler_config(SchedPolicy policy, std::size_t max_batch) {
+  SchedulerConfig config;
+  config.max_batch = max_batch;
+  config.max_wait = std::chrono::microseconds(100);
+  config.policy.policy = policy;
+  return config;
+}
+
+TEST(PolicyBatchScheduler, BinnedFormsBinPureBatches) {
+  RequestQueue queue(16);
+  // Alternating short/long prompts: FIFO would form ragged batches; binned
+  // groups each batch from one length bin.
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(queue.push(make_request(id, id % 2 == 0 ? 8 : 32)));
+  }
+  queue.close();
+
+  SchedulerConfig config = scheduler_config(SchedPolicy::kBinned, 4);
+  config.policy.bin_width = 16;
+  BatchScheduler scheduler(queue, config);
+  EXPECT_EQ(scheduler.policy(), SchedPolicy::kBinned);
+
+  const auto first = scheduler.next_batch();
+  const auto second = scheduler.next_batch();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  ASSERT_EQ(first->requests.size(), 4u);
+  ASSERT_EQ(second->requests.size(), 4u);
+  // Oldest request (id 0, short) anchors the first batch; every request in a
+  // batch shares its anchor's bin.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(first->requests[i].id, 2 * i);       // 0 2 4 6
+    EXPECT_EQ(second->requests[i].id, 2 * i + 1);  // 1 3 5 7
+  }
+  EXPECT_FALSE(scheduler.next_batch().has_value());
+}
+
+TEST(PolicyBatchScheduler, EdfServesUrgentRequestsFirst) {
+  RequestQueue queue(16);
+  const auto now = Clock::now();
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    Request request = make_request(id, 8, now);
+    request.deadline_us = 1e6 * static_cast<double>(4 - id);  // id 3 = tightest
+    ASSERT_TRUE(queue.push(request));
+  }
+  queue.close();
+
+  BatchScheduler scheduler(queue, scheduler_config(SchedPolicy::kEdf, 2));
+  const auto first = scheduler.next_batch();
+  const auto second = scheduler.next_batch();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  ASSERT_EQ(first->requests.size(), 2u);
+  EXPECT_EQ(first->requests[0].id, 3u);
+  EXPECT_EQ(first->requests[1].id, 2u);
+  EXPECT_EQ(second->requests[0].id, 1u);
+  EXPECT_EQ(second->requests[1].id, 0u);
+}
+
+TEST(PolicyBatchScheduler, RowBudgetClosesBatches) {
+  RequestQueue queue(16);
+  for (std::uint64_t id = 0; id < 5; ++id) ASSERT_TRUE(queue.push(make_request(id, 4)));
+  queue.close();
+
+  SchedulerConfig config = scheduler_config(SchedPolicy::kBinned, 8);
+  config.max_rows = 10;  // two 4-row prompts fit, a third would overflow
+  BatchScheduler scheduler(queue, config);
+
+  std::vector<std::size_t> sizes;
+  while (const auto batch = scheduler.next_batch()) {
+    sizes.push_back(batch->requests.size());
+    std::size_t rows = 0;
+    for (const Request& request : batch->requests) rows += request.tokens.size();
+    EXPECT_LE(rows, config.max_rows);
+  }
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2, 1}));
+}
+
+TEST(PolicyBatchScheduler, ShedRequestsRideOutInBatchShed) {
+  RequestQueue queue(16);
+  const auto now = Clock::now();
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    Request missed = make_request(id, 8, now - std::chrono::milliseconds(10));
+    missed.deadline_us = 1.0;  // already blown
+    ASSERT_TRUE(queue.push(missed));
+  }
+  ASSERT_TRUE(queue.push(make_request(2, 8, now)));  // no deadline
+  queue.close();
+
+  SchedulerConfig config = scheduler_config(SchedPolicy::kEdf, 4);
+  config.policy.allow_shed = true;
+  BatchScheduler scheduler(queue, config);
+
+  const auto batch = scheduler.next_batch();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->requests.size(), 1u);
+  EXPECT_EQ(batch->requests[0].id, 2u);
+  std::set<std::uint64_t> shed_ids;
+  for (const Request& request : batch->shed) shed_ids.insert(request.id);
+  EXPECT_EQ(shed_ids, (std::set<std::uint64_t>{0, 1}));
+  EXPECT_FALSE(scheduler.next_batch().has_value());
+}
+
+TEST(PolicyBatchScheduler, DegradedAndNormalRequestsNeverShareABatch) {
+  RequestQueue queue(16);
+  const auto now = Clock::now();
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    Request tight = make_request(id, 8, now);
+    tight.deadline_us = 1e6;  // inside the degrade band below
+    ASSERT_TRUE(queue.push(tight));
+  }
+  for (std::uint64_t id = 2; id < 4; ++id) {
+    ASSERT_TRUE(queue.push(make_request(id, 8, now)));  // no deadline
+  }
+  queue.close();
+
+  SchedulerConfig config = scheduler_config(SchedPolicy::kBinned, 4);
+  config.policy.allow_degrade = true;
+  config.policy.degrade_slack_us = 1e12;  // any deadline-bearing request
+  BatchScheduler scheduler(queue, config);
+
+  std::size_t degraded_requests = 0, normal_requests = 0;
+  while (const auto batch = scheduler.next_batch()) {
+    for (const Request& request : batch->requests) {
+      // Lane purity: every request matches its batch's lane.
+      EXPECT_EQ(request.degraded, batch->degraded);
+      (request.degraded ? degraded_requests : normal_requests) += 1;
+    }
+    EXPECT_TRUE(batch->shed.empty());
+  }
+  EXPECT_EQ(degraded_requests, 2u);
+  EXPECT_EQ(normal_requests, 2u);
+}
+
+}  // namespace
+}  // namespace haan::serve

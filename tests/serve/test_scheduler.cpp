@@ -18,12 +18,21 @@ Request make_request(std::uint64_t id) {
   return request;
 }
 
+/// These tests pin the legacy FIFO contract (strict arrival order across
+/// batches); the policy knobs stay at their kFifo defaults.
+SchedulerConfig make_config(std::size_t max_batch, std::int64_t max_wait_us) {
+  SchedulerConfig config;
+  config.max_batch = max_batch;
+  config.max_wait = std::chrono::microseconds(max_wait_us);
+  config.policy.policy = SchedPolicy::kFifo;
+  return config;
+}
+
 TEST(BatchScheduler, FormsFullBatchFromBackloggedQueue) {
   RequestQueue queue(16);
   for (std::uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(queue.push(make_request(i)));
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/4,
-                                   /*max_wait=*/std::chrono::microseconds(100)});
+  BatchScheduler scheduler(queue, make_config(4, 100));
   const auto batch = scheduler.next_batch();
   ASSERT_TRUE(batch.has_value());
   EXPECT_EQ(batch->requests.size(), 4u);
@@ -35,8 +44,7 @@ TEST(BatchScheduler, MaxWaitDeadlineClosesPartialBatch) {
   RequestQueue queue(16);
   ASSERT_TRUE(queue.push(make_request(0)));
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/8,
-                                   /*max_wait=*/std::chrono::microseconds(5000)});
+  BatchScheduler scheduler(queue, make_config(8, 5000));
   const auto t0 = Clock::now();
   const auto batch = scheduler.next_batch();  // nothing else arrives
   const double waited = elapsed_us(t0, Clock::now());
@@ -52,7 +60,7 @@ TEST(BatchScheduler, CollectsLateArrivalsWithinDeadline) {
   ASSERT_TRUE(queue.push(make_request(0)));
 
   BatchScheduler scheduler(
-      queue, {/*max_batch=*/4, /*max_wait=*/std::chrono::microseconds(200000)});
+      queue, make_config(4, 200000));
   std::thread late_producer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     ASSERT_TRUE(queue.push(make_request(1)));
@@ -71,8 +79,7 @@ TEST(BatchScheduler, FifoAcrossConsecutiveBatches) {
   for (std::uint64_t i = 0; i < 12; ++i) ASSERT_TRUE(queue.push(make_request(i)));
   queue.close();
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/5,
-                                   /*max_wait=*/std::chrono::microseconds(100)});
+  BatchScheduler scheduler(queue, make_config(5, 100));
   std::vector<std::uint64_t> order;
   std::uint64_t expected_sequence = 0;
   while (const auto batch = scheduler.next_batch()) {
@@ -89,8 +96,7 @@ TEST(BatchScheduler, EndOfStreamAfterDrain) {
   ASSERT_TRUE(queue.push(make_request(0)));
   queue.close();
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/2,
-                                   /*max_wait=*/std::chrono::microseconds(100)});
+  BatchScheduler scheduler(queue, make_config(2, 100));
   EXPECT_TRUE(scheduler.next_batch().has_value());
   EXPECT_FALSE(scheduler.next_batch().has_value());
   EXPECT_FALSE(scheduler.next_batch().has_value());  // stays terminated
@@ -102,8 +108,7 @@ TEST(BatchScheduler, StampsDequeueTimes) {
   ASSERT_TRUE(queue.push(make_request(1)));
   queue.close();
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/2,
-                                   /*max_wait=*/std::chrono::microseconds(100)});
+  BatchScheduler scheduler(queue, make_config(2, 100));
   const auto batch = scheduler.next_batch();
   ASSERT_TRUE(batch.has_value());
   for (const Request& request : batch->requests) {
@@ -119,8 +124,7 @@ TEST(BatchScheduler, ZeroMaxWaitFormsSingletonBatchFromEmptyQueue) {
   RequestQueue queue(4);
   ASSERT_TRUE(queue.push(make_request(0)));
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/8,
-                                   /*max_wait=*/std::chrono::microseconds(0)});
+  BatchScheduler scheduler(queue, make_config(8, 0));
   const auto t0 = Clock::now();
   const auto batch = scheduler.next_batch();
   ASSERT_TRUE(batch.has_value());
@@ -134,8 +138,7 @@ TEST(BatchScheduler, ZeroMaxWaitStillDrainsBackloggedQueue) {
   RequestQueue queue(16);
   for (std::uint64_t i = 0; i < 6; ++i) ASSERT_TRUE(queue.push(make_request(i)));
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/8,
-                                   /*max_wait=*/std::chrono::microseconds(0)});
+  BatchScheduler scheduler(queue, make_config(8, 0));
   const auto batch = scheduler.next_batch();
   ASSERT_TRUE(batch.has_value());
   EXPECT_EQ(batch->requests.size(), 6u);
@@ -148,7 +151,7 @@ TEST(BatchScheduler, EndOfStreamClosesOpenBatchWithoutBurningMaxWait) {
   ASSERT_TRUE(queue.push(make_request(0)));
 
   BatchScheduler scheduler(
-      queue, {/*max_batch=*/8, /*max_wait=*/std::chrono::microseconds(30000000)});
+      queue, make_config(8, 30000000));
   std::thread closer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     ASSERT_TRUE(queue.push(make_request(1)));
@@ -170,8 +173,7 @@ TEST(BatchScheduler, DrainedTailYieldsRaggedFinalBatch) {
   for (std::uint64_t i = 0; i < 7; ++i) ASSERT_TRUE(queue.push(make_request(i)));
   queue.close();
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/4,
-                                   /*max_wait=*/std::chrono::microseconds(100)});
+  BatchScheduler scheduler(queue, make_config(4, 100));
   const auto first = scheduler.next_batch();
   const auto second = scheduler.next_batch();
   ASSERT_TRUE(first.has_value());
@@ -189,8 +191,7 @@ TEST(BatchScheduler, ConcurrentConsumersPartitionTheStream) {
   }
   queue.close();
 
-  BatchScheduler scheduler(queue, {/*max_batch=*/3,
-                                   /*max_wait=*/std::chrono::microseconds(100)});
+  BatchScheduler scheduler(queue, make_config(3, 100));
   std::mutex mu;
   std::vector<std::uint64_t> seen;
   std::vector<std::thread> consumers;

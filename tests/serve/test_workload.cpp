@@ -169,7 +169,8 @@ TEST(Workload, BurstyHasHigherInterarrivalVarianceThanSteady) {
 
 TEST(Workload, ScenarioAndLengthModelStringsRoundTrip) {
   for (const auto scenario :
-       {Scenario::kSteady, Scenario::kBursty, Scenario::kRamp}) {
+       {Scenario::kSteady, Scenario::kBursty, Scenario::kRamp,
+        Scenario::kDiurnal, Scenario::kOverload}) {
     EXPECT_EQ(scenario_from_string(to_string(scenario)), scenario);
   }
   for (const auto model :
@@ -231,6 +232,147 @@ TEST(Workload, GeometricDecodeLengthsHaveConfiguredMeanAndCap) {
   const double mean = sum / static_cast<double>(config.n_requests);
   EXPECT_NEAR(mean, 8.0, 1.0);  // generous band for the cap's truncation
   EXPECT_GT(at_least_two, config.n_requests / 2);  // genuinely dispersed
+}
+
+TEST(Workload, DiurnalIsDeterministicAndConservesMeanRate) {
+  auto config = base_config();
+  config.scenario = Scenario::kDiurnal;
+  config.diurnal_amplitude = 0.8;
+  config.diurnal_cycles = 2.0;  // whole cycles integrate to the mean
+  config.n_requests = 4000;
+  const auto a = generate_workload(config);
+  const auto b = generate_workload(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_us, b[i].arrival_us);
+  }
+  const double span_s = a.back().arrival_us / 1e6;
+  const double rate = static_cast<double>(a.size()) / span_s;
+  EXPECT_NEAR(rate, config.rate_rps, config.rate_rps * 0.2);
+}
+
+TEST(Workload, DiurnalPeaksAreDenserThanTroughs) {
+  auto config = base_config();
+  config.scenario = Scenario::kDiurnal;
+  config.diurnal_amplitude = 0.9;
+  config.diurnal_cycles = 1.0;
+  config.n_requests = 4000;
+  const auto requests = generate_workload(config);
+  // One cycle: peak rate around t = 0.25 (sin = 1), trough around t = 0.75
+  // (sin = -1). Compare the spans of same-size windows around each.
+  const auto window_span = [&](double center) {
+    const std::size_t mid =
+        static_cast<std::size_t>(center * static_cast<double>(requests.size()));
+    return requests[mid + 200].arrival_us - requests[mid - 200].arrival_us;
+  };
+  EXPECT_GT(window_span(0.75) / window_span(0.25), 3.0);
+}
+
+TEST(Workload, OverloadSpikeIsDenserThanShoulders) {
+  auto config = base_config();
+  config.scenario = Scenario::kOverload;
+  config.overload_factor = 8.0;
+  config.n_requests = 4000;
+  const auto requests = generate_workload(config);
+  const std::size_t n = requests.size();
+  // Spike covers the middle [0.3, 0.7) of the stream.
+  const double before = requests[n * 3 / 10].arrival_us;
+  const double spike =
+      requests[n * 7 / 10 - 1].arrival_us - requests[n * 3 / 10].arrival_us;
+  const double after =
+      requests[n - 1].arrival_us - requests[n * 7 / 10 - 1].arrival_us;
+  // Both shoulders carry 3/4 as many requests as the spike at 1/8 the rate.
+  EXPECT_GT(before / spike, 3.0);
+  EXPECT_GT(after / spike, 3.0);
+}
+
+TEST(Workload, SlaKnobsDoNotReshuffleOtherStreams) {
+  // The SLA Rng forks AFTER arrival/length/token/decode, so turning on
+  // tenants/priorities/deadlines (without rate caps) leaves the rest of the
+  // trace bit-identical.
+  auto config = base_config();
+  config.decode_model = DecodeModel::kGeometric;
+  const auto plain = generate_workload(config);
+  config.tenants = 4;
+  config.priority_levels = 2;
+  config.deadline_us = 5000.0;
+  const auto with_sla = generate_workload(config);
+  ASSERT_EQ(plain.size(), with_sla.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].tokens, with_sla[i].tokens);
+    EXPECT_DOUBLE_EQ(plain[i].arrival_us, with_sla[i].arrival_us);
+    EXPECT_EQ(plain[i].max_new_tokens, with_sla[i].max_new_tokens);
+    EXPECT_DOUBLE_EQ(with_sla[i].deadline_us, 5000.0);
+  }
+}
+
+TEST(Workload, TenantsAndPrioritiesAreAssignedWithinBounds) {
+  auto config = base_config();
+  config.tenants = 4;
+  config.priority_levels = 2;
+  std::vector<std::size_t> per_tenant(config.tenants, 0);
+  for (const auto& request : generate_workload(config)) {
+    ASSERT_LT(request.tenant, config.tenants);
+    ASSERT_GE(request.priority, 0);
+    ASSERT_LT(request.priority, static_cast<int>(config.priority_levels));
+    // Multi-tenant mixes give each tenant a stable class.
+    EXPECT_EQ(request.priority,
+              static_cast<int>(request.tenant % config.priority_levels));
+    ++per_tenant[request.tenant];
+  }
+  // Uniform tenant draw: every tenant sees a healthy share of 400 requests.
+  for (const std::size_t count : per_tenant) EXPECT_GT(count, 50u);
+}
+
+TEST(Workload, SingleTenantPrioritiesAreDispersed) {
+  auto config = base_config();
+  config.priority_levels = 3;
+  std::vector<std::size_t> per_class(config.priority_levels, 0);
+  for (const auto& request : generate_workload(config)) {
+    ASSERT_GE(request.priority, 0);
+    ASSERT_LT(request.priority, 3);
+    ++per_class[static_cast<std::size_t>(request.priority)];
+  }
+  for (const std::size_t count : per_class) EXPECT_GT(count, 60u);
+}
+
+TEST(Workload, PerTenantRateLimitIsHonored) {
+  auto config = base_config();
+  config.rate_rps = 10000.0;  // offered well above the caps
+  config.tenants = 4;
+  config.tenant_rate_rps = 500.0;  // min gap 2000 us per tenant
+  config.n_requests = 800;
+  const auto requests = generate_workload(config);
+
+  // Trace contract survives the re-sort: ids sequential, arrivals monotone.
+  double last = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].id, i);
+    EXPECT_GE(requests[i].arrival_us, last);
+    last = requests[i].arrival_us;
+  }
+
+  // Every tenant's consecutive arrivals are >= the token-bucket gap.
+  const double min_gap_us = 1e6 / config.tenant_rate_rps;
+  std::vector<double> last_arrival(config.tenants, -1e18);
+  for (const auto& request : requests) {
+    const double gap = request.arrival_us - last_arrival[request.tenant];
+    EXPECT_GE(gap, min_gap_us * 0.999);  // float tolerance
+    last_arrival[request.tenant] = request.arrival_us;
+  }
+}
+
+TEST(Workload, UncappedTenantsKeepPoissonArrivals) {
+  // tenant_rate_rps = 0: multi-tenancy must not perturb the arrival process.
+  auto config = base_config();
+  const auto plain = generate_workload(config);
+  config.tenants = 4;
+  const auto tenanted = generate_workload(config);
+  ASSERT_EQ(plain.size(), tenanted.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain[i].arrival_us, tenanted[i].arrival_us);
+    EXPECT_EQ(plain[i].id, tenanted[i].id);
+  }
 }
 
 TEST(Workload, GeometricDecodeRespectsTightCap) {
