@@ -20,6 +20,7 @@
 #include "core/haan_norm.hpp"
 #include "kernels/autotune.hpp"
 #include "kernels/kernels.hpp"
+#include "mem/topology.hpp"
 #include "model/norm_provider.hpp"
 #include "numerics/formats.hpp"
 
@@ -225,6 +226,9 @@ int main(int argc, char** argv) {
 
   std::printf("=== norm_kernel_bench — active dispatch: %s ===\n",
               kernels::active_name());
+  std::printf("topology: %s, numa=%s%s\n", mem::topology().describe().c_str(),
+              mem::to_string(mem::numa_mode()),
+              mem::topology().discovered() ? "" : " (sysfs fallback)");
 
   common::Json::Array results;
   double rmsnorm_speedup_4096 = 0.0;
@@ -478,6 +482,9 @@ int main(int argc, char** argv) {
   common::Json::Object doc;
   doc["bench"] = "norm_kernel_bench";
   doc["active_kernel"] = kernels::active_name();
+  doc["topology"] = mem::topology().describe();
+  doc["numa_nodes"] = mem::topology().nodes();
+  doc["numa_mode"] = mem::to_string(mem::numa_mode());
   common::Json::Array dims_json;
   for (const std::size_t d : dims) dims_json.push_back(d);
   doc["dims"] = dims_json;

@@ -34,6 +34,14 @@
 // served (--overload-max-p99-us bounds its p99). Every sweep cell is
 // verified bit-for-bit against the reference oracle.
 //
+// Placement: --numa picks off | auto | interleave (empty defers to
+// HAAN_NUMA); with --numa-sweep=true the same workload replays closed-loop
+// under every placement mode in one process (off, auto, plus interleave on
+// multi-node hosts), asserting bit-identical results and deterministic
+// rows-per-call across modes, gating the arena reuse ratio under auto
+// (--min-arena-reuse) and node-local vs interleaved throughput on multi-node
+// hosts (--min-local-vs-interleave).
+//
 // Observability: --trace-out exports the run as Chrome Trace Event JSON
 // (Perfetto-loadable) and cross-checks it against the report (per-thread
 // begin/end balance, one flow start+finish per request, sum of forward spans
@@ -47,6 +55,7 @@
 //       --decode-sweep=true --trace-out=/tmp/decode_trace.json
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -59,6 +68,7 @@
 #include "core/provider_factory.hpp"
 #include "kernels/autotune.hpp"
 #include "kernels/kernels.hpp"
+#include "mem/topology.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
 
@@ -307,6 +317,31 @@ TraceCheck check_trace(const std::string& json, const serve::ServeReport& report
   return check;
 }
 
+/// One cell of the NUMA placement sweep: the same workload served closed-loop
+/// under one placement mode. Placement moves memory and threads, never
+/// values, so every cell must reproduce the kOff baseline bit-for-bit.
+struct NumaCell {
+  std::string mode;
+  double rps = 0.0;
+  double rows_per_call = 0.0;  ///< deterministic: pure function of packing
+  double arena_reuse = 0.0;
+  std::size_t arena_bytes = 0;
+  std::uint64_t cross_node_rows = 0;
+  bool verified = false;  ///< bit-identical to the kOff baseline cell
+
+  common::Json to_json() const {
+    common::Json::Object entry;
+    entry["mode"] = mode;
+    entry["rps"] = rps;
+    entry["rows_per_call"] = rows_per_call;
+    entry["arena_reuse_ratio"] = arena_reuse;
+    entry["arena_bytes"] = arena_bytes;
+    entry["cross_node_rows"] = static_cast<std::size_t>(cross_node_rows);
+    entry["verified"] = verified;
+    return common::Json(entry);
+  }
+};
+
 /// Minimum closed-loop wall time over `runs` repetitions (noise floor for the
 /// tracing-overhead gate). Reuses `plan` so calibration isn't re-run.
 double min_closed_loop_wall_us(serve::ServerConfig config,
@@ -416,6 +451,21 @@ int main(int argc, char** argv) {
                "code)");
   cli.add_flag("norm-threads", "0",
                "row-partition threads per worker (0 = auto, 1 = serial)");
+  cli.add_flag("numa", "",
+               "memory/thread placement: off | auto | interleave (empty = "
+               "defer to HAAN_NUMA, default auto)");
+  cli.add_flag("numa-sweep", "false",
+               "replay the workload closed-loop under every placement mode in "
+               "one process (off, auto, + interleave on multi-node hosts): "
+               "bit-identity and deterministic rows-per-call across modes "
+               "gate the exit code");
+  cli.add_flag("min-arena-reuse", "0.95",
+               "with --numa-sweep, fail unless the arena reuse ratio under "
+               "auto placement reaches this after warmup (0 disables)");
+  cli.add_flag("min-local-vs-interleave", "0.95",
+               "with --numa-sweep on multi-node hosts, fail unless node-local "
+               "(auto) throughput reaches this fraction of interleaved "
+               "throughput (0 disables)");
   cli.add_flag("verify", "true",
                "compare against a single-threaded reference, bit-for-bit");
   cli.add_flag("compare", "false",
@@ -529,6 +579,13 @@ int main(int argc, char** argv) {
   config.prefill_chunk =
       static_cast<std::size_t>(cli.get_int("prefill-chunk"));
   config.norm_threads = static_cast<std::size_t>(cli.get_int("norm-threads"));
+  config.numa = cli.get("numa");
+  if (!config.numa.empty() && !mem::parse_numa_mode(config.numa)) {
+    std::fprintf(stderr,
+                 "unknown --numa '%s' (expected off | auto | interleave)\n",
+                 config.numa.c_str());
+    return 1;
+  }
   config.stats_interval_ms =
       static_cast<std::size_t>(cli.get_int("stats-interval"));
   config.stats_json_path = cli.get("stats-json");
@@ -594,6 +651,9 @@ int main(int argc, char** argv) {
   if (config.norm != "exact") {
     std::printf("skip plan : %s\n", server.plan().to_string().c_str());
   }
+  std::printf("topology  : %s, numa=%s%s\n", mem::topology().describe().c_str(),
+              mem::to_string(mem::numa_mode()),
+              mem::topology().discovered() ? "" : " (sysfs fallback)");
 
   const auto workload = serve::generate_workload(workload_config);
 
@@ -1035,6 +1095,106 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- NUMA placement sweep -----------------------------------------------
+  const bool numa_sweep = cli.get_bool("numa-sweep");
+  const double min_arena_reuse = cli.get_double("min-arena-reuse");
+  const double min_local_vs_interleave = cli.get_double("min-local-vs-interleave");
+  std::vector<NumaCell> numa_cells;
+  bool numa_gate_ok = true;
+  if (numa_sweep) {
+    const mem::Topology& topo = mem::topology();
+    std::vector<mem::NumaMode> modes = {mem::NumaMode::kOff,
+                                        mem::NumaMode::kAuto};
+    if (topo.nodes() > 1) modes.push_back(mem::NumaMode::kInterleave);
+
+    serve::ServerConfig sweep_config = config;
+    sweep_config.numa.clear();  // the per-cell override below picks the mode
+    sweep_config.calibrate = false;
+    sweep_config.preset_plan = server.plan();
+    sweep_config.stats_interval_ms = 0;
+    sweep_config.paced = false;
+    sweep_config.keep_hidden = false;
+
+    std::printf(
+        "\n=== NUMA placement sweep (closed loop, %zu requests, %s) ===\n",
+        workload.size(), topo.describe().c_str());
+    std::printf("%10s %9s %10s %7s %12s %11s %9s\n", "mode", "req/s",
+                "rows/call", "reuse", "arena bytes", "xnode rows", "verified");
+    std::vector<serve::ServeReport> numa_reports;
+    for (const mem::NumaMode mode : modes) {
+      mem::set_numa_mode_override(mode);
+      serve::Server sweep_server(sweep_config);
+      numa_reports.push_back(sweep_server.run(workload));
+      const serve::ServeReport& rep = numa_reports.back();
+
+      NumaCell cell;
+      cell.mode = mem::to_string(mode);
+      cell.rps = rep.metrics.throughput_rps;
+      cell.rows_per_call = rep.metrics.rows_per_batched_call();
+      cell.arena_reuse = rep.metrics.mem.arena_reuse_ratio();
+      cell.arena_bytes = rep.metrics.mem.arena_bytes;
+      cell.cross_node_rows = rep.metrics.mem.cross_node_rows;
+      // Placement moves memory and threads, never values: every mode must
+      // reproduce the kOff baseline bit-for-bit. Shed/degraded requests are
+      // timing-dependent lanes with no stable checksum, so skip indices where
+      // either run took one.
+      const serve::ServeReport& base = numa_reports.front();
+      cell.verified = rep.results.size() == base.results.size();
+      for (std::size_t i = 0; cell.verified && i < rep.results.size(); ++i) {
+        const serve::RequestResult& got = rep.results[i];
+        const serve::RequestResult& want = base.results[i];
+        if (got.shed || got.degraded || want.shed || want.degraded) continue;
+        cell.verified = got.hidden_checksum == want.hidden_checksum &&
+                        got.generated == want.generated;
+      }
+      numa_gate_ok = numa_gate_ok && cell.verified;
+      numa_cells.push_back(cell);
+      std::printf("%10s %9.1f %10.1f %7.3f %12zu %11zu %9s\n",
+                  cell.mode.c_str(), cell.rps, cell.rows_per_call,
+                  cell.arena_reuse, cell.arena_bytes,
+                  static_cast<std::size_t>(cell.cross_node_rows),
+                  cell.verified ? "yes" : "MISMATCH");
+    }
+    // Restore the mode the rest of the bench was launched under.
+    if (!config.numa.empty()) {
+      mem::set_numa_mode_override(*mem::parse_numa_mode(config.numa));
+    } else {
+      mem::clear_numa_mode_override();
+    }
+
+    // Packing is a pure function of the workload, so the mean rows per
+    // batched norm call must not move when placement changes.
+    const double base_rows = numa_cells.front().rows_per_call;
+    bool rows_ok = true;
+    for (const NumaCell& cell : numa_cells) {
+      rows_ok = rows_ok && cell.rows_per_call == base_rows;
+    }
+    numa_gate_ok = numa_gate_ok && rows_ok;
+    std::printf("rows/call gate   : %s (deterministic packing across modes)\n",
+                rows_ok ? "PASS" : "FAIL");
+    if (min_arena_reuse > 0.0) {
+      const NumaCell& auto_cell = numa_cells[1];
+      const bool ok = auto_cell.arena_reuse >= min_arena_reuse;
+      numa_gate_ok = numa_gate_ok && ok;
+      std::printf(
+          "arena reuse gate : %s (auto reuse %.3f, >= %.3f required)\n",
+          ok ? "PASS" : "FAIL", auto_cell.arena_reuse, min_arena_reuse);
+    }
+    if (topo.nodes() > 1 && min_local_vs_interleave > 0.0) {
+      const NumaCell& auto_cell = numa_cells[1];
+      const NumaCell& interleave_cell = numa_cells[2];
+      const bool ok = interleave_cell.rps <= 0.0 ||
+                      auto_cell.rps >=
+                          interleave_cell.rps * min_local_vs_interleave;
+      numa_gate_ok = numa_gate_ok && ok;
+      std::printf(
+          "node-local gate  : %s (auto %.1f req/s vs interleave %.1f req/s, "
+          ">= %.2fx required)\n",
+          ok ? "PASS" : "FAIL", auto_cell.rps, interleave_cell.rps,
+          min_local_vs_interleave);
+    }
+  }
+
   // --- Tracing overhead gate ---------------------------------------------
   const double max_trace_overhead = cli.get_double("max-trace-overhead");
   bool overhead_ok = true;
@@ -1102,6 +1262,10 @@ int main(int argc, char** argv) {
     cfg["decode_tokens"] = workload_config.decode_tokens;
     cfg["max_decode"] = workload_config.max_decode;
     cfg["norm_threads"] = config.norm_threads;
+    cfg["numa"] = config.numa;
+    cfg["numa_mode"] = mem::to_string(mem::numa_mode());
+    cfg["numa_nodes"] = mem::topology().nodes();
+    cfg["topology"] = mem::topology().describe();
     cfg["seed"] = static_cast<std::size_t>(workload_config.seed);
     cfg["skip_plan"] = server.plan().to_string();
     cfg["kernel"] = kernels::active_name();
@@ -1187,6 +1351,18 @@ int main(int argc, char** argv) {
       mix["gate_ok"] = decode_gate_ok;
       doc["decode_sweep"] = mix;
     }
+    if (numa_sweep) {
+      common::Json::Array sweep;
+      for (const NumaCell& cell : numa_cells) sweep.push_back(cell.to_json());
+      common::Json::Object numa;
+      numa["cells"] = sweep;
+      numa["topology"] = mem::topology().describe();
+      numa["nodes"] = mem::topology().nodes();
+      numa["min_arena_reuse"] = min_arena_reuse;
+      numa["min_local_vs_interleave"] = min_local_vs_interleave;
+      numa["gate_ok"] = numa_gate_ok;
+      doc["numa_sweep"] = numa;
+    }
     if (!trace_out.empty()) {
       common::Json::Object trace;
       trace["path"] = trace_out;
@@ -1216,7 +1392,7 @@ int main(int argc, char** argv) {
     std::printf("json report      : %s\n", json_path.c_str());
   }
   return verified && mega_gate_ok && decode_gate_ok && policy_gate_ok &&
-                 p99_ok && trace_ok && overhead_ok
+                 numa_gate_ok && p99_ok && trace_ok && overhead_ok
              ? 0
              : 1;
 }

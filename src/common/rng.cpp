@@ -54,7 +54,7 @@ double Rng::gaussian(double mean, double stddev) {
   return mean + stddev * gaussian();
 }
 
-void Rng::fill_gaussian(std::vector<float>& out, double mean, double stddev) {
+void Rng::fill_gaussian(std::span<float> out, double mean, double stddev) {
   for (auto& value : out) value = static_cast<float>(gaussian(mean, stddev));
 }
 

@@ -8,6 +8,7 @@
 #include "core/subsample.hpp"
 #include "kernels/autotune.hpp"
 #include "kernels/kernels.hpp"
+#include "mem/topology.hpp"
 #include "numerics/fast_math.hpp"
 #include "tensor/norm_ref.hpp"
 
@@ -16,14 +17,34 @@ namespace haan::core {
 HaanNormProvider::HaanNormProvider(HaanConfig config, std::size_t norm_threads)
     : config_(config),
       predictor_(config.plan, config.predictor_fp16),
-      pool_(norm_threads) {}
+      pool_(norm_threads),
+      scratch_arena_(mem::placement_enabled()
+                         ? std::make_unique<mem::Arena>(mem::ArenaOptions{
+                               /*initial_bytes=*/std::size_t{1} << 18})
+                         : nullptr),
+      buffer_(scratch_resource()),
+      row_stats_(scratch_resource()),
+      row_mean_(scratch_resource()),
+      row_isd_(scratch_resource()),
+      row_scale_(scratch_resource()) {}
+
+std::pmr::memory_resource* HaanNormProvider::scratch_resource() const {
+  return scratch_arena_ ? scratch_arena_.get()
+                        : std::pmr::get_default_resource();
+}
 
 void HaanNormProvider::begin_sequence() { predictor_.begin_sequence(); }
 
 const kernels::KernelTable& HaanNormProvider::tuned(std::size_t d) {
   if (tuned_table_ == nullptr || tuned_d_ != d) {
-    tuned_table_ = kernels::tuned_for(d).table;
+    const kernels::AutotuneChoice& choice = kernels::tuned_for(d);
+    tuned_table_ = choice.table;
     tuned_d_ = d;
+    chunk_cap_ = choice.cross_node_partition
+                     ? pool_.threads()
+                     : std::max<std::size_t>(
+                           1, std::min(pool_.threads(),
+                                       mem::topology().max_node_cpus()));
   }
   return *tuned_table_;
 }
@@ -109,8 +130,8 @@ void HaanNormProvider::residual_add_normalize_rows(
   if (config_.format != numerics::NumericFormat::kFP32) {
     // One pass updates the residual stream and fills the operand block.
     buffer_.resize(h.size());
-    pool_.for_rows(rows, min_rows, [&](std::size_t, std::size_t r0,
-                                       std::size_t nr) {
+    pool_.for_rows(rows, min_rows, chunk_cap_,
+                   [&](std::size_t, std::size_t r0, std::size_t nr) {
       k.residual_add_copy(h.data() + r0 * d, residual.data() + r0 * d,
                           buffer_.data() + r0 * d, nr * d);
     });
@@ -124,16 +145,16 @@ void HaanNormProvider::residual_add_normalize_rows(
       const std::size_t nstat =
           config_.nsub == 0 ? d : std::min(config_.nsub, d);
       row_stats_.resize(rows);
-      pool_.for_rows(rows, min_rows, [&](std::size_t, std::size_t r0,
-                                         std::size_t nr) {
+      pool_.for_rows(rows, min_rows, chunk_cap_,
+                     [&](std::size_t, std::size_t r0, std::size_t nr) {
         k.residual_add_stats_rows(h.data() + r0 * d, residual.data() + r0 * d,
                                   nr, d, nstat, row_stats_.data() + r0);
       });
       stats_done = true;
     } else {
       // Skipped RMSNorm layers never read statistics: plain add only.
-      pool_.for_rows(rows, min_rows, [&](std::size_t, std::size_t r0,
-                                         std::size_t nr) {
+      pool_.for_rows(rows, min_rows, chunk_cap_,
+                     [&](std::size_t, std::size_t r0, std::size_t nr) {
         k.residual_add(h.data() + r0 * d, residual.data() + r0 * d, nr * d);
       });
     }
@@ -149,7 +170,7 @@ void HaanNormProvider::quantize_rows(float* block, std::size_t rows,
   const kernels::KernelTable& k = tuned(d);
   // Scale selection and quantization are per-row; chunks write disjoint
   // row_scale_ slots and block rows.
-  pool_.for_rows(rows, model::min_partition_rows(d),
+  pool_.for_rows(rows, model::min_partition_rows(d), chunk_cap_,
                  [&](std::size_t, std::size_t r0, std::size_t nr) {
     for (std::size_t r = r0; r < r0 + nr; ++r) {
       row_scale_[r] =
@@ -188,7 +209,7 @@ void HaanNormProvider::finish_rows(std::size_t layer_index,
   // — the lone predictor write — happens serially below from row_isd_.
   // Counters accumulate serially too, so totals and results are bit-identical
   // to the serial loop for any thread count.
-  pool_.for_rows(rows, model::min_partition_rows(d),
+  pool_.for_rows(rows, model::min_partition_rows(d), chunk_cap_,
                  [&](std::size_t, std::size_t r0, std::size_t nr) {
     if (need_stats && !stats_done) {
       k.stats_rows(src + r0 * d, nr, d, nstat, row_stats_.data() + r0);

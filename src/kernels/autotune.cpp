@@ -12,14 +12,22 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "common/assert.hpp"
 #include "common/clock.hpp"
 #include "common/json_lite.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "mem/arena.hpp"
+#include "mem/topology.hpp"
 
 namespace haan::kernels {
 namespace {
@@ -35,6 +43,12 @@ constexpr std::size_t kTileRows[] = {8, 64, 256};
 constexpr double kWinMargin = 1.02;
 
 constexpr int kCacheVersion = 1;
+
+/// A remote node's CPU may stream a node-resident block up to this much
+/// slower than a local CPU before cross-socket row chunks are judged a loss:
+/// past ~25% the remote chunk becomes the partition's critical path and the
+/// pool is better off staying within one node.
+constexpr double kCrossNodeSlack = 1.25;
 
 std::mutex& mutex() {
   static std::mutex m;
@@ -164,6 +178,17 @@ std::optional<AutotuneChoice> choice_from_cache(const common::Json& doc,
         ns != nullptr && ns->is_number()) {
       choice.ns_per_row = ns->as_number();
     }
+    // NUMA fields are optional (caches predate them): missing fields leave the
+    // defaults (nodes=1, cross-node allowed), and decide() re-measures when
+    // the cached node count disagrees with the live topology.
+    if (const common::Json* nodes = entry.find("nodes");
+        nodes != nullptr && nodes->is_number()) {
+      choice.nodes = static_cast<int>(nodes->as_number());
+    }
+    if (const common::Json* xnode = entry.find("xnode");
+        xnode != nullptr && xnode->is_bool()) {
+      choice.cross_node_partition = xnode->as_bool();
+    }
     return choice;
   }
   return std::nullopt;
@@ -189,6 +214,8 @@ void persist_choice(const std::string& path, AutotuneMode mode,
   entry["table"] = std::string(choice.table->name);
   entry["rows_tile"] = choice.rows_tile;
   entry["ns_per_row"] = choice.ns_per_row;
+  entry["nodes"] = choice.nodes;
+  entry["xnode"] = choice.cross_node_partition;
   entries.push_back(common::Json(std::move(entry)));
 
   common::Json::Object doc;
@@ -256,18 +283,106 @@ AutotuneChoice measure_choice(std::size_t d) {
   return choice;
 }
 
+/// Times the fused row-block pass over a block BOUND to node 0, run by a
+/// fresh thread pinned to `cpu` — models a pack resident on its home node
+/// being read by a (possibly remote) pool chunk. The arena's mbind forces the
+/// block's pages onto node 0 no matter which thread first touches them, which
+/// is the whole point: plain vectors would first-touch local in both runs and
+/// measure nothing.
+double node_bound_ns_per_row(const KernelTable& table, std::size_t d,
+                             std::size_t rows, int cpu) {
+  const std::size_t n = rows * d;
+  mem::ArenaOptions opts;
+  opts.initial_bytes = (3 * n + 2 * d) * sizeof(float) + (std::size_t{1} << 16);
+  opts.node = 0;
+  mem::Arena arena(opts);
+  const std::span<float> h = arena.allocate_span<float>(n);
+  const std::span<float> residual = arena.allocate_span<float>(n);
+  const std::span<float> out = arena.allocate_span<float>(n);
+  const std::span<float> alpha = arena.allocate_span<float>(d);
+  const std::span<float> beta = arena.allocate_span<float>(d);
+  common::Rng rng(0x5ca1ab1e);
+  rng.fill_gaussian(h, 0.0, 1.0);
+  rng.fill_gaussian(residual, 0.0, 1.0);
+  rng.fill_gaussian(alpha, 1.0, 0.05);
+  rng.fill_gaussian(beta, 0.0, 0.05);
+
+  double best_ns = std::numeric_limits<double>::infinity();
+  std::thread worker([&] {
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#endif
+    RowNormWorkspace ws;
+    std::vector<SumStats> consume(rows);
+    const int iters = static_cast<int>(std::clamp<std::size_t>(
+        2'000'000 / n, std::size_t{1}, std::size_t{32}));
+    const auto one_pass = [&] {
+      residual_add_rmsnorm_rows(table, rows, h, residual,
+                                std::span<const float>(alpha),
+                                std::span<const float>(beta), out, 1e-5, ws);
+      active().stats_rows(out.data(), rows, d, d, consume.data());
+    };
+    one_pass();  // warm-up: faults the bound pages, primes the table
+    for (int rep = 0; rep < 3; ++rep) {
+      const std::uint64_t start = common::monotonic_ns();
+      for (int i = 0; i < iters; ++i) one_pass();
+      const std::uint64_t stop = common::monotonic_ns();
+      best_ns = std::min(best_ns, static_cast<double>(stop - start) /
+                                      (static_cast<double>(iters) *
+                                       static_cast<double>(rows)));
+    }
+  });
+  worker.join();
+  return best_ns;
+}
+
+/// Stamps the live node count and, on multi-node hosts with placement on,
+/// measures whether a node-1 CPU streams a node-0-resident block within
+/// kCrossNodeSlack of a node-0 CPU. Skipped entirely (cross-node allowed)
+/// everywhere the question cannot matter.
+void stamp_cross_node(AutotuneChoice& choice) {
+  const mem::Topology& topo = mem::topology();
+  choice.nodes = static_cast<int>(topo.nodes());
+  choice.cross_node_partition = true;
+  if (topo.nodes() < 2 || !mem::placement_enabled()) return;
+  const std::size_t rows = 256;
+  const double local_ns =
+      node_bound_ns_per_row(*choice.table, choice.d, rows, topo.cpu_for_slot(0, 0));
+  const double remote_ns =
+      node_bound_ns_per_row(*choice.table, choice.d, rows, topo.cpu_for_slot(1, 0));
+  choice.cross_node_partition = remote_ns <= local_ns * kCrossNodeSlack;
+  HAAN_LOG_INFO_C("kernels")
+      << "autotune: d=" << choice.d << " cross-node "
+      << (choice.cross_node_partition ? "allowed" : "capped")
+      << " (local=" << local_ns << "ns/row remote=" << remote_ns << "ns/row)";
+}
+
 AutotuneChoice decide(std::size_t d) {
-  if (!autotune_enabled()) return static_choice(d);
+  if (!autotune_enabled()) {
+    AutotuneChoice choice = static_choice(d);
+    choice.nodes = static_cast<int>(mem::topology().nodes());
+    return choice;
+  }
   const AutotuneMode mode = autotune_mode();
   const std::string path = autotune_cache_path();
   if (!path.empty()) {
     if (std::optional<common::Json> doc = load_matching_cache(path, mode)) {
       if (std::optional<AutotuneChoice> cached = choice_from_cache(*doc, d)) {
+        // A cache written on a host with a different node count (or before
+        // the NUMA fields existed) can't answer the cross-node question for
+        // THIS host — re-measure just that axis, keep the table choice.
+        if (cached->nodes != static_cast<int>(mem::topology().nodes())) {
+          stamp_cross_node(*cached);
+        }
         return *std::move(cached);
       }
     }
   }
   AutotuneChoice choice = measure_choice(d);
+  stamp_cross_node(choice);
   if (!path.empty()) persist_choice(path, mode, choice);
   return choice;
 }

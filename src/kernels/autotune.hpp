@@ -64,6 +64,17 @@ struct AutotuneChoice {
   Source source = Source::kStatic;
   bool cache_hit = false;      ///< A usable cache entry was found for this d.
   std::vector<AutotuneTile> tiles;  ///< Per-tile measurements (empty unless kMeasured).
+
+  /// NUMA nodes visible when the decision was made (1 on single-node hosts).
+  int nodes = 1;
+
+  /// Whether row partitions for this width may span NUMA nodes. Always true
+  /// on single-node hosts or with placement off; on multi-node hosts the
+  /// tuner measures whether a remote node's CPU can stream a node-resident
+  /// block fast enough that cross-socket chunks still pay, and providers cap
+  /// for_rows chunk counts to one node's CPUs when it cannot. The cap changes
+  /// scheduling only — chunk results are row-wise, so values are identical.
+  bool cross_node_partition = true;
 };
 
 /// "static" | "measured" | "cache" — for logs and metrics JSON.

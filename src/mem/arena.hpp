@@ -1,0 +1,115 @@
+// Page-aligned, node-bindable bump arenas. An Arena owns a small list of
+// mmap'd slabs and serves allocations by bumping an offset; deallocation is a
+// no-op and reset() rewinds the whole arena at once, consolidating to a
+// single slab sized to the high watermark so a steady-state workload (one
+// serve pack, one session's KV) stops touching the system allocator entirely
+// after warmup. Slabs can be mbind()-bound to one NUMA node or interleaved
+// across all of them; binding failures (no such node, sandboxed container,
+// non-Linux) are silently ignored — placement is a locality hint, and
+// first-touch by the (pinned) owning thread gives the same result on the
+// common path. Arenas are single-owner and NOT thread-safe: one worker, one
+// session, one provider each owns its own.
+//
+// The arena implements std::pmr::memory_resource, so std::pmr containers
+// (Tensor storage, KvCache layers, RowNormWorkspace) allocate from it
+// directly; do_deallocate is a no-op, which is exactly the right contract for
+// per-pack scratch that dies wholesale at reset().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory_resource>
+#include <span>
+#include <vector>
+
+namespace haan::mem {
+
+struct ArenaOptions {
+  /// First slab size; later slabs grow geometrically (and reset() replaces
+  /// them with one slab sized to the peak). Rounded up to whole pages.
+  std::size_t initial_bytes = std::size_t{1} << 20;
+
+  /// Topology node INDEX to bind slabs to (-1 = unbound: first-touch decides
+  /// placement, which lands node-local when the owner is pinned).
+  int node = -1;
+
+  /// Bind slabs interleaved across all nodes (wins over `node`).
+  bool interleave = false;
+};
+
+struct ArenaStats {
+  std::size_t reserved_bytes = 0;  ///< Σ slab sizes currently mapped
+  std::size_t used_bytes = 0;      ///< bytes bumped since the last reset
+  std::size_t peak_bytes = 0;      ///< high watermark of used_bytes (lifetime)
+  std::uint64_t allocations = 0;   ///< allocate() calls (lifetime)
+  /// allocate() calls that had to map a NEW slab. After watermark warmup this
+  /// stops growing: reuse_ratio() -> 1.
+  std::uint64_t slab_allocations = 0;
+  std::uint64_t resets = 0;
+
+  /// Fraction of allocations served from already-mapped slabs (1.0 when no
+  /// allocation ever missed, or before any allocation).
+  double reuse_ratio() const {
+    return allocations == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(slab_allocations) /
+                           static_cast<double>(allocations);
+  }
+};
+
+class Arena final : public std::pmr::memory_resource {
+ public:
+  explicit Arena(ArenaOptions options = {});
+  ~Arena() override;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` at `alignment` (power of two). Never fails short
+  /// of mmap exhaustion; contents are unspecified (fresh slabs are
+  /// kernel-zeroed, reused ones carry old bytes).
+  void* allocate(std::size_t bytes,
+                 std::size_t alignment = alignof(std::max_align_t));
+
+  /// Typed convenience: `count` default-alignment elements.
+  template <typename T>
+  std::span<T> allocate_span(std::size_t count) {
+    return {static_cast<T*>(allocate(count * sizeof(T), alignof(T))), count};
+  }
+
+  /// Rewinds the arena. Every pointer previously returned becomes invalid.
+  /// When the bump high watermark outgrew the first slab, the slab list is
+  /// consolidated into ONE slab covering the peak, so the next cycle of the
+  /// same workload never maps again.
+  void reset();
+
+  const ArenaStats& stats() const { return stats_; }
+  int node() const { return options_.node; }
+
+ protected:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override {
+    return allocate(bytes, alignment);
+  }
+  void do_deallocate(void* /*p*/, std::size_t /*bytes*/,
+                     std::size_t /*alignment*/) override {}
+  bool do_is_equal(const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+ private:
+  struct Slab {
+    std::byte* base = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Slab map_slab(std::size_t min_bytes);
+  void unmap_slab(Slab& slab);
+  void bind_slab(void* base, std::size_t size) const;
+
+  ArenaOptions options_;
+  std::vector<Slab> slabs_;
+  ArenaStats stats_;
+};
+
+}  // namespace haan::mem

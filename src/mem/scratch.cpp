@@ -1,0 +1,27 @@
+#include "mem/scratch.hpp"
+
+namespace haan::mem {
+
+namespace {
+
+thread_local Arena* t_scratch = nullptr;
+
+}  // namespace
+
+Arena* current_scratch() { return t_scratch; }
+
+std::pmr::memory_resource* current_resource() {
+  return t_scratch != nullptr ? static_cast<std::pmr::memory_resource*>(t_scratch)
+                              : std::pmr::get_default_resource();
+}
+
+ScratchScope::ScratchScope(Arena* arena)
+    : previous_(t_scratch), engaged_(arena != nullptr) {
+  if (engaged_) t_scratch = arena;
+}
+
+ScratchScope::~ScratchScope() {
+  if (engaged_) t_scratch = previous_;
+}
+
+}  // namespace haan::mem

@@ -1,0 +1,52 @@
+// Thread-local scratch-arena scope. The serving worker opens a ScratchScope
+// around each pack's forward; while the scope is active, every
+// tensor::Tensor constructed ON THAT THREAD draws its storage from the
+// worker's node-bound bump arena instead of the heap (current_resource()).
+// Other threads — notably RowPartitionPool workers running span chunks — see
+// no scope and keep allocating from the default resource, so the arena stays
+// single-owner without any locking. With HAAN_NUMA=off no scope is ever
+// opened and every allocation takes the legacy heap path.
+#pragma once
+
+#include <memory_resource>
+
+#include "mem/arena.hpp"
+
+namespace haan::mem {
+
+/// The arena of the innermost active ScratchScope on this thread, or nullptr.
+Arena* current_scratch();
+
+/// current_scratch() when a scope is active, else
+/// std::pmr::get_default_resource().
+std::pmr::memory_resource* current_resource();
+
+/// RAII: routes this thread's scratch allocations to `arena` (nullptr = leave
+/// the current routing untouched, making call sites mode-agnostic). Nests.
+class ScratchScope {
+ public:
+  explicit ScratchScope(Arena* arena);
+  ~ScratchScope();
+
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+ private:
+  Arena* previous_;
+  bool engaged_;
+};
+
+/// Destroy-and-reconstruct move assignment for pmr vectors: the vector move
+/// CONSTRUCTOR always steals the buffer (keeping the source's allocator),
+/// whereas pmr move *assignment* deep-copies when allocators differ — the
+/// wrong behavior for handing an arena-backed result to a default-constructed
+/// local. Tensor and friends build their move assignment on this.
+template <typename T>
+void steal_assign(std::pmr::vector<T>& dst, std::pmr::vector<T>&& src) noexcept {
+  if (&dst == &src) return;
+  using Vector = std::pmr::vector<T>;
+  dst.~Vector();
+  ::new (static_cast<void*>(&dst)) Vector(std::move(src));
+}
+
+}  // namespace haan::mem

@@ -1,0 +1,114 @@
+// NUMA topology discovery and placement policy for the serving runtime.
+// Nodes and their CPU lists are read from sysfs (/sys/devices/system/node)
+// with no libnuma dependency; hosts without that tree (non-Linux, containers
+// with a masked sysfs, single-socket machines exposing no node directories)
+// degrade to a single synthetic node covering every online CPU. Placement is
+// policy-gated by HAAN_NUMA (auto | off | interleave) plus a programmatic
+// override so benches can sweep modes inside one process. Topology and mode
+// only ever steer WHERE memory lives and which CPU a thread prefers — they
+// never change computed values (the repo's bit-identity guarantee).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace haan::mem {
+
+/// Memory/thread placement policy.
+///   kOff        — legacy behavior: default allocator, no arena scopes, no
+///                 topology-driven pinning (explicit HAAN_NORM_AFFINITY still
+///                 honored, routed through the topology for node bounds).
+///   kAuto       — arenas on; on multi-node hosts workers bind node-local
+///                 (round-robin across nodes) and slabs mbind to the home node.
+///   kInterleave — arenas on; slabs mbind interleaved across all nodes
+///                 (the bandwidth-spreading baseline --numa-sweep compares
+///                 node-local placement against).
+enum class NumaMode { kOff, kAuto, kInterleave };
+
+/// "off" | "auto" | "interleave".
+const char* to_string(NumaMode mode);
+
+/// Parses "off"/"0", "auto"/"1", "interleave"; nullopt on anything else.
+std::optional<NumaMode> parse_numa_mode(std::string_view text);
+
+/// Effective mode: the programmatic override if set, else HAAN_NUMA from the
+/// environment (read afresh each call), else kAuto.
+NumaMode numa_mode();
+
+/// Arenas + placement active (numa_mode() != kOff).
+bool placement_enabled();
+
+/// Forces `mode` for the process regardless of HAAN_NUMA (benches sweep
+/// off/auto/interleave in one process; tests pin a mode without env races).
+void set_numa_mode_override(NumaMode mode);
+
+/// Restores environment-driven mode resolution.
+void clear_numa_mode_override();
+
+/// One NUMA node: its sysfs id and the online CPUs it owns.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// Immutable node/CPU map. Always holds at least one node with at least one
+/// CPU, so indexing code never needs an empty-topology branch.
+class Topology {
+ public:
+  /// Reads `<root>/node<N>/cpulist` for every node directory under `root`.
+  /// Falls back to single_node() when the tree is absent or yields no CPUs.
+  /// Exposed (with the root parameter) so tests can point it at a fake tree.
+  static Topology from_sysfs(const std::string& root);
+
+  /// One synthetic node 0 covering every online CPU (the fallback path).
+  static Topology single_node();
+
+  /// Number of nodes (>= 1).
+  std::size_t nodes() const { return nodes_.size(); }
+
+  const NumaNode& node(std::size_t index) const { return nodes_[index]; }
+
+  /// True when the map came from a sysfs node tree (false = fallback).
+  bool discovered() const { return discovered_; }
+
+  std::size_t total_cpus() const;
+
+  /// Node INDEX (not sysfs id) owning `cpu`; -1 when unknown.
+  int node_of_cpu(int cpu) const;
+
+  /// CPU for round-robin slot `slot` within node `index` (wraps around the
+  /// node's CPU list, never leaving the node).
+  int cpu_for_slot(std::size_t index, std::size_t slot) const;
+
+  /// CPU count of the widest node — the most chunks a row partition can use
+  /// without crossing a socket (the autotuner's cross-node cap).
+  std::size_t max_node_cpus() const;
+
+  /// "nodes=2 cpus=[0-23][24-47]" — for bench/report headers and logs.
+  std::string describe() const;
+
+ private:
+  std::vector<NumaNode> nodes_;
+  bool discovered_ = false;
+};
+
+/// The host topology, discovered once per process (thread-safe memoization).
+const Topology& topology();
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into sorted CPU ids. Malformed
+/// segments are skipped; exposed for tests.
+std::vector<int> parse_cpu_list(std::string_view text);
+
+/// CPU the calling thread is currently on (sched_getcpu), -1 when
+/// unavailable.
+int current_cpu();
+
+/// Node index of the calling thread's CPU; 0 when it cannot be determined
+/// (callers use it to pick an arena/pinning home, where node 0 is a safe
+/// default).
+int current_node();
+
+}  // namespace haan::mem

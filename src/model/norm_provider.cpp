@@ -1,10 +1,12 @@
 #include "model/norm_provider.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
 #include "kernels/autotune.hpp"
 #include "kernels/kernels.hpp"
+#include "mem/topology.hpp"
 #include "tensor/norm_ref.hpp"
 
 namespace haan::model {
@@ -68,10 +70,26 @@ void NormProvider::residual_add_normalize_rows(
   }
 }
 
+ExactNormProvider::ExactNormProvider(double eps, std::size_t norm_threads)
+    : eps_(eps),
+      pool_(norm_threads),
+      scratch_arena_(mem::placement_enabled()
+                         ? std::make_unique<mem::Arena>(mem::ArenaOptions{
+                               /*initial_bytes=*/std::size_t{1} << 16})
+                         : nullptr),
+      workspace_(scratch_arena_ ? scratch_arena_.get()
+                                : std::pmr::get_default_resource()) {}
+
 const kernels::KernelTable& ExactNormProvider::tuned(std::size_t d) {
   if (tuned_table_ == nullptr || tuned_d_ != d) {
-    tuned_table_ = kernels::tuned_for(d).table;
+    const kernels::AutotuneChoice& choice = kernels::tuned_for(d);
+    tuned_table_ = choice.table;
     tuned_d_ = d;
+    chunk_cap_ = choice.cross_node_partition
+                     ? pool_.threads()
+                     : std::max<std::size_t>(
+                           1, std::min(pool_.threads(),
+                                       mem::topology().max_node_cpus()));
   }
   return *tuned_table_;
 }
@@ -118,9 +136,8 @@ void ExactNormProvider::normalize_rows(std::size_t /*layer_index*/,
   // full stats -> variance -> normalize pipeline over its own contiguous row
   // range, writing disjoint workspace and output slices — bit-identical for
   // any chunk count (every kernel is row-wise).
-  pool_.for_rows(rows, min_partition_rows(d), [&](std::size_t /*chunk*/,
-                                                  std::size_t r0,
-                                                  std::size_t nr) {
+  pool_.for_rows(rows, min_partition_rows(d), chunk_cap_,
+                 [&](std::size_t /*chunk*/, std::size_t r0, std::size_t nr) {
     const float* xr = x.data() + r0 * d;
     kernels::SumStats* stats = workspace_.stats.data() + r0;
     double* mean = workspace_.mean.data() + r0;
@@ -160,9 +177,8 @@ void ExactNormProvider::residual_add_normalize_rows(
   }
   // The fused helpers are row-wise; chunks get disjoint row subspans and
   // private workspaces (chunk 0 reuses the member scratch).
-  pool_.for_rows(rows, min_partition_rows(d), [&](std::size_t chunk,
-                                                  std::size_t r0,
-                                                  std::size_t nr) {
+  pool_.for_rows(rows, min_partition_rows(d), chunk_cap_,
+                 [&](std::size_t chunk, std::size_t r0, std::size_t nr) {
     kernels::RowNormWorkspace& ws =
         chunk == 0 ? workspace_ : chunk_workspaces_[chunk - 1];
     const std::span<float> hs = h.subspan(r0 * d, nr * d);

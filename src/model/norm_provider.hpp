@@ -4,10 +4,12 @@
 // quantization) lives in `haan::core` and plugs into the same interface.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "kernels/kernels.hpp"
+#include "mem/arena.hpp"
 #include "model/config.hpp"
 #include "model/row_partition.hpp"
 
@@ -97,8 +99,7 @@ class ExactNormProvider final : public NormProvider {
   /// `norm_threads` sizes the worker-local RowPartitionPool that splits large
   /// row blocks across threads (0 = HAAN_NORM_THREADS / hardware default,
   /// 1 = fully serial); results are bit-identical for any value.
-  explicit ExactNormProvider(double eps = 1e-5, std::size_t norm_threads = 0)
-      : eps_(eps), pool_(norm_threads) {}
+  explicit ExactNormProvider(double eps = 1e-5, std::size_t norm_threads = 0);
 
   const char* trace_label() const override { return "norm/exact"; }
 
@@ -140,10 +141,21 @@ class ExactNormProvider final : public NormProvider {
   double eps_;
   const kernels::KernelTable* tuned_table_ = nullptr;
   std::size_t tuned_d_ = 0;
+  /// Chunk-count cap fed to for_rows: pool_.threads() when the autotuner
+  /// allows cross-node partitions, one node's CPU count when it measured them
+  /// a loss (memoized alongside tuned_table_). Scheduling only — never values.
+  std::size_t chunk_cap_ = 0;
   RowPartitionPool pool_;  ///< worker-local row parallelism (lazy threads)
+  /// Backs workspace_ under HAAN_NUMA=auto/interleave. The provider is
+  /// worker-local and workspace_ is only resized on the owning thread, so the
+  /// arena stays single-owner. Declared before workspace_ so the workspace's
+  /// pmr vectors die while their resource is alive. Null with placement off.
+  std::unique_ptr<mem::Arena> scratch_arena_;
   kernels::RowNormWorkspace workspace_;  ///< chunk-0 scratch, reused
   /// One workspace per extra pool chunk so concurrent chunks never share
-  /// scratch; sized on first partitioned call.
+  /// scratch; sized on first partitioned call. Deliberately heap-backed: the
+  /// fused kernels resize these INSIDE pool chunks on pool threads, and the
+  /// (pinned) pool thread's first touch places them node-local anyway.
   std::vector<kernels::RowNormWorkspace> chunk_workspaces_;
 };
 

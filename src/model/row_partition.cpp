@@ -1,6 +1,7 @@
 #include "model/row_partition.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string>
 
@@ -12,21 +13,16 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "mem/topology.hpp"
 #include "obs/trace.hpp"
 
 namespace haan::model {
 namespace {
 
-/// Pins the calling worker thread per HAAN_NORM_AFFINITY (see affinity_base()).
-/// Failures are logged once per worker and otherwise ignored — affinity is a
-/// locality hint, not a correctness requirement.
-void pin_worker(std::size_t worker_index, int base) {
+std::atomic<std::uint64_t> g_cross_node_rows{0};
+
+void pin_to_cpu(std::size_t worker_index, int cpu) {
 #ifdef __linux__
-  const long online = sysconf(_SC_NPROCESSORS_ONLN);
-  if (online <= 0) return;
-  const std::size_t cpu =
-      (static_cast<std::size_t>(base) + 1 + worker_index) %
-      static_cast<std::size_t>(online);
   cpu_set_t set;
   CPU_ZERO(&set);
   CPU_SET(cpu, &set);
@@ -36,8 +32,37 @@ void pin_worker(std::size_t worker_index, int base) {
   }
 #else
   (void)worker_index;
-  (void)base;
+  (void)cpu;
 #endif
+}
+
+/// Pins the calling pool worker. Explicit HAAN_NORM_AFFINITY wins and walks
+/// the base CPU's OWN node round-robin (never crossing a socket — the
+/// pre-topology behavior walked all online CPUs linearly and split pools
+/// across nodes). Otherwise HAAN_NUMA=auto on a multi-node host pins workers
+/// round-robin within the pool owner's home node. Failures are logged and
+/// ignored — affinity is a locality hint, not a correctness requirement.
+void pin_worker(std::size_t worker_index, int base, int home_node) {
+  const mem::Topology& topo = mem::topology();
+  if (base >= 0) {
+    int node = topo.node_of_cpu(base);
+    if (node < 0) node = 0;
+    const std::vector<int>& cpus = topo.node(static_cast<std::size_t>(node)).cpus;
+    if (cpus.empty()) return;
+    const auto it = std::find(cpus.begin(), cpus.end(), base);
+    const std::size_t base_slot =
+        it == cpus.end() ? 0 : static_cast<std::size_t>(it - cpus.begin());
+    pin_to_cpu(worker_index, cpus[(base_slot + 1 + worker_index) % cpus.size()]);
+    return;
+  }
+  if (mem::numa_mode() == mem::NumaMode::kAuto && topo.nodes() > 1 &&
+      home_node >= 0) {
+    // Slot 0 is morally the caller (which runs chunk 0 and is placed by the
+    // serving runtime), so workers start at slot worker_index + 1.
+    pin_to_cpu(worker_index,
+               topo.cpu_for_slot(static_cast<std::size_t>(home_node),
+                                 worker_index + 1));
+  }
 }
 
 }  // namespace
@@ -97,9 +122,19 @@ std::pair<std::size_t, std::size_t> RowPartitionPool::chunk_bounds(
   return {begin, base + (c < rem ? 1 : 0)};
 }
 
+std::uint64_t RowPartitionPool::global_cross_node_rows() {
+  return g_cross_node_rows.load(std::memory_order_relaxed);
+}
+
 void RowPartitionPool::start_threads() {
   if (started_) return;
   started_ = true;
+  // The owner's node at thread-start is the pool's home: serve workers pin
+  // themselves (or are placed by the OS) before their provider's first
+  // partitioned call, so this is the node whose memory the chunks will read.
+  if (mem::placement_enabled() && mem::topology().nodes() > 1) {
+    home_node_ = mem::current_node();
+  }
   workers_.reserve(threads_ - 1);
   for (std::size_t w = 0; w + 1 < threads_; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
@@ -108,8 +143,14 @@ void RowPartitionPool::start_threads() {
 
 void RowPartitionPool::for_rows(std::size_t rows, std::size_t min_rows,
                                 const ChunkFn& fn) {
+  for_rows(rows, min_rows, threads_, fn);
+}
+
+void RowPartitionPool::for_rows(std::size_t rows, std::size_t min_rows,
+                                std::size_t max_chunks, const ChunkFn& fn) {
   if (rows == 0) return;
-  const std::size_t chunks = plan_chunks(rows, min_rows, threads_);
+  const std::size_t chunks =
+      plan_chunks(rows, min_rows, std::min(threads_, std::max<std::size_t>(1, max_chunks)));
   if (chunks <= 1) {
     fn(0, 0, rows);
     return;
@@ -139,9 +180,11 @@ void RowPartitionPool::for_rows(std::size_t rows, std::size_t min_rows,
 }
 
 void RowPartitionPool::worker_main(std::size_t worker_index) {
-  if (const int base = affinity_base(); base >= 0) {
-    pin_worker(worker_index, base);
-  }
+  pin_worker(worker_index, affinity_base(), home_node_);
+  // Cross-node accounting is only meaningful (and only worth a sched_getcpu
+  // per chunk) when placement is on and the host actually has several nodes.
+  const bool track_node =
+      home_node_ >= 0 && mem::placement_enabled() && mem::topology().nodes() > 1;
   std::uint64_t seen = 0;
   // Track naming is deferred until tracing is actually on: pool threads start
   // lazily and usually before any tracer session begins.
@@ -166,6 +209,9 @@ void RowPartitionPool::worker_main(std::size_t worker_index) {
       HAAN_TRACE_SPAN("shard", "model", static_cast<std::uint32_t>(chunk),
                       static_cast<std::uint32_t>(count));
       (*fn)(chunk, begin, count);
+    }
+    if (track_node && mem::current_node() != home_node_) {
+      g_cross_node_rows.fetch_add(count, std::memory_order_relaxed);
     }
     lock.lock();
     if (--pending_ == 0) done_cv_.notify_one();

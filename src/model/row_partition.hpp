@@ -46,11 +46,19 @@ class RowPartitionPool {
   static std::size_t default_threads();
 
   /// HAAN_NORM_AFFINITY from the environment: when set to a non-negative
-  /// integer, pool WORKER threads are pinned round-robin to CPUs starting at
-  /// that index (worker w -> CPU (base + 1 + w) mod online CPUs; the calling
-  /// thread — which runs chunk 0 — is never touched, its placement belongs to
-  /// the serving runtime). Returns -1 when unset/invalid or on non-Linux
-  /// builds, where pinning is a no-op. Pinning changes scheduling only, never
+  /// integer, pool WORKER threads are pinned round-robin WITHIN THE NUMA NODE
+  /// owning that CPU (worker w -> the node's CPU list at (base_slot + 1 + w)
+  /// mod node size; the calling thread — which runs chunk 0 — is never
+  /// touched, its placement belongs to the serving runtime). The env var
+  /// predates the topology module and used to walk ALL online CPUs linearly,
+  /// silently splitting a pool across sockets; it now routes through
+  /// mem::topology() and never leaves the base CPU's node. Returns -1 when
+  /// unset/invalid or on non-Linux builds, where pinning is a no-op.
+  ///
+  /// Without the env var, HAAN_NUMA=auto on a multi-node host pins workers
+  /// round-robin within the node the pool's OWNER was on when threads
+  /// started, keeping every chunk's stats/normalize pass node-local to the
+  /// block the caller first touched. Pinning changes scheduling only, never
   /// results.
   static int affinity_base();
 
@@ -62,6 +70,21 @@ class RowPartitionPool {
   /// partition degenerates to one chunk. Chunk 0 always executes on the
   /// calling thread.
   void for_rows(std::size_t rows, std::size_t min_rows, const ChunkFn& fn);
+
+  /// As above but with an additional chunk-count cap (clamped to threads()).
+  /// Providers pass the autotuner's cross-node partition decision here:
+  /// capping to one node's worth of chunks keeps a memory-bound block from
+  /// spraying across sockets when measurement says that loses. Chunk bounds
+  /// still depend only on (rows, min_rows, effective max chunks) and every
+  /// kernel in the seam is row-wise, so results stay bit-identical for any
+  /// cap.
+  void for_rows(std::size_t rows, std::size_t min_rows, std::size_t max_chunks,
+                const ChunkFn& fn);
+
+  /// Process-wide count of rows whose chunk executed on a different NUMA node
+  /// than the pool owner's home node (0 on single-node hosts or with
+  /// placement off). Observability only — sampled by ServeMetrics.
+  static std::uint64_t global_cross_node_rows();
 
   /// Number of chunks for_rows would use (pure partition arithmetic).
   static std::size_t plan_chunks(std::size_t rows, std::size_t min_rows,
@@ -80,6 +103,10 @@ class RowPartitionPool {
   std::size_t threads_;
   std::vector<std::thread> workers_;
   bool started_ = false;
+  /// Topology node index of the owning thread when workers started (-1 until
+  /// then / when placement accounting is off); workers compare their own node
+  /// against it for the cross-node row counter and auto pinning.
+  int home_node_ = -1;
 
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers wait for a new generation

@@ -83,6 +83,21 @@ common::Json KernelTuningInfo::to_json() const {
   return out;
 }
 
+common::Json MemPlacementInfo::to_json() const {
+  common::Json::Object out;
+  out["numa_mode"] = numa_mode;
+  out["nodes"] = nodes;
+  out["arena_bytes"] = arena_bytes;
+  out["arena_allocations"] = static_cast<std::size_t>(arena_allocations);
+  out["arena_slab_allocations"] =
+      static_cast<std::size_t>(arena_slab_allocations);
+  out["arena_resets"] = static_cast<std::size_t>(arena_resets);
+  out["arena_reuse_ratio"] = arena_reuse_ratio();
+  out["cross_node_rows"] = static_cast<std::size_t>(cross_node_rows);
+  out["cross_node_partition"] = cross_node_partition;
+  return out;
+}
+
 common::Json ServeMetrics::to_json() const {
   common::Json::Object out;
   out["completed"] = completed;
@@ -133,6 +148,7 @@ common::Json ServeMetrics::to_json() const {
   counters["rows_per_batched_call"] = rows_per_batched_call();
   out["norm_counters"] = counters;
   if (!kernel.backend.empty()) out["kernel"] = kernel.to_json();
+  if (!mem.numa_mode.empty()) out["mem"] = mem.to_json();
   return out;
 }
 
@@ -202,6 +218,18 @@ std::string ServeMetrics::to_string() const {
         << kernel.dispatch << ", autotune " << kernel.source;
     if (kernel.rows_tile != 0) out << ", rows_tile " << kernel.rows_tile;
     out << ") over " << kernel.norm_layers << " norm layers\n";
+  }
+  if (!mem.numa_mode.empty()) {
+    out << "memory placement : numa " << mem.numa_mode << ", " << mem.nodes
+        << " node" << (mem.nodes == 1 ? "" : "s") << ", arenas "
+        << mem.arena_bytes << " bytes (reuse "
+        << common::format_double(mem.arena_reuse_ratio(), 3) << ", "
+        << mem.arena_resets << " resets)";
+    if (mem.nodes > 1) {
+      out << ", cross-node rows " << mem.cross_node_rows << " (partition "
+          << (mem.cross_node_partition ? "allowed" : "capped") << ")";
+    }
+    out << "\n";
   }
   return out.str();
 }
@@ -299,6 +327,14 @@ void MetricsCollector::add_norm_counters(const NormCounters& counters) {
   norm_.batched_rows += counters.batched_rows;
 }
 
+void MetricsCollector::add_arena_stats(const mem::ArenaStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arena_bytes_ += stats.reserved_bytes;
+  arena_allocations_ += stats.allocations;
+  arena_slab_allocations_ += stats.slab_allocations;
+  arena_resets_ += stats.resets;
+}
+
 std::size_t MetricsCollector::completed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_us_.count();
@@ -347,6 +383,10 @@ ServeMetrics MetricsCollector::finalize(double wall_us) const {
     metrics.per_priority.emplace(priority, std::move(summary));
   }
   metrics.norm = norm_;
+  metrics.mem.arena_bytes = arena_bytes_;
+  metrics.mem.arena_allocations = arena_allocations_;
+  metrics.mem.arena_slab_allocations = arena_slab_allocations_;
+  metrics.mem.arena_resets = arena_resets_;
   return metrics;
 }
 

@@ -18,6 +18,7 @@
 #include "common/histogram.hpp"
 #include "common/json_lite.hpp"
 #include "core/haan_norm.hpp"
+#include "mem/arena.hpp"
 #include "serve/request.hpp"
 
 namespace haan::serve {
@@ -64,6 +65,37 @@ struct KernelTuningInfo {
   std::size_t d = 0;          ///< row width the choice was tuned for
   std::size_t rows_tile = 0;  ///< tile where the winner's advantage peaks
   std::size_t norm_layers = 0;  ///< norm layers the decision applies to
+
+  common::Json to_json() const;
+};
+
+/// NUMA/arena placement accounting. Worker scratch-arena stats are folded in
+/// by workers at drain (MetricsCollector::add_arena_stats); the topology
+/// fields, KV arena usage, and the cross-node row delta are stamped by the
+/// server (it owns the SessionTable and the run's start/end counter samples).
+/// arena_* are all zero under HAAN_NUMA=off — the legacy allocator is in
+/// force and no arena exists.
+struct MemPlacementInfo {
+  std::string numa_mode;  ///< "off" | "auto" | "interleave"
+  int nodes = 1;          ///< NUMA nodes the topology discovered
+  std::size_t arena_bytes = 0;  ///< Σ reserved slab bytes, scratch + KV arenas
+  std::uint64_t arena_allocations = 0;
+  std::uint64_t arena_slab_allocations = 0;  ///< allocations that mapped a new slab
+  std::uint64_t arena_resets = 0;
+  /// Rows whose row-partition chunk executed off its pool's home node during
+  /// the run (0 on single-node hosts or with placement off).
+  std::uint64_t cross_node_rows = 0;
+  bool cross_node_partition = true;  ///< autotuner's cross-socket verdict
+
+  /// Fraction of arena allocations served from already-mapped slabs. The
+  /// --numa-sweep gate requires this >= 0.95 after warmup: steady-state
+  /// serving should not be talking to the system allocator.
+  double arena_reuse_ratio() const {
+    return arena_allocations == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(arena_slab_allocations) /
+                           static_cast<double>(arena_allocations);
+  }
 
   common::Json to_json() const;
 };
@@ -145,6 +177,8 @@ struct ServeMetrics {
   NormCounters norm;
 
   KernelTuningInfo kernel;
+
+  MemPlacementInfo mem;
 
   /// Mean prefill rows per pack that carried any prefill (0 when none did).
   double prefill_rows_per_pack() const {
@@ -229,6 +263,11 @@ class MetricsCollector {
   /// Accumulates one worker's provider counters at drain time.
   void add_norm_counters(const NormCounters& counters);
 
+  /// Accumulates one arena's lifetime stats (called by workers for their
+  /// scratch arenas at drain, and by the server for the session table's KV
+  /// arenas). Sums land in ServeMetrics::mem.
+  void add_arena_stats(const mem::ArenaStats& stats);
+
   /// Number of results recorded so far.
   std::size_t completed() const;
 
@@ -280,6 +319,10 @@ class MetricsCollector {
   std::size_t kv_bytes_resident_ = 0;
   std::size_t max_kv_bytes_ = 0;
   NormCounters norm_;
+  std::size_t arena_bytes_ = 0;
+  std::uint64_t arena_allocations_ = 0;
+  std::uint64_t arena_slab_allocations_ = 0;
+  std::uint64_t arena_resets_ = 0;
 };
 
 }  // namespace haan::serve

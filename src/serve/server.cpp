@@ -10,6 +10,8 @@
 #include "common/assert.hpp"
 #include "common/table.hpp"
 #include "kernels/autotune.hpp"
+#include "mem/topology.hpp"
+#include "model/row_partition.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "serve/queue.hpp"
@@ -31,6 +33,7 @@ obs::Snapshot live_snapshot(const MetricsCollector& metrics,
                             std::size_t pack_capacity,
                             const KernelTuningInfo& kernel,
                             Clock::time_point started,
+                            std::uint64_t xnode_rows_base,
                             std::size_t& last_completed) {
   const double elapsed = elapsed_us(started, Clock::now());
   ServeMetrics live = metrics.finalize(elapsed);
@@ -65,6 +68,12 @@ obs::Snapshot live_snapshot(const MetricsCollector& metrics,
   json["kernel_backend"] = kernel.backend;
   json["autotune_source"] = kernel.source;
   json["autotune_rows_tile"] = kernel.rows_tile;
+  // Placement gauges that are live mid-run (worker arena stats only land in
+  // the collector at drain; these two are process-global and always current).
+  json["numa_mode"] = std::string(mem::to_string(mem::numa_mode()));
+  json["numa_nodes"] = mem::topology().nodes();
+  json["cross_node_rows"] = static_cast<std::size_t>(
+      model::RowPartitionPool::global_cross_node_rows() - xnode_rows_base);
   snapshot.json = json;
   return snapshot;
 }
@@ -124,6 +133,12 @@ Server::Server(ServerConfig config)
   HAAN_EXPECTS(core::is_norm_provider_name(config_.norm));
   HAAN_EXPECTS(core::is_norm_provider_name(config_.degrade_norm));
   HAAN_EXPECTS(config_.workers > 0);
+
+  if (!config_.numa.empty()) {
+    const std::optional<mem::NumaMode> mode = mem::parse_numa_mode(config_.numa);
+    HAAN_EXPECTS(mode.has_value());  // "off" | "auto" | "interleave"
+    mem::set_numa_mode_override(*mode);
+  }
 
   provider_options_.width = config_.model.d_model;
   provider_options_.model_name = config_.model.name;
@@ -212,6 +227,10 @@ ServeReport Server::run(const std::vector<Request>& workload) {
         model_, *scheduler, [this] { return make_provider(); }, metrics,
         pool_options);
   }
+  // Cross-node rows are a process-global counter (pools are created and
+  // destroyed with workers); the run's contribution is the delta.
+  const std::uint64_t xnode_rows_base =
+      model::RowPartitionPool::global_cross_node_rows();
   pool->start();
 
   const Clock::time_point start = Clock::now();
@@ -225,9 +244,10 @@ ServeReport Server::run(const std::vector<Request>& workload) {
     // finalize() is a constant-cost histogram walk.
     emitter = std::make_unique<obs::SnapshotEmitter>(
         [&metrics, &queue, start, capacity = config_.scheduler.max_batch,
-         kernel = kernel_tuning_info(config_.model),
+         kernel = kernel_tuning_info(config_.model), xnode_rows_base,
          last = std::size_t{0}]() mutable {
-          return live_snapshot(metrics, queue, capacity, kernel, start, last);
+          return live_snapshot(metrics, queue, capacity, kernel, start,
+                               xnode_rows_base, last);
         },
         options);
     emitter->start();
@@ -271,6 +291,23 @@ ServeReport Server::run(const std::vector<Request>& workload) {
   report.metrics.kernel = kernel_tuning_info(config_.model);
   trace_kernel_choice(report.metrics.kernel,
                       kernels::tuned_for(config_.model.d_model));
+
+  // Placement accounting: worker scratch-arena stats arrived in the collector
+  // before join; KV arena usage lives in the session table, and the topology
+  // and cross-node delta are stamped here.
+  report.metrics.mem.numa_mode = mem::to_string(mem::numa_mode());
+  report.metrics.mem.nodes = static_cast<int>(mem::topology().nodes());
+  report.metrics.mem.cross_node_rows =
+      model::RowPartitionPool::global_cross_node_rows() - xnode_rows_base;
+  report.metrics.mem.cross_node_partition =
+      kernels::tuned_for(config_.model.d_model).cross_node_partition;
+  if (sessions != nullptr) {
+    const SessionTable::ArenaUsage usage = sessions->arena_usage();
+    report.metrics.mem.arena_bytes += usage.reserved_bytes;
+    report.metrics.mem.arena_allocations += usage.allocations;
+    report.metrics.mem.arena_slab_allocations += usage.slab_allocations;
+    report.metrics.mem.arena_resets += usage.resets;
+  }
   return report;
 }
 
@@ -327,6 +364,8 @@ ServeReport Server::run_reference(const std::vector<Request>& workload) {
   report.results = std::move(results);
   report.metrics = metrics.finalize(wall_us);
   report.metrics.kernel = kernel_tuning_info(config_.model);
+  report.metrics.mem.numa_mode = mem::to_string(mem::numa_mode());
+  report.metrics.mem.nodes = static_cast<int>(mem::topology().nodes());
   return report;
 }
 

@@ -83,6 +83,13 @@ struct ServerConfig {
   /// hardware default, 1 = serial). Outputs are bit-identical regardless.
   std::size_t norm_threads = 0;
 
+  /// NUMA/arena placement policy: "off", "auto", "interleave", or empty to
+  /// defer to HAAN_NUMA (default auto). Non-empty sets the PROCESS-WIDE mode
+  /// override at server construction (placement is global by nature: arenas,
+  /// pinning and the topology are shared machinery). Placement moves memory
+  /// and threads, never values — results are bit-identical across modes.
+  std::string numa;
+
   /// Honor workload arrival offsets (open-loop). False = closed-loop: feed as
   /// fast as queue backpressure admits.
   bool paced = true;

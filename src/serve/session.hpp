@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/arena.hpp"
 #include "model/config.hpp"
 #include "model/kv_cache.hpp"
 #include "serve/request.hpp"
@@ -24,6 +25,14 @@ namespace haan::serve {
 /// in the scheduler's ready queue, so its fields need no lock of their own.
 struct Session {
   Request request;
+
+  /// Backing storage for `cache` under HAAN_NUMA=auto/interleave: a bump
+  /// arena sized for the session's whole K/V footprint, recycled through the
+  /// SessionTable's pool when the session dies. Declared BEFORE `cache` so
+  /// the cache's pmr vectors are destroyed while their resource is alive.
+  /// Null with placement off (cache allocates from the heap as before).
+  std::unique_ptr<mem::Arena> kv_arena;
+
   model::KvCache cache;
 
   /// request.max_new_tokens clamped so fed tokens (prompt + all generated but
@@ -90,11 +99,23 @@ class SessionTable {
   /// each step; caches only grow).
   void account_kv(Session& session);
 
-  /// KV bytes currently resident across live sessions.
+  /// KV bytes currently resident across live sessions (LOGICAL bytes — rows
+  /// actually stored — so the gauge is comparable across HAAN_NUMA modes;
+  /// arena capacity is reported separately via arena_usage()).
   std::size_t kv_bytes_resident() const;
 
   /// High watermark of kv_bytes_resident() over the table's lifetime.
   std::size_t max_kv_bytes() const;
+
+  /// Aggregate arena accounting across live sessions and the recycle pool
+  /// (all zero with placement off).
+  struct ArenaUsage {
+    std::size_t reserved_bytes = 0;
+    std::uint64_t allocations = 0;
+    std::uint64_t slab_allocations = 0;
+    std::uint64_t resets = 0;
+  };
+  ArenaUsage arena_usage() const;
 
  private:
   const std::size_t n_blocks_;
@@ -102,6 +123,10 @@ class SessionTable {
   const std::size_t max_seq_len_;
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  /// Arenas of dead sessions, reset and waiting for the next create(). Reuse
+  /// converges each arena to one slab at the largest session footprint seen,
+  /// so steady-state session churn performs zero system allocations for KV.
+  std::vector<std::unique_ptr<mem::Arena>> arena_pool_;
   std::size_t kv_bytes_ = 0;
   std::size_t max_kv_bytes_ = 0;
 };

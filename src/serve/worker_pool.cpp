@@ -1,16 +1,53 @@
 #include "serve/worker_pool.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/assert.hpp"
+#include "common/logging.hpp"
 #include "core/provider_factory.hpp"
+#include "mem/arena.hpp"
+#include "mem/scratch.hpp"
+#include "mem/topology.hpp"
 #include "model/batch_layout.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
 namespace haan::serve {
+namespace {
+
+/// Under HAAN_NUMA=auto on a multi-node host, serve workers spread
+/// round-robin across nodes: worker w is confined to node (w % nodes) — the
+/// whole node's CPU set, not one CPU, so the OS still schedules freely within
+/// the socket. The worker's arenas and pool threads then inherit that home
+/// via first touch and RowPartitionPool's own node capture. No-op (legacy OS
+/// placement) in every other configuration.
+void pin_worker_to_node(std::size_t worker_index) {
+#ifdef __linux__
+  if (mem::numa_mode() != mem::NumaMode::kAuto) return;
+  const mem::Topology& topo = mem::topology();
+  if (topo.nodes() < 2) return;
+  const mem::NumaNode& node = topo.node(worker_index % topo.nodes());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : node.cpus) CPU_SET(cpu, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    HAAN_LOG_WARN_C("serve") << "worker " << worker_index
+                             << ": failed to bind to node " << node.id;
+  }
+#else
+  (void)worker_index;
+#endif
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(const model::Transformer& model, BatchScheduler& scheduler,
                        ProviderFactory provider_factory, MetricsCollector& metrics,
@@ -118,6 +155,22 @@ void WorkerPool::record_shed(std::size_t worker_index, std::uint64_t sequence,
 
 void WorkerPool::worker_main(std::size_t worker_index) {
   obs::set_thread_name("worker-" + std::to_string(worker_index));
+  // Placement first: everything the worker allocates or spawns below (scratch
+  // arena first touch, provider pools' home-node capture) keys off where this
+  // thread runs.
+  pin_worker_to_node(worker_index);
+  // Per-pack scratch arena: while a pack executes, every Tensor the forward
+  // pass constructs on this thread (packed hidden block, attention scratch,
+  // MLP intermediates) bump-allocates here via the thread-local ScratchScope,
+  // and reset() recycles the whole lot between packs. Null with placement
+  // off — Tensors fall through to the default heap resource, byte-for-byte
+  // the legacy behavior.
+  std::unique_ptr<mem::Arena> scratch;
+  if (mem::placement_enabled()) {
+    mem::ArenaOptions opts;
+    opts.interleave = mem::numa_mode() == mem::NumaMode::kInterleave;
+    scratch = std::make_unique<mem::Arena>(opts);
+  }
   const std::unique_ptr<model::NormProvider> provider = provider_factory_();
   HAAN_ASSERT(provider != nullptr);
   // The degrade lane's provider is built lazily: runs that never degrade
@@ -141,8 +194,12 @@ void WorkerPool::worker_main(std::size_t worker_index) {
       record_shed(worker_index, pack->sequence, pack->shed);
       if (pack->entries.empty()) continue;  // shed-only pack
       metrics_.record_batch(pack->entries.size());
-      execute_step_pack(worker_index, *pack, lane_provider(pack->degraded),
-                        span_pool);
+      // Resolve the lane BEFORE opening the scratch scope: a lazily built
+      // degrade provider must not put its long-lived state in pack scratch.
+      model::NormProvider& lane = lane_provider(pack->degraded);
+      if (scratch) scratch->reset();
+      mem::ScratchScope scope(scratch.get());
+      execute_step_pack(worker_index, *pack, lane, span_pool);
     }
   } else {
     while (auto batch = scheduler_->next_batch()) {
@@ -150,6 +207,8 @@ void WorkerPool::worker_main(std::size_t worker_index) {
       if (batch->requests.empty()) continue;  // shed-only batch
       metrics_.record_batch(batch->requests.size());
       model::NormProvider& lane = lane_provider(batch->degraded);
+      if (scratch) scratch->reset();
+      mem::ScratchScope scope(scratch.get());
       if (options_.mega_batch) {
         execute_packed(worker_index, *batch, lane, span_pool);
       } else {
@@ -157,6 +216,8 @@ void WorkerPool::worker_main(std::size_t worker_index) {
       }
     }
   }
+
+  if (scratch) metrics_.add_arena_stats(scratch->stats());
 
   // End-of-stream: fold this worker's HAAN counters (both lanes) into the
   // shared metrics.

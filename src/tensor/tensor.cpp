@@ -1,8 +1,10 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "mem/scratch.hpp"
 
 namespace haan::tensor {
 
@@ -38,11 +40,22 @@ std::string Shape::to_string() const {
   return out.str();
 }
 
-Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_.numel(), 0.0f) {}
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(shape_.numel(), 0.0f, mem::current_resource()) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
+Tensor::Tensor(Shape shape, std::span<const float> data)
+    : shape_(std::move(shape)),
+      data_(data.begin(), data.end(), mem::current_resource()) {
   HAAN_EXPECTS(data_.size() == shape_.numel());
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    shape_ = std::move(other.shape_);
+    mem::steal_assign(data_, std::move(other.data_));
+  }
+  return *this;
 }
 
 Tensor Tensor::randn(Shape shape, common::Rng& rng, double mean, double stddev) {
@@ -119,7 +132,7 @@ std::span<const float> Tensor::vector_at(std::size_t i, std::size_t j) const {
 
 Tensor Tensor::reshaped(Shape shape) const {
   HAAN_EXPECTS(shape.numel() == numel());
-  return Tensor(std::move(shape), data_);
+  return Tensor(std::move(shape), std::span<const float>(data_));
 }
 
 std::string Tensor::to_string(std::size_t max_elements) const {

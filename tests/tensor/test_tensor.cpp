@@ -105,7 +105,7 @@ TEST(TensorDeathTest, OutOfBoundsAborts) {
 }
 
 TEST(TensorDeathTest, ShapeMismatchAborts) {
-  EXPECT_DEATH(Tensor(Shape{2, 2}, {1.0f}), "precondition");
+  EXPECT_DEATH(Tensor(Shape{2, 2}, std::vector<float>{1.0f}), "precondition");
 }
 
 }  // namespace
